@@ -1,0 +1,365 @@
+//! Random generation of well-typed §4 programs.
+//!
+//! The generator is type-directed and *usage-aware*: every affine binder it
+//! introduces is used exactly once or explicitly discarded, dynamic and
+//! static arrows are chosen at random, and boundaries are inserted wherever a
+//! conversion exists.  The §4 instantiations of the Fundamental Property and
+//! the type-safety theorems quantify over all well-typed programs; the test
+//! suites sample that space through this module.
+
+use crate::convert::AffineConversions;
+use crate::syntax::{AffiExpr, AffiType, MlExpr, MlType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning knobs for the §4 generator.
+#[derive(Debug, Clone, Copy)]
+pub struct AffineGenConfig {
+    /// Maximum expression depth.
+    pub max_depth: usize,
+    /// Probability (0–100) of crossing a boundary when a conversion exists.
+    pub boundary_bias: u32,
+    /// Probability (0–100) of choosing the static arrow over the dynamic one
+    /// when introducing an affine function.
+    pub static_bias: u32,
+}
+
+impl Default for AffineGenConfig {
+    fn default() -> Self {
+        AffineGenConfig { max_depth: 4, boundary_bias: 35, static_bias: 50 }
+    }
+}
+
+/// A deterministic, seed-driven generator of closed well-typed Affi and
+/// MiniML programs.
+#[derive(Debug)]
+pub struct AffineProgramGen {
+    rng: StdRng,
+    config: AffineGenConfig,
+    conversions: AffineConversions,
+    fresh: u64,
+}
+
+impl AffineProgramGen {
+    /// A generator with the default configuration.
+    pub fn new(seed: u64) -> Self {
+        Self::with_config(seed, AffineGenConfig::default())
+    }
+
+    /// A generator with an explicit configuration.
+    pub fn with_config(seed: u64, config: AffineGenConfig) -> Self {
+        AffineProgramGen {
+            rng: StdRng::seed_from_u64(seed),
+            config,
+            conversions: AffineConversions::standard(),
+            fresh: 0,
+        }
+    }
+
+    fn fresh_name(&mut self, hint: &str) -> String {
+        let n = self.fresh;
+        self.fresh += 1;
+        format!("{hint}{n}")
+    }
+
+    /// Generates a random "ground" Affi type (no arrows), used both as a goal
+    /// type and for binder annotations.
+    pub fn gen_affi_type(&mut self, depth: usize) -> AffiType {
+        if depth == 0 {
+            return match self.rng.gen_range(0..3) {
+                0 => AffiType::Int,
+                1 => AffiType::Bool,
+                _ => AffiType::Unit,
+            };
+        }
+        match self.rng.gen_range(0..5) {
+            0 => AffiType::Int,
+            1 => AffiType::Bool,
+            2 => AffiType::Unit,
+            3 => AffiType::tensor(self.gen_affi_type(depth - 1), self.gen_affi_type(depth - 1)),
+            _ => AffiType::bang(self.gen_affi_type(depth - 1)),
+        }
+    }
+
+    /// Generates a closed, well-typed Affi expression of type `ty`.
+    pub fn gen_affi(&mut self, ty: &AffiType) -> AffiExpr {
+        self.affi(ty, self.config.max_depth)
+    }
+
+    /// Generates a closed, well-typed MiniML expression of type `ty`.
+    pub fn gen_ml(&mut self, ty: &MlType) -> MlExpr {
+        self.ml(ty, self.config.max_depth)
+    }
+
+    fn boundary_here(&mut self) -> bool {
+        self.rng.gen_range(0..100) < self.config.boundary_bias
+    }
+
+    fn affi(&mut self, ty: &AffiType, depth: usize) -> AffiExpr {
+        // Possibly detour through MiniML when a conversion exists.
+        if depth > 0 && self.boundary_here() {
+            if let Some(ml_ty) = self.ml_type_convertible_to(ty) {
+                return AffiExpr::boundary(self.ml(&ml_ty, depth - 1), ty.clone());
+            }
+        }
+        if depth == 0 {
+            return self.affi_leaf(ty);
+        }
+        match self.rng.gen_range(0..4) {
+            // Canonical constructor one level deep.
+            0 => self.affi_constructor(ty, depth),
+            // Apply an affine identity (fresh binder, used exactly once).
+            1 => {
+                let name = self.fresh_name("a");
+                let arg = self.affi(ty, depth - 1);
+                if self.rng.gen_range(0..100) < self.config.static_bias {
+                    AffiExpr::app(
+                        AffiExpr::lam_static(name.as_str(), ty.clone(), AffiExpr::avar_static(name.as_str())),
+                        arg,
+                    )
+                } else {
+                    AffiExpr::app(
+                        AffiExpr::lam(name.as_str(), ty.clone(), AffiExpr::avar(name.as_str())),
+                        arg,
+                    )
+                }
+            }
+            // Destructure a tensor whose second component is the goal; the
+            // first is dropped (affine, not linear, so that is allowed).
+            2 => {
+                let left = self.fresh_name("l");
+                let right = self.fresh_name("r");
+                let other = self.gen_affi_type(1);
+                AffiExpr::let_tensor(
+                    left.as_str(),
+                    right.as_str(),
+                    AffiExpr::tensor(self.affi(&other, 0), self.affi(ty, depth - 1)),
+                    AffiExpr::avar_static(right.as_str()),
+                )
+            }
+            // Project out of an additive pair (the unused side may share
+            // nothing or everything; here both sides are independent).
+            _ => {
+                let other = self.gen_affi_type(1);
+                if self.rng.gen_bool(0.5) {
+                    AffiExpr::proj1(AffiExpr::with_pair(self.affi(ty, depth - 1), self.affi(&other, 0)))
+                } else {
+                    AffiExpr::proj2(AffiExpr::with_pair(self.affi(&other, 0), self.affi(ty, depth - 1)))
+                }
+            }
+        }
+    }
+
+    fn affi_constructor(&mut self, ty: &AffiType, depth: usize) -> AffiExpr {
+        let d = depth.saturating_sub(1);
+        match ty {
+            AffiType::Unit => AffiExpr::unit(),
+            AffiType::Bool => AffiExpr::bool_(self.rng.gen_bool(0.5)),
+            AffiType::Int => AffiExpr::int(self.rng.gen_range(-20..20)),
+            AffiType::Tensor(a, b) => AffiExpr::tensor(self.affi(a, d), self.affi(b, d)),
+            AffiType::With(a, b) => AffiExpr::with_pair(self.affi(a, d), self.affi(b, d)),
+            AffiType::Bang(inner) => AffiExpr::bang(self.affi_leaf(inner)),
+            AffiType::Lolli(mode, a, b) => {
+                let name = self.fresh_name("f");
+                // The body ignores the argument (affine drop) and produces a
+                // value of the result type, so it is well-typed for either
+                // mode without tracking usage of the binder.
+                let body = self.affi(b, d);
+                let _ = a;
+                match mode {
+                    crate::syntax::Mode::Static => AffiExpr::lam_static(name.as_str(), (**a).clone(), body),
+                    crate::syntax::Mode::Dynamic => AffiExpr::lam(name.as_str(), (**a).clone(), body),
+                }
+            }
+        }
+    }
+
+    fn affi_leaf(&mut self, ty: &AffiType) -> AffiExpr {
+        match ty {
+            AffiType::Unit => AffiExpr::unit(),
+            AffiType::Bool => AffiExpr::bool_(self.rng.gen_bool(0.5)),
+            AffiType::Int => AffiExpr::int(self.rng.gen_range(-20..20)),
+            AffiType::Tensor(a, b) => AffiExpr::tensor(self.affi_leaf(a), self.affi_leaf(b)),
+            AffiType::With(a, b) => AffiExpr::with_pair(self.affi_leaf(a), self.affi_leaf(b)),
+            AffiType::Bang(inner) => AffiExpr::bang(self.affi_leaf(inner)),
+            AffiType::Lolli(mode, a, b) => {
+                let name = self.fresh_name("f");
+                let body = self.affi_leaf(b);
+                match mode {
+                    crate::syntax::Mode::Static => AffiExpr::lam_static(name.as_str(), (**a).clone(), body),
+                    crate::syntax::Mode::Dynamic => AffiExpr::lam(name.as_str(), (**a).clone(), body),
+                }
+            }
+        }
+    }
+
+    fn ml(&mut self, ty: &MlType, depth: usize) -> MlExpr {
+        if depth > 0 && self.boundary_here() {
+            if let Some(affi_ty) = self.affi_type_convertible_to(ty) {
+                return MlExpr::boundary(self.affi(&affi_ty, depth - 1), ty.clone());
+            }
+        }
+        if depth == 0 {
+            return self.ml_leaf(ty);
+        }
+        match self.rng.gen_range(0..3) {
+            0 => self.ml_constructor(ty, depth),
+            // Immediate application of a lambda (MiniML is unrestricted, so
+            // the binder may be used any number of times; keep it to one).
+            1 => {
+                let name = self.fresh_name("x");
+                MlExpr::app(
+                    MlExpr::lam(name.as_str(), MlType::Int, self.ml(ty, depth - 1)),
+                    self.ml(&MlType::Int, depth - 1),
+                )
+            }
+            _ => {
+                // Projection out of a pair containing the goal type.
+                if self.rng.gen_bool(0.5) {
+                    MlExpr::fst(MlExpr::pair(self.ml(ty, depth - 1), self.ml_leaf(&MlType::Unit)))
+                } else {
+                    MlExpr::snd(MlExpr::pair(self.ml_leaf(&MlType::Int), self.ml(ty, depth - 1)))
+                }
+            }
+        }
+    }
+
+    fn ml_constructor(&mut self, ty: &MlType, depth: usize) -> MlExpr {
+        let d = depth.saturating_sub(1);
+        match ty {
+            MlType::Unit => MlExpr::unit(),
+            MlType::Int => {
+                if d > 0 && self.rng.gen_bool(0.5) {
+                    MlExpr::add(self.ml(&MlType::Int, d), self.ml(&MlType::Int, d))
+                } else {
+                    MlExpr::int(self.rng.gen_range(-20..20))
+                }
+            }
+            MlType::Prod(a, b) => MlExpr::pair(self.ml(a, d), self.ml(b, d)),
+            MlType::Sum(a, b) => {
+                if self.rng.gen_bool(0.5) {
+                    MlExpr::inl(self.ml(a, d), ty.clone())
+                } else {
+                    MlExpr::inr(self.ml(b, d), ty.clone())
+                }
+            }
+            MlType::Fun(a, b) => {
+                let name = self.fresh_name("x");
+                MlExpr::lam(name.as_str(), (**a).clone(), self.ml(b, d))
+            }
+            MlType::Ref(a) => MlExpr::ref_(self.ml(a, d)),
+        }
+    }
+
+    fn ml_leaf(&mut self, ty: &MlType) -> MlExpr {
+        match ty {
+            MlType::Unit => MlExpr::unit(),
+            MlType::Int => MlExpr::int(self.rng.gen_range(-20..20)),
+            MlType::Prod(a, b) => MlExpr::pair(self.ml_leaf(a), self.ml_leaf(b)),
+            MlType::Sum(a, _) => MlExpr::inl(self.ml_leaf(a), ty.clone()),
+            MlType::Fun(a, b) => {
+                let name = self.fresh_name("x");
+                MlExpr::lam(name.as_str(), (**a).clone(), self.ml_leaf(b))
+            }
+            MlType::Ref(a) => MlExpr::ref_(self.ml_leaf(a)),
+        }
+    }
+
+    /// Picks a MiniML type convertible with the Affi goal type, if any.
+    fn ml_type_convertible_to(&mut self, ty: &AffiType) -> Option<MlType> {
+        let candidate = match ty {
+            AffiType::Unit => MlType::Unit,
+            AffiType::Bool | AffiType::Int => MlType::Int,
+            AffiType::Bang(inner) => return self.ml_type_convertible_to(inner),
+            AffiType::Tensor(a, b) => MlType::prod(
+                self.ml_type_convertible_to(a)?,
+                self.ml_type_convertible_to(b)?,
+            ),
+            _ => return None,
+        };
+        self.conversions.derive(ty, &candidate).map(|_| candidate)
+    }
+
+    /// Picks an Affi type convertible with the MiniML goal type, if any.
+    fn affi_type_convertible_to(&mut self, ty: &MlType) -> Option<AffiType> {
+        let candidate = match ty {
+            MlType::Unit => AffiType::Unit,
+            MlType::Int => {
+                if self.rng.gen_bool(0.5) {
+                    AffiType::Int
+                } else {
+                    AffiType::Bool
+                }
+            }
+            MlType::Prod(a, b) => AffiType::tensor(
+                self.affi_type_convertible_to(a)?,
+                self.affi_type_convertible_to(b)?,
+            ),
+            _ => return None,
+        };
+        self.conversions.derive(&candidate, ty).map(|_| candidate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multilang::AffineMultiLang;
+
+    #[test]
+    fn generated_affi_programs_typecheck_at_the_requested_type() {
+        let sys = AffineMultiLang::new();
+        for seed in 0..80 {
+            let mut gen = AffineProgramGen::new(seed);
+            let ty = gen.gen_affi_type(2);
+            let e = gen.gen_affi(&ty);
+            let checked = sys
+                .typecheck_affi(&e)
+                .unwrap_or_else(|err| panic!("seed {seed}: {e} does not typecheck: {err}"));
+            assert_eq!(checked, ty, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generated_ml_programs_typecheck() {
+        let sys = AffineMultiLang::new();
+        for seed in 0..80 {
+            let mut gen = AffineProgramGen::new(seed);
+            let e = gen.gen_ml(&MlType::Int);
+            let ty = sys
+                .typecheck_ml(&e)
+                .unwrap_or_else(|err| panic!("seed {seed}: {e} does not typecheck: {err}"));
+            assert_eq!(ty, MlType::Int);
+        }
+    }
+
+    #[test]
+    fn generated_programs_run_safely_under_both_semantics() {
+        let sys = AffineMultiLang::new();
+        for seed in 0..60 {
+            let mut gen = AffineProgramGen::new(seed);
+            let ty = gen.gen_affi_type(1);
+            let e = gen.gen_affi(&ty);
+            let compiled = sys.compile_affi(&e).expect("compiles");
+            assert!(sys.run(&compiled).halt.is_safe(), "seed {seed}: standard run unsafe for {e}");
+            assert!(sys.run_phantom(&compiled).halt.is_safe(), "seed {seed}: phantom run unsafe for {e}");
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mut a = AffineProgramGen::new(11);
+        let mut b = AffineProgramGen::new(11);
+        assert_eq!(a.gen_affi(&AffiType::Int), b.gen_affi(&AffiType::Int));
+    }
+
+    #[test]
+    fn boundary_bias_zero_keeps_programs_single_language() {
+        let cfg = AffineGenConfig { max_depth: 4, boundary_bias: 0, static_bias: 50 };
+        for seed in 0..20 {
+            let mut gen = AffineProgramGen::with_config(seed, cfg);
+            let e = gen.gen_affi(&AffiType::Int);
+            assert!(!format!("{e}").contains('⦇'), "unexpected boundary in {e}");
+        }
+    }
+}

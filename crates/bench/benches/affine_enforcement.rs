@@ -1,0 +1,44 @@
+//! E3 — §4 static vs dynamic affine enforcement.
+//!
+//! Claim: the two-arrow design means Affi-internal code (static arrow) pays
+//! nothing at runtime, dynamic-arrow calls pay one guard allocation + one
+//! forced thunk each, and fully cross-boundary calls additionally pay the
+//! Fig. 9 wrappers.  The all-dynamic chain is also the paper's footnote-2
+//! ablation (a simple Affi without the ⊸/⊸• distinction).
+
+mod common;
+
+use affine_interop::multilang::AffineMultiLang;
+use criterion::{criterion_main, BenchmarkId, Criterion};
+use lcvm::Machine;
+use semint_bench::{cross_boundary_affine_chain, dynamic_affine_chain, static_affine_chain};
+use semint_core::Fuel;
+
+fn bench_enforcement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3_affine_enforcement");
+    let sys = AffineMultiLang::new();
+    for calls in [1usize, 8, 32, 128] {
+        let static_prog = sys.compile_affi(&static_affine_chain(calls)).unwrap().expr;
+        let dynamic_prog = sys.compile_affi(&dynamic_affine_chain(calls)).unwrap().expr;
+        let boundary_prog = sys.compile_ml(&cross_boundary_affine_chain(calls)).unwrap().expr;
+
+        group.bench_with_input(BenchmarkId::new("static_arrow", calls), &static_prog, |b, p| {
+            b.iter(|| Machine::run_expr(p.clone(), Fuel::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("dynamic_arrow", calls), &dynamic_prog, |b, p| {
+            b.iter(|| Machine::run_expr(p.clone(), Fuel::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("cross_boundary", calls), &boundary_prog, |b, p| {
+            b.iter(|| Machine::run_expr(p.clone(), Fuel::default()))
+        });
+    }
+    group.finish();
+}
+
+fn benches() {
+    let mut c = common::criterion();
+    bench_enforcement(&mut c);
+    c.final_summary();
+}
+
+criterion_main!(benches);

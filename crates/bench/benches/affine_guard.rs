@@ -1,0 +1,67 @@
+//! E4 — §4 the cost of one dynamic guard.
+//!
+//! Claim: the guard inserted by `thunk(·)` costs one reference allocation at
+//! creation and one read + one write per (single) forcing.  The benchmark
+//! compares a raw call, a guarded call, and guard creation that is never
+//! forced, so EXPERIMENTS.md can report the per-guard overhead in machine
+//! steps as well as wall-clock time.
+
+mod common;
+
+use affine_interop::compile::thunk_guard;
+use criterion::{criterion_main, Criterion};
+use lcvm::{Expr, Machine};
+use semint_core::Fuel;
+
+fn raw_call() -> Expr {
+    // (λx. x + 1) 41
+    Expr::app(Expr::lam("x", Expr::add(Expr::var("x"), Expr::int(1))), Expr::int(41))
+}
+
+fn guarded_call() -> Expr {
+    // let t = thunk(41) in (λx. x + 1) (t ())
+    Expr::let_(
+        "t",
+        thunk_guard(Expr::int(41)),
+        Expr::app(
+            Expr::lam("x", Expr::add(Expr::var("x"), Expr::int(1))),
+            Expr::app(Expr::var("t"), Expr::unit()),
+        ),
+    )
+}
+
+fn guard_never_forced() -> Expr {
+    Expr::seq(thunk_guard(Expr::int(41)), Expr::int(42))
+}
+
+fn bench_guard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4_guard_overhead");
+    group.bench_function("raw_call", |b| {
+        let p = raw_call();
+        b.iter(|| Machine::run_expr(p.clone(), Fuel::default()))
+    });
+    group.bench_function("guarded_call", |b| {
+        let p = guarded_call();
+        b.iter(|| Machine::run_expr(p.clone(), Fuel::default()))
+    });
+    group.bench_function("guard_created_never_forced", |b| {
+        let p = guard_never_forced();
+        b.iter(|| Machine::run_expr(p.clone(), Fuel::default()))
+    });
+    group.finish();
+
+    // Step counts are deterministic; print them once so the report can quote
+    // the overhead in machine steps.
+    let raw = Machine::run_expr(raw_call(), Fuel::default()).steps;
+    let guarded = Machine::run_expr(guarded_call(), Fuel::default()).steps;
+    let unforced = Machine::run_expr(guard_never_forced(), Fuel::default()).steps;
+    println!("E4 machine steps: raw={raw}, guarded={guarded}, guard_never_forced={unforced}");
+}
+
+fn benches() {
+    let mut c = common::criterion();
+    bench_guard(&mut c);
+    c.final_summary();
+}
+
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Shared Criterion configuration for the experiment suite.
+//!
+//! All benchmarks run compiled target programs through the interpreters, so
+//! absolute numbers are interpreter-bound; what matters (and what
+//! EXPERIMENTS.md records) is the *relative shape* between the compared
+//! strategies.  The configuration keeps each group short so the whole suite
+//! finishes in a couple of minutes.
+
+use criterion::Criterion;
+use std::time::Duration;
+
+/// The Criterion instance used by every experiment.
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+        .configure_from_args()
+}

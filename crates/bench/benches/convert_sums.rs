@@ -1,0 +1,38 @@
+//! E2 — §3 payload conversions (sums ↔ int arrays).
+//!
+//! Claim: unlike references, sums and products *do* pay per-value glue code
+//! (tag inspection, payload conversion, array rebuild, dynamic length/tag
+//! checks).  The benchmark compares K boundary-crossing sums against the same
+//! arithmetic without boundaries.
+
+mod common;
+
+use criterion::{criterion_main, BenchmarkId, Criterion};
+use semint_bench::{sum_conversion_baseline, sum_conversion_workload};
+use sharedmem::convert::SharedMemConversions;
+use sharedmem::multilang::MultiLang;
+use stacklang::{Fuel, Machine};
+
+fn bench_sum_conversions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2_sum_array_conversions");
+    let sys = MultiLang::new(SharedMemConversions::standard());
+    for count in [1usize, 8, 32, 128] {
+        let with_boundaries = sys.compile_ll(&sum_conversion_workload(count)).unwrap().program;
+        let baseline = sys.compile_ll(&sum_conversion_baseline(count)).unwrap().program;
+        group.bench_with_input(BenchmarkId::new("convert_sums", count), &with_boundaries, |b, p| {
+            b.iter(|| Machine::run_program(p.clone(), Fuel::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("no_boundary_baseline", count), &baseline, |b, p| {
+            b.iter(|| Machine::run_program(p.clone(), Fuel::default()))
+        });
+    }
+    group.finish();
+}
+
+fn benches() {
+    let mut c = common::criterion();
+    bench_sum_conversions(&mut c);
+    c.final_summary();
+}
+
+criterion_main!(benches);

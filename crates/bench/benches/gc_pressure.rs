@@ -1,0 +1,50 @@
+//! E6 — §5 garbage-collection pressure vs manual management.
+//!
+//! Claim: the explicit `callgc` placement (before allocation in the L3
+//! compiler) means collector cost scales with the amount of garbage reachable
+//! at those points, while manual `new`/`free` pipelines never accumulate
+//! garbage at all.
+
+mod common;
+
+use criterion::{criterion_main, BenchmarkId, Criterion};
+use lcvm::Machine;
+use memgc_interop::multilang::MemGcMultiLang;
+use semint_bench::{gc_pressure_workload, manual_pressure_workload};
+use semint_core::Fuel;
+
+fn bench_gc_pressure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6_gc_pressure");
+    let sys = MemGcMultiLang::new();
+    for n in [8usize, 32, 128] {
+        let gc_heavy = sys.compile_ml(&gc_pressure_workload(n, 4)).unwrap();
+        let manual = sys.compile_l3(&manual_pressure_workload(n)).unwrap();
+        group.bench_with_input(BenchmarkId::new("gc_allocations_then_collect", n), &gc_heavy, |b, p| {
+            b.iter(|| Machine::run_expr(p.clone(), Fuel::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("manual_new_free", n), &manual, |b, p| {
+            b.iter(|| Machine::run_expr(p.clone(), Fuel::default()))
+        });
+    }
+    group.finish();
+
+    // Deterministic heap statistics for the report.
+    for n in [8usize, 32, 128] {
+        let r = Machine::run_expr(sys.compile_ml(&gc_pressure_workload(n, 4)).unwrap(), Fuel::default());
+        println!(
+            "E6 n={n}: gc_allocs={}, collected={}, gc_runs={}, live_at_exit={}",
+            r.heap.stats().gc_allocs,
+            r.heap.stats().collected,
+            r.heap.stats().gc_runs,
+            r.heap.len()
+        );
+    }
+}
+
+fn benches() {
+    let mut c = common::criterion();
+    bench_gc_pressure(&mut c);
+    c.final_summary();
+}
+
+criterion_main!(benches);

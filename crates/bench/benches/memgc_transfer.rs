@@ -1,0 +1,38 @@
+//! E5 — §5 ownership transfer vs copying.
+//!
+//! Claim: moving an L3-owned cell to MiniML is O(conversion of the contents)
+//! plus a constant-time `gcmov` — the cell itself is never copied — whereas
+//! the MiniML → L3 direction must allocate a fresh manual cell and copy.  The
+//! benchmark sweeps the size of the transferred payload.
+
+mod common;
+
+use criterion::{criterion_main, BenchmarkId, Criterion};
+use lcvm::Machine;
+use memgc_interop::multilang::MemGcMultiLang;
+use semint_bench::{transfer_to_l3_workload, transfer_to_ml_workload};
+use semint_core::Fuel;
+
+fn bench_transfer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_ownership_transfer");
+    let sys = MemGcMultiLang::new();
+    for depth in [0usize, 4, 16, 64] {
+        let to_ml = sys.compile_ml(&transfer_to_ml_workload(depth)).unwrap();
+        let to_l3 = sys.compile_l3(&transfer_to_l3_workload(depth)).unwrap();
+        group.bench_with_input(BenchmarkId::new("l3_to_ml_gcmov", depth), &to_ml, |b, p| {
+            b.iter(|| Machine::run_expr(p.clone(), Fuel::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("ml_to_l3_copy", depth), &to_l3, |b, p| {
+            b.iter(|| Machine::run_expr(p.clone(), Fuel::default()))
+        });
+    }
+    group.finish();
+}
+
+fn benches() {
+    let mut c = common::criterion();
+    bench_transfer(&mut c);
+    c.final_summary();
+}
+
+criterion_main!(benches);

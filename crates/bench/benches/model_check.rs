@@ -1,0 +1,59 @@
+//! E8 — cost of executable model checking.
+//!
+//! The framework's practicality as a *design-time tool* depends on how fast
+//! the bounded model membership and convertibility-soundness checks run.
+//! This experiment sweeps the size of the checked type and benchmarks the
+//! Lemma 3.1 checker on every registered §3 rule shape.
+
+mod common;
+
+use criterion::{criterion_main, BenchmarkId, Criterion};
+use reflang::syntax::{HlType, LlType};
+use semint_bench::deep_hl_type;
+use sharedmem::model::{ModelChecker, SemType, World};
+use stacklang::Heap;
+
+fn bench_model_checks(c: &mut Criterion) {
+    let checker = ModelChecker::default();
+
+    let mut group = c.benchmark_group("E8_model_membership_vs_type_size");
+    for depth in [1usize, 4, 8, 12] {
+        let ty = deep_hl_type(depth);
+        let world = World::new(10_000);
+        let samples = checker.sample_values(&SemType::Hl(ty.clone()), 2);
+        group.bench_with_input(BenchmarkId::new("value_membership", depth), &samples, |b, vs| {
+            b.iter(|| {
+                vs.iter()
+                    .filter(|v| checker.value_in(&world, &Heap::new(), v, &SemType::Hl(ty.clone())))
+                    .count()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("E8_convertibility_soundness_checks");
+    let rules = [
+        ("bool_int", HlType::Bool, LlType::Int),
+        ("ref_bool_ref_int", HlType::ref_(HlType::Bool), LlType::ref_(LlType::Int)),
+        ("sum_int_array", HlType::sum(HlType::Bool, HlType::Bool), LlType::array(LlType::Int)),
+        (
+            "prod_int_array",
+            HlType::prod(HlType::Bool, HlType::Unit),
+            LlType::array(LlType::Int),
+        ),
+    ];
+    for (name, hl, ll) in rules {
+        group.bench_function(BenchmarkId::new("lemma_3_1", name), |b| {
+            b.iter(|| checker.check_convertibility(&hl, &ll).expect("sound"))
+        });
+    }
+    group.finish();
+}
+
+fn benches() {
+    let mut c = common::criterion();
+    bench_model_checks(&mut c);
+    c.final_summary();
+}
+
+criterion_main!(benches);

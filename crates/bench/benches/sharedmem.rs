@@ -1,0 +1,46 @@
+//! E1 — §3 reference-passing strategies.
+//!
+//! Claim (paper §3 + Discussion): passing a `ref bool`/`ref int` pointer
+//! across the boundary is free (a no-op conversion), copy-converting breaks
+//! aliasing and pays per crossing, and proxy-style designs pay per *access*.
+//! The benchmark sweeps the number of boundary crossings and measures the
+//! compiled program's runtime under each strategy.
+
+mod common;
+
+use criterion::{criterion_main, BenchmarkId, Criterion};
+use semint_bench::{proxied_ref_workload, shared_ref_workload};
+use sharedmem::convert::{RefStrategy, SharedMemConversions};
+use sharedmem::multilang::MultiLang;
+use stacklang::{Fuel, Machine};
+
+fn bench_ref_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1_shared_memory_ref_strategies");
+    for crossings in [1usize, 8, 32, 128] {
+        let share = MultiLang::new(SharedMemConversions::standard());
+        let copy = MultiLang::new(SharedMemConversions::with_ref_strategy(RefStrategy::Copy));
+
+        let shared_prog = share.compile_ll(&shared_ref_workload(crossings)).unwrap().program;
+        let copied_prog = copy.compile_ll(&shared_ref_workload(crossings)).unwrap().program;
+        let proxied_prog = share.compile_ll(&proxied_ref_workload(crossings)).unwrap().program;
+
+        group.bench_with_input(BenchmarkId::new("share_pointer", crossings), &shared_prog, |b, p| {
+            b.iter(|| Machine::run_program(p.clone(), Fuel::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("copy_convert", crossings), &copied_prog, |b, p| {
+            b.iter(|| Machine::run_program(p.clone(), Fuel::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("convert_per_access", crossings), &proxied_prog, |b, p| {
+            b.iter(|| Machine::run_program(p.clone(), Fuel::default()))
+        });
+    }
+    group.finish();
+}
+
+fn benches() {
+    let mut c = common::criterion();
+    bench_ref_strategies(&mut c);
+    c.final_summary();
+}
+
+criterion_main!(benches);

@@ -1,0 +1,328 @@
+//! # semint-bench
+//!
+//! Workload builders shared by the Criterion benchmarks that reproduce the
+//! paper's performance trade-off discussion (see `EXPERIMENTS.md` at the
+//! workspace root for the experiment index E1–E8).
+//!
+//! The paper has no numeric evaluation tables — its performance claims are
+//! qualitative design arguments ("pointer sharing is free, proxies pay per
+//! access, dynamic affine enforcement costs a guard per call, `gcmov` moves
+//! without copying").  Each function here builds a parameterised workload
+//! whose measured shape either confirms or refutes one of those claims.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use affine_interop::syntax::{AffiExpr, AffiType, MlExpr, MlType};
+use memgc_interop::syntax::{L3Expr, L3Type, PolyExpr, PolyType};
+use reflang::syntax::{HlExpr, HlType, LlExpr, LlType};
+
+/// E1: a RefLL program that shares one reference with RefHL and performs
+/// `crossings` boundary round trips, each consisting of a RefHL write and a
+/// RefLL read of the same cell.
+pub fn shared_ref_workload(crossings: usize) -> LlExpr {
+    // let cell = ref 0 in  (sum over i of ⦇(λr. r := b; …)⦈ interactions) ; !cell
+    let mut body = LlExpr::deref(LlExpr::var("cell"));
+    for i in 0..crossings {
+        // Each iteration: cross into RefHL, write through the alias, come
+        // back with an int, and add it to the running result.
+        let hl_write = HlExpr::assign(
+            HlExpr::boundary(LlExpr::var("cell"), HlType::ref_(HlType::Bool)),
+            HlExpr::bool_(i % 2 == 0),
+        );
+        body = LlExpr::add(LlExpr::boundary(hl_write, LlType::Int), body);
+    }
+    LlExpr::app(
+        LlExpr::lam("cell", LlType::ref_(LlType::Int), body),
+        LlExpr::ref_(LlExpr::int(0)),
+    )
+}
+
+/// E1 (proxy ablation): the same access pattern, but every crossing converts
+/// the *contents* rather than sharing the pointer — the per-access cost the
+/// paper attributes to guard/proxy-based designs.
+pub fn proxied_ref_workload(crossings: usize) -> LlExpr {
+    let mut body = LlExpr::deref(LlExpr::var("cell"));
+    for i in 0..crossings {
+        // Read the value, push it through bool∼int conversions in both
+        // directions (a payload conversion per access), then write it back on
+        // the RefLL side.
+        let hl_read = HlExpr::if_(
+            HlExpr::boundary(LlExpr::deref(LlExpr::var("cell")), HlType::Bool),
+            HlExpr::bool_(i % 2 == 0),
+            HlExpr::bool_(i % 2 == 1),
+        );
+        let write_back = LlExpr::assign(LlExpr::var("cell"), LlExpr::boundary(hl_read, LlType::Int));
+        body = LlExpr::add(write_back, body);
+    }
+    LlExpr::app(
+        LlExpr::lam("cell", LlType::ref_(LlType::Int), body),
+        LlExpr::ref_(LlExpr::int(0)),
+    )
+}
+
+/// E2: convert `count` sum values RefHL → RefLL (each conversion re-tags the
+/// payload and rebuilds a two-element array).
+pub fn sum_conversion_workload(count: usize) -> LlExpr {
+    let sum_ty = HlType::sum(HlType::Bool, HlType::Bool);
+    let mut body = LlExpr::int(0);
+    for i in 0..count {
+        let hl_sum = if i % 2 == 0 {
+            HlExpr::inl(HlExpr::bool_(true), sum_ty.clone())
+        } else {
+            HlExpr::inr(HlExpr::bool_(false), sum_ty.clone())
+        };
+        let crossed = LlExpr::index(
+            LlExpr::boundary(hl_sum, LlType::array(LlType::Int)),
+            LlExpr::int(0),
+        );
+        body = LlExpr::add(crossed, body);
+    }
+    body
+}
+
+/// E2 baseline: the same amount of arithmetic with no boundaries at all.
+pub fn sum_conversion_baseline(count: usize) -> LlExpr {
+    let mut body = LlExpr::int(0);
+    for i in 0..count {
+        body = LlExpr::add(LlExpr::int((i % 2) as i64), body);
+    }
+    body
+}
+
+/// E3: a chain of `calls` affine identity applications, all *static* arrows
+/// (no runtime enforcement).
+pub fn static_affine_chain(calls: usize) -> AffiExpr {
+    let mut expr = AffiExpr::int(1);
+    for i in 0..calls {
+        let v = format!("s{i}");
+        expr = AffiExpr::app(
+            AffiExpr::lam_static(v.as_str(), AffiType::Int, AffiExpr::avar_static(v.as_str())),
+            expr,
+        );
+    }
+    expr
+}
+
+/// E3: the same chain with *dynamic* arrows — one guard allocation and one
+/// forced thunk per call (this is also the "simple Affi" ablation of the
+/// paper's footnote 2, where every affine binding pays the dynamic cost).
+pub fn dynamic_affine_chain(calls: usize) -> AffiExpr {
+    let mut expr = AffiExpr::int(1);
+    for i in 0..calls {
+        let v = format!("d{i}");
+        expr = AffiExpr::app(
+            AffiExpr::lam(v.as_str(), AffiType::Int, AffiExpr::avar(v.as_str())),
+            expr,
+        );
+    }
+    expr
+}
+
+/// E3: cross-boundary variant — each call goes through MiniML via the
+/// `𝜏1 ⊸ 𝜏2 ∼ (unit → τ1) → τ2` conversion.
+pub fn cross_boundary_affine_chain(calls: usize) -> MlExpr {
+    let thunked = MlType::fun(MlType::fun(MlType::Unit, MlType::Int), MlType::Int);
+    let mut expr = MlExpr::int(1);
+    for i in 0..calls {
+        let v = format!("b{i}");
+        let affi_identity = AffiExpr::lam(v.as_str(), AffiType::Int, AffiExpr::avar(v.as_str()));
+        // MiniML calls the converted function with a thunk returning the
+        // accumulated expression.
+        expr = MlExpr::app(
+            MlExpr::boundary(affi_identity, thunked.clone()),
+            MlExpr::lam("_", MlType::Unit, expr),
+        );
+    }
+    expr
+}
+
+/// E5: an L3 value of `depth` nested tensor pairs of booleans (the payload
+/// transferred across the memory-management boundary).
+pub fn l3_nested_payload(depth: usize) -> (L3Expr, L3Type) {
+    let mut expr = L3Expr::bool_(true);
+    let mut ty = L3Type::Bool;
+    for _ in 0..depth {
+        expr = L3Expr::pair(expr, L3Expr::bool_(false));
+        ty = L3Type::tensor(ty, L3Type::Bool);
+    }
+    (expr, ty)
+}
+
+/// E5: the matching MiniML payload type for [`l3_nested_payload`].
+pub fn ml_nested_payload_type(depth: usize) -> PolyType {
+    let mut ty = PolyType::Int;
+    for _ in 0..depth {
+        ty = PolyType::prod(ty, PolyType::Int);
+    }
+    ty
+}
+
+/// E5: transfer workload L3 → MiniML: allocate the nested payload manually in
+/// L3, transfer it with `gcmov`, and read it in MiniML.
+pub fn transfer_to_ml_workload(depth: usize) -> PolyExpr {
+    let (payload, _) = l3_nested_payload(depth);
+    PolyExpr::deref(PolyExpr::boundary(
+        L3Expr::new(payload),
+        PolyType::ref_(ml_nested_payload_type(depth)),
+    ))
+}
+
+/// E5: the opposite direction, which must copy: MiniML allocates, L3 receives
+/// a fresh manual cell and frees it.
+pub fn transfer_to_l3_workload(depth: usize) -> L3Expr {
+    let mut ml_payload = PolyExpr::int(1);
+    let mut l3_ty = L3Type::Bool;
+    for _ in 0..depth {
+        ml_payload = PolyExpr::pair(ml_payload, PolyExpr::int(0));
+        l3_ty = L3Type::tensor(l3_ty, L3Type::Bool);
+    }
+    L3Expr::free(L3Expr::boundary(PolyExpr::ref_(ml_payload), L3Type::ref_like(l3_ty)))
+}
+
+/// E6: allocate `n` GC'd cells (every `keep_every`-th one is read twice, the
+/// rest once — all become garbage quickly), then finish with an L3 allocation
+/// whose compilation explicitly invokes the collector over that garbage.
+pub fn gc_pressure_workload(n: usize, keep_every: usize) -> PolyExpr {
+    let mut acc = PolyExpr::int(0);
+    for i in 0..n {
+        let cell = PolyExpr::ref_(PolyExpr::int(i as i64));
+        let use_it = if keep_every != 0 && i % keep_every == 0 {
+            PolyExpr::add(PolyExpr::deref(cell.clone()), PolyExpr::deref(cell))
+        } else {
+            PolyExpr::deref(cell)
+        };
+        acc = PolyExpr::add(acc, use_it);
+    }
+    // Finish with an L3 allocation, whose compilation calls the GC.
+    PolyExpr::add(
+        acc,
+        PolyExpr::deref(PolyExpr::boundary(
+            L3Expr::new(L3Expr::bool_(true)),
+            PolyType::ref_(PolyType::Int),
+        )),
+    )
+}
+
+/// E6 (manual-management ablation): the same allocation count handled
+/// entirely by L3 `new`/`free`, which never leaves garbage behind.
+pub fn manual_pressure_workload(n: usize) -> L3Expr {
+    let mut e = L3Expr::bool_(true);
+    for _ in 0..n {
+        e = L3Expr::if_(L3Expr::free(L3Expr::new(e)), L3Expr::bool_(true), L3Expr::bool_(false));
+    }
+    e
+}
+
+/// E7: a pure-arithmetic RefLL expression of `size` additions (StackLang
+/// interpreter baseline).
+pub fn stacklang_arith_workload(size: usize) -> LlExpr {
+    let mut e = LlExpr::int(1);
+    for i in 0..size {
+        e = LlExpr::add(e, LlExpr::int(i as i64));
+    }
+    e
+}
+
+/// E7: a pure-arithmetic MiniML expression of `size` additions (LCVM
+/// interpreter baseline).
+pub fn lcvm_arith_workload(size: usize) -> MlExpr {
+    let mut e = MlExpr::int(1);
+    for i in 0..size {
+        e = MlExpr::add(e, MlExpr::int(i as i64));
+    }
+    e
+}
+
+/// E7: a closure-heavy workload (`size` nested applications) for each target.
+pub fn lcvm_closure_workload(size: usize) -> MlExpr {
+    let mut e = MlExpr::int(0);
+    for i in 0..size {
+        let v = format!("c{i}");
+        e = MlExpr::app(
+            MlExpr::lam(v.as_str(), MlType::Int, MlExpr::add(MlExpr::var(v.as_str()), MlExpr::int(1))),
+            e,
+        );
+    }
+    e
+}
+
+/// E7: the same closure-heavy workload for RefLL / StackLang.
+pub fn stacklang_closure_workload(size: usize) -> LlExpr {
+    let mut e = LlExpr::int(0);
+    for i in 0..size {
+        let v = format!("c{i}");
+        e = LlExpr::app(
+            LlExpr::lam(v.as_str(), LlType::Int, LlExpr::add(LlExpr::var(v.as_str()), LlExpr::int(1))),
+            e,
+        );
+    }
+    e
+}
+
+/// E8: a RefHL type of the given nesting depth, used to scale the cost of a
+/// model-membership check.
+pub fn deep_hl_type(depth: usize) -> HlType {
+    let mut ty = HlType::Bool;
+    for i in 0..depth {
+        ty = if i % 2 == 0 {
+            HlType::prod(ty, HlType::Bool)
+        } else {
+            HlType::sum(ty, HlType::Unit)
+        };
+    }
+    ty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use affine_interop::multilang::AffineMultiLang;
+    use memgc_interop::multilang::MemGcMultiLang;
+    use sharedmem::convert::SharedMemConversions;
+    use sharedmem::multilang::MultiLang;
+
+    #[test]
+    fn all_workloads_typecheck_and_run_safely() {
+        let sm = MultiLang::new(SharedMemConversions::standard());
+        for n in [0, 1, 4] {
+            assert!(sm.run_ll(&shared_ref_workload(n)).unwrap().outcome.is_safe());
+            assert!(sm.run_ll(&proxied_ref_workload(n)).unwrap().outcome.is_safe());
+            assert!(sm.run_ll(&sum_conversion_workload(n)).unwrap().outcome.is_safe());
+            assert!(sm.run_ll(&sum_conversion_baseline(n)).unwrap().outcome.is_safe());
+            assert!(sm.run_ll(&stacklang_arith_workload(n)).unwrap().outcome.is_safe());
+            assert!(sm.run_ll(&stacklang_closure_workload(n)).unwrap().outcome.is_safe());
+        }
+        let af = AffineMultiLang::new();
+        for n in [1, 4] {
+            assert!(af.run_affi(&static_affine_chain(n)).unwrap().halt.is_safe());
+            assert!(af.run_affi(&dynamic_affine_chain(n)).unwrap().halt.is_safe());
+            assert!(af.run_ml(&cross_boundary_affine_chain(n)).unwrap().halt.is_safe());
+            assert!(af.run_ml(&lcvm_arith_workload(n)).unwrap().halt.is_safe());
+            assert!(af.run_ml(&lcvm_closure_workload(n)).unwrap().halt.is_safe());
+        }
+        let mg = MemGcMultiLang::new();
+        for d in [0, 2] {
+            assert!(mg.run_ml(&transfer_to_ml_workload(d)).unwrap().halt.is_safe());
+            assert!(mg.run_l3(&transfer_to_l3_workload(d)).unwrap().halt.is_safe());
+        }
+        assert!(mg.run_ml(&gc_pressure_workload(6, 3)).unwrap().halt.is_safe());
+        assert!(mg.run_l3(&manual_pressure_workload(4)).unwrap().halt.is_safe());
+    }
+
+    #[test]
+    fn enforcement_chains_have_the_expected_guard_counts() {
+        let af = AffineMultiLang::new();
+        let s = af.compile_affi(&static_affine_chain(10)).unwrap();
+        let d = af.compile_affi(&dynamic_affine_chain(10)).unwrap();
+        assert_eq!(s.dynamic_guards, 0);
+        assert_eq!(d.dynamic_guards, 10);
+    }
+
+    #[test]
+    fn deep_types_grow_linearly() {
+        assert_eq!(deep_hl_type(0), HlType::Bool);
+        let t = deep_hl_type(6);
+        assert!(t.to_string().len() > 20);
+    }
+}

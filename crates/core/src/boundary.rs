@@ -1,0 +1,80 @@
+//! Boundary descriptors.
+//!
+//! Paper §2.1: to include code from language B, language A adds a boundary
+//! form `⦇e⦈τA`, well-typed when `e : 𝜏B` and `τA ∼ 𝜏B`.  The AST node itself
+//! lives in each source language (it must carry the foreign expression), but
+//! the *direction* of a boundary and the bookkeeping for reporting boundary
+//! positions are shared.
+
+use std::fmt;
+
+/// Which way a boundary crosses between the two interoperating languages.
+///
+/// Following the paper we call the two languages `A` and `B`; each case-study
+/// crate documents which concrete language plays which role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoundaryDirection {
+    /// `⦇e⦈τA`: a language-B term used in a language-A context (`AB` boundary).
+    IntoA,
+    /// `⦇e⦈𝜏B`: a language-A term used in a language-B context (`BA` boundary).
+    IntoB,
+}
+
+impl BoundaryDirection {
+    /// The opposite direction.
+    pub fn flipped(self) -> Self {
+        match self {
+            BoundaryDirection::IntoA => BoundaryDirection::IntoB,
+            BoundaryDirection::IntoB => BoundaryDirection::IntoA,
+        }
+    }
+}
+
+impl fmt::Display for BoundaryDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundaryDirection::IntoA => write!(f, "B↪A"),
+            BoundaryDirection::IntoB => write!(f, "A↪B"),
+        }
+    }
+}
+
+/// A record of one boundary crossing discovered during multi-language type
+/// checking — useful for diagnostics and for the benchmarks, which count
+/// crossings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundaryCrossing {
+    /// Direction of the crossing.
+    pub direction: BoundaryDirection,
+    /// Rendered type on the A side.
+    pub ty_a: String,
+    /// Rendered type on the B side.
+    pub ty_b: String,
+}
+
+impl fmt::Display for BoundaryCrossing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} : {} ∼ {}", self.direction, self.ty_a, self.ty_b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flipping_is_an_involution() {
+        assert_eq!(BoundaryDirection::IntoA.flipped(), BoundaryDirection::IntoB);
+        assert_eq!(BoundaryDirection::IntoA.flipped().flipped(), BoundaryDirection::IntoA);
+    }
+
+    #[test]
+    fn crossings_render_readably() {
+        let c = BoundaryCrossing {
+            direction: BoundaryDirection::IntoA,
+            ty_a: "bool".into(),
+            ty_b: "int".into(),
+        };
+        assert_eq!(c.to_string(), "B↪A : bool ∼ int");
+    }
+}

@@ -1,0 +1,109 @@
+//! Step budgets ("fuel") for executable step-indexed reasoning.
+//!
+//! The paper's realizability models are *step-indexed*: the expression
+//! relation `E⟦τ⟧` only constrains executions of length `j < W.k`.  To make
+//! the models executable we run every interpreter with an explicit budget.
+//! Running out of budget is *not* an error — it corresponds exactly to the
+//! "runs longer than the step index accounts for" escape clause of the
+//! expression relations (Fig. 5, Fig. 10, Fig. 14).
+
+/// A finite or infinite supply of evaluation steps.
+///
+/// ```
+/// use semint_core::Fuel;
+/// let mut fuel = Fuel::steps(2);
+/// assert!(fuel.consume());
+/// assert!(fuel.consume());
+/// assert!(!fuel.consume());          // exhausted
+/// assert!(Fuel::unlimited().consume());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fuel {
+    /// A bounded budget of machine steps.
+    Bounded {
+        /// Steps remaining before the machine must stop.
+        remaining: u64,
+    },
+    /// No bound; evaluation runs until it finishes or fails.
+    Unlimited,
+}
+
+impl Fuel {
+    /// A bounded budget of `n` steps.
+    pub fn steps(n: u64) -> Self {
+        Fuel::Bounded { remaining: n }
+    }
+
+    /// An unbounded budget.
+    pub fn unlimited() -> Self {
+        Fuel::Unlimited
+    }
+
+    /// Consumes one step. Returns `false` if the budget was already exhausted
+    /// (in which case nothing is consumed and the machine must stop).
+    pub fn consume(&mut self) -> bool {
+        match self {
+            Fuel::Unlimited => true,
+            Fuel::Bounded { remaining } => {
+                if *remaining == 0 {
+                    false
+                } else {
+                    *remaining -= 1;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Steps remaining, if bounded.
+    pub fn remaining(&self) -> Option<u64> {
+        match self {
+            Fuel::Bounded { remaining } => Some(*remaining),
+            Fuel::Unlimited => None,
+        }
+    }
+
+    /// True if no further step may be taken.
+    pub fn is_exhausted(&self) -> bool {
+        matches!(self, Fuel::Bounded { remaining: 0 })
+    }
+}
+
+impl Default for Fuel {
+    /// A generous default budget suitable for tests and examples.
+    fn default() -> Self {
+        Fuel::steps(1_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_fuel_counts_down() {
+        let mut f = Fuel::steps(3);
+        assert_eq!(f.remaining(), Some(3));
+        assert!(f.consume());
+        assert!(f.consume());
+        assert!(f.consume());
+        assert!(f.is_exhausted());
+        assert!(!f.consume());
+        assert_eq!(f.remaining(), Some(0));
+    }
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let mut f = Fuel::unlimited();
+        for _ in 0..10_000 {
+            assert!(f.consume());
+        }
+        assert!(!f.is_exhausted());
+        assert_eq!(f.remaining(), None);
+    }
+
+    #[test]
+    fn default_is_bounded_and_large() {
+        assert!(Fuel::default().remaining().unwrap() >= 100_000);
+    }
+}

@@ -1,0 +1,116 @@
+//! Variables and symbols shared by every language in the workspace.
+//!
+//! All five source languages and both target languages use the same notion of
+//! variable: an interned, human-readable name.  Keeping a single type here
+//! means compilers can pass source variable names straight through to the
+//! target (as the paper's compilers do, e.g. Fig. 3 and Fig. 8) without any
+//! conversion layer.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// A variable name.
+///
+/// `Var` is a thin wrapper over an [`Arc<str>`] so that cloning during
+/// substitution-heavy interpretation is cheap and the type stays `Send + Sync`.
+///
+/// ```
+/// use semint_core::Var;
+/// let x = Var::new("x");
+/// assert_eq!(x.as_str(), "x");
+/// assert_eq!(x, Var::from("x"));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(Arc<str>);
+
+impl Var {
+    /// Creates a variable with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Var(Arc::from(name.as_ref()))
+    }
+
+    /// The variable's name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Returns a derived variable name with the given suffix appended.
+    ///
+    /// Used by compilers that need related helper names (`x`, `x_thnk`, …).
+    pub fn suffixed(&self, suffix: &str) -> Var {
+        Var::new(format!("{}{}", self.0, suffix))
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var({})", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var::new(s)
+    }
+}
+
+impl From<String> for Var {
+    fn from(s: String) -> Self {
+        Var::new(s)
+    }
+}
+
+impl Borrow<str> for Var {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Var {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn equality_is_by_name() {
+        assert_eq!(Var::new("x"), Var::new("x"));
+        assert_ne!(Var::new("x"), Var::new("y"));
+    }
+
+    #[test]
+    fn display_is_bare_name() {
+        assert_eq!(Var::new("foo").to_string(), "foo");
+    }
+
+    #[test]
+    fn suffixed_builds_related_names() {
+        assert_eq!(Var::new("x").suffixed("_thnk"), Var::new("x_thnk"));
+    }
+
+    #[test]
+    fn usable_as_hash_set_element_and_str_borrow() {
+        let mut set = HashSet::new();
+        set.insert(Var::new("a"));
+        assert!(set.contains("a"));
+        assert!(!set.contains("b"));
+    }
+
+    #[test]
+    fn send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Var>();
+    }
+}

@@ -1,0 +1,380 @@
+//! The LCVM heap: a single pool of locations holding garbage-collected or
+//! manually-managed cells (Fig. 12).
+//!
+//! The same location names can be used as either GC'd (`ℓ ↦gc v`) or manually
+//! managed (`ℓ ↦m v`) and are **re-used** after garbage collection or manual
+//! `free` — this re-use is what makes the §5 world-extension relation
+//! interesting, so the implementation preserves it faithfully via a free
+//! list.
+//!
+//! The collector is a simple mark-and-sweep over GC'd cells only; manually
+//! managed cells are never collected but are traced (a manual cell keeps the
+//! GC'd cells it points to alive).
+
+use crate::value::Value;
+use semint_core::ErrorCode;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A heap location `ℓ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Loc(pub u64);
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ℓ{}", self.0)
+    }
+}
+
+/// How a live cell is managed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Slot {
+    /// A garbage-collected cell (`ℓ ↦gc v`), created by `ref`.
+    Gc(Value),
+    /// A manually-managed cell (`ℓ ↦m v`), created by `alloc`.
+    Manual(Value),
+}
+
+impl Slot {
+    /// The stored value, regardless of management discipline.
+    pub fn value(&self) -> &Value {
+        match self {
+            Slot::Gc(v) | Slot::Manual(v) => v,
+        }
+    }
+
+    /// True for manually-managed cells.
+    pub fn is_manual(&self) -> bool {
+        matches!(self, Slot::Manual(_))
+    }
+}
+
+/// Errors raised by heap operations; [`HeapError::code`] maps them onto the
+/// target's dynamic error codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapError {
+    /// The location is not currently allocated (freed, collected, or never
+    /// allocated).
+    Dangling(Loc),
+    /// `free` or `gcmov` was applied to a garbage-collected cell.
+    NotManual(Loc),
+}
+
+impl HeapError {
+    /// The dynamic error code the machine raises for this error.
+    pub fn code(self) -> ErrorCode {
+        ErrorCode::Ptr
+    }
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::Dangling(l) => write!(f, "dangling location {l}"),
+            HeapError::NotManual(l) => write!(f, "{l} is not manually managed"),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+/// Statistics the heap keeps about its own behaviour (used by the E6 / gc
+/// pressure experiments).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Number of GC'd allocations performed (`ref`).
+    pub gc_allocs: u64,
+    /// Number of manual allocations performed (`alloc`).
+    pub manual_allocs: u64,
+    /// Number of explicit `free`s.
+    pub frees: u64,
+    /// Number of `gcmov`s.
+    pub gcmovs: u64,
+    /// Number of collector runs.
+    pub gc_runs: u64,
+    /// Total number of cells reclaimed by the collector.
+    pub collected: u64,
+    /// Number of locations re-used from the free list.
+    pub reused: u64,
+}
+
+/// The LCVM heap.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Heap {
+    slots: BTreeMap<Loc, Slot>,
+    free_list: Vec<Loc>,
+    next: u64,
+    stats: HeapStats,
+}
+
+impl Heap {
+    /// An empty heap.
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    fn next_loc(&mut self) -> Loc {
+        if let Some(l) = self.free_list.pop() {
+            self.stats.reused += 1;
+            l
+        } else {
+            let l = Loc(self.next);
+            self.next += 1;
+            l
+        }
+    }
+
+    /// Allocates a garbage-collected cell (`ref e`).
+    pub fn alloc_gc(&mut self, v: Value) -> Loc {
+        let l = self.next_loc();
+        self.stats.gc_allocs += 1;
+        self.slots.insert(l, Slot::Gc(v));
+        l
+    }
+
+    /// Allocates a manually-managed cell (`alloc e`).
+    pub fn alloc_manual(&mut self, v: Value) -> Loc {
+        let l = self.next_loc();
+        self.stats.manual_allocs += 1;
+        self.slots.insert(l, Slot::Manual(v));
+        l
+    }
+
+    /// Reads the value stored at `l`.
+    pub fn read(&self, l: Loc) -> Result<&Value, HeapError> {
+        self.slots.get(&l).map(Slot::value).ok_or(HeapError::Dangling(l))
+    }
+
+    /// Writes `v` at `l`, preserving its management discipline.
+    pub fn write(&mut self, l: Loc, v: Value) -> Result<(), HeapError> {
+        match self.slots.get_mut(&l) {
+            Some(Slot::Gc(slot)) | Some(Slot::Manual(slot)) => {
+                *slot = v;
+                Ok(())
+            }
+            None => Err(HeapError::Dangling(l)),
+        }
+    }
+
+    /// Frees a manually-managed cell; fails on GC'd or dangling locations.
+    pub fn free(&mut self, l: Loc) -> Result<Value, HeapError> {
+        match self.slots.get(&l) {
+            Some(Slot::Manual(_)) => {
+                let v = match self.slots.remove(&l) {
+                    Some(Slot::Manual(v)) => v,
+                    _ => unreachable!("checked above"),
+                };
+                self.free_list.push(l);
+                self.stats.frees += 1;
+                Ok(v)
+            }
+            Some(Slot::Gc(_)) => Err(HeapError::NotManual(l)),
+            None => Err(HeapError::Dangling(l)),
+        }
+    }
+
+    /// Converts a manually-managed cell into a GC'd cell, keeping its
+    /// identity and contents (`gcmov e`).
+    pub fn gcmov(&mut self, l: Loc) -> Result<(), HeapError> {
+        match self.slots.get(&l) {
+            Some(Slot::Manual(_)) => {
+                let v = match self.slots.remove(&l) {
+                    Some(Slot::Manual(v)) => v,
+                    _ => unreachable!("checked above"),
+                };
+                self.slots.insert(l, Slot::Gc(v));
+                self.stats.gcmovs += 1;
+                Ok(())
+            }
+            Some(Slot::Gc(_)) => Err(HeapError::NotManual(l)),
+            None => Err(HeapError::Dangling(l)),
+        }
+    }
+
+    /// True if `l` is currently allocated.
+    pub fn contains(&self, l: Loc) -> bool {
+        self.slots.contains_key(&l)
+    }
+
+    /// The slot at `l`, if allocated (exposes whether it is GC'd or manual).
+    pub fn slot(&self, l: Loc) -> Option<&Slot> {
+        self.slots.get(&l)
+    }
+
+    /// Number of live cells.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no cells are live.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of live manually-managed cells.
+    pub fn manual_len(&self) -> usize {
+        self.slots.values().filter(|s| s.is_manual()).count()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// Iterates over live cells.
+    pub fn iter(&self) -> impl Iterator<Item = (&Loc, &Slot)> {
+        self.slots.iter()
+    }
+
+    /// Runs a mark-and-sweep collection (`callgc`).
+    ///
+    /// `roots` are the locations directly reachable from the machine state
+    /// (environments, continuation frames, pinned locations).  Manual cells
+    /// are never reclaimed, but they *are* traced: a GC'd cell referenced
+    /// from a live manual cell survives.  Returns the number of reclaimed
+    /// cells; reclaimed locations go onto the free list for re-use.
+    pub fn collect(&mut self, roots: impl IntoIterator<Item = Loc>) -> usize {
+        self.stats.gc_runs += 1;
+        let mut marked: BTreeSet<Loc> = BTreeSet::new();
+        let mut worklist: Vec<Loc> = roots.into_iter().collect();
+        // Manual cells are unconditional roots: the machine cannot see the
+        // "owned heap fragments" the §5 model threads through values, so we
+        // conservatively keep everything reachable from manual memory.
+        worklist.extend(self.slots.iter().filter(|(_, s)| s.is_manual()).map(|(l, _)| *l));
+        while let Some(l) = worklist.pop() {
+            if !marked.insert(l) {
+                continue;
+            }
+            if let Some(slot) = self.slots.get(&l) {
+                let mut out = BTreeSet::new();
+                slot.value().collect_locs(&mut out);
+                worklist.extend(out);
+            }
+        }
+        let dead: Vec<Loc> = self
+            .slots
+            .iter()
+            .filter(|(l, s)| !s.is_manual() && !marked.contains(l))
+            .map(|(l, _)| *l)
+            .collect();
+        for l in &dead {
+            self.slots.remove(l);
+            self.free_list.push(*l);
+        }
+        self.stats.collected += dead.len() as u64;
+        dead.len()
+    }
+}
+
+impl fmt::Display for Heap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (l, s)) in self.slots.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match s {
+                Slot::Gc(v) => write!(f, "{l} ↦gc {v}")?,
+                Slot::Manual(v) => write!(f, "{l} ↦m {v}")?,
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gc_and_manual_allocation_read_write() {
+        let mut h = Heap::new();
+        let g = h.alloc_gc(Value::Int(1));
+        let m = h.alloc_manual(Value::Int(2));
+        assert_eq!(h.read(g).unwrap(), &Value::Int(1));
+        assert_eq!(h.read(m).unwrap(), &Value::Int(2));
+        h.write(m, Value::Int(5)).unwrap();
+        assert_eq!(h.read(m).unwrap(), &Value::Int(5));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.manual_len(), 1);
+    }
+
+    #[test]
+    fn free_only_applies_to_manual_cells() {
+        let mut h = Heap::new();
+        let g = h.alloc_gc(Value::Int(1));
+        let m = h.alloc_manual(Value::Int(2));
+        assert_eq!(h.free(g), Err(HeapError::NotManual(g)));
+        assert_eq!(h.free(m), Ok(Value::Int(2)));
+        assert_eq!(h.read(m), Err(HeapError::Dangling(m)));
+        assert_eq!(h.free(m), Err(HeapError::Dangling(m)));
+        assert_eq!(h.stats().frees, 1);
+    }
+
+    #[test]
+    fn freed_locations_are_reused() {
+        let mut h = Heap::new();
+        let m = h.alloc_manual(Value::Int(2));
+        h.free(m).unwrap();
+        let m2 = h.alloc_gc(Value::Int(3));
+        assert_eq!(m, m2, "the freed location is handed out again");
+        assert_eq!(h.stats().reused, 1);
+    }
+
+    #[test]
+    fn gcmov_turns_manual_into_gc_keeping_identity() {
+        let mut h = Heap::new();
+        let m = h.alloc_manual(Value::Int(7));
+        h.gcmov(m).unwrap();
+        assert!(matches!(h.slot(m), Some(Slot::Gc(Value::Int(7)))));
+        // A second gcmov (or a free) now fails: it is no longer manual.
+        assert_eq!(h.gcmov(m), Err(HeapError::NotManual(m)));
+        assert_eq!(h.free(m), Err(HeapError::NotManual(m)));
+    }
+
+    #[test]
+    fn collect_reclaims_unreachable_gc_cells_only() {
+        let mut h = Heap::new();
+        let live = h.alloc_gc(Value::Int(1));
+        let dead = h.alloc_gc(Value::Int(2));
+        let manual = h.alloc_manual(Value::Int(3));
+        let n = h.collect([live]);
+        assert_eq!(n, 1);
+        assert!(h.contains(live));
+        assert!(!h.contains(dead));
+        assert!(h.contains(manual), "manual cells are never collected");
+        assert_eq!(h.stats().gc_runs, 1);
+        assert_eq!(h.stats().collected, 1);
+    }
+
+    #[test]
+    fn collect_traces_through_values_and_manual_cells() {
+        let mut h = Heap::new();
+        let inner = h.alloc_gc(Value::Int(10));
+        let outer = h.alloc_gc(Value::Loc(inner));
+        let from_manual = h.alloc_gc(Value::Int(20));
+        let _manual = h.alloc_manual(Value::Loc(from_manual));
+        let unreachable = h.alloc_gc(Value::Int(99));
+        let n = h.collect([outer]);
+        assert_eq!(n, 1);
+        assert!(h.contains(inner), "reachable through a root's value");
+        assert!(h.contains(from_manual), "reachable through a manual cell");
+        assert!(!h.contains(unreachable));
+    }
+
+    #[test]
+    fn dangling_errors_map_to_ptr() {
+        assert_eq!(HeapError::Dangling(Loc(0)).code(), ErrorCode::Ptr);
+        assert_eq!(HeapError::NotManual(Loc(0)).code(), ErrorCode::Ptr);
+    }
+
+    #[test]
+    fn display_shows_management_discipline() {
+        let mut h = Heap::new();
+        h.alloc_gc(Value::Int(1));
+        h.alloc_manual(Value::Int(2));
+        let s = h.to_string();
+        assert!(s.contains("↦gc"));
+        assert!(s.contains("↦m"));
+    }
+}

@@ -1,0 +1,234 @@
+//! LCVM runtime values and environments.
+//!
+//! The paper presents LCVM with substitution (`[x ↦ v]e`); the machine here
+//! uses environments and closures instead, which is observationally
+//! equivalent and lets the garbage collector enumerate its roots precisely
+//! (every live value is either in the current environment, in a continuation
+//! frame, or in the heap).
+
+use crate::heap::Loc;
+use crate::phantom::FlagId;
+use crate::syntax::Expr;
+use semint_core::Var;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// LCVM runtime values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `()`.
+    Unit,
+    /// An integer (recall 0 encodes true).
+    Int(i64),
+    /// A heap location (GC'd or manual).
+    Loc(Loc),
+    /// A pair of values.
+    Pair(Box<Value>, Box<Value>),
+    /// A left injection.
+    Inl(Box<Value>),
+    /// A right injection.
+    Inr(Box<Value>),
+    /// A function closure.
+    Closure {
+        /// The parameter.
+        param: Var,
+        /// The body, shared so cloning closures is cheap.
+        body: Arc<Expr>,
+        /// The captured environment.
+        env: Env,
+    },
+    /// A value protected by a phantom flag — **augmented semantics only**
+    /// (§4). Forcing it (by looking up the variable it is bound to) consumes
+    /// the flag; a second forcing makes the augmented machine stuck.
+    Protected(Box<Value>, FlagId),
+}
+
+impl Value {
+    /// The integer carried by an `Int`, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The location carried by a `Loc`, if any.
+    pub fn as_loc(&self) -> Option<Loc> {
+        match self {
+            Value::Loc(l) => Some(*l),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a compiled boolean (0 = true).
+    pub fn as_bool(&self) -> Option<bool> {
+        self.as_int().map(|n| n == 0)
+    }
+
+    /// The pair components, if the value is a pair.
+    pub fn as_pair(&self) -> Option<(&Value, &Value)> {
+        match self {
+            Value::Pair(a, b) => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    /// True for values with no internal structure pointing at the heap.
+    pub fn is_heap_free(&self) -> bool {
+        let mut locs = BTreeSet::new();
+        self.collect_locs(&mut locs);
+        locs.is_empty()
+    }
+
+    /// Collects every heap location reachable from this value (through pairs,
+    /// sums, closures' environments and protected wrappers).
+    pub fn collect_locs(&self, acc: &mut BTreeSet<Loc>) {
+        match self {
+            Value::Unit | Value::Int(_) => {}
+            Value::Loc(l) => {
+                acc.insert(*l);
+            }
+            Value::Pair(a, b) => {
+                a.collect_locs(acc);
+                b.collect_locs(acc);
+            }
+            Value::Inl(v) | Value::Inr(v) | Value::Protected(v, _) => v.collect_locs(acc),
+            Value::Closure { env, .. } => env.collect_locs(acc),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Loc(l) => write!(f, "{l}"),
+            Value::Pair(a, b) => write!(f, "({a}, {b})"),
+            Value::Inl(v) => write!(f, "inl {v}"),
+            Value::Inr(v) => write!(f, "inr {v}"),
+            Value::Closure { param, .. } => write!(f, "λ{param}{{…}}"),
+            Value::Protected(v, fl) => write!(f, "protect({v}, {fl})"),
+        }
+    }
+}
+
+/// A persistent environment mapping variables to values.
+///
+/// Extension is O(1) and shares the tail, which keeps closure capture cheap.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Env(Option<Arc<EnvNode>>);
+
+#[derive(Debug, PartialEq)]
+struct EnvNode {
+    var: Var,
+    val: Value,
+    parent: Env,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn empty() -> Env {
+        Env(None)
+    }
+
+    /// Extends the environment with `var ↦ val` (shadowing any previous
+    /// binding of `var`).
+    pub fn extend(&self, var: Var, val: Value) -> Env {
+        Env(Some(Arc::new(EnvNode { var, val, parent: self.clone() })))
+    }
+
+    /// Looks a variable up.
+    pub fn lookup(&self, var: &Var) -> Option<&Value> {
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            if &node.var == var {
+                return Some(&node.val);
+            }
+            cur = &node.parent;
+        }
+        None
+    }
+
+    /// True if the environment has no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// Number of (possibly shadowed) bindings.
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            n += 1;
+            cur = &node.parent;
+        }
+        n
+    }
+
+    /// Collects every heap location reachable from the environment.
+    pub fn collect_locs(&self, acc: &mut BTreeSet<Loc>) {
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            node.val.collect_locs(acc);
+            cur = &node.parent;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_lookup_and_shadowing() {
+        let env = Env::empty()
+            .extend(Var::new("x"), Value::Int(1))
+            .extend(Var::new("y"), Value::Int(2))
+            .extend(Var::new("x"), Value::Int(3));
+        assert_eq!(env.lookup(&Var::new("x")), Some(&Value::Int(3)));
+        assert_eq!(env.lookup(&Var::new("y")), Some(&Value::Int(2)));
+        assert_eq!(env.lookup(&Var::new("z")), None);
+        assert_eq!(env.len(), 3);
+        assert!(!env.is_empty());
+        assert!(Env::empty().is_empty());
+    }
+
+    #[test]
+    fn extension_does_not_mutate_the_original() {
+        let base = Env::empty().extend(Var::new("x"), Value::Int(1));
+        let _ext = base.extend(Var::new("x"), Value::Int(2));
+        assert_eq!(base.lookup(&Var::new("x")), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn loc_collection_traverses_structure() {
+        let v = Value::Pair(
+            Box::new(Value::Loc(Loc(3))),
+            Box::new(Value::Inl(Box::new(Value::Loc(Loc(5))))),
+        );
+        let mut locs = BTreeSet::new();
+        v.collect_locs(&mut locs);
+        assert_eq!(locs, BTreeSet::from([Loc(3), Loc(5)]));
+        assert!(!v.is_heap_free());
+        assert!(Value::Int(0).is_heap_free());
+    }
+
+    #[test]
+    fn closure_roots_include_captured_environment() {
+        let env = Env::empty().extend(Var::new("r"), Value::Loc(Loc(9)));
+        let clo = Value::Closure { param: Var::new("x"), body: Arc::new(Expr::unit()), env };
+        let mut locs = BTreeSet::new();
+        clo.collect_locs(&mut locs);
+        assert!(locs.contains(&Loc(9)));
+    }
+
+    #[test]
+    fn bool_view_follows_compiled_encoding() {
+        assert_eq!(Value::Int(0).as_bool(), Some(true));
+        assert_eq!(Value::Int(1).as_bool(), Some(false));
+        assert_eq!(Value::Int(7).as_bool(), Some(false));
+        assert_eq!(Value::Unit.as_bool(), None);
+    }
+}

@@ -1,0 +1,171 @@
+//! Model-based property tests for the LCVM heap (Fig. 12).
+//!
+//! A simple reference model (a map from locations to `(kind, value)`) is run
+//! alongside the real heap over arbitrary operation sequences; the two must
+//! agree on every observation.  This pins down the reuse-after-free /
+//! reuse-after-collection behaviour the §5 world extension depends on.
+
+use lcvm::{Heap, HeapError, Loc, Slot, Value};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    AllocGc(i64),
+    AllocManual(i64),
+    Read(usize),
+    Write(usize, i64),
+    Free(usize),
+    Gcmov(usize),
+    /// Collect, rooting an arbitrary subset of previously returned locations.
+    Collect(Vec<usize>),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<i64>().prop_map(Op::AllocGc),
+        any::<i64>().prop_map(Op::AllocManual),
+        any::<usize>().prop_map(Op::Read),
+        (any::<usize>(), any::<i64>()).prop_map(|(i, n)| Op::Write(i, n)),
+        any::<usize>().prop_map(Op::Free),
+        any::<usize>().prop_map(Op::Gcmov),
+        proptest::collection::vec(any::<usize>(), 0..4).prop_map(Op::Collect),
+    ]
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Kind {
+    Gc,
+    Manual,
+}
+
+/// The reference model: location → (kind, integer contents).
+#[derive(Default)]
+struct ModelHeap {
+    cells: HashMap<Loc, (Kind, i64)>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn heap_agrees_with_reference_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut heap = Heap::new();
+        let mut model = ModelHeap::default();
+        // Locations handed out so far, in order, so ops can refer to them by index.
+        let mut locs: Vec<Loc> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::AllocGc(n) => {
+                    let l = heap.alloc_gc(Value::Int(n));
+                    prop_assert!(!model.cells.contains_key(&l), "allocator returned a live location");
+                    model.cells.insert(l, (Kind::Gc, n));
+                    locs.push(l);
+                }
+                Op::AllocManual(n) => {
+                    let l = heap.alloc_manual(Value::Int(n));
+                    prop_assert!(!model.cells.contains_key(&l));
+                    model.cells.insert(l, (Kind::Manual, n));
+                    locs.push(l);
+                }
+                Op::Read(i) if !locs.is_empty() => {
+                    let l = locs[i % locs.len()];
+                    match (heap.read(l), model.cells.get(&l)) {
+                        (Ok(Value::Int(n)), Some((_, m))) => prop_assert_eq!(n, m),
+                        (Err(HeapError::Dangling(_)), None) => {}
+                        (real, expected) => prop_assert!(false, "read mismatch: {:?} vs {:?}", real, expected),
+                    }
+                }
+                Op::Write(i, n) if !locs.is_empty() => {
+                    let l = locs[i % locs.len()];
+                    let real = heap.write(l, Value::Int(n));
+                    match model.cells.get_mut(&l) {
+                        Some(slot) => {
+                            prop_assert!(real.is_ok());
+                            slot.1 = n;
+                        }
+                        None => prop_assert!(real.is_err()),
+                    }
+                }
+                Op::Free(i) if !locs.is_empty() => {
+                    let l = locs[i % locs.len()];
+                    let real = heap.free(l);
+                    match model.cells.get(&l) {
+                        Some((Kind::Manual, n)) => {
+                            prop_assert_eq!(real, Ok(Value::Int(*n)));
+                            model.cells.remove(&l);
+                        }
+                        Some((Kind::Gc, _)) => prop_assert_eq!(real, Err(HeapError::NotManual(l))),
+                        None => prop_assert_eq!(real, Err(HeapError::Dangling(l))),
+                    }
+                }
+                Op::Gcmov(i) if !locs.is_empty() => {
+                    let l = locs[i % locs.len()];
+                    let real = heap.gcmov(l);
+                    match model.cells.get_mut(&l) {
+                        Some(slot) if slot.0 == Kind::Manual => {
+                            prop_assert!(real.is_ok());
+                            slot.0 = Kind::Gc;
+                        }
+                        Some(_) => prop_assert_eq!(real, Err(HeapError::NotManual(l))),
+                        None => prop_assert_eq!(real, Err(HeapError::Dangling(l))),
+                    }
+                }
+                Op::Collect(root_idxs) => {
+                    let roots: Vec<Loc> = if locs.is_empty() {
+                        Vec::new()
+                    } else {
+                        root_idxs.iter().map(|i| locs[i % locs.len()]).collect()
+                    };
+                    heap.collect(roots.clone());
+                    // Integers have no outgoing pointers, so exactly the
+                    // unrooted GC cells die in the model too.
+                    model.cells.retain(|l, (kind, _)| *kind == Kind::Manual || roots.contains(l));
+                }
+                // Index ops against an empty history are no-ops.
+                _ => {}
+            }
+
+            // Global invariants after every step.
+            prop_assert_eq!(heap.len(), model.cells.len());
+            prop_assert_eq!(
+                heap.manual_len(),
+                model.cells.values().filter(|(k, _)| *k == Kind::Manual).count()
+            );
+            for (l, (kind, n)) in &model.cells {
+                match (kind, heap.slot(*l)) {
+                    (Kind::Gc, Some(Slot::Gc(Value::Int(m)))) => prop_assert_eq!(n, m),
+                    (Kind::Manual, Some(Slot::Manual(Value::Int(m)))) => prop_assert_eq!(n, m),
+                    (k, s) => prop_assert!(false, "slot mismatch at {:?}: model {:?}, heap {:?}", l, k, s),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn collection_never_touches_manual_cells(values in proptest::collection::vec(any::<i64>(), 1..20)) {
+        let mut heap = Heap::new();
+        let manuals: Vec<Loc> = values.iter().map(|n| heap.alloc_manual(Value::Int(*n))).collect();
+        let _garbage: Vec<Loc> = values.iter().map(|n| heap.alloc_gc(Value::Int(*n))).collect();
+        heap.collect([]);
+        for (l, n) in manuals.iter().zip(&values) {
+            prop_assert_eq!(heap.read(*l), Ok(&Value::Int(*n)));
+        }
+        prop_assert_eq!(heap.len(), manuals.len());
+    }
+
+    #[test]
+    fn freed_locations_are_recycled_before_fresh_ones(n in 1usize..20) {
+        let mut heap = Heap::new();
+        let locs: Vec<Loc> = (0..n).map(|i| heap.alloc_manual(Value::Int(i as i64))).collect();
+        for l in &locs {
+            heap.free(*l).unwrap();
+        }
+        let reused: Vec<Loc> = (0..n).map(|i| heap.alloc_gc(Value::Int(i as i64))).collect();
+        for l in &reused {
+            prop_assert!(locs.contains(l), "allocation should reuse freed locations first");
+        }
+        prop_assert_eq!(heap.stats().reused as usize, n);
+    }
+}

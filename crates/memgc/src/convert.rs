@@ -1,0 +1,303 @@
+//! The §5 convertibility rules and their LCVM glue code.
+//!
+//! * `ref τ ∼ REF 𝜏` (where `REF 𝜏 ≜ ∃ζ. cap ζ 𝜏 ⊗ !ptr ζ`) when `τ ∼ 𝜏`:
+//!
+//!   ```text
+//!   C_{REF 𝜏 ↦ ref τ}(e) ≜ let x = snd e in let _ = (x := C_{𝜏↦τ}(!x)) in gcmov x
+//!   C_{ref τ ↦ REF 𝜏}(e) ≜ let x = alloc C_{τ↦𝜏}(!e) in ((), x)
+//!   ```
+//!
+//!   Going from L3 to MiniML the capability certifies unique ownership, so
+//!   the contents are converted **in place** and the very same location is
+//!   handed to the GC (`gcmov`) — no copy.  Going the other way aliases may
+//!   exist, so the contents are copied into a fresh manual cell.
+//!
+//! * `⟨𝜏⟩ ∼ 𝜏` for `𝜏 ∈ Duplicable`: both directions are the identity — this
+//!   is what lets L3 values flow through MiniML generics.
+//!
+//! * `∀α. α → α → α ∼ bool` (Church booleans, the paper's example (2)):
+//!
+//!   ```text
+//!   C_{BOOL↦bool}(e) ≜ e [] () 0 1       C_{bool↦BOOL}(e) ≜ if0 e {Λα.λx.λy.x} {Λα.λx.λy.y}
+//!   ```
+//!
+//! * `τ1 → τ2 ∼ !(!𝜏1 ⊸ 𝜏2)` when the components are convertible: plain
+//!   function wrapping (L3's linearity is static, so no runtime guards are
+//!   needed, unlike §4).
+//!
+//! * `unit ∼ unit` and `int ∼ int`-style base identities.
+
+use crate::compile::MemGcConversionEmitter;
+use crate::syntax::{L3Type, PolyType};
+use crate::typecheck::{ref_like_payload, MemGcConvertOracle};
+use lcvm::Expr;
+
+/// The §5 conversion rule set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemGcConversions;
+
+impl MemGcConversions {
+    /// The standard rule set.
+    pub fn standard() -> Self {
+        MemGcConversions
+    }
+
+    /// Derives `τ ∼ 𝜏`, returning `(C_{τ↦𝜏}, C_{𝜏↦τ})`.
+    pub fn derive(&self, ml: &PolyType, l3: &L3Type) -> Option<(Expr, Expr)> {
+        // Foreign embedding: ⟨𝜏⟩ ∼ 𝜏 for Duplicable 𝜏, no runtime consequence.
+        if let PolyType::Foreign(inner) = ml {
+            if inner.as_ref() == l3 && l3.is_duplicable() {
+                return Some((identity(), identity()));
+            }
+            return None;
+        }
+        match (ml, l3) {
+            (PolyType::Unit, L3Type::Unit) => Some((identity(), identity())),
+            // MiniML int ∼ L3 bool: ints collapse onto 0/1.
+            (PolyType::Int, L3Type::Bool) => Some((collapse_to_bool(), identity())),
+            // Church booleans ∼ L3 booleans (paper example (2)).
+            (ml_ty, L3Type::Bool) if *ml_ty == PolyType::church_bool() => {
+                Some((church_to_bool(), bool_to_church()))
+            }
+            // ref τ ∼ REF 𝜏 when τ ∼ 𝜏.
+            (PolyType::Ref(t), l3_ref) => {
+                let payload = ref_like_payload(l3_ref)?;
+                let (c_ml_to_l3, c_l3_to_ml) = self.derive(t, &payload)?;
+                Some((gc_ref_to_l3(c_ml_to_l3), l3_ref_to_gc(c_l3_to_ml)))
+            }
+            // τ1 → τ2 ∼ !(!𝜏1 ⊸ 𝜏2) when the pieces are convertible.
+            (PolyType::Fun(m1, m2), L3Type::Bang(inner)) => {
+                if let L3Type::Lolli(a1, a2) = inner.as_ref() {
+                    if let L3Type::Bang(a1_inner) = a1.as_ref() {
+                        let (c_arg_ml_to_l3, c_arg_l3_to_ml) = self.derive(m1, a1_inner)?;
+                        let (c_res_ml_to_l3, c_res_l3_to_ml) = self.derive(m2, a2)?;
+                        return Some((
+                            wrap_fun(c_arg_l3_to_ml, c_res_ml_to_l3),
+                            wrap_fun(c_arg_ml_to_l3, c_res_l3_to_ml),
+                        ));
+                    }
+                }
+                None
+            }
+            // Pairs, componentwise.
+            (PolyType::Prod(m1, m2), L3Type::Tensor(a1, a2)) => {
+                let (c1_to, c1_from) = self.derive(m1, a1)?;
+                let (c2_to, c2_from) = self.derive(m2, a2)?;
+                Some((pair_map(c1_to, c2_to), pair_map(c1_from, c2_from)))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl MemGcConvertOracle for MemGcConversions {
+    fn convertible(&self, ml: &PolyType, l3: &L3Type) -> bool {
+        self.derive(ml, l3).is_some()
+    }
+}
+
+impl MemGcConversionEmitter for MemGcConversions {
+    fn l3_to_ml(&self, l3: &L3Type, ml: &PolyType) -> Option<Expr> {
+        self.derive(ml, l3).map(|(_, from_l3)| from_l3)
+    }
+    fn ml_to_l3(&self, ml: &PolyType, l3: &L3Type) -> Option<Expr> {
+        self.derive(ml, l3).map(|(to_l3, _)| to_l3)
+    }
+}
+
+fn identity() -> Expr {
+    Expr::lam("cv%x", Expr::var("cv%x"))
+}
+
+/// `λx. if x {0} {1}`.
+fn collapse_to_bool() -> Expr {
+    Expr::lam("cv%x", Expr::if_(Expr::var("cv%x"), Expr::int(0), Expr::int(1)))
+}
+
+/// `λp. (c1 (fst p), c2 (snd p))`.
+fn pair_map(c1: Expr, c2: Expr) -> Expr {
+    Expr::lam(
+        "cv%p",
+        Expr::pair(
+            Expr::app(c1, Expr::fst(Expr::var("cv%p"))),
+            Expr::app(c2, Expr::snd(Expr::var("cv%p"))),
+        ),
+    )
+}
+
+/// `C_{REF 𝜏 ↦ ref τ}`: convert the contents in place, then `gcmov` the very
+/// same location into the GC'd heap.
+fn l3_ref_to_gc(c_payload_l3_to_ml: Expr) -> Expr {
+    Expr::lam(
+        "cv%pkg",
+        Expr::let_(
+            "cv%loc",
+            Expr::snd(Expr::var("cv%pkg")),
+            Expr::seq(
+                Expr::assign(
+                    Expr::var("cv%loc"),
+                    Expr::app(c_payload_l3_to_ml, Expr::deref(Expr::var("cv%loc"))),
+                ),
+                Expr::gcmov(Expr::var("cv%loc")),
+            ),
+        ),
+    )
+}
+
+/// `C_{ref τ ↦ REF 𝜏}`: copy the (possibly aliased) GC'd contents into a
+/// fresh manual cell.
+fn gc_ref_to_l3(c_payload_ml_to_l3: Expr) -> Expr {
+    Expr::lam(
+        "cv%ref",
+        Expr::let_(
+            "cv%new",
+            Expr::alloc(Expr::app(c_payload_ml_to_l3, Expr::deref(Expr::var("cv%ref")))),
+            Expr::pair(Expr::Unit, Expr::var("cv%new")),
+        ),
+    )
+}
+
+/// `C_{BOOL↦bool}(e) ≜ e () 0 1` — instantiate the Church boolean (type
+/// application compiles to application to `()`) and select between 0 and 1.
+fn church_to_bool() -> Expr {
+    Expr::lam(
+        "cv%b",
+        Expr::app(
+            Expr::app(Expr::app(Expr::var("cv%b"), Expr::unit()), Expr::int(0)),
+            Expr::int(1),
+        ),
+    )
+}
+
+/// `C_{bool↦BOOL}(e)`: branch on the boolean and return the corresponding
+/// Church constant (compiled `Λα. λx. λy. x/y`).
+fn bool_to_church() -> Expr {
+    let tru = Expr::lam("_", Expr::lam("x", Expr::lam("y", Expr::var("x"))));
+    let fls = Expr::lam("_", Expr::lam("x", Expr::lam("y", Expr::var("y"))));
+    Expr::lam("cv%b", Expr::if_(Expr::var("cv%b"), tru, fls))
+}
+
+/// `λf. λx. c_res (f (c_arg x))`: plain function wrapping (no guards — L3's
+/// linearity is enforced statically).
+fn wrap_fun(c_arg: Expr, c_res: Expr) -> Expr {
+    Expr::lam(
+        "cv%f",
+        Expr::lam(
+            "cv%a",
+            Expr::app(c_res, Expr::app(Expr::var("cv%f"), Expr::app(c_arg, Expr::var("cv%a")))),
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcvm::{Halt, Heap, Machine, MachineConfig, Slot, Value};
+    use lcvm::Env;
+    use semint_core::Fuel;
+
+    fn conv() -> MemGcConversions {
+        MemGcConversions::standard()
+    }
+
+    fn run(e: Expr) -> Halt {
+        Machine::run_expr(e, Fuel::default()).halt
+    }
+
+    #[test]
+    fn rule_coverage() {
+        let c = conv();
+        assert!(c.convertible(&PolyType::Unit, &L3Type::Unit));
+        assert!(c.convertible(&PolyType::Int, &L3Type::Bool));
+        assert!(c.convertible(&PolyType::foreign(L3Type::Bool), &L3Type::Bool));
+        assert!(c.convertible(&PolyType::foreign(L3Type::ptr("ζ")), &L3Type::ptr("ζ")));
+        assert!(!c.convertible(
+            &PolyType::foreign(L3Type::cap("ζ", L3Type::Bool)),
+            &L3Type::cap("ζ", L3Type::Bool)
+        ), "capabilities are linear, hence not Duplicable, hence not foreign-embeddable");
+        assert!(c.convertible(&PolyType::ref_(PolyType::Int), &L3Type::ref_like(L3Type::Bool)));
+        assert!(c.convertible(&PolyType::church_bool(), &L3Type::Bool));
+        assert!(c.convertible(
+            &PolyType::fun(PolyType::Int, PolyType::Int),
+            &L3Type::bang(L3Type::lolli(L3Type::bang(L3Type::Bool), L3Type::Bool))
+        ));
+        assert!(!c.convertible(&PolyType::Int, &L3Type::Unit));
+    }
+
+    #[test]
+    fn l3_to_miniml_reference_transfer_moves_without_copying() {
+        // Build an L3 package ((), ℓ) with ℓ a manual cell holding true (0).
+        let mut heap = Heap::new();
+        let loc = heap.alloc_manual(Value::Int(0));
+        let glue = conv().l3_to_ml(&L3Type::ref_like(L3Type::Bool), &PolyType::ref_(PolyType::Int)).unwrap();
+        let prog = Expr::app(glue, Expr::pair(Expr::Unit, Expr::Loc(loc)));
+        let machine = Machine::with_state(heap, Env::empty(), prog, MachineConfig::default());
+        let r = machine.run(Fuel::default());
+        // The result is the *same* location, now GC-managed, contents intact.
+        assert_eq!(r.halt, Halt::Value(Value::Loc(loc)));
+        assert!(matches!(r.heap.slot(loc), Some(Slot::Gc(Value::Int(0)))));
+        assert_eq!(r.heap.stats().gcmovs, 1);
+        // The only manual allocation is the set-up one; the conversion itself
+        // allocated nothing (no copy, no fresh GC cell).
+        assert_eq!(r.heap.stats().manual_allocs, 1);
+        assert_eq!(r.heap.stats().gc_allocs, 0);
+    }
+
+    #[test]
+    fn miniml_to_l3_reference_conversion_copies_into_fresh_manual_cell() {
+        let mut heap = Heap::new();
+        let loc = heap.alloc_gc(Value::Int(7));
+        let glue = conv().ml_to_l3(&PolyType::ref_(PolyType::Int), &L3Type::ref_like(L3Type::Bool)).unwrap();
+        let prog = Expr::app(glue, Expr::Loc(loc));
+        let machine = Machine::with_state(heap, Env::empty(), prog, MachineConfig::default());
+        let r = machine.run(Fuel::default());
+        match r.halt {
+            Halt::Value(Value::Pair(cap, ptr)) => {
+                assert_eq!(*cap, Value::Unit);
+                let new_loc = ptr.as_loc().unwrap();
+                assert_ne!(new_loc, loc, "a fresh cell must be allocated");
+                assert!(matches!(r.heap.slot(new_loc), Some(Slot::Manual(_))));
+                // The original GC'd cell is untouched (aliases remain valid).
+                assert!(matches!(r.heap.slot(loc), Some(Slot::Gc(Value::Int(7)))));
+                // The payload was converted int → bool (7 collapses to 1).
+                assert_eq!(r.heap.slot(new_loc).unwrap().value(), &Value::Int(1));
+            }
+            other => panic!("expected a package, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn church_boolean_conversions_round_trip() {
+        let (to_l3, to_ml) = conv().derive(&PolyType::church_bool(), &L3Type::Bool).unwrap();
+        // Church true (compiled) → L3 true (0).
+        let church_true = Expr::lam("_", Expr::lam("x", Expr::lam("y", Expr::var("x"))));
+        assert_eq!(run(Expr::app(to_l3.clone(), church_true)), Halt::Value(Value::Int(0)));
+        // L3 false (1) → Church boolean → back to 1.
+        let round = Expr::app(to_l3, Expr::app(to_ml, Expr::int(1)));
+        assert_eq!(run(round), Halt::Value(Value::Int(1)));
+    }
+
+    #[test]
+    fn function_conversion_wraps_argument_and_result() {
+        // MiniML (int → int) as L3 !(!bool ⊸ bool): feeding it L3 true (0)
+        // converts to an int, applies, converts back to a bool.
+        let ml_ty = PolyType::fun(PolyType::Int, PolyType::Int);
+        let l3_ty = L3Type::bang(L3Type::lolli(L3Type::bang(L3Type::Bool), L3Type::Bool));
+        let (to_l3, _) = conv().derive(&ml_ty, &l3_ty).unwrap();
+        // λx. x + 3 : int → int; applied via the wrapper to true (0) yields 3,
+        // which collapses to false (1) on the way back to L3.
+        let ml_fun = Expr::lam("x", Expr::add(Expr::var("x"), Expr::int(3)));
+        let prog = Expr::app(Expr::app(to_l3, ml_fun), Expr::int(0));
+        assert_eq!(run(prog), Halt::Value(Value::Int(1)));
+    }
+
+    #[test]
+    fn foreign_embedding_is_free() {
+        let (to_l3, to_ml) = conv()
+            .derive(&PolyType::foreign(L3Type::Bool), &L3Type::Bool)
+            .unwrap();
+        // Both directions are the identity λ.
+        assert_eq!(run(Expr::app(to_l3, Expr::int(0))), Halt::Value(Value::Int(0)));
+        assert_eq!(run(Expr::app(to_ml, Expr::int(1))), Halt::Value(Value::Int(1)));
+    }
+}

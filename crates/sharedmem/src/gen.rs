@@ -1,0 +1,291 @@
+//! Random generation of well-typed multi-language programs.
+//!
+//! The fundamental property (Theorem 3.2) and the type-safety theorems
+//! (3.3/3.4) quantify over *all* well-typed programs; the executable test
+//! suite instantiates them over a large randomized sample.  The generator is
+//! type-directed: [`gen_hl`] produces a RefHL expression of a requested type,
+//! [`gen_ll`] a RefLL expression, and both freely insert boundaries at
+//! convertible types so the generated programs exercise the glue code.
+
+use crate::convert::SharedMemConversions;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reflang::syntax::{HlExpr, HlType, LlExpr, LlType};
+
+/// Tuning knobs for the generator.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Maximum expression depth.
+    pub max_depth: usize,
+    /// Probability (0–100) of inserting a boundary when one is possible.
+    pub boundary_bias: u32,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { max_depth: 5, boundary_bias: 35 }
+    }
+}
+
+/// A deterministic program generator seeded by a `u64`, so property tests can
+/// shrink on the seed.
+#[derive(Debug)]
+pub struct ProgramGen {
+    rng: StdRng,
+    config: GenConfig,
+    conversions: SharedMemConversions,
+}
+
+impl ProgramGen {
+    /// A generator with the standard conversions and default configuration.
+    pub fn new(seed: u64) -> Self {
+        ProgramGen::with_config(seed, GenConfig::default())
+    }
+
+    /// A generator with an explicit configuration.
+    pub fn with_config(seed: u64, config: GenConfig) -> Self {
+        ProgramGen {
+            rng: StdRng::seed_from_u64(seed),
+            config,
+            conversions: SharedMemConversions::standard(),
+        }
+    }
+
+    /// Generates a closed, well-typed RefHL expression of type `ty`.
+    pub fn gen_hl(&mut self, ty: &HlType) -> HlExpr {
+        self.hl(ty, self.config.max_depth)
+    }
+
+    /// Generates a closed, well-typed RefLL expression of type `ty`.
+    pub fn gen_ll(&mut self, ty: &LlType) -> LlExpr {
+        self.ll(ty, self.config.max_depth)
+    }
+
+    /// Generates a random RefHL type of bounded size (used to vary the goal
+    /// type itself in property tests).
+    pub fn gen_hl_type(&mut self, depth: usize) -> HlType {
+        if depth == 0 {
+            return if self.rng.gen_bool(0.5) { HlType::Bool } else { HlType::Unit };
+        }
+        match self.rng.gen_range(0..6) {
+            0 => HlType::Bool,
+            1 => HlType::Unit,
+            2 => HlType::sum(self.gen_hl_type(depth - 1), self.gen_hl_type(depth - 1)),
+            3 => HlType::prod(self.gen_hl_type(depth - 1), self.gen_hl_type(depth - 1)),
+            4 => HlType::fun(self.gen_hl_type(depth - 1), self.gen_hl_type(depth - 1)),
+            _ => HlType::ref_(self.gen_hl_type(depth - 1)),
+        }
+    }
+
+    fn boundary_here(&mut self) -> bool {
+        self.rng.gen_range(0..100) < self.config.boundary_bias
+    }
+
+    fn hl(&mut self, ty: &HlType, depth: usize) -> HlExpr {
+        // Possibly detour through RefLL when a conversion exists.
+        if depth > 0 && self.boundary_here() {
+            if let Some(ll_ty) = self.convertible_ll_for(ty) {
+                let inner = self.ll(&ll_ty, depth - 1);
+                return HlExpr::boundary(inner, ty.clone());
+            }
+        }
+        if depth == 0 {
+            return self.hl_leaf(ty);
+        }
+        match self.rng.gen_range(0..4) {
+            // A leaf / canonical constructor.
+            0 => self.hl_leaf_deep(ty, depth),
+            // if
+            1 => HlExpr::if_(
+                self.hl(&HlType::Bool, depth - 1),
+                self.hl(ty, depth - 1),
+                self.hl(ty, depth - 1),
+            ),
+            // Projection from a pair containing the goal type.
+            2 => {
+                if self.rng.gen_bool(0.5) {
+                    HlExpr::fst(HlExpr::pair(self.hl(ty, depth - 1), self.hl(&HlType::Unit, 0)))
+                } else {
+                    HlExpr::snd(HlExpr::pair(self.hl(&HlType::Bool, 0), self.hl(ty, depth - 1)))
+                }
+            }
+            // Immediate application of a lambda.
+            _ => {
+                let arg_ty = if self.rng.gen_bool(0.5) { HlType::Bool } else { HlType::Unit };
+                let var = format!("x{}", self.rng.gen_range(0..1000));
+                HlExpr::app(
+                    HlExpr::lam(var.as_str(), arg_ty.clone(), self.hl(ty, depth - 1)),
+                    self.hl(&arg_ty, depth - 1),
+                )
+            }
+        }
+    }
+
+    fn hl_leaf(&mut self, ty: &HlType) -> HlExpr {
+        self.hl_leaf_deep(ty, 1)
+    }
+
+    fn hl_leaf_deep(&mut self, ty: &HlType, depth: usize) -> HlExpr {
+        let d = depth.saturating_sub(1);
+        match ty {
+            HlType::Unit => HlExpr::unit(),
+            HlType::Bool => HlExpr::bool_(self.rng.gen_bool(0.5)),
+            HlType::Sum(a, b) => {
+                if self.rng.gen_bool(0.5) {
+                    HlExpr::inl(self.hl(a, d), ty.clone())
+                } else {
+                    HlExpr::inr(self.hl(b, d), ty.clone())
+                }
+            }
+            HlType::Prod(a, b) => HlExpr::pair(self.hl(a, d), self.hl(b, d)),
+            HlType::Fun(a, b) => {
+                let var = format!("f{}", self.rng.gen_range(0..1000));
+                let _ = a;
+                HlExpr::lam(var.as_str(), (**a).clone(), self.hl(b, d))
+            }
+            HlType::Ref(a) => HlExpr::ref_(self.hl(a, d)),
+        }
+    }
+
+    fn ll(&mut self, ty: &LlType, depth: usize) -> LlExpr {
+        if depth > 0 && self.boundary_here() {
+            if let Some(hl_ty) = self.convertible_hl_for(ty) {
+                let inner = self.hl(&hl_ty, depth - 1);
+                return LlExpr::boundary(inner, ty.clone());
+            }
+        }
+        if depth == 0 {
+            return self.ll_leaf(ty);
+        }
+        match ty {
+            LlType::Int => match self.rng.gen_range(0..4) {
+                0 => LlExpr::int(self.rng.gen_range(-5..50)),
+                1 => LlExpr::add(self.ll(&LlType::Int, depth - 1), self.ll(&LlType::Int, depth - 1)),
+                2 => LlExpr::if0(
+                    self.ll(&LlType::Int, depth - 1),
+                    self.ll(&LlType::Int, depth - 1),
+                    self.ll(&LlType::Int, depth - 1),
+                ),
+                _ => LlExpr::index(
+                    LlExpr::array(
+                        (0..self.rng.gen_range(1..4)).map(|_| self.ll(&LlType::Int, 0)).collect::<Vec<_>>(),
+                        LlType::Int,
+                    ),
+                    LlExpr::int(0),
+                ),
+            },
+            LlType::Array(elem) => LlExpr::array(
+                (0..self.rng.gen_range(0..4)).map(|_| self.ll(elem, depth - 1)).collect::<Vec<_>>(),
+                (**elem).clone(),
+            ),
+            LlType::Fun(a, b) => {
+                let var = format!("g{}", self.rng.gen_range(0..1000));
+                LlExpr::lam(var.as_str(), (**a).clone(), self.ll(b, depth - 1))
+            }
+            LlType::Ref(a) => LlExpr::ref_(self.ll(a, depth - 1)),
+        }
+    }
+
+    fn ll_leaf(&mut self, ty: &LlType) -> LlExpr {
+        match ty {
+            LlType::Int => LlExpr::int(self.rng.gen_range(-5..50)),
+            LlType::Array(elem) => LlExpr::array(
+                (0..self.rng.gen_range(0..3))
+                    .map(|_| self.ll_leaf(elem))
+                    .collect::<Vec<_>>(),
+                (**elem).clone(),
+            ),
+            LlType::Fun(a, b) => {
+                let var = format!("g{}", self.rng.gen_range(0..1000));
+                let body = self.ll_leaf(b);
+                LlExpr::lam(var.as_str(), (**a).clone(), body)
+            }
+            LlType::Ref(a) => LlExpr::ref_(self.ll_leaf(a)),
+        }
+    }
+
+    /// Picks a RefLL type convertible with `ty`, if the rule set has one.
+    fn convertible_ll_for(&mut self, ty: &HlType) -> Option<LlType> {
+        let candidates: Vec<LlType> = match ty {
+            HlType::Bool | HlType::Unit => vec![LlType::Int],
+            HlType::Ref(inner) => match inner.as_ref() {
+                HlType::Bool => vec![LlType::ref_(LlType::Int)],
+                _ => vec![],
+            },
+            HlType::Sum(_, _) | HlType::Prod(_, _) => vec![LlType::array(LlType::Int)],
+            _ => vec![],
+        };
+        candidates
+            .into_iter()
+            .find(|ll| self.conversions.derive(ty, ll).is_some())
+    }
+
+    /// Picks a RefHL type convertible with `ty`, if the rule set has one.
+    fn convertible_hl_for(&mut self, ty: &LlType) -> Option<HlType> {
+        let candidates: Vec<HlType> = match ty {
+            LlType::Int => {
+                if self.rng.gen_bool(0.5) {
+                    vec![HlType::Bool, HlType::Unit]
+                } else {
+                    vec![HlType::Unit, HlType::Bool]
+                }
+            }
+            LlType::Ref(inner) if **inner == LlType::Int => vec![HlType::ref_(HlType::Bool)],
+            LlType::Array(inner) if **inner == LlType::Int => {
+                vec![HlType::sum(HlType::Bool, HlType::Bool), HlType::prod(HlType::Bool, HlType::Bool)]
+            }
+            _ => vec![],
+        };
+        candidates
+            .into_iter()
+            .find(|hl| self.conversions.derive(hl, ty).is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multilang::MultiLang;
+
+    #[test]
+    fn generated_hl_programs_typecheck_at_the_requested_type() {
+        let ml = MultiLang::new(SharedMemConversions::standard());
+        for seed in 0..60 {
+            let mut gen = ProgramGen::new(seed);
+            let ty = gen.gen_hl_type(2);
+            let e = gen.gen_hl(&ty);
+            let checked = ml.typecheck_hl(&e).unwrap_or_else(|err| {
+                panic!("seed {seed}: generated program {e} does not typecheck: {err}")
+            });
+            assert_eq!(checked, ty, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generated_ll_programs_typecheck() {
+        let ml = MultiLang::new(SharedMemConversions::standard());
+        for seed in 0..60 {
+            let mut gen = ProgramGen::new(seed);
+            let e = gen.gen_ll(&LlType::Int);
+            let ty = ml.typecheck_ll(&e).expect("generated RefLL program typechecks");
+            assert_eq!(ty, LlType::Int);
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic_in_its_seed() {
+        let mut a = ProgramGen::new(7);
+        let mut b = ProgramGen::new(7);
+        assert_eq!(a.gen_hl(&HlType::Bool), b.gen_hl(&HlType::Bool));
+    }
+
+    #[test]
+    fn boundary_bias_zero_generates_single_language_programs() {
+        let cfg = GenConfig { max_depth: 4, boundary_bias: 0 };
+        for seed in 0..20 {
+            let mut gen = ProgramGen::with_config(seed, cfg);
+            let e = gen.gen_hl(&HlType::Bool);
+            assert!(!format!("{e}").contains('⦇'), "no boundaries expected: {e}");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The StackLang heap: a finite map from locations to values.
+//!
+//! `alloc` extends the heap with a fresh location (`H ⊎ {ℓ : v}`), `read`
+//! looks a location up, and `write` performs a strong update.  Locations are
+//! never reused in this target (unlike the §5 target LCVM), which matches the
+//! ML-style reference model of case study 1.
+
+use crate::instr::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A heap location `ℓ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Loc(pub u64);
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ℓ{}", self.0)
+    }
+}
+
+/// The StackLang heap `H ::= {ℓ: v, …}`.
+///
+/// A `BTreeMap` keeps iteration deterministic, which the executable model
+/// checkers rely on when comparing heaps against heap typings.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Heap {
+    cells: BTreeMap<Loc, Value>,
+    next: u64,
+}
+
+impl Heap {
+    /// An empty heap.
+    pub fn new() -> Self {
+        Heap::default()
+    }
+
+    /// Allocates a fresh location holding `v` and returns it.
+    pub fn alloc(&mut self, v: Value) -> Loc {
+        let loc = Loc(self.next);
+        self.next += 1;
+        self.cells.insert(loc, v);
+        loc
+    }
+
+    /// Reads the value at `loc`, if allocated.
+    pub fn read(&self, loc: Loc) -> Option<&Value> {
+        self.cells.get(&loc)
+    }
+
+    /// Writes `v` at `loc`. Returns `false` (and leaves the heap unchanged)
+    /// if the location is not allocated.
+    pub fn write(&mut self, loc: Loc, v: Value) -> bool {
+        match self.cells.get_mut(&loc) {
+            Some(slot) => {
+                *slot = v;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// True if `loc` is allocated.
+    pub fn contains(&self, loc: Loc) -> bool {
+        self.cells.contains_key(&loc)
+    }
+
+    /// Number of allocated locations.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Iterates over the allocated locations and their contents.
+    pub fn iter(&self) -> impl Iterator<Item = (&Loc, &Value)> {
+        self.cells.iter()
+    }
+}
+
+impl fmt::Display for Heap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (l, v)) in self.cells.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l}: {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_read_write_roundtrip() {
+        let mut h = Heap::new();
+        let l = h.alloc(Value::Num(7));
+        assert_eq!(h.read(l), Some(&Value::Num(7)));
+        assert!(h.write(l, Value::Num(9)));
+        assert_eq!(h.read(l), Some(&Value::Num(9)));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn locations_are_never_reused() {
+        let mut h = Heap::new();
+        let l1 = h.alloc(Value::Num(1));
+        let l2 = h.alloc(Value::Num(2));
+        assert_ne!(l1, l2);
+    }
+
+    #[test]
+    fn write_to_unallocated_location_fails() {
+        let mut h = Heap::new();
+        assert!(!h.write(Loc(42), Value::Num(0)));
+        assert!(!h.contains(Loc(42)));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn display_shows_cells() {
+        let mut h = Heap::new();
+        h.alloc(Value::Num(3));
+        assert_eq!(h.to_string(), "{ℓ0: 3}");
+    }
+}

@@ -1,0 +1,490 @@
+//! The StackLang abstract machine: configurations `⟨H; S; P⟩` and their
+//! small-step operational semantics (Fig. 2).
+//!
+//! Every reduction rule of the figure is implemented by [`Machine::step`];
+//! instructions whose stack precondition is not met step to `fail Type`.  The
+//! machine is driven by [`Machine::run`] under a [`Fuel`] budget so that the
+//! executable logical relation (crate `sharedmem`) can realise the paper's
+//! step-indexed expression relation directly.
+
+use crate::heap::Heap;
+use crate::instr::{Instr, Program, Value};
+use semint_core::{ErrorCode, Fuel, Outcome};
+use std::fmt;
+
+/// The stack component of a configuration: either a stack of values or the
+/// distinguished `Fail c` stack that aborts the machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StackState {
+    /// An ordinary stack of values; the last element is the top.
+    Values(Vec<Value>),
+    /// The failed stack `Fail c`.
+    Fail(ErrorCode),
+}
+
+impl StackState {
+    /// An empty ordinary stack.
+    pub fn empty() -> StackState {
+        StackState::Values(Vec::new())
+    }
+
+    /// The values, if the stack has not failed.
+    pub fn values(&self) -> Option<&[Value]> {
+        match self {
+            StackState::Values(vs) => Some(vs),
+            StackState::Fail(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for StackState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StackState::Values(vs) => {
+                write!(f, "[")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            StackState::Fail(c) => write!(f, "Fail {c}"),
+        }
+    }
+}
+
+/// What a single machine step produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepStatus {
+    /// The machine took a step and may continue.
+    Continue,
+    /// The program is empty (or the stack failed): the machine is terminal.
+    Done,
+}
+
+/// The result of running a machine to completion (or until fuel ran out).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// The final outcome: a value (top of stack), a well-defined failure, or
+    /// out-of-fuel.
+    pub outcome: Outcome<Value>,
+    /// The final heap.
+    pub heap: Heap,
+    /// The final stack.
+    pub stack: StackState,
+    /// How many small steps were taken.
+    pub steps: u64,
+}
+
+/// A StackLang machine configuration `⟨H; S; P⟩`.
+///
+/// The remaining program is stored reversed so "next instruction" is a `pop`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Machine {
+    heap: Heap,
+    stack: StackState,
+    /// Remaining instructions, reversed (next instruction is the last element).
+    control: Vec<Instr>,
+    steps: u64,
+}
+
+impl Machine {
+    /// A machine about to run `program` on an empty stack and empty heap.
+    pub fn new(program: Program) -> Machine {
+        Machine::with_state(Heap::new(), StackState::empty(), program)
+    }
+
+    /// A machine with explicit initial heap and stack.
+    pub fn with_state(heap: Heap, stack: StackState, program: Program) -> Machine {
+        let mut control = program.0;
+        control.reverse();
+        Machine { heap, stack, control, steps: 0 }
+    }
+
+    /// The current heap.
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// The current stack.
+    pub fn stack(&self) -> &StackState {
+        &self.stack
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.steps
+    }
+
+    /// True if the machine can take no further step.
+    pub fn is_terminal(&self) -> bool {
+        self.control.is_empty() || matches!(self.stack, StackState::Fail(_))
+    }
+
+    /// Remaining program (in execution order) — mostly useful for debugging.
+    pub fn remaining_program(&self) -> Program {
+        let mut v = self.control.clone();
+        v.reverse();
+        Program(v)
+    }
+
+    fn fail(&mut self, code: ErrorCode) {
+        self.stack = StackState::Fail(code);
+        self.control.clear();
+    }
+
+    fn push_program(&mut self, p: Program) {
+        // The program `p` must run before the current continuation, so its
+        // instructions go on top of the (reversed) control stack.
+        for i in p.0.into_iter().rev() {
+            self.control.push(i);
+        }
+    }
+
+    fn pop_value(&mut self) -> Option<Value> {
+        match &mut self.stack {
+            StackState::Values(vs) => vs.pop(),
+            StackState::Fail(_) => None,
+        }
+    }
+
+    fn push_value(&mut self, v: Value) {
+        if let StackState::Values(vs) = &mut self.stack {
+            vs.push(v);
+        }
+    }
+
+    /// Performs one small step (one reduction of Fig. 2).
+    ///
+    /// Returns [`StepStatus::Done`] if the machine was already terminal.
+    pub fn step(&mut self) -> StepStatus {
+        if self.is_terminal() {
+            return StepStatus::Done;
+        }
+        let instr = self.control.pop().expect("non-terminal machine has an instruction");
+        self.steps += 1;
+        match instr {
+            Instr::Push(op) => match op.resolve() {
+                Some(v) => self.push_value(v),
+                // A free variable reached execution: the program was not
+                // closed. This is a dynamic type error.
+                None => self.fail(ErrorCode::Type),
+            },
+            Instr::Add => match (self.pop_value(), self.pop_value()) {
+                (Some(Value::Num(n1)), Some(Value::Num(n))) => {
+                    self.push_value(Value::Num(n.wrapping_add(n1)))
+                }
+                _ => self.fail(ErrorCode::Type),
+            },
+            Instr::Less => match (self.pop_value(), self.pop_value()) {
+                (Some(Value::Num(n1)), Some(Value::Num(n))) => {
+                    self.push_value(Value::Num(if n < n1 { 0 } else { 1 }))
+                }
+                _ => self.fail(ErrorCode::Type),
+            },
+            Instr::If0(p1, p2) => match self.pop_value() {
+                Some(Value::Num(n)) => {
+                    if n == 0 {
+                        self.push_program(p1);
+                    } else {
+                        self.push_program(p2);
+                    }
+                }
+                _ => self.fail(ErrorCode::Type),
+            },
+            Instr::Lam(xs, body) => {
+                // Pop one value per binder; the leftmost binder receives the
+                // top of the stack (Fig. 3 compiles pairs with
+                // `lam x2,x1. …` so that x2 is the most recently pushed).
+                let mut subst = Vec::with_capacity(xs.len());
+                let mut ok = true;
+                for x in &xs {
+                    match self.pop_value() {
+                        Some(v) => subst.push((x.clone(), v)),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok {
+                    self.fail(ErrorCode::Type);
+                } else {
+                    let mut body = body;
+                    for (x, v) in &subst {
+                        body = body.subst(x, v);
+                    }
+                    self.push_program(body);
+                }
+            }
+            Instr::Call => match self.pop_value() {
+                Some(Value::Thunk(p)) => self.push_program(p),
+                _ => self.fail(ErrorCode::Type),
+            },
+            Instr::Idx => match (self.pop_value(), self.pop_value()) {
+                (Some(Value::Num(n)), Some(Value::Array(vs))) => {
+                    if n >= 0 && (n as usize) < vs.len() {
+                        self.push_value(vs[n as usize].clone());
+                    } else {
+                        self.fail(ErrorCode::Idx);
+                    }
+                }
+                _ => self.fail(ErrorCode::Type),
+            },
+            Instr::Len => match self.pop_value() {
+                Some(Value::Array(vs)) => self.push_value(Value::Num(vs.len() as i64)),
+                _ => self.fail(ErrorCode::Type),
+            },
+            Instr::Alloc => match self.pop_value() {
+                Some(v) => {
+                    let l = self.heap.alloc(v);
+                    self.push_value(Value::Loc(l));
+                }
+                None => self.fail(ErrorCode::Type),
+            },
+            Instr::Read => match self.pop_value() {
+                Some(Value::Loc(l)) => match self.heap.read(l) {
+                    Some(v) => {
+                        let v = v.clone();
+                        self.push_value(v);
+                    }
+                    None => self.fail(ErrorCode::Type),
+                },
+                _ => self.fail(ErrorCode::Type),
+            },
+            Instr::Write => match (self.pop_value(), self.pop_value()) {
+                (Some(v), Some(Value::Loc(l))) => {
+                    if !self.heap.write(l, v) {
+                        self.fail(ErrorCode::Type);
+                    }
+                }
+                _ => self.fail(ErrorCode::Type),
+            },
+            Instr::Fail(c) => self.fail(c),
+        }
+        StepStatus::Continue
+    }
+
+    /// Runs the machine until it is terminal or the fuel is exhausted,
+    /// consuming the machine.
+    pub fn run(mut self, mut fuel: Fuel) -> RunResult {
+        while !self.is_terminal() {
+            if !fuel.consume() {
+                return RunResult {
+                    outcome: Outcome::OutOfFuel,
+                    heap: self.heap,
+                    stack: self.stack,
+                    steps: self.steps,
+                };
+            }
+            self.step();
+        }
+        let outcome = match &self.stack {
+            StackState::Fail(c) => Outcome::Fail(*c),
+            StackState::Values(vs) => match vs.last() {
+                Some(v) => Outcome::Value(v.clone()),
+                None => Outcome::Fail(ErrorCode::Type),
+            },
+        };
+        RunResult { outcome, heap: self.heap, stack: self.stack, steps: self.steps }
+    }
+
+    /// Convenience: run a closed program from the empty configuration.
+    pub fn run_program(program: Program, fuel: Fuel) -> RunResult {
+        Machine::new(program).run(fuel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{drop_top, dup, swap};
+    use crate::heap::Loc;
+    use crate::instr::Operand;
+    use semint_core::Var;
+
+    fn run(p: Program) -> RunResult {
+        Machine::run_program(p, Fuel::default())
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let r = run(Program::from(vec![Instr::push_num(4), Instr::push_num(5), Instr::Add]));
+        assert_eq!(r.outcome, Outcome::Value(Value::Num(9)));
+
+        // less? pushes 0 (true) when n < n'.
+        let r = run(Program::from(vec![Instr::push_num(3), Instr::push_num(8), Instr::Less]));
+        assert_eq!(r.outcome, Outcome::Value(Value::Num(0)));
+        let r = run(Program::from(vec![Instr::push_num(8), Instr::push_num(3), Instr::Less]));
+        assert_eq!(r.outcome, Outcome::Value(Value::Num(1)));
+    }
+
+    #[test]
+    fn if0_branches_on_zero() {
+        let p = |n| {
+            Program::from(vec![
+                Instr::push_num(n),
+                Instr::If0(
+                    Program::single(Instr::push_num(100)),
+                    Program::single(Instr::push_num(200)),
+                ),
+            ])
+        };
+        assert_eq!(run(p(0)).outcome, Outcome::Value(Value::Num(100)));
+        assert_eq!(run(p(7)).outcome, Outcome::Value(Value::Num(200)));
+        assert_eq!(run(p(-3)).outcome, Outcome::Value(Value::Num(200)));
+    }
+
+    #[test]
+    fn if0_on_empty_stack_is_a_type_error() {
+        let p = Program::single(Instr::If0(Program::empty(), Program::empty()));
+        assert_eq!(run(p).outcome, Outcome::Fail(ErrorCode::Type));
+    }
+
+    #[test]
+    fn lam_substitutes_and_thunk_call_resumes() {
+        // push 21, lam x. (push x, push x, add)  ==>  42
+        let p = Program::from(vec![
+            Instr::push_num(21),
+            Instr::lam1("x", Program::from(vec![Instr::push_var("x"), Instr::push_var("x"), Instr::Add])),
+        ]);
+        assert_eq!(run(p).outcome, Outcome::Value(Value::Num(42)));
+
+        // thunks suspend: push (thunk (push 1)), call ==> 1
+        let p = Program::from(vec![Instr::push_thunk(Program::single(Instr::push_num(1))), Instr::Call]);
+        assert_eq!(run(p).outcome, Outcome::Value(Value::Num(1)));
+    }
+
+    #[test]
+    fn multi_binder_lam_pops_top_first() {
+        // push 1, push 2, lam x2,x1. (push [x1, x2])  ==> [1, 2]
+        let p = Program::from(vec![
+            Instr::push_num(1),
+            Instr::push_num(2),
+            Instr::Lam(
+                vec![Var::new("x2"), Var::new("x1")],
+                Program::single(Instr::Push(Operand::Lit(Value::Array(vec![])))),
+            ),
+        ]);
+        // Build the body properly: push [x1, x2] is sugar we don't have, so use
+        // two pushes and a two-binder lam to array-construct via builder in
+        // compile tests; here we only check binding order via arithmetic:
+        // lam x2,x1. (push x1) should give 1 (the first pushed value).
+        let p2 = Program::from(vec![
+            Instr::push_num(1),
+            Instr::push_num(2),
+            Instr::Lam(vec![Var::new("x2"), Var::new("x1")], Program::single(Instr::push_var("x1"))),
+        ]);
+        assert_eq!(run(p2).outcome, Outcome::Value(Value::Num(1)));
+        let _ = p;
+    }
+
+    #[test]
+    fn call_of_non_thunk_fails_type() {
+        let p = Program::from(vec![Instr::push_num(0), Instr::Call]);
+        assert_eq!(run(p).outcome, Outcome::Fail(ErrorCode::Type));
+    }
+
+    #[test]
+    fn array_indexing_and_len() {
+        let arr = Value::array([Value::Num(10), Value::Num(20), Value::Num(30)]);
+        let p = Program::from(vec![Instr::push_val(arr.clone()), Instr::push_num(1), Instr::Idx]);
+        assert_eq!(run(p).outcome, Outcome::Value(Value::Num(20)));
+
+        let p = Program::from(vec![Instr::push_val(arr.clone()), Instr::Len]);
+        assert_eq!(run(p).outcome, Outcome::Value(Value::Num(3)));
+
+        let p = Program::from(vec![Instr::push_val(arr), Instr::push_num(5), Instr::Idx]);
+        assert_eq!(run(p).outcome, Outcome::Fail(ErrorCode::Idx));
+    }
+
+    #[test]
+    fn heap_alloc_read_write() {
+        // ref 7; !r  ==> 7
+        let p = Program::from(vec![Instr::push_num(7), Instr::Alloc, Instr::Read]);
+        assert_eq!(run(p).outcome, Outcome::Value(Value::Num(7)));
+
+        // r := 9; !r ==> 9  (keep the location around with dup)
+        let p = Program::from(vec![
+            Instr::push_num(7),
+            Instr::Alloc,
+            dup(),
+            dup(),
+            Instr::push_num(9),
+            Instr::Write,
+            Instr::Read,
+        ]);
+        let r = run(p);
+        assert_eq!(r.outcome, Outcome::Value(Value::Num(9)));
+        assert_eq!(r.heap.read(Loc(0)), Some(&Value::Num(9)));
+    }
+
+    #[test]
+    fn explicit_fail_aborts_with_code() {
+        let p = Program::from(vec![Instr::push_num(1), Instr::Fail(ErrorCode::Conv), Instr::push_num(2)]);
+        let r = run(p);
+        assert_eq!(r.outcome, Outcome::Fail(ErrorCode::Conv));
+        assert_eq!(r.stack, StackState::Fail(ErrorCode::Conv));
+    }
+
+    #[test]
+    fn fuel_exhaustion_reports_out_of_fuel() {
+        // An infinite loop: a thunk that pushes itself and calls itself… we
+        // can't easily build a self-referential thunk, so loop via repeated
+        // program: push big computation with limited fuel instead.
+        let mut instrs = Vec::new();
+        for _ in 0..100 {
+            instrs.push(Instr::push_num(1));
+            instrs.push(Instr::push_num(1));
+            instrs.push(Instr::Add);
+            instrs.push(drop_top());
+        }
+        let r = Machine::run_program(Program::from(instrs), Fuel::steps(10));
+        assert_eq!(r.outcome, Outcome::OutOfFuel);
+        assert_eq!(r.steps, 10);
+    }
+
+    #[test]
+    fn swap_dup_drop_macros_behave() {
+        // swap: push 1, push 2, swap ==> top is 1
+        let p = Program::from(vec![Instr::push_num(1), Instr::push_num(2), swap()]);
+        assert_eq!(run(p).outcome, Outcome::Value(Value::Num(1)));
+
+        // dup: push 3, dup, add ==> 6
+        let p = Program::from(vec![Instr::push_num(3), dup(), Instr::Add]);
+        assert_eq!(run(p).outcome, Outcome::Value(Value::Num(6)));
+
+        // drop: push 1, push 2, drop ==> 1
+        let p = Program::from(vec![Instr::push_num(1), Instr::push_num(2), drop_top()]);
+        assert_eq!(run(p).outcome, Outcome::Value(Value::Num(1)));
+    }
+
+    #[test]
+    fn empty_program_on_empty_stack_has_no_value() {
+        let r = run(Program::empty());
+        assert_eq!(r.outcome, Outcome::Fail(ErrorCode::Type));
+        assert_eq!(r.steps, 0);
+    }
+
+    #[test]
+    fn running_an_open_program_is_a_type_error() {
+        let r = run(Program::single(Instr::push_var("x")));
+        assert_eq!(r.outcome, Outcome::Fail(ErrorCode::Type));
+    }
+
+    #[test]
+    fn step_status_done_when_terminal() {
+        let mut m = Machine::new(Program::empty());
+        assert!(m.is_terminal());
+        assert_eq!(m.step(), StepStatus::Done);
+        assert_eq!(m.steps_taken(), 0);
+    }
+
+    #[test]
+    fn remaining_program_reports_execution_order() {
+        let m = Machine::new(Program::from(vec![Instr::push_num(1), Instr::Add]));
+        assert_eq!(m.remaining_program(), Program::from(vec![Instr::push_num(1), Instr::Add]));
+    }
+}

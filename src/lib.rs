@@ -1,0 +1,49 @@
+//! # semint — semantic soundness for language interoperability, executably
+//!
+//! This is the facade crate of the `semint` workspace, a Rust reproduction of
+//! *"Semantic Soundness for Language Interoperability"* (Patterson, Mushtak,
+//! Wagner, Ahmed — PLDI 2022).  It re-exports the workspace crates under one
+//! roof so that examples, integration tests and downstream users can depend
+//! on a single package:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`core`] | the framework vocabulary: convertibility registries, boundaries, fuel, step indices |
+//! | [`stacklang`] | the untyped stack-machine target of case study 1 (Fig. 2) |
+//! | [`lcvm`] | the Scheme-like target of case studies 2–3, with GC'd + manual memory and the phantom-flag augmented semantics |
+//! | [`reflang`] | RefHL and RefLL, their type systems and compilers (Fig. 1, 3) |
+//! | [`sharedmem`] | case study 1: shared-memory interoperability, Fig. 4 conversions, Fig. 5 executable model |
+//! | [`affine`] | case study 2: Affi ⊸ MiniML, thunk guards, Fig. 9 conversions, Fig. 10 phantom-flag model |
+//! | [`memgc`] | case study 3: MiniML ⊸ L3, `gcmov` ownership transfer, polymorphism over foreign types, Fig. 14 model |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use semint::sharedmem::{convert::SharedMemConversions, multilang::MultiLang};
+//! use semint::reflang::syntax::{HlExpr, HlType, LlExpr};
+//!
+//! // A RefHL program that embeds RefLL arithmetic as a boolean:
+//! //     if ⦇ 1 + 1 ⦈bool then false else true
+//! let prog = HlExpr::if_(
+//!     HlExpr::boundary(LlExpr::add(LlExpr::int(1), LlExpr::int(1)), HlType::Bool),
+//!     HlExpr::bool_(false),
+//!     HlExpr::bool_(true),
+//! );
+//! let system = MultiLang::new(SharedMemConversions::standard());
+//! let result = system.run_hl(&prog).unwrap();
+//! assert!(result.outcome.is_safe());
+//! ```
+//!
+//! See the `examples/` directory for one runnable scenario per case study and
+//! `EXPERIMENTS.md` for the benchmark harness that reproduces the paper's
+//! performance trade-off discussion.
+
+#![forbid(unsafe_code)]
+
+pub use affine_interop as affine;
+pub use lcvm;
+pub use memgc_interop as memgc;
+pub use reflang;
+pub use semint_core as core;
+pub use sharedmem;
+pub use stacklang;
