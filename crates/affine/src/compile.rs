@@ -23,7 +23,7 @@
 //! Boundaries compile to an application of the conversion glue (an ordinary
 //! LCVM function, see [`crate::convert`]) to the compiled term.
 
-use crate::syntax::{AffiExpr, MlExpr, MlType, AffiType, Mode};
+use crate::syntax::{AffiExpr, AffiType, MlExpr, MlType, Mode};
 use crate::typecheck::{check_affi, check_ml, AffineConvertOracle, AffineCtx, AffineTypeError};
 use lcvm::Expr;
 use semint_core::{ErrorCode, Var};
@@ -115,8 +115,17 @@ pub struct Compiler<'a> {
 impl<'a> Compiler<'a> {
     /// Creates a compiler over the given oracle and emitter (usually both are
     /// the same `AffineConversions` value).
-    pub fn new(oracle: &'a dyn AffineConvertOracle, emitter: &'a dyn AffineConversionEmitter) -> Self {
-        Compiler { oracle, emitter, static_binders: BTreeSet::new(), dynamic_guards: 0, fresh: 0 }
+    pub fn new(
+        oracle: &'a dyn AffineConvertOracle,
+        emitter: &'a dyn AffineConversionEmitter,
+    ) -> Self {
+        Compiler {
+            oracle,
+            emitter,
+            static_binders: BTreeSet::new(),
+            dynamic_guards: 0,
+            fresh: 0,
+        }
     }
 
     /// Compiles a closed MiniML program.
@@ -193,7 +202,10 @@ impl<'a> Compiler<'a> {
             MlExpr::Boundary(affi, ty) => {
                 let (affi_ty, _) = check_affi(ctx, affi, self.oracle)?;
                 let glue = self.emitter.affi_to_ml(&affi_ty, ty).ok_or_else(|| {
-                    CompileError::MissingConversion { affi: affi_ty.clone(), ml: ty.clone() }
+                    CompileError::MissingConversion {
+                        affi: affi_ty.clone(),
+                        ml: ty.clone(),
+                    }
                 })?;
                 Expr::app(glue, self.affi(ctx, ren, affi)?)
             }
@@ -300,9 +312,11 @@ impl<'a> Compiler<'a> {
                 let mut ren2 = ren.clone();
                 ren2.insert(a.clone(), fresh_a.clone());
                 ren2.insert(b.clone(), fresh_b.clone());
-                let inner_ctx = ctx
-                    .with_affine(a.clone(), Mode::Static, t1)
-                    .with_affine(b.clone(), Mode::Static, t2);
+                let inner_ctx = ctx.with_affine(a.clone(), Mode::Static, t1).with_affine(
+                    b.clone(),
+                    Mode::Static,
+                    t2,
+                );
                 let pair_var = Var::new(format!("tensor%{}", self.fresh));
                 self.fresh += 1;
                 Expr::let_(
@@ -322,7 +336,10 @@ impl<'a> Compiler<'a> {
             AffiExpr::Boundary(ml, ty) => {
                 let (ml_ty, _) = check_ml(ctx, ml, self.oracle)?;
                 let glue = self.emitter.ml_to_affi(&ml_ty, ty).ok_or_else(|| {
-                    CompileError::MissingConversion { affi: ty.clone(), ml: ml_ty.clone() }
+                    CompileError::MissingConversion {
+                        affi: ty.clone(),
+                        ml: ml_ty.clone(),
+                    }
                 })?;
                 Expr::app(glue, self.ml(ctx, ren, ml)?)
             }
@@ -348,7 +365,9 @@ mod tests {
     }
 
     fn compile_affi(e: &AffiExpr) -> CompileOutput {
-        Compiler::new(&NoConversions, &NoGlue).compile_affi_program(e).unwrap()
+        Compiler::new(&NoConversions, &NoGlue)
+            .compile_affi_program(e)
+            .unwrap()
     }
 
     fn run(e: Expr) -> Halt {
@@ -369,14 +388,21 @@ mod tests {
         assert_eq!(run(prog), Halt::Fail(ErrorCode::Conv));
 
         // A single force succeeds.
-        let prog = Expr::let_("t", thunk_guard(Expr::int(42)), Expr::app(Expr::var("t"), Expr::unit()));
+        let prog = Expr::let_(
+            "t",
+            thunk_guard(Expr::int(42)),
+            Expr::app(Expr::var("t"), Expr::unit()),
+        );
         assert_eq!(run(prog), Halt::Value(Value::Int(42)));
     }
 
     #[test]
     fn dynamic_application_inserts_a_guard_and_forces_per_use() {
         // (λa◦:int. a) 5  ==> 5, with exactly one guard inserted.
-        let e = AffiExpr::app(AffiExpr::lam("a", AffiType::Int, AffiExpr::avar("a")), AffiExpr::int(5));
+        let e = AffiExpr::app(
+            AffiExpr::lam("a", AffiType::Int, AffiExpr::avar("a")),
+            AffiExpr::int(5),
+        );
         let out = compile_affi(&e);
         assert_eq!(out.dynamic_guards, 1);
         assert!(out.static_binders.is_empty());
@@ -451,7 +477,10 @@ mod tests {
         assert_eq!(out.static_binders.len(), 2);
         assert_eq!(
             run(out.expr),
-            Halt::Value(Value::Pair(Box::new(Value::Int(4)), Box::new(Value::Int(3))))
+            Halt::Value(Value::Pair(
+                Box::new(Value::Int(4)),
+                Box::new(Value::Int(3))
+            ))
         );
     }
 
@@ -460,7 +489,10 @@ mod tests {
         // ⟨1, diverging-free-but-failing⟩.1 must not touch the second side.
         let e = AffiExpr::proj1(AffiExpr::with_pair(
             AffiExpr::int(1),
-            AffiExpr::app(AffiExpr::lam("z", AffiType::Int, AffiExpr::avar("z")), AffiExpr::int(0)),
+            AffiExpr::app(
+                AffiExpr::lam("z", AffiType::Int, AffiExpr::avar("z")),
+                AffiExpr::int(0),
+            ),
         ));
         let out = compile_affi(&e);
         assert_eq!(run(out.expr), Halt::Value(Value::Int(1)));
@@ -476,17 +508,26 @@ mod tests {
         let out = compile_affi(&e);
         assert_eq!(
             run(out.expr),
-            Halt::Value(Value::Pair(Box::new(Value::Int(6)), Box::new(Value::Int(6))))
+            Halt::Value(Value::Pair(
+                Box::new(Value::Int(6)),
+                Box::new(Value::Int(6))
+            ))
         );
     }
 
     #[test]
     fn miniml_compilation_is_standard() {
         let e = MlExpr::app(
-            MlExpr::lam("x", MlType::Int, MlExpr::add(MlExpr::var("x"), MlExpr::int(1))),
+            MlExpr::lam(
+                "x",
+                MlType::Int,
+                MlExpr::add(MlExpr::var("x"), MlExpr::int(1)),
+            ),
             MlExpr::int(41),
         );
-        let out = Compiler::new(&NoConversions, &NoGlue).compile_ml_program(&e).unwrap();
+        let out = Compiler::new(&NoConversions, &NoGlue)
+            .compile_ml_program(&e)
+            .unwrap();
         assert_eq!(run(out.expr), Halt::Value(Value::Int(42)));
 
         let e = MlExpr::match_(
@@ -496,14 +537,18 @@ mod tests {
             "y",
             MlExpr::int(0),
         );
-        let out = Compiler::new(&NoConversions, &NoGlue).compile_ml_program(&e).unwrap();
+        let out = Compiler::new(&NoConversions, &NoGlue)
+            .compile_ml_program(&e)
+            .unwrap();
         assert_eq!(run(out.expr), Halt::Value(Value::Int(7)));
     }
 
     #[test]
     fn boundaries_without_glue_are_compile_errors() {
         let e = MlExpr::boundary(AffiExpr::int(1), MlType::Int);
-        let err = Compiler::new(&NoConversions, &NoGlue).compile_ml_program(&e).unwrap_err();
+        let err = Compiler::new(&NoConversions, &NoGlue)
+            .compile_ml_program(&e)
+            .unwrap_err();
         assert!(matches!(err, CompileError::MissingConversion { .. }));
     }
 }

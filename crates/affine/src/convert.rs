@@ -89,7 +89,10 @@ fn identity() -> Expr {
 /// `λx. if x { 0 } { 1 }`: collapses an arbitrary MiniML integer into an Affi
 /// boolean (0 stays true, everything else becomes the canonical false).
 fn collapse_to_bool() -> Expr {
-    Expr::lam("cv%x", Expr::if_(Expr::var("cv%x"), Expr::int(0), Expr::int(1)))
+    Expr::lam(
+        "cv%x",
+        Expr::if_(Expr::var("cv%x"), Expr::int(0), Expr::int(1)),
+    )
 }
 
 /// `λp. (c1 (fst p), c2 (snd p))`.
@@ -155,7 +158,10 @@ fn ml_to_lolli(c_arg_to_ml: Expr, c_res_to_affi: Expr) -> Expr {
             xthnk.clone(),
             Expr::let_(
                 xacc.clone(),
-                thunk_guard(Expr::app(c_arg_to_ml, Expr::app(Expr::var(xthnk), Expr::unit()))),
+                thunk_guard(Expr::app(
+                    c_arg_to_ml,
+                    Expr::app(Expr::var(xthnk), Expr::unit()),
+                )),
                 Expr::app(c_res_to_affi, Expr::app(Expr::var(x), Expr::var(xacc))),
             ),
         ),
@@ -201,9 +207,18 @@ mod tests {
     #[test]
     fn int_to_bool_collapses_all_nonzero_values() {
         let (_, to_affi) = conv().derive(&AffiType::Bool, &MlType::Int).unwrap();
-        assert_eq!(run(Expr::app(to_affi.clone(), Expr::int(0))), Halt::Value(Value::Int(0)));
-        assert_eq!(run(Expr::app(to_affi.clone(), Expr::int(5))), Halt::Value(Value::Int(1)));
-        assert_eq!(run(Expr::app(to_affi, Expr::int(-3))), Halt::Value(Value::Int(1)));
+        assert_eq!(
+            run(Expr::app(to_affi.clone(), Expr::int(0))),
+            Halt::Value(Value::Int(0))
+        );
+        assert_eq!(
+            run(Expr::app(to_affi.clone(), Expr::int(5))),
+            Halt::Value(Value::Int(1))
+        );
+        assert_eq!(
+            run(Expr::app(to_affi, Expr::int(-3))),
+            Halt::Value(Value::Int(1))
+        );
     }
 
     #[test]
@@ -214,20 +229,31 @@ mod tests {
         let pair = Expr::pair(Expr::int(0), Expr::int(7));
         assert_eq!(
             run(Expr::app(to_ml, pair.clone())),
-            Halt::Value(Value::Pair(Box::new(Value::Int(0)), Box::new(Value::Int(7))))
+            Halt::Value(Value::Pair(
+                Box::new(Value::Int(0)),
+                Box::new(Value::Int(7))
+            ))
         );
         // Going to Affi collapses the first component to a boolean.
         let noisy = Expr::pair(Expr::int(9), Expr::int(7));
         assert_eq!(
             run(Expr::app(to_affi, noisy)),
-            Halt::Value(Value::Pair(Box::new(Value::Int(1)), Box::new(Value::Int(7))))
+            Halt::Value(Value::Pair(
+                Box::new(Value::Int(1)),
+                Box::new(Value::Int(7))
+            ))
         );
     }
 
     #[test]
     fn bang_erases_to_the_underlying_conversion() {
-        let (to_ml, _) = conv().derive(&AffiType::bang(AffiType::Bool), &MlType::Int).unwrap();
-        assert_eq!(run(Expr::app(to_ml, Expr::int(1))), Halt::Value(Value::Int(1)));
+        let (to_ml, _) = conv()
+            .derive(&AffiType::bang(AffiType::Bool), &MlType::Int)
+            .unwrap();
+        assert_eq!(
+            run(Expr::app(to_ml, Expr::int(1))),
+            Halt::Value(Value::Int(1))
+        );
     }
 
     #[test]
@@ -266,7 +292,10 @@ mod tests {
         assert_eq!(run(prog), Halt::Fail(ErrorCode::Conv));
 
         // A polite MiniML function that forces once works fine.
-        let polite = Expr::lam("t", Expr::add(Expr::app(Expr::var("t"), Expr::unit()), Expr::int(1)));
+        let polite = Expr::lam(
+            "t",
+            Expr::add(Expr::app(Expr::var("t"), Expr::unit()), Expr::int(1)),
+        );
         let (_, to_affi) = conv().derive(&affi_ty, &ml_ty).unwrap();
         let prog = Expr::app(Expr::app(to_affi, polite), thunk_guard(Expr::int(4)));
         assert_eq!(run(prog), Halt::Value(Value::Int(5)));
@@ -280,7 +309,10 @@ mod tests {
         let ml_ty = MlType::fun(MlType::fun(MlType::Unit, MlType::Int), MlType::Int);
         let (to_ml, _) = conv().derive(&affi_ty, &ml_ty).unwrap();
         let (_, to_affi) = conv().derive(&affi_ty, &ml_ty).unwrap();
-        let affi_inc = Expr::lam("a", Expr::add(Expr::app(Expr::var("a"), Expr::unit()), Expr::int(1)));
+        let affi_inc = Expr::lam(
+            "a",
+            Expr::add(Expr::app(Expr::var("a"), Expr::unit()), Expr::int(1)),
+        );
         let round_tripped = Expr::app(to_affi, Expr::app(to_ml, affi_inc));
         let prog = Expr::app(round_tripped, thunk_guard(Expr::int(10)));
         assert_eq!(run(prog), Halt::Value(Value::Int(11)));

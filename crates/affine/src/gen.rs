@@ -26,7 +26,11 @@ pub struct AffineGenConfig {
 
 impl Default for AffineGenConfig {
     fn default() -> Self {
-        AffineGenConfig { max_depth: 4, boundary_bias: 35, static_bias: 50 }
+        AffineGenConfig {
+            max_depth: 4,
+            boundary_bias: 35,
+            static_bias: 50,
+        }
     }
 }
 
@@ -92,7 +96,7 @@ impl AffineProgramGen {
     }
 
     fn boundary_here(&mut self) -> bool {
-        self.rng.gen_range(0..100) < self.config.boundary_bias
+        self.rng.gen_range(0u32..100) < self.config.boundary_bias
     }
 
     fn affi(&mut self, ty: &AffiType, depth: usize) -> AffiExpr {
@@ -112,9 +116,13 @@ impl AffineProgramGen {
             1 => {
                 let name = self.fresh_name("a");
                 let arg = self.affi(ty, depth - 1);
-                if self.rng.gen_range(0..100) < self.config.static_bias {
+                if self.rng.gen_range(0u32..100) < self.config.static_bias {
                     AffiExpr::app(
-                        AffiExpr::lam_static(name.as_str(), ty.clone(), AffiExpr::avar_static(name.as_str())),
+                        AffiExpr::lam_static(
+                            name.as_str(),
+                            ty.clone(),
+                            AffiExpr::avar_static(name.as_str()),
+                        ),
                         arg,
                     )
                 } else {
@@ -142,9 +150,15 @@ impl AffineProgramGen {
             _ => {
                 let other = self.gen_affi_type(1);
                 if self.rng.gen_bool(0.5) {
-                    AffiExpr::proj1(AffiExpr::with_pair(self.affi(ty, depth - 1), self.affi(&other, 0)))
+                    AffiExpr::proj1(AffiExpr::with_pair(
+                        self.affi(ty, depth - 1),
+                        self.affi(&other, 0),
+                    ))
                 } else {
-                    AffiExpr::proj2(AffiExpr::with_pair(self.affi(&other, 0), self.affi(ty, depth - 1)))
+                    AffiExpr::proj2(AffiExpr::with_pair(
+                        self.affi(&other, 0),
+                        self.affi(ty, depth - 1),
+                    ))
                 }
             }
         }
@@ -167,8 +181,12 @@ impl AffineProgramGen {
                 let body = self.affi(b, d);
                 let _ = a;
                 match mode {
-                    crate::syntax::Mode::Static => AffiExpr::lam_static(name.as_str(), (**a).clone(), body),
-                    crate::syntax::Mode::Dynamic => AffiExpr::lam(name.as_str(), (**a).clone(), body),
+                    crate::syntax::Mode::Static => {
+                        AffiExpr::lam_static(name.as_str(), (**a).clone(), body)
+                    }
+                    crate::syntax::Mode::Dynamic => {
+                        AffiExpr::lam(name.as_str(), (**a).clone(), body)
+                    }
                 }
             }
         }
@@ -186,8 +204,12 @@ impl AffineProgramGen {
                 let name = self.fresh_name("f");
                 let body = self.affi_leaf(b);
                 match mode {
-                    crate::syntax::Mode::Static => AffiExpr::lam_static(name.as_str(), (**a).clone(), body),
-                    crate::syntax::Mode::Dynamic => AffiExpr::lam(name.as_str(), (**a).clone(), body),
+                    crate::syntax::Mode::Static => {
+                        AffiExpr::lam_static(name.as_str(), (**a).clone(), body)
+                    }
+                    crate::syntax::Mode::Dynamic => {
+                        AffiExpr::lam(name.as_str(), (**a).clone(), body)
+                    }
                 }
             }
         }
@@ -216,9 +238,15 @@ impl AffineProgramGen {
             _ => {
                 // Projection out of a pair containing the goal type.
                 if self.rng.gen_bool(0.5) {
-                    MlExpr::fst(MlExpr::pair(self.ml(ty, depth - 1), self.ml_leaf(&MlType::Unit)))
+                    MlExpr::fst(MlExpr::pair(
+                        self.ml(ty, depth - 1),
+                        self.ml_leaf(&MlType::Unit),
+                    ))
                 } else {
-                    MlExpr::snd(MlExpr::pair(self.ml_leaf(&MlType::Int), self.ml(ty, depth - 1)))
+                    MlExpr::snd(MlExpr::pair(
+                        self.ml_leaf(&MlType::Int),
+                        self.ml(ty, depth - 1),
+                    ))
                 }
             }
         }
@@ -341,8 +369,14 @@ mod tests {
             let ty = gen.gen_affi_type(1);
             let e = gen.gen_affi(&ty);
             let compiled = sys.compile_affi(&e).expect("compiles");
-            assert!(sys.run(&compiled).halt.is_safe(), "seed {seed}: standard run unsafe for {e}");
-            assert!(sys.run_phantom(&compiled).halt.is_safe(), "seed {seed}: phantom run unsafe for {e}");
+            assert!(
+                sys.run(&compiled).halt.is_safe(),
+                "seed {seed}: standard run unsafe for {e}"
+            );
+            assert!(
+                sys.run_phantom(&compiled).halt.is_safe(),
+                "seed {seed}: phantom run unsafe for {e}"
+            );
         }
     }
 
@@ -355,7 +389,11 @@ mod tests {
 
     #[test]
     fn boundary_bias_zero_keeps_programs_single_language() {
-        let cfg = AffineGenConfig { max_depth: 4, boundary_bias: 0, static_bias: 50 };
+        let cfg = AffineGenConfig {
+            max_depth: 4,
+            boundary_bias: 0,
+            static_bias: 50,
+        };
         for seed in 0..20 {
             let mut gen = AffineProgramGen::with_config(seed, cfg);
             let e = gen.gen_affi(&AffiType::Int);

@@ -37,10 +37,12 @@
 pub mod compile;
 pub mod convert;
 pub mod gen;
+pub mod harness;
 pub mod model;
 pub mod multilang;
 pub mod syntax;
 pub mod typecheck;
 
+pub use harness::{AffProgram, AffineCase};
 pub use multilang::{AffineMultiLang, AffineMultiLangError};
 pub use syntax::{AffiExpr, AffiType, MlExpr, MlType, Mode};

@@ -137,7 +137,9 @@ impl AffineModelChecker {
             AffiType::Int => matches!(v, Value::Int(_)),
             AffiType::Bang(inner) => self.value_in_affi(v, inner, depth),
             AffiType::Tensor(a, b) => match v {
-                Value::Pair(x, y) => self.value_in_affi(x, a, depth) && self.value_in_affi(y, b, depth),
+                Value::Pair(x, y) => {
+                    self.value_in_affi(x, a, depth) && self.value_in_affi(y, b, depth)
+                }
                 _ => false,
             },
             // Additive pairs compile to pairs of thunks; check each side by
@@ -228,14 +230,18 @@ impl AffineModelChecker {
     /// Canonical inhabitants of `V⟦ty⟧`, used for the sampled quantifiers.
     pub fn sample_values(&self, ty: &AffineSemType, depth: usize) -> Vec<Value> {
         match ty {
-            AffineSemType::Ml(MlType::Unit) | AffineSemType::Affi(AffiType::Unit) => vec![Value::Unit],
+            AffineSemType::Ml(MlType::Unit) | AffineSemType::Affi(AffiType::Unit) => {
+                vec![Value::Unit]
+            }
             AffineSemType::Ml(MlType::Int) | AffineSemType::Affi(AffiType::Int) => {
                 vec![Value::Int(0), Value::Int(1), Value::Int(-9)]
             }
             AffineSemType::Affi(AffiType::Bool) => vec![Value::Int(0), Value::Int(1)],
-            AffineSemType::Ml(MlType::Prod(a, b)) => {
-                self.pair_samples(&AffineSemType::Ml((**a).clone()), &AffineSemType::Ml((**b).clone()), depth)
-            }
+            AffineSemType::Ml(MlType::Prod(a, b)) => self.pair_samples(
+                &AffineSemType::Ml((**a).clone()),
+                &AffineSemType::Ml((**b).clone()),
+                depth,
+            ),
             AffineSemType::Affi(AffiType::Tensor(a, b)) => self.pair_samples(
                 &AffineSemType::Affi((**a).clone()),
                 &AffineSemType::Affi((**b).clone()),
@@ -265,7 +271,7 @@ impl AffineModelChecker {
                 .sample_values(&AffineSemType::Ml((**b).clone()), depth)
                 .into_iter()
                 .take(2)
-                .map(|v| closure_constant(v))
+                .map(closure_constant)
                 .collect(),
             AffineSemType::Affi(AffiType::Lolli(mode, a, b)) => {
                 let mut out: Vec<Value> = self
@@ -320,13 +326,24 @@ impl AffineModelChecker {
         affi: &AffiType,
         ml: &MlType,
     ) -> Result<(), AffineCounterExample> {
-        let (to_ml, to_affi) = self.conversions.derive(affi, ml).ok_or_else(|| AffineCounterExample {
-            claim: format!("{affi} ∼ {ml}"),
-            witness: "-".into(),
-            reason: "rule not derivable".into(),
-        })?;
-        self.check_direction(&AffineSemType::Affi(affi.clone()), &AffineSemType::Ml(ml.clone()), &to_ml)?;
-        self.check_direction(&AffineSemType::Ml(ml.clone()), &AffineSemType::Affi(affi.clone()), &to_affi)
+        let (to_ml, to_affi) =
+            self.conversions
+                .derive(affi, ml)
+                .ok_or_else(|| AffineCounterExample {
+                    claim: format!("{affi} ∼ {ml}"),
+                    witness: "-".into(),
+                    reason: "rule not derivable".into(),
+                })?;
+        self.check_direction(
+            &AffineSemType::Affi(affi.clone()),
+            &AffineSemType::Ml(ml.clone()),
+            &to_ml,
+        )?;
+        self.check_direction(
+            &AffineSemType::Ml(ml.clone()),
+            &AffineSemType::Affi(affi.clone()),
+            &to_affi,
+        )
     }
 
     /// Checks one direction of a (possibly unsound, candidate) conversion.
@@ -459,14 +476,27 @@ mod tests {
         let c = checker();
         let sys = AffineMultiLang::new();
         // The compiled Affi identity int ⊸ int is in V⟦int ⊸ int⟧.
-        let compiled =
-            sys.compile_affi(&AffiExpr::lam("a", AffiType::Int, AffiExpr::avar("a"))).unwrap();
-        let v = Machine::run_expr(compiled.expr, Fuel::default()).halt.value().unwrap();
-        assert!(c.value_in(&v, &AffineSemType::Affi(AffiType::lolli(AffiType::Int, AffiType::Int))));
+        let compiled = sys
+            .compile_affi(&AffiExpr::lam("a", AffiType::Int, AffiExpr::avar("a")))
+            .unwrap();
+        let v = Machine::run_expr(compiled.expr, Fuel::default())
+            .halt
+            .value()
+            .unwrap();
+        assert!(c.value_in(
+            &v,
+            &AffineSemType::Affi(AffiType::lolli(AffiType::Int, AffiType::Int))
+        ));
         // It is not in V⟦int ⊸ unit⟧: the result is an int, not unit.
-        assert!(!c.value_in(&v, &AffineSemType::Affi(AffiType::lolli(AffiType::Int, AffiType::Unit))));
+        assert!(!c.value_in(
+            &v,
+            &AffineSemType::Affi(AffiType::lolli(AffiType::Int, AffiType::Unit))
+        ));
         // A non-closure is never a function.
-        assert!(!c.value_in(&Value::Int(3), &AffineSemType::Affi(AffiType::lolli(AffiType::Int, AffiType::Int))));
+        assert!(!c.value_in(
+            &Value::Int(3),
+            &AffineSemType::Affi(AffiType::lolli(AffiType::Int, AffiType::Int))
+        ));
     }
 
     #[test]
@@ -477,7 +507,10 @@ mod tests {
             (AffiType::Unit, MlType::Unit),
             (AffiType::Bool, MlType::Int),
             (AffiType::Int, MlType::Int),
-            (AffiType::tensor(AffiType::Bool, AffiType::Int), MlType::prod(MlType::Int, MlType::Int)),
+            (
+                AffiType::tensor(AffiType::Bool, AffiType::Int),
+                MlType::prod(MlType::Int, MlType::Int),
+            ),
             (AffiType::bang(AffiType::Bool), MlType::Int),
             (AffiType::lolli(AffiType::Int, AffiType::Int), thunked),
         ];
@@ -523,7 +556,8 @@ mod tests {
             AffiExpr::int(3),
         );
         let compiled = sys.compile_affi(&e).unwrap();
-        c.check_safety(&compiled.expr, &compiled.static_binders).unwrap();
+        c.check_safety(&compiled.expr, &compiled.static_binders)
+            .unwrap();
 
         // A hand-built violation: use a protected binder twice.  The standard
         // semantics is fine with it, but the augmented semantics gets stuck,
@@ -542,11 +576,15 @@ mod tests {
         let e = MlExpr::add(
             MlExpr::int(1),
             MlExpr::boundary(
-                AffiExpr::app(AffiExpr::lam("a", AffiType::Int, AffiExpr::avar("a")), AffiExpr::int(2)),
+                AffiExpr::app(
+                    AffiExpr::lam("a", AffiType::Int, AffiExpr::avar("a")),
+                    AffiExpr::int(2),
+                ),
                 MlType::Int,
             ),
         );
         let compiled = sys.compile_ml(&e).unwrap();
-        c.check_safety(&compiled.expr, &compiled.static_binders).unwrap();
+        c.check_safety(&compiled.expr, &compiled.static_binders)
+            .unwrap();
     }
 }

@@ -54,7 +54,10 @@ pub struct AffineMultiLang {
 impl AffineMultiLang {
     /// A system with the standard rule set and default fuel.
     pub fn new() -> Self {
-        AffineMultiLang { conversions: AffineConversions::standard(), fuel: Fuel::default() }
+        AffineMultiLang {
+            conversions: AffineConversions::standard(),
+            fuel: Fuel::default(),
+        }
     }
 
     /// Overrides the fuel budget used by the run methods.
@@ -94,7 +97,9 @@ impl AffineMultiLang {
     /// protecting exactly the static binders the compiler reported.
     pub fn run_phantom(&self, compiled: &CompileOutput) -> RunResult {
         let cfg = MachineConfig {
-            phantom: Some(PhantomConfig::protecting(compiled.static_binders.iter().cloned())),
+            phantom: Some(PhantomConfig::protecting(
+                compiled.static_binders.iter().cloned(),
+            )),
             pinned: BTreeSet::new(),
         };
         Machine::with_config(compiled.expr.clone(), cfg).run(self.fuel)
@@ -124,7 +129,10 @@ mod tests {
     #[test]
     fn affi_arithmetic_crosses_into_miniml() {
         // 1 + ⦇ if-free Affi: (λa◦:int. a) 41 ⦈int
-        let affi = AffiExpr::app(AffiExpr::lam("a", AffiType::Int, AffiExpr::avar("a")), AffiExpr::int(41));
+        let affi = AffiExpr::app(
+            AffiExpr::lam("a", AffiType::Int, AffiExpr::avar("a")),
+            AffiExpr::int(41),
+        );
         let e = MlExpr::add(MlExpr::int(1), MlExpr::boundary(affi, MlType::Int));
         let sys = AffineMultiLang::new();
         let r = sys.run_ml(&e).unwrap();
@@ -178,7 +186,10 @@ mod tests {
         let polite_ml = MlExpr::lam(
             "t",
             MlType::fun(MlType::Unit, MlType::Int),
-            MlExpr::add(MlExpr::app(MlExpr::var("t"), MlExpr::unit()), MlExpr::int(1)),
+            MlExpr::add(
+                MlExpr::app(MlExpr::var("t"), MlExpr::unit()),
+                MlExpr::int(1),
+            ),
         );
         let e = AffiExpr::app(
             AffiExpr::boundary(polite_ml, AffiType::lolli(AffiType::Int, AffiType::Int)),
@@ -194,7 +205,9 @@ mod tests {
         let sys = AffineMultiLang::new();
         assert!(matches!(
             sys.run_ml(&e),
-            Err(AffineMultiLangError::Type(AffineTypeError::NotConvertible { .. }))
+            Err(AffineMultiLangError::Type(
+                AffineTypeError::NotConvertible { .. }
+            ))
         ));
     }
 
@@ -218,7 +231,10 @@ mod tests {
         let sys = AffineMultiLang::new();
         // This program moves static variables through a MiniML boundary, so
         // the type checker must reject it (no•(Ωe)).
-        assert!(matches!(sys.run_affi(&e), Err(AffineMultiLangError::Type(_))));
+        assert!(matches!(
+            sys.run_affi(&e),
+            Err(AffineMultiLangError::Type(_))
+        ));
 
         // A fully Affi-internal use of static resources is fine and the two
         // semantics agree.
@@ -259,8 +275,14 @@ mod tests {
         ];
         for e in programs {
             let compiled = sys.compile_affi(&e).expect("well-typed program compiles");
-            assert!(sys.run(&compiled).halt.is_safe(), "standard run unsafe for {e}");
-            assert!(sys.run_phantom(&compiled).halt.is_safe(), "phantom run unsafe for {e}");
+            assert!(
+                sys.run(&compiled).halt.is_safe(),
+                "standard run unsafe for {e}"
+            );
+            assert!(
+                sys.run_phantom(&compiled).halt.is_safe(),
+                "phantom run unsafe for {e}"
+            );
         }
     }
 }

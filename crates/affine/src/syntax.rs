@@ -228,6 +228,7 @@ impl MlExpr {
         MlExpr::Assign(Box::new(a), Box::new(b))
     }
     /// `e1 + e2`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(a: MlExpr, b: MlExpr) -> MlExpr {
         MlExpr::Add(Box::new(a), Box::new(b))
     }
@@ -337,7 +338,12 @@ impl AffiExpr {
         AffiExpr::TensorPair(Box::new(a), Box::new(b))
     }
     /// `let (a•, b•) = e in body`.
-    pub fn let_tensor(a: impl Into<Var>, b: impl Into<Var>, e: AffiExpr, body: AffiExpr) -> AffiExpr {
+    pub fn let_tensor(
+        a: impl Into<Var>,
+        b: impl Into<Var>,
+        e: AffiExpr,
+        body: AffiExpr,
+    ) -> AffiExpr {
         AffiExpr::LetTensor(a.into(), b.into(), Box::new(e), Box::new(body))
     }
     /// `⦇e⦈𝜏`: embed a MiniML term at Affi type `ty`.
@@ -397,13 +403,22 @@ mod tests {
 
     #[test]
     fn type_display() {
-        assert_eq!(AffiType::lolli(AffiType::Int, AffiType::Bool).to_string(), "(int ⊸ bool)");
-        assert_eq!(AffiType::lolli_static(AffiType::Int, AffiType::Bool).to_string(), "(int ⊸• bool)");
+        assert_eq!(
+            AffiType::lolli(AffiType::Int, AffiType::Bool).to_string(),
+            "(int ⊸ bool)"
+        );
+        assert_eq!(
+            AffiType::lolli_static(AffiType::Int, AffiType::Bool).to_string(),
+            "(int ⊸• bool)"
+        );
         assert_eq!(
             MlType::fun(MlType::fun(MlType::Unit, MlType::Int), MlType::Int).to_string(),
             "((unit → int) → int)"
         );
-        assert_eq!(AffiType::tensor(AffiType::Unit, AffiType::bang(AffiType::Int)).to_string(), "(unit ⊗ !int)");
+        assert_eq!(
+            AffiType::tensor(AffiType::Unit, AffiType::bang(AffiType::Int)).to_string(),
+            "(unit ⊗ !int)"
+        );
     }
 
     #[test]

@@ -121,12 +121,22 @@ impl fmt::Display for AffineTypeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AffineTypeError::Unbound(x) => write!(f, "unbound variable {x}"),
-            AffineTypeError::Mismatch { expected, found, context } => {
-                write!(f, "type mismatch in {context}: expected {expected}, found {found}")
+            AffineTypeError::Mismatch {
+                expected,
+                found,
+                context,
+            } => {
+                write!(
+                    f,
+                    "type mismatch in {context}: expected {expected}, found {found}"
+                )
             }
             AffineTypeError::AffineReuse(x) => write!(f, "affine variable {x} used more than once"),
             AffineTypeError::StaticEscape(x) => {
-                write!(f, "static affine variable {x} would escape its enforcement scope")
+                write!(
+                    f,
+                    "static affine variable {x} would escape its enforcement scope"
+                )
             }
             AffineTypeError::BangCapturesAffine(x) => {
                 write!(f, "!-value captures affine variable {x}")
@@ -140,8 +150,16 @@ impl fmt::Display for AffineTypeError {
 
 impl std::error::Error for AffineTypeError {}
 
-fn mismatch(expected: impl fmt::Display, found: impl fmt::Display, context: &'static str) -> AffineTypeError {
-    AffineTypeError::Mismatch { expected: expected.to_string(), found: found.to_string(), context }
+fn mismatch(
+    expected: impl fmt::Display,
+    found: impl fmt::Display,
+    context: &'static str,
+) -> AffineTypeError {
+    AffineTypeError::Mismatch {
+        expected: expected.to_string(),
+        found: found.to_string(),
+        context,
+    }
 }
 
 /// Requires two usage sets to be disjoint (the `Ω = Ω1 ⊎ Ω2` split).
@@ -301,7 +319,10 @@ pub fn check_ml(
             if oracle.convertible(&ta, ty) {
                 Ok((ty.clone(), ua))
             } else {
-                Err(AffineTypeError::NotConvertible { affi: ta, ml: ty.clone() })
+                Err(AffineTypeError::NotConvertible {
+                    affi: ta,
+                    ml: ty.clone(),
+                })
             }
         }
     }
@@ -328,7 +349,8 @@ pub fn check_affi(
             _ => Err(AffineTypeError::Unbound(x.clone())),
         },
         AffiExpr::Lam(mode, x, ty, body) => {
-            let (tb, ub) = check_affi(&ctx.with_affine(x.clone(), *mode, ty.clone()), body, oracle)?;
+            let (tb, ub) =
+                check_affi(&ctx.with_affine(x.clone(), *mode, ty.clone()), body, oracle)?;
             let mut used: Usage = ub;
             used.remove(x);
             if *mode == Mode::Dynamic {
@@ -336,7 +358,10 @@ pub fn check_affi(
                 // boundary, so it must not close over static resources.
                 no_static(ctx, &used)?;
             }
-            Ok((AffiType::Lolli(*mode, Box::new(ty.clone()), Box::new(tb)), used))
+            Ok((
+                AffiType::Lolli(*mode, Box::new(ty.clone()), Box::new(tb)),
+                used,
+            ))
         }
         AffiExpr::App(f, a) => {
             let (tf, uf) = check_affi(ctx, f, oracle)?;
@@ -348,7 +373,11 @@ pub fn check_affi(
                     }
                     Ok((*cod, split(&uf, &ua)?))
                 }
-                other => Err(mismatch("an affine function type", other, "application head")),
+                other => Err(mismatch(
+                    "an affine function type",
+                    other,
+                    "application head",
+                )),
             }
         }
         AffiExpr::Bang(e1) => {
@@ -398,9 +427,11 @@ pub fn check_affi(
             let (t, u1) = check_affi(ctx, e1, oracle)?;
             match t {
                 AffiType::Tensor(t1, t2) => {
-                    let inner_ctx = ctx
-                        .with_affine(a.clone(), Mode::Static, *t1)
-                        .with_affine(b.clone(), Mode::Static, *t2);
+                    let inner_ctx = ctx.with_affine(a.clone(), Mode::Static, *t1).with_affine(
+                        b.clone(),
+                        Mode::Static,
+                        *t2,
+                    );
                     let (tb, mut u2) = check_affi(&inner_ctx, body, oracle)?;
                     u2.remove(a);
                     u2.remove(b);
@@ -414,7 +445,10 @@ pub fn check_affi(
             if oracle.convertible(ty, &tm) {
                 Ok((ty.clone(), um))
             } else {
-                Err(AffineTypeError::NotConvertible { affi: ty.clone(), ml: tm })
+                Err(AffineTypeError::NotConvertible {
+                    affi: ty.clone(),
+                    ml: tm,
+                })
             }
         }
     }
@@ -425,7 +459,8 @@ mod tests {
     use super::*;
 
     fn allow_int_bool(affi: &AffiType, ml: &MlType) -> bool {
-        matches!((affi, ml), (AffiType::Bool, MlType::Int)) || matches!((affi, ml), (AffiType::Int, MlType::Int))
+        matches!((affi, ml), (AffiType::Bool, MlType::Int))
+            || matches!((affi, ml), (AffiType::Int, MlType::Int))
     }
 
     #[test]
@@ -439,7 +474,11 @@ mod tests {
     #[test]
     fn affine_variable_double_use_is_rejected() {
         // λa◦:int. (a, a) — the tensor pair needs the variable twice.
-        let f = AffiExpr::lam("a", AffiType::Int, AffiExpr::tensor(AffiExpr::avar("a"), AffiExpr::avar("a")));
+        let f = AffiExpr::lam(
+            "a",
+            AffiType::Int,
+            AffiExpr::tensor(AffiExpr::avar("a"), AffiExpr::avar("a")),
+        );
         let err = check_affi(&AffineCtx::empty(), &f, &NoConversions).unwrap_err();
         assert_eq!(err, AffineTypeError::AffineReuse(Var::new("a")));
     }
@@ -538,15 +577,22 @@ mod tests {
     fn miniml_lambdas_may_capture_dynamic_but_not_static_affine_variables() {
         // A MiniML lambda whose body mentions a *dynamic* affine variable is
         // fine: the runtime guard turns a second evaluation into fail Conv.
-        let ml_lam = MlExpr::lam("y", MlType::Unit, MlExpr::boundary(AffiExpr::avar("a"), MlType::Int));
+        let ml_lam = MlExpr::lam(
+            "y",
+            MlType::Unit,
+            MlExpr::boundary(AffiExpr::avar("a"), MlType::Int),
+        );
         let dyn_ctx = AffineCtx::empty().with_affine(Var::new("a"), Mode::Dynamic, AffiType::Int);
         let (_, used) = check_ml(&dyn_ctx, &ml_lam, &allow_int_bool).unwrap();
         assert!(used.contains(&Var::new("a")));
 
         // The same capture of a *static* affine variable has no guard and is
         // rejected.
-        let ml_lam_static =
-            MlExpr::lam("y", MlType::Unit, MlExpr::boundary(AffiExpr::avar_static("a"), MlType::Int));
+        let ml_lam_static = MlExpr::lam(
+            "y",
+            MlType::Unit,
+            MlExpr::boundary(AffiExpr::avar_static("a"), MlType::Int),
+        );
         let static_ctx = AffineCtx::empty().with_affine(Var::new("a"), Mode::Static, AffiType::Int);
         let err = check_ml(&static_ctx, &ml_lam_static, &allow_int_bool).unwrap_err();
         assert!(matches!(err, AffineTypeError::StaticEscape(_)));
@@ -573,7 +619,10 @@ mod tests {
         let bad = AffiExpr::lam_static(
             "a",
             AffiType::Int,
-            AffiExpr::boundary(MlExpr::boundary(AffiExpr::avar_static("a"), MlType::Int), AffiType::Int),
+            AffiExpr::boundary(
+                MlExpr::boundary(AffiExpr::avar_static("a"), MlType::Int),
+                AffiType::Int,
+            ),
         );
         let err = check_affi(&AffineCtx::empty(), &bad, &allow_int_bool).unwrap_err();
         assert_eq!(err, AffineTypeError::StaticEscape(Var::new("a")));
@@ -583,7 +632,10 @@ mod tests {
         let ok = AffiExpr::lam(
             "a",
             AffiType::Int,
-            AffiExpr::boundary(MlExpr::boundary(AffiExpr::avar("a"), MlType::Int), AffiType::Int),
+            AffiExpr::boundary(
+                MlExpr::boundary(AffiExpr::avar("a"), MlType::Int),
+                AffiType::Int,
+            ),
         );
         assert!(check_affi(&AffineCtx::empty(), &ok, &allow_int_bool).is_ok());
     }
@@ -603,9 +655,14 @@ mod tests {
 
     #[test]
     fn error_messages_render() {
-        assert!(AffineTypeError::AffineReuse(Var::new("a")).to_string().contains("more than once"));
-        assert!(AffineTypeError::NotConvertible { affi: AffiType::Bool, ml: MlType::Unit }
+        assert!(AffineTypeError::AffineReuse(Var::new("a"))
             .to_string()
-            .contains("∼"));
+            .contains("more than once"));
+        assert!(AffineTypeError::NotConvertible {
+            affi: AffiType::Bool,
+            ml: MlType::Unit
+        }
+        .to_string()
+        .contains("∼"));
     }
 }

@@ -20,17 +20,26 @@ fn bench_enforcement(c: &mut Criterion) {
     for calls in [1usize, 8, 32, 128] {
         let static_prog = sys.compile_affi(&static_affine_chain(calls)).unwrap().expr;
         let dynamic_prog = sys.compile_affi(&dynamic_affine_chain(calls)).unwrap().expr;
-        let boundary_prog = sys.compile_ml(&cross_boundary_affine_chain(calls)).unwrap().expr;
+        let boundary_prog = sys
+            .compile_ml(&cross_boundary_affine_chain(calls))
+            .unwrap()
+            .expr;
 
-        group.bench_with_input(BenchmarkId::new("static_arrow", calls), &static_prog, |b, p| {
-            b.iter(|| Machine::run_expr(p.clone(), Fuel::default()))
-        });
-        group.bench_with_input(BenchmarkId::new("dynamic_arrow", calls), &dynamic_prog, |b, p| {
-            b.iter(|| Machine::run_expr(p.clone(), Fuel::default()))
-        });
-        group.bench_with_input(BenchmarkId::new("cross_boundary", calls), &boundary_prog, |b, p| {
-            b.iter(|| Machine::run_expr(p.clone(), Fuel::default()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("static_arrow", calls),
+            &static_prog,
+            |b, p| b.iter(|| Machine::run_expr(p.clone(), Fuel::default())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dynamic_arrow", calls),
+            &dynamic_prog,
+            |b, p| b.iter(|| Machine::run_expr(p.clone(), Fuel::default())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cross_boundary", calls),
+            &boundary_prog,
+            |b, p| b.iter(|| Machine::run_expr(p.clone(), Fuel::default())),
+        );
     }
     group.finish();
 }

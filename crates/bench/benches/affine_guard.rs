@@ -15,7 +15,10 @@ use semint_core::Fuel;
 
 fn raw_call() -> Expr {
     // (λx. x + 1) 41
-    Expr::app(Expr::lam("x", Expr::add(Expr::var("x"), Expr::int(1))), Expr::int(41))
+    Expr::app(
+        Expr::lam("x", Expr::add(Expr::var("x"), Expr::int(1))),
+        Expr::int(41),
+    )
 }
 
 fn guarded_call() -> Expr {

@@ -17,14 +17,24 @@ fn bench_sum_conversions(c: &mut Criterion) {
     let mut group = c.benchmark_group("E2_sum_array_conversions");
     let sys = MultiLang::new(SharedMemConversions::standard());
     for count in [1usize, 8, 32, 128] {
-        let with_boundaries = sys.compile_ll(&sum_conversion_workload(count)).unwrap().program;
-        let baseline = sys.compile_ll(&sum_conversion_baseline(count)).unwrap().program;
-        group.bench_with_input(BenchmarkId::new("convert_sums", count), &with_boundaries, |b, p| {
-            b.iter(|| Machine::run_program(p.clone(), Fuel::default()))
-        });
-        group.bench_with_input(BenchmarkId::new("no_boundary_baseline", count), &baseline, |b, p| {
-            b.iter(|| Machine::run_program(p.clone(), Fuel::default()))
-        });
+        let with_boundaries = sys
+            .compile_ll(&sum_conversion_workload(count))
+            .unwrap()
+            .program;
+        let baseline = sys
+            .compile_ll(&sum_conversion_baseline(count))
+            .unwrap()
+            .program;
+        group.bench_with_input(
+            BenchmarkId::new("convert_sums", count),
+            &with_boundaries,
+            |b, p| b.iter(|| Machine::run_program(p.clone(), Fuel::default())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("no_boundary_baseline", count),
+            &baseline,
+            |b, p| b.iter(|| Machine::run_program(p.clone(), Fuel::default())),
+        );
     }
     group.finish();
 }

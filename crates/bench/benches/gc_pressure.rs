@@ -19,9 +19,11 @@ fn bench_gc_pressure(c: &mut Criterion) {
     for n in [8usize, 32, 128] {
         let gc_heavy = sys.compile_ml(&gc_pressure_workload(n, 4)).unwrap();
         let manual = sys.compile_l3(&manual_pressure_workload(n)).unwrap();
-        group.bench_with_input(BenchmarkId::new("gc_allocations_then_collect", n), &gc_heavy, |b, p| {
-            b.iter(|| Machine::run_expr(p.clone(), Fuel::default()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("gc_allocations_then_collect", n),
+            &gc_heavy,
+            |b, p| b.iter(|| Machine::run_expr(p.clone(), Fuel::default())),
+        );
         group.bench_with_input(BenchmarkId::new("manual_new_free", n), &manual, |b, p| {
             b.iter(|| Machine::run_expr(p.clone(), Fuel::default()))
         });
@@ -30,7 +32,10 @@ fn bench_gc_pressure(c: &mut Criterion) {
 
     // Deterministic heap statistics for the report.
     for n in [8usize, 32, 128] {
-        let r = Machine::run_expr(sys.compile_ml(&gc_pressure_workload(n, 4)).unwrap(), Fuel::default());
+        let r = Machine::run_expr(
+            sys.compile_ml(&gc_pressure_workload(n, 4)).unwrap(),
+            Fuel::default(),
+        );
         println!(
             "E6 n={n}: gc_allocs={}, collected={}, gc_runs={}, live_at_exit={}",
             r.heap.stats().gc_allocs,

@@ -21,21 +21,35 @@ fn bench_model_checks(c: &mut Criterion) {
         let ty = deep_hl_type(depth);
         let world = World::new(10_000);
         let samples = checker.sample_values(&SemType::Hl(ty.clone()), 2);
-        group.bench_with_input(BenchmarkId::new("value_membership", depth), &samples, |b, vs| {
-            b.iter(|| {
-                vs.iter()
-                    .filter(|v| checker.value_in(&world, &Heap::new(), v, &SemType::Hl(ty.clone())))
-                    .count()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("value_membership", depth),
+            &samples,
+            |b, vs| {
+                b.iter(|| {
+                    vs.iter()
+                        .filter(|v| {
+                            checker.value_in(&world, &Heap::new(), v, &SemType::Hl(ty.clone()))
+                        })
+                        .count()
+                })
+            },
+        );
     }
     group.finish();
 
     let mut group = c.benchmark_group("E8_convertibility_soundness_checks");
     let rules = [
         ("bool_int", HlType::Bool, LlType::Int),
-        ("ref_bool_ref_int", HlType::ref_(HlType::Bool), LlType::ref_(LlType::Int)),
-        ("sum_int_array", HlType::sum(HlType::Bool, HlType::Bool), LlType::array(LlType::Int)),
+        (
+            "ref_bool_ref_int",
+            HlType::ref_(HlType::Bool),
+            LlType::ref_(LlType::Int),
+        ),
+        (
+            "sum_int_array",
+            HlType::sum(HlType::Bool, HlType::Bool),
+            LlType::array(LlType::Int),
+        ),
         (
             "prod_int_array",
             HlType::prod(HlType::Bool, HlType::Unit),

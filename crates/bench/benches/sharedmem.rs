@@ -20,19 +20,34 @@ fn bench_ref_strategies(c: &mut Criterion) {
         let share = MultiLang::new(SharedMemConversions::standard());
         let copy = MultiLang::new(SharedMemConversions::with_ref_strategy(RefStrategy::Copy));
 
-        let shared_prog = share.compile_ll(&shared_ref_workload(crossings)).unwrap().program;
-        let copied_prog = copy.compile_ll(&shared_ref_workload(crossings)).unwrap().program;
-        let proxied_prog = share.compile_ll(&proxied_ref_workload(crossings)).unwrap().program;
+        let shared_prog = share
+            .compile_ll(&shared_ref_workload(crossings))
+            .unwrap()
+            .program;
+        let copied_prog = copy
+            .compile_ll(&shared_ref_workload(crossings))
+            .unwrap()
+            .program;
+        let proxied_prog = share
+            .compile_ll(&proxied_ref_workload(crossings))
+            .unwrap()
+            .program;
 
-        group.bench_with_input(BenchmarkId::new("share_pointer", crossings), &shared_prog, |b, p| {
-            b.iter(|| Machine::run_program(p.clone(), Fuel::default()))
-        });
-        group.bench_with_input(BenchmarkId::new("copy_convert", crossings), &copied_prog, |b, p| {
-            b.iter(|| Machine::run_program(p.clone(), Fuel::default()))
-        });
-        group.bench_with_input(BenchmarkId::new("convert_per_access", crossings), &proxied_prog, |b, p| {
-            b.iter(|| Machine::run_program(p.clone(), Fuel::default()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("share_pointer", crossings),
+            &shared_prog,
+            |b, p| b.iter(|| Machine::run_program(p.clone(), Fuel::default())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("copy_convert", crossings),
+            &copied_prog,
+            |b, p| b.iter(|| Machine::run_program(p.clone(), Fuel::default())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("convert_per_access", crossings),
+            &proxied_prog,
+            |b, p| b.iter(|| Machine::run_program(p.clone(), Fuel::default())),
+        );
     }
     group.finish();
 }

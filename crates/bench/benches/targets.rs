@@ -10,7 +10,8 @@ mod common;
 use affine_interop::multilang::AffineMultiLang;
 use criterion::{criterion_main, BenchmarkId, Criterion};
 use semint_bench::{
-    lcvm_arith_workload, lcvm_closure_workload, stacklang_arith_workload, stacklang_closure_workload,
+    lcvm_arith_workload, lcvm_closure_workload, stacklang_arith_workload,
+    stacklang_closure_workload,
 };
 use semint_core::Fuel;
 use sharedmem::convert::SharedMemConversions;
@@ -21,23 +22,35 @@ fn bench_targets(c: &mut Criterion) {
     let sm = MultiLang::new(SharedMemConversions::standard());
     let af = AffineMultiLang::new();
     for size in [16usize, 64, 256] {
-        let stack_arith = sm.compile_ll(&stacklang_arith_workload(size)).unwrap().program;
-        let stack_clo = sm.compile_ll(&stacklang_closure_workload(size)).unwrap().program;
+        let stack_arith = sm
+            .compile_ll(&stacklang_arith_workload(size))
+            .unwrap()
+            .program;
+        let stack_clo = sm
+            .compile_ll(&stacklang_closure_workload(size))
+            .unwrap()
+            .program;
         let lcvm_arith = af.compile_ml(&lcvm_arith_workload(size)).unwrap().expr;
         let lcvm_clo = af.compile_ml(&lcvm_closure_workload(size)).unwrap().expr;
 
-        group.bench_with_input(BenchmarkId::new("stacklang_arith", size), &stack_arith, |b, p| {
-            b.iter(|| stacklang::Machine::run_program(p.clone(), Fuel::default()))
-        });
-        group.bench_with_input(BenchmarkId::new("stacklang_closures", size), &stack_clo, |b, p| {
-            b.iter(|| stacklang::Machine::run_program(p.clone(), Fuel::default()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("stacklang_arith", size),
+            &stack_arith,
+            |b, p| b.iter(|| stacklang::Machine::run_program(p.clone(), Fuel::default())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stacklang_closures", size),
+            &stack_clo,
+            |b, p| b.iter(|| stacklang::Machine::run_program(p.clone(), Fuel::default())),
+        );
         group.bench_with_input(BenchmarkId::new("lcvm_arith", size), &lcvm_arith, |b, p| {
             b.iter(|| lcvm::Machine::run_expr(p.clone(), Fuel::default()))
         });
-        group.bench_with_input(BenchmarkId::new("lcvm_closures", size), &lcvm_clo, |b, p| {
-            b.iter(|| lcvm::Machine::run_expr(p.clone(), Fuel::default()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("lcvm_closures", size),
+            &lcvm_clo,
+            |b, p| b.iter(|| lcvm::Machine::run_expr(p.clone(), Fuel::default())),
+        );
     }
     group.finish();
 }

@@ -2,7 +2,11 @@
 //!
 //! Workload builders shared by the Criterion benchmarks that reproduce the
 //! paper's performance trade-off discussion (see `EXPERIMENTS.md` at the
-//! workspace root for the experiment index E1–E8).
+//! workspace root for the experiment index E1–E9).
+//!
+//! The hand-shaped E1–E8 builders live in this module; the harness-sourced
+//! E9 workloads (random well-typed scenario populations over all three case
+//! studies, and the sweep engine itself) live in [`scenarios`].
 //!
 //! The paper has no numeric evaluation tables — its performance claims are
 //! qualitative design arguments ("pointer sharing is free, proxies pay per
@@ -12,6 +16,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod scenarios;
 
 use affine_interop::syntax::{AffiExpr, AffiType, MlExpr, MlType};
 use memgc_interop::syntax::{L3Expr, L3Type, PolyExpr, PolyType};
@@ -52,7 +58,8 @@ pub fn proxied_ref_workload(crossings: usize) -> LlExpr {
             HlExpr::bool_(i % 2 == 0),
             HlExpr::bool_(i % 2 == 1),
         );
-        let write_back = LlExpr::assign(LlExpr::var("cell"), LlExpr::boundary(hl_read, LlType::Int));
+        let write_back =
+            LlExpr::assign(LlExpr::var("cell"), LlExpr::boundary(hl_read, LlType::Int));
         body = LlExpr::add(write_back, body);
     }
     LlExpr::app(
@@ -177,7 +184,10 @@ pub fn transfer_to_l3_workload(depth: usize) -> L3Expr {
         ml_payload = PolyExpr::pair(ml_payload, PolyExpr::int(0));
         l3_ty = L3Type::tensor(l3_ty, L3Type::Bool);
     }
-    L3Expr::free(L3Expr::boundary(PolyExpr::ref_(ml_payload), L3Type::ref_like(l3_ty)))
+    L3Expr::free(L3Expr::boundary(
+        PolyExpr::ref_(ml_payload),
+        L3Type::ref_like(l3_ty),
+    ))
 }
 
 /// E6: allocate `n` GC'd cells (every `keep_every`-th one is read twice, the
@@ -209,7 +219,11 @@ pub fn gc_pressure_workload(n: usize, keep_every: usize) -> PolyExpr {
 pub fn manual_pressure_workload(n: usize) -> L3Expr {
     let mut e = L3Expr::bool_(true);
     for _ in 0..n {
-        e = L3Expr::if_(L3Expr::free(L3Expr::new(e)), L3Expr::bool_(true), L3Expr::bool_(false));
+        e = L3Expr::if_(
+            L3Expr::free(L3Expr::new(e)),
+            L3Expr::bool_(true),
+            L3Expr::bool_(false),
+        );
     }
     e
 }
@@ -240,7 +254,11 @@ pub fn lcvm_closure_workload(size: usize) -> MlExpr {
     for i in 0..size {
         let v = format!("c{i}");
         e = MlExpr::app(
-            MlExpr::lam(v.as_str(), MlType::Int, MlExpr::add(MlExpr::var(v.as_str()), MlExpr::int(1))),
+            MlExpr::lam(
+                v.as_str(),
+                MlType::Int,
+                MlExpr::add(MlExpr::var(v.as_str()), MlExpr::int(1)),
+            ),
             e,
         );
     }
@@ -253,7 +271,11 @@ pub fn stacklang_closure_workload(size: usize) -> LlExpr {
     for i in 0..size {
         let v = format!("c{i}");
         e = LlExpr::app(
-            LlExpr::lam(v.as_str(), LlType::Int, LlExpr::add(LlExpr::var(v.as_str()), LlExpr::int(1))),
+            LlExpr::lam(
+                v.as_str(),
+                LlType::Int,
+                LlExpr::add(LlExpr::var(v.as_str()), LlExpr::int(1)),
+            ),
             e,
         );
     }
@@ -286,28 +308,76 @@ mod tests {
     fn all_workloads_typecheck_and_run_safely() {
         let sm = MultiLang::new(SharedMemConversions::standard());
         for n in [0, 1, 4] {
-            assert!(sm.run_ll(&shared_ref_workload(n)).unwrap().outcome.is_safe());
-            assert!(sm.run_ll(&proxied_ref_workload(n)).unwrap().outcome.is_safe());
-            assert!(sm.run_ll(&sum_conversion_workload(n)).unwrap().outcome.is_safe());
-            assert!(sm.run_ll(&sum_conversion_baseline(n)).unwrap().outcome.is_safe());
-            assert!(sm.run_ll(&stacklang_arith_workload(n)).unwrap().outcome.is_safe());
-            assert!(sm.run_ll(&stacklang_closure_workload(n)).unwrap().outcome.is_safe());
+            assert!(sm
+                .run_ll(&shared_ref_workload(n))
+                .unwrap()
+                .outcome
+                .is_safe());
+            assert!(sm
+                .run_ll(&proxied_ref_workload(n))
+                .unwrap()
+                .outcome
+                .is_safe());
+            assert!(sm
+                .run_ll(&sum_conversion_workload(n))
+                .unwrap()
+                .outcome
+                .is_safe());
+            assert!(sm
+                .run_ll(&sum_conversion_baseline(n))
+                .unwrap()
+                .outcome
+                .is_safe());
+            assert!(sm
+                .run_ll(&stacklang_arith_workload(n))
+                .unwrap()
+                .outcome
+                .is_safe());
+            assert!(sm
+                .run_ll(&stacklang_closure_workload(n))
+                .unwrap()
+                .outcome
+                .is_safe());
         }
         let af = AffineMultiLang::new();
         for n in [1, 4] {
             assert!(af.run_affi(&static_affine_chain(n)).unwrap().halt.is_safe());
-            assert!(af.run_affi(&dynamic_affine_chain(n)).unwrap().halt.is_safe());
-            assert!(af.run_ml(&cross_boundary_affine_chain(n)).unwrap().halt.is_safe());
+            assert!(af
+                .run_affi(&dynamic_affine_chain(n))
+                .unwrap()
+                .halt
+                .is_safe());
+            assert!(af
+                .run_ml(&cross_boundary_affine_chain(n))
+                .unwrap()
+                .halt
+                .is_safe());
             assert!(af.run_ml(&lcvm_arith_workload(n)).unwrap().halt.is_safe());
             assert!(af.run_ml(&lcvm_closure_workload(n)).unwrap().halt.is_safe());
         }
         let mg = MemGcMultiLang::new();
         for d in [0, 2] {
-            assert!(mg.run_ml(&transfer_to_ml_workload(d)).unwrap().halt.is_safe());
-            assert!(mg.run_l3(&transfer_to_l3_workload(d)).unwrap().halt.is_safe());
+            assert!(mg
+                .run_ml(&transfer_to_ml_workload(d))
+                .unwrap()
+                .halt
+                .is_safe());
+            assert!(mg
+                .run_l3(&transfer_to_l3_workload(d))
+                .unwrap()
+                .halt
+                .is_safe());
         }
-        assert!(mg.run_ml(&gc_pressure_workload(6, 3)).unwrap().halt.is_safe());
-        assert!(mg.run_l3(&manual_pressure_workload(4)).unwrap().halt.is_safe());
+        assert!(mg
+            .run_ml(&gc_pressure_workload(6, 3))
+            .unwrap()
+            .halt
+            .is_safe());
+        assert!(mg
+            .run_l3(&manual_pressure_workload(4))
+            .unwrap()
+            .halt
+            .is_safe());
     }
 
     #[test]

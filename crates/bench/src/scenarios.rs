@@ -1,0 +1,80 @@
+//! Harness-sourced workloads (experiment E9).
+//!
+//! The E1–E8 builders in the crate root are *hand-shaped*: each one isolates
+//! a single cost the paper talks about.  This module is the complementary
+//! sampling strategy — programs are sourced through the `semint-harness`
+//! scenario engine, so the measured distribution is the same type-directed
+//! random population the property suites and `semint sweep` exercise, and
+//! every workload automatically covers all three case studies.
+
+use semint_core::case::{CaseStudy, ScenarioConfig};
+use semint_core::stats::SweepReport;
+use semint_harness::cases::{AnyCase, AnyProgram};
+use semint_harness::engine::{sweep_all, SweepConfig};
+use semint_harness::Scenario;
+
+/// The generation knobs every E9 workload uses (kept fixed so bench numbers
+/// are comparable across runs).
+pub fn scenario_config() -> ScenarioConfig {
+    ScenarioConfig::default()
+}
+
+/// The generated scenarios for `case` over `seeds`, in seed order.
+pub fn generated_scenarios(
+    case: &AnyCase,
+    seeds: std::ops::Range<u64>,
+) -> Vec<Scenario<AnyProgram, <AnyCase as CaseStudy>::Ty>> {
+    let cfg = scenario_config();
+    seeds.map(|seed| case.generate(seed, &cfg)).collect()
+}
+
+/// The generated programs for `case` over `seeds` (interpreter-bench food).
+pub fn generated_programs(case: &AnyCase, seeds: std::ops::Range<u64>) -> Vec<AnyProgram> {
+    generated_scenarios(case, seeds)
+        .into_iter()
+        .map(|s| s.program)
+        .collect()
+}
+
+/// One full harness sweep over all three case studies — the engine-level
+/// workload measured by the E9 throughput benchmark.
+pub fn harness_sweep(seed_count: u64, jobs: usize, model_check: bool) -> SweepReport {
+    let cases = AnyCase::all(false);
+    let cfg = SweepConfig {
+        seed_start: 0,
+        seed_end: seed_count,
+        jobs,
+        scenario: scenario_config(),
+        model_check,
+    };
+    sweep_all(&cases, &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_programs_cover_all_cases_and_run_safely() {
+        for case in AnyCase::all(false) {
+            let programs = generated_programs(&case, 0..12);
+            assert_eq!(programs.len(), 12);
+            for program in &programs {
+                let report = case
+                    .run(program, semint_core::Fuel::steps(200_000))
+                    .unwrap_or_else(|e| panic!("{}: {e}", case.name()));
+                assert!(case.stats(&report).outcome.is_safe(), "{}", case.name());
+            }
+        }
+    }
+
+    #[test]
+    fn harness_sweep_is_clean_and_deterministic() {
+        let a = harness_sweep(16, 2, false);
+        let b = harness_sweep(16, 4, false);
+        assert_eq!(a.scenarios(), 48);
+        assert_eq!(a.failure_count(), 0);
+        let digests = |r: &SweepReport| r.cases.iter().map(|c| c.digest()).collect::<Vec<_>>();
+        assert_eq!(digests(&a), digests(&b));
+    }
+}

@@ -65,7 +65,10 @@ mod tests {
     #[test]
     fn flipping_is_an_involution() {
         assert_eq!(BoundaryDirection::IntoA.flipped(), BoundaryDirection::IntoB);
-        assert_eq!(BoundaryDirection::IntoA.flipped().flipped(), BoundaryDirection::IntoA);
+        assert_eq!(
+            BoundaryDirection::IntoA.flipped().flipped(),
+            BoundaryDirection::IntoA
+        );
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! The [`CaseStudy`] abstraction: one interface over every language pair.
+//!
+//! The paper's framework is instantiated once per language pair — each case
+//! study ships its own convertibility rules, compilers and realizability
+//! model.  The executable reproduction mirrors that, but the *driver* logic
+//! (generate a well-typed program, type check it, compile it, run it under a
+//! budget, check it against the model) is identical everywhere.  This module
+//! captures that driver shape as a trait so the `semint-harness` engine can
+//! sweep seed ranges over all case studies — present and future — with one
+//! batch runner, one statistics pipeline and one counterexample shrinker.
+//!
+//! Implementations live with their case studies (`sharedmem::harness`,
+//! `affine_interop::harness`, `memgc_interop::harness`); only the vocabulary
+//! lives here so the case-study crates need not depend on the engine.
+
+use crate::fuel::Fuel;
+use crate::stats::RunStats;
+use std::fmt;
+
+/// Tuning knobs shared by every case study's scenario generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioConfig {
+    /// Maximum expression depth of generated programs.
+    pub max_depth: usize,
+    /// Probability (0–100) of inserting a language boundary where a
+    /// convertibility rule permits one.
+    pub boundary_bias: u32,
+    /// Step budget for each run.
+    pub fuel: Fuel,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            max_depth: 4,
+            boundary_bias: 35,
+            fuel: Fuel::steps(200_000),
+        }
+    }
+}
+
+/// One generated workload: a closed, well-typed multi-language program
+/// together with the type the generator claims for it.
+#[derive(Debug, Clone)]
+pub struct Scenario<P, T> {
+    /// The seed the program was generated from.
+    pub seed: u64,
+    /// The generated program.
+    pub program: P,
+    /// The type the generator claims the program has; the engine re-checks
+    /// this claim through [`CaseStudy::typecheck`].
+    pub ty: T,
+}
+
+/// A model-check counterexample in the shared vocabulary all three case
+/// studies' checkers can be projected into.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckFailure {
+    /// The judgment that failed (e.g. `Lemma 3.1 for bool ∼ int`).
+    pub claim: String,
+    /// The offending program or value, rendered.
+    pub witness: String,
+    /// Why the check rejected it.
+    pub reason: String,
+}
+
+impl fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} refuted by {}: {}",
+            self.claim, self.witness, self.reason
+        )
+    }
+}
+
+/// A language pair packaged as one *interface + behaviour* instance, in the
+/// FunTAL "language as interface" sense: everything the generic engine needs
+/// to generate, check, compile, run and model-check workloads for one case
+/// study.
+pub trait CaseStudy {
+    /// Closed multi-language programs of this case study (either host
+    /// language at the top level).
+    type Program: Clone + fmt::Display + Send + 'static;
+    /// Source types of this case study.
+    type Ty: Clone + fmt::Display + PartialEq + Send + 'static;
+    /// The full, case-study-specific result of one run (machine outcome plus
+    /// whatever the pair's machine exposes: heaps, stacks, guard counts).
+    type Report: Send + 'static;
+
+    /// A short stable name (`sharedmem`, `affine`, `memgc`).
+    fn name(&self) -> &'static str;
+
+    /// Deterministically generates a well-typed scenario from `seed`.
+    fn generate(&self, seed: u64, cfg: &ScenarioConfig) -> Scenario<Self::Program, Self::Ty>;
+
+    /// Type checks a program, returning its type.
+    fn typecheck(&self, program: &Self::Program) -> Result<Self::Ty, String>;
+
+    /// Compiles a program to its target language, discarding the output
+    /// (compilation failures are what the engine cares about).
+    fn compile(&self, program: &Self::Program) -> Result<(), String>;
+
+    /// Compiles and runs a program under the given step budget.
+    fn run(&self, program: &Self::Program, fuel: Fuel) -> Result<Self::Report, String>;
+
+    /// Projects a case-study-specific report into the shared statistics
+    /// vocabulary.
+    fn stats(&self, report: &Self::Report) -> RunStats;
+
+    /// Checks the program against the case study's realizability model at
+    /// the claimed type (type safety and, where the model supports it,
+    /// membership in the expression relation).
+    fn model_check(&self, program: &Self::Program, ty: &Self::Ty) -> Result<(), CheckFailure>;
+
+    /// Candidate one-step shrinks of `program`: structurally smaller
+    /// programs (typically immediate subterms) that may reproduce a failure.
+    /// Candidates need not be well-typed; the shrinker filters through
+    /// [`CaseStudy::typecheck`].
+    fn shrink(&self, program: &Self::Program) -> Vec<Self::Program> {
+        let _ = program;
+        Vec::new()
+    }
+
+    /// The number of syntactic language boundaries in `program`, used for
+    /// the boundary-crossing aggregate statistics.
+    ///
+    /// All three case studies render boundaries as `⦇e⦈τ`, so the default
+    /// counts the opening half-brackets in the rendered program.
+    fn boundary_count(&self, program: &Self::Program) -> usize {
+        program.to_string().matches('⦇').count()
+    }
+
+    /// Checks Lemma 3.1 (convertibility soundness) over the case study's
+    /// registered rule catalogue, independent of any generated program.
+    /// Cases without an executable conversion checker return `Ok(())`.
+    fn check_conversions(&self) -> Result<(), CheckFailure> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_bounded() {
+        let cfg = ScenarioConfig::default();
+        assert!(cfg.fuel.remaining().is_some());
+        assert!(cfg.boundary_bias <= 100);
+    }
+
+    #[test]
+    fn check_failure_displays_all_parts() {
+        let f = CheckFailure {
+            claim: "bool ∼ int".into(),
+            witness: "true".into(),
+            reason: "output not in E⟦int⟧".into(),
+        };
+        let s = f.to_string();
+        assert!(s.contains("bool ∼ int") && s.contains("true") && s.contains("E⟦int⟧"));
+    }
+}

@@ -34,7 +34,10 @@ impl<G> ConversionPair<G> {
 
     /// Swaps the two directions (useful when looking a rule up "backwards").
     pub fn flipped(self) -> ConversionPair<G> {
-        ConversionPair { a_to_b: self.b_to_a, b_to_a: self.a_to_b }
+        ConversionPair {
+            a_to_b: self.b_to_a,
+            b_to_a: self.a_to_b,
+        }
     }
 }
 
@@ -66,7 +69,9 @@ where
 {
     /// Creates an empty registry (no types are convertible).
     pub fn new() -> Self {
-        ConvertibilityRegistry { rules: HashMap::new() }
+        ConvertibilityRegistry {
+            rules: HashMap::new(),
+        }
     }
 
     /// Declares `a ∼ b`, witnessed by `glue`.
@@ -145,7 +150,10 @@ mod tests {
         assert_eq!(reg.len(), 2);
         assert!(reg.convertible(&"bool", &"int"));
         assert_eq!(reg.conversion(&"sum", &"array").unwrap().a_to_b, "tagenc");
-        assert!(!reg.convertible(&"int", &"bool"), "registry is directional on the pair key");
+        assert!(
+            !reg.convertible(&"int", &"bool"),
+            "registry is directional on the pair key"
+        );
     }
 
     #[test]
@@ -154,7 +162,10 @@ mod tests {
         assert!(reg.register("a", "b", ConversionPair::new(1, 2)).is_none());
         let old = reg.register("a", "b", ConversionPair::new(3, 4)).unwrap();
         assert_eq!(old, ConversionPair::new(1, 2));
-        assert_eq!(reg.conversion(&"a", &"b").unwrap(), &ConversionPair::new(3, 4));
+        assert_eq!(
+            reg.conversion(&"a", &"b").unwrap(),
+            &ConversionPair::new(3, 4)
+        );
     }
 
     #[test]
@@ -165,7 +176,10 @@ mod tests {
 
     #[test]
     fn not_convertible_displays_both_types() {
-        let e = NotConvertible { ty_a: "bool", ty_b: "array" };
+        let e = NotConvertible {
+            ty_a: "bool",
+            ty_b: "array",
+        };
         assert_eq!(e.to_string(), "no convertibility rule bool ∼ array");
     }
 }

@@ -38,17 +38,21 @@
 #![warn(missing_docs)]
 
 pub mod boundary;
+pub mod case;
 pub mod convert;
 pub mod fresh;
 pub mod fuel;
 pub mod outcome;
+pub mod stats;
 pub mod symbol;
 pub mod world;
 
 pub use boundary::BoundaryDirection;
+pub use case::{CaseStudy, CheckFailure, Scenario, ScenarioConfig};
 pub use convert::{ConversionPair, ConvertibilityRegistry};
 pub use fresh::FreshGen;
 pub use fuel::Fuel;
 pub use outcome::{ErrorCode, Outcome};
+pub use stats::{CaseReport, OutcomeClass, RunStats, ScenarioRecord, SweepReport};
 pub use symbol::Var;
 pub use world::StepIndex;

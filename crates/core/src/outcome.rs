@@ -145,7 +145,10 @@ mod tests {
             Outcome::<i32>::Fail(ErrorCode::Idx).map(|x| x * 10),
             Outcome::Fail(ErrorCode::Idx)
         );
-        assert_eq!(Outcome::<i32>::OutOfFuel.map(|x| x * 10), Outcome::OutOfFuel);
+        assert_eq!(
+            Outcome::<i32>::OutOfFuel.map(|x| x * 10),
+            Outcome::OutOfFuel
+        );
     }
 
     #[test]

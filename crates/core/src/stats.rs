@@ -1,0 +1,362 @@
+//! Shared run/sweep statistics and report types.
+//!
+//! Every case study's machine reports outcomes in its own shape (StackLang's
+//! [`Outcome`](crate::outcome::Outcome) over stack values, LCVM's `Halt`);
+//! the harness projects them all into [`OutcomeClass`] so sweeps over
+//! different language pairs aggregate into one histogram.  These types live
+//! in `semint-core` (not in the engine crate) so the case-study crates can
+//! produce them without depending on the engine.
+
+use crate::outcome::ErrorCode;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A machine outcome reduced to its safety-relevant class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OutcomeClass {
+    /// Terminated with a value.
+    Value,
+    /// Exhausted the step budget (the step-index escape clause — benign).
+    OutOfFuel,
+    /// Terminated with `fail c`.
+    Fail(ErrorCode),
+    /// Stuck under an augmented semantics (LCVM's phantom-flag mode); never
+    /// safe.
+    Stuck,
+}
+
+impl OutcomeClass {
+    /// True if the class is permitted by semantic type safety.
+    pub fn is_safe(self) -> bool {
+        match self {
+            OutcomeClass::Value | OutcomeClass::OutOfFuel => true,
+            OutcomeClass::Fail(c) => c.is_benign(),
+            OutcomeClass::Stuck => false,
+        }
+    }
+
+    /// A short stable label, used as histogram key.
+    pub fn label(self) -> String {
+        match self {
+            OutcomeClass::Value => "value".into(),
+            OutcomeClass::OutOfFuel => "out-of-fuel".into(),
+            OutcomeClass::Fail(c) => format!("fail-{c}"),
+            OutcomeClass::Stuck => "stuck".into(),
+        }
+    }
+}
+
+impl fmt::Display for OutcomeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// The shared projection of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// How the machine halted.
+    pub outcome: OutcomeClass,
+    /// Machine steps consumed (== fuel consumed; both machines charge one
+    /// fuel unit per step).
+    pub steps: u64,
+}
+
+/// The full record of one swept scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioRecord {
+    /// The scenario seed.
+    pub seed: u64,
+    /// The claimed (and re-checked) source type, rendered.
+    pub ty: String,
+    /// Rendered length of the program — a cheap, stable size proxy.
+    pub program_chars: usize,
+    /// Syntactic language-boundary count of the program.
+    pub boundaries: usize,
+    /// The run projection, if the pipeline reached the run stage.
+    pub stats: Option<RunStats>,
+    /// The stage that failed, if any.
+    pub failure: Option<FailureRecord>,
+}
+
+/// Which pipeline stage rejected a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailStage {
+    /// The generator's claimed type did not re-check.
+    Typecheck,
+    /// Compilation failed.
+    Compile,
+    /// The run halted unsafely (`fail Type`).
+    Run,
+    /// The realizability model rejected the program.
+    ModelCheck,
+}
+
+impl fmt::Display for FailStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FailStage::Typecheck => "typecheck",
+            FailStage::Compile => "compile",
+            FailStage::Run => "run",
+            FailStage::ModelCheck => "model-check",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A failed scenario, with its shrunk counterexample when the engine could
+/// produce one.
+#[derive(Debug, Clone)]
+pub struct FailureRecord {
+    /// The scenario seed.
+    pub seed: u64,
+    /// The stage that failed.
+    pub stage: FailStage,
+    /// Why it failed.
+    pub reason: String,
+    /// The original failing program, rendered.
+    pub witness: String,
+    /// The shrunk failing program, rendered (equals `witness` when no
+    /// smaller failing program was found).
+    pub shrunk: String,
+    /// How many shrinking steps were applied.
+    pub shrink_steps: usize,
+}
+
+impl fmt::Display for FailureRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed {}: {} failure: {}\n  witness: {}\n  shrunk ({} steps): {}",
+            self.seed, self.stage, self.reason, self.witness, self.shrink_steps, self.shrunk
+        )
+    }
+}
+
+/// Aggregate report for one case study over one seed range.
+#[derive(Debug, Clone, Default)]
+pub struct CaseReport {
+    /// Case-study name.
+    pub case: String,
+    /// Number of scenarios swept.
+    pub scenarios: u64,
+    /// Outcome-class histogram over all runs.
+    pub outcome_histogram: BTreeMap<String, u64>,
+    /// Total machine steps (== fuel consumed) across all runs.
+    pub total_steps: u64,
+    /// Total syntactic boundary crossings across all generated programs.
+    pub total_boundaries: u64,
+    /// Total rendered program size (characters) across all scenarios.
+    pub total_program_chars: u64,
+    /// Scenarios that failed some pipeline stage.
+    pub failures: Vec<FailureRecord>,
+}
+
+impl CaseReport {
+    /// An empty report for a named case study.
+    pub fn new(case: impl Into<String>) -> Self {
+        CaseReport {
+            case: case.into(),
+            ..CaseReport::default()
+        }
+    }
+
+    /// Folds one scenario record into the aggregate.
+    pub fn absorb(&mut self, record: &ScenarioRecord) {
+        self.scenarios += 1;
+        self.total_boundaries += record.boundaries as u64;
+        self.total_program_chars += record.program_chars as u64;
+        if let Some(stats) = &record.stats {
+            *self
+                .outcome_histogram
+                .entry(stats.outcome.label())
+                .or_insert(0) += 1;
+            self.total_steps += stats.steps;
+        }
+        if let Some(failure) = &record.failure {
+            self.failures.push(failure.clone());
+        }
+    }
+
+    /// True if no scenario failed any stage.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// A deterministic digest of the aggregate (used by determinism tests
+    /// and by `semint sweep` to print a comparable fingerprint).
+    pub fn digest(&self) -> String {
+        let mut parts: Vec<String> = vec![
+            format!("case={}", self.case),
+            format!("scenarios={}", self.scenarios),
+            format!("steps={}", self.total_steps),
+            format!("boundaries={}", self.total_boundaries),
+            format!("chars={}", self.total_program_chars),
+            format!("failures={}", self.failures.len()),
+        ];
+        for (label, count) in &self.outcome_histogram {
+            parts.push(format!("{label}={count}"));
+        }
+        parts.join(" ")
+    }
+}
+
+/// A whole-sweep report: one [`CaseReport`] per case study.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// Reports in sweep order.
+    pub cases: Vec<CaseReport>,
+}
+
+impl SweepReport {
+    /// Total scenarios across all cases.
+    pub fn scenarios(&self) -> u64 {
+        self.cases.iter().map(|c| c.scenarios).sum()
+    }
+
+    /// Total failures across all cases.
+    pub fn failure_count(&self) -> usize {
+        self.cases.iter().map(|c| c.failures.len()).sum()
+    }
+
+    /// Serialises the aggregate (not the failure witnesses) to a simple
+    /// line-oriented `key<TAB>value` format that [`SweepReport::from_tsv`]
+    /// reads back; used by `semint sweep --save` / `semint report`.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        for case in &self.cases {
+            out.push_str(&format!("case\t{}\n", case.case));
+            out.push_str(&format!("scenarios\t{}\n", case.scenarios));
+            out.push_str(&format!("total_steps\t{}\n", case.total_steps));
+            out.push_str(&format!("total_boundaries\t{}\n", case.total_boundaries));
+            out.push_str(&format!(
+                "total_program_chars\t{}\n",
+                case.total_program_chars
+            ));
+            out.push_str(&format!("failures\t{}\n", case.failures.len()));
+            for (label, count) in &case.outcome_histogram {
+                out.push_str(&format!("outcome\t{label}\t{count}\n"));
+            }
+        }
+        out
+    }
+
+    /// Parses the format produced by [`SweepReport::to_tsv`].
+    ///
+    /// Failure counts are restored as placeholder records (witnesses are not
+    /// serialised), which is enough for `semint report` rendering.
+    pub fn from_tsv(text: &str) -> Result<SweepReport, String> {
+        let mut report = SweepReport::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let mut fields = line.split('\t');
+            let key = fields.next().unwrap_or_default();
+            let value = fields
+                .next()
+                .ok_or_else(|| format!("line {}: missing value", lineno + 1))?;
+            let parse = |v: &str| -> Result<u64, String> {
+                v.parse::<u64>()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))
+            };
+            match key {
+                "case" => report.cases.push(CaseReport::new(value)),
+                _ => {
+                    let case = report
+                        .cases
+                        .last_mut()
+                        .ok_or_else(|| format!("line {}: field before any case", lineno + 1))?;
+                    match key {
+                        "scenarios" => case.scenarios = parse(value)?,
+                        "total_steps" => case.total_steps = parse(value)?,
+                        "total_boundaries" => case.total_boundaries = parse(value)?,
+                        "total_program_chars" => case.total_program_chars = parse(value)?,
+                        "failures" => {
+                            for _ in 0..parse(value)? {
+                                case.failures.push(FailureRecord {
+                                    seed: 0,
+                                    stage: FailStage::ModelCheck,
+                                    reason: "(not serialised)".into(),
+                                    witness: String::new(),
+                                    shrunk: String::new(),
+                                    shrink_steps: 0,
+                                });
+                            }
+                        }
+                        "outcome" => {
+                            let count = fields
+                                .next()
+                                .ok_or_else(|| format!("line {}: missing count", lineno + 1))?;
+                            case.outcome_histogram
+                                .insert(value.to_string(), parse(count)?);
+                        }
+                        other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(seed: u64, outcome: OutcomeClass, steps: u64) -> ScenarioRecord {
+        ScenarioRecord {
+            seed,
+            ty: "bool".into(),
+            program_chars: 10,
+            boundaries: 2,
+            stats: Some(RunStats { outcome, steps }),
+            failure: None,
+        }
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut r = CaseReport::new("sharedmem");
+        r.absorb(&record(0, OutcomeClass::Value, 5));
+        r.absorb(&record(1, OutcomeClass::Fail(ErrorCode::Conv), 7));
+        assert_eq!(r.scenarios, 2);
+        assert_eq!(r.total_steps, 12);
+        assert_eq!(r.total_boundaries, 4);
+        assert_eq!(r.outcome_histogram.get("value"), Some(&1));
+        assert_eq!(r.outcome_histogram.get("fail-Conv"), Some(&1));
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn safety_classes() {
+        assert!(OutcomeClass::Value.is_safe());
+        assert!(OutcomeClass::OutOfFuel.is_safe());
+        assert!(OutcomeClass::Fail(ErrorCode::Conv).is_safe());
+        assert!(!OutcomeClass::Fail(ErrorCode::Type).is_safe());
+    }
+
+    #[test]
+    fn tsv_round_trip() {
+        let mut case = CaseReport::new("affine");
+        case.absorb(&record(3, OutcomeClass::Value, 11));
+        let report = SweepReport { cases: vec![case] };
+        let parsed = SweepReport::from_tsv(&report.to_tsv()).unwrap();
+        assert_eq!(parsed.cases.len(), 1);
+        assert_eq!(parsed.cases[0].case, "affine");
+        assert_eq!(parsed.cases[0].scenarios, 1);
+        assert_eq!(parsed.cases[0].total_steps, 11);
+        assert_eq!(parsed.cases[0].outcome_histogram.get("value"), Some(&1));
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_informative() {
+        let mut a = CaseReport::new("memgc");
+        a.absorb(&record(0, OutcomeClass::Value, 3));
+        let mut b = CaseReport::new("memgc");
+        b.absorb(&record(0, OutcomeClass::Value, 3));
+        assert_eq!(a.digest(), b.digest());
+        assert!(a.digest().contains("case=memgc"));
+    }
+}

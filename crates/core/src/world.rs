@@ -121,7 +121,10 @@ mod tests {
 
     #[test]
     fn trivial_world_satisfies_laws() {
-        check_world_laws(&TrivialWorld { k: StepIndex::new(10) }).unwrap();
+        check_world_laws(&TrivialWorld {
+            k: StepIndex::new(10),
+        })
+        .unwrap();
     }
 
     #[test]

@@ -1,0 +1,289 @@
+//! The `semint` command-line interface.
+//!
+//! One entry point over all three case studies:
+//!
+//! ```text
+//! semint run   --case sharedmem --seed 42        # one scenario, verbose
+//! semint check --case all --seeds 0..50          # model-check a seed range
+//! semint sweep --seeds 0..200 --jobs 4           # parallel sweep, aggregate report
+//! semint sweep --seeds 0..50 --broken            # sabotaged conversions → shrunk counterexamples
+//! semint report sweep.tsv                        # re-render a saved report
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace is offline; no clap).
+
+use semint_core::case::{CaseStudy, ScenarioConfig};
+use semint_core::stats::SweepReport;
+use semint_core::Fuel;
+use semint_harness::cases::AnyCase;
+use semint_harness::engine::{run_generated, sweep_all, SweepConfig, MAX_SEEDS_PER_SWEEP};
+use semint_harness::report::render_sweep;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+semint — unified scenario engine for the PLDI 2022 interoperability case studies
+
+USAGE:
+    semint run   [--case NAME] --seed N [options]     run one scenario, verbosely
+    semint check [--case NAME] [--seeds A..B] [options]
+                                                      Lemma 3.1 catalogue + model-check a seed range
+    semint sweep [--case NAME] [--seeds A..B] [--jobs J] [--save PATH] [options]
+                                                      parallel sweep with aggregate statistics
+    semint report [PATH]                              render a report saved by `sweep --save`
+    semint help                                       this text
+
+OPTIONS:
+    --case NAME      sharedmem | affine | memgc | all        (default: all)
+    --seeds A..B     half-open seed range                    (default: 0..100)
+    --seed N         single seed (run only)
+    --jobs J         worker threads                          (default: 4)
+    --depth D        max generated-program depth             (default: 4)
+    --boundary-bias P  boundary probability 0-100            (default: 35)
+    --fuel N         step budget per run                     (default: 200000)
+    --no-model-check skip the realizability-model stage (sweep only)
+    --broken         sabotage a conversion rule per case study; failing
+                     scenarios are reported with shrunk counterexamples
+
+EXIT STATUS: 0 on success, 1 if any scenario or conversion check failed, 2 on usage errors.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(rest),
+        "check" => cmd_check(rest),
+        "sweep" => cmd_sweep(rest),
+        "report" => cmd_report(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`; try `semint help`")),
+    };
+    match result {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Options shared by the scenario-driven subcommands.
+struct Options {
+    case: String,
+    seed_start: u64,
+    seed_end: u64,
+    seed: Option<u64>,
+    jobs: usize,
+    scenario: ScenarioConfig,
+    model_check: bool,
+    broken: bool,
+    save: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            case: "all".into(),
+            seed_start: 0,
+            seed_end: 100,
+            seed: None,
+            jobs: 4,
+            scenario: ScenarioConfig::default(),
+            model_check: true,
+            broken: false,
+            save: None,
+        }
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .map(|s| s.as_str())
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--case" => opts.case = value("--case")?.to_string(),
+            "--seeds" => {
+                let spec = value("--seeds")?;
+                let (a, b) = spec
+                    .split_once("..")
+                    .ok_or_else(|| format!("--seeds expects A..B, got `{spec}`"))?;
+                opts.seed_start = a.parse().map_err(|e| format!("--seeds start: {e}"))?;
+                opts.seed_end = b.parse().map_err(|e| format!("--seeds end: {e}"))?;
+                if opts.seed_end <= opts.seed_start {
+                    return Err(format!("--seeds range `{spec}` is empty"));
+                }
+                if opts.seed_end - opts.seed_start > MAX_SEEDS_PER_SWEEP {
+                    return Err(format!(
+                        "--seeds range `{spec}` has more than {MAX_SEEDS_PER_SWEEP} seeds"
+                    ));
+                }
+            }
+            "--seed" => {
+                opts.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
+            }
+            "--jobs" => {
+                opts.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+                if opts.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--depth" => {
+                opts.scenario.max_depth = value("--depth")?
+                    .parse()
+                    .map_err(|e| format!("--depth: {e}"))?
+            }
+            "--boundary-bias" => {
+                opts.scenario.boundary_bias = value("--boundary-bias")?
+                    .parse()
+                    .map_err(|e| format!("--boundary-bias: {e}"))?;
+                if opts.scenario.boundary_bias > 100 {
+                    return Err("--boundary-bias must be 0-100".into());
+                }
+            }
+            "--fuel" => {
+                let steps: u64 = value("--fuel")?
+                    .parse()
+                    .map_err(|e| format!("--fuel: {e}"))?;
+                opts.scenario.fuel = Fuel::steps(steps);
+            }
+            "--no-model-check" => opts.model_check = false,
+            "--broken" => opts.broken = true,
+            "--save" => opts.save = Some(value("--save")?.to_string()),
+            other => return Err(format!("unknown option `{other}`; try `semint help`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn selected_cases(opts: &Options) -> Result<Vec<AnyCase>, String> {
+    if opts.case == "all" {
+        Ok(AnyCase::all(opts.broken))
+    } else {
+        AnyCase::by_name(&opts.case, opts.broken)
+            .map(|c| vec![c])
+            .ok_or_else(|| {
+                format!(
+                    "unknown case study `{}` (sharedmem | affine | memgc | all)",
+                    opts.case
+                )
+            })
+    }
+}
+
+fn sweep_config(opts: &Options) -> SweepConfig {
+    SweepConfig {
+        seed_start: opts.seed_start,
+        seed_end: opts.seed_end,
+        jobs: opts.jobs,
+        scenario: opts.scenario,
+        model_check: opts.model_check,
+    }
+}
+
+/// `semint run`: one scenario, spelled out.
+fn cmd_run(args: &[String]) -> Result<bool, String> {
+    let opts = parse_options(args)?;
+    let seed = opts.seed.ok_or("`semint run` needs --seed N")?;
+    let cases = selected_cases(&opts)?;
+    let cfg = sweep_config(&opts);
+    let mut clean = true;
+    for case in &cases {
+        let scenario = case.generate(seed, &opts.scenario);
+        println!("case {}", case.name());
+        println!("  seed    {seed}");
+        println!("  type    {}", scenario.ty);
+        println!("  program {}", scenario.program);
+        let record = run_generated(case, &scenario, &cfg);
+        if let Some(stats) = &record.stats {
+            println!("  outcome {} after {} steps", stats.outcome, stats.steps);
+        }
+        println!("  boundaries {}", record.boundaries);
+        match &record.failure {
+            None => println!("  verdict OK"),
+            Some(failure) => {
+                clean = false;
+                println!("  verdict FAILED [{}] {}", failure.stage, failure.reason);
+                println!(
+                    "  shrunk counterexample ({} steps): {}",
+                    failure.shrink_steps, failure.shrunk
+                );
+            }
+        }
+    }
+    Ok(clean)
+}
+
+/// `semint check`: the conversion catalogue (Lemma 3.1) plus a model-checked
+/// seed range.
+fn cmd_check(args: &[String]) -> Result<bool, String> {
+    let opts = parse_options(args)?;
+    let cases = selected_cases(&opts)?;
+    let mut cfg = sweep_config(&opts);
+    cfg.model_check = true;
+    let mut clean = true;
+    for case in &cases {
+        match case.check_conversions() {
+            Ok(()) => println!("case {}: conversion catalogue OK", case.name()),
+            Err(failure) => {
+                clean = false;
+                println!("case {}: conversion catalogue FAILED", case.name());
+                println!("  {failure}");
+            }
+        }
+    }
+    let report = sweep_all(&cases, &cfg);
+    print!("{}", render_sweep(&report));
+    Ok(clean && report.failure_count() == 0)
+}
+
+/// `semint sweep`: the parallel batch run.
+fn cmd_sweep(args: &[String]) -> Result<bool, String> {
+    let opts = parse_options(args)?;
+    let cases = selected_cases(&opts)?;
+    let cfg = sweep_config(&opts);
+    let report = sweep_all(&cases, &cfg);
+    print!("{}", render_sweep(&report));
+    for case in &report.cases {
+        println!("digest: {}", case.digest());
+    }
+    if let Some(path) = &opts.save {
+        std::fs::write(path, report.to_tsv()).map_err(|e| format!("saving {path}: {e}"))?;
+        println!("saved: {path}");
+    }
+    Ok(report.failure_count() == 0)
+}
+
+/// `semint report`: render a saved sweep.
+fn cmd_report(args: &[String]) -> Result<bool, String> {
+    let path = match args {
+        [] => return Err("`semint report` needs a PATH saved by `semint sweep --save`".into()),
+        [path] => path,
+        _ => return Err("`semint report` takes exactly one PATH".into()),
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let report = SweepReport::from_tsv(&text)?;
+    print!("{}", render_sweep(&report));
+    Ok(report.failure_count() == 0)
+}

@@ -1,0 +1,294 @@
+//! The [`AnyCase`] dispatcher: all three case studies behind one task type.
+//!
+//! The engine's pool is generic over one `CaseStudy`; to interleave tasks
+//! from *different* case studies in a single sweep, their `Program`/`Ty`/
+//! `Report` types are erased into enums here.  Each method dispatches on the
+//! (case, program) pair; handing a program to the wrong case study is a
+//! driver bug and reported as such rather than silently ignored.
+
+use affine_interop::harness::{AffProgram, AffSourceType, AffineCase};
+use memgc_interop::harness::{MemGcCase, MgProgram, MgSourceType};
+use semint_core::case::{CaseStudy, CheckFailure, Scenario, ScenarioConfig};
+use semint_core::stats::RunStats;
+use semint_core::Fuel;
+use sharedmem::harness::{SharedMemCase, SmProgram};
+use sharedmem::multilang::SourceType;
+use std::fmt;
+
+/// A program of any case study.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnyProgram {
+    /// Case study 1.
+    SharedMem(SmProgram),
+    /// Case study 2.
+    Affine(AffProgram),
+    /// Case study 3.
+    MemGc(MgProgram),
+}
+
+impl fmt::Display for AnyProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnyProgram::SharedMem(p) => write!(f, "{p}"),
+            AnyProgram::Affine(p) => write!(f, "{p}"),
+            AnyProgram::MemGc(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// A source type of any case study.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnyTy {
+    /// Case study 1.
+    SharedMem(SourceType),
+    /// Case study 2.
+    Affine(AffSourceType),
+    /// Case study 3.
+    MemGc(MgSourceType),
+}
+
+impl fmt::Display for AnyTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnyTy::SharedMem(t) => write!(f, "{t}"),
+            AnyTy::Affine(t) => write!(f, "{t}"),
+            AnyTy::MemGc(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+/// A run report of any case study.
+#[derive(Debug, Clone)]
+pub enum AnyReport {
+    /// StackLang results (case study 1).
+    StackLang(stacklang::RunResult),
+    /// LCVM results (case studies 2–3).
+    Lcvm(lcvm::RunResult),
+}
+
+/// One of the three case studies, selected at runtime.
+#[derive(Debug, Clone)]
+pub enum AnyCase {
+    /// Case study 1: shared-memory interoperability.
+    SharedMem(SharedMemCase),
+    /// Case study 2: affine ⊸ unrestricted.
+    Affine(AffineCase),
+    /// Case study 3: memory management & polymorphism.
+    MemGc(MemGcCase),
+}
+
+impl AnyCase {
+    /// All three case studies, optionally with their deliberately broken
+    /// variants (used to demonstrate counterexample reporting).
+    pub fn all(broken: bool) -> Vec<AnyCase> {
+        vec![
+            AnyCase::SharedMem(if broken {
+                SharedMemCase::broken()
+            } else {
+                SharedMemCase::standard()
+            }),
+            AnyCase::Affine(if broken {
+                AffineCase::broken()
+            } else {
+                AffineCase::standard()
+            }),
+            AnyCase::MemGc(if broken {
+                MemGcCase::broken()
+            } else {
+                MemGcCase::standard()
+            }),
+        ]
+    }
+
+    /// Looks a case study up by name (`sharedmem`, `affine`, `memgc`).
+    pub fn by_name(name: &str, broken: bool) -> Option<AnyCase> {
+        match name {
+            "sharedmem" => Some(AnyCase::SharedMem(if broken {
+                SharedMemCase::broken()
+            } else {
+                SharedMemCase::standard()
+            })),
+            "affine" => Some(AnyCase::Affine(if broken {
+                AffineCase::broken()
+            } else {
+                AffineCase::standard()
+            })),
+            "memgc" => Some(AnyCase::MemGc(if broken {
+                MemGcCase::broken()
+            } else {
+                MemGcCase::standard()
+            })),
+            _ => None,
+        }
+    }
+}
+
+/// The error used when a program is handed to the wrong case study.
+fn mismatch<T>(case: &AnyCase) -> Result<T, String> {
+    Err(format!(
+        "program does not belong to case study `{}`",
+        case.name()
+    ))
+}
+
+impl CaseStudy for AnyCase {
+    type Program = AnyProgram;
+    type Ty = AnyTy;
+    type Report = AnyReport;
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnyCase::SharedMem(c) => c.name(),
+            AnyCase::Affine(c) => c.name(),
+            AnyCase::MemGc(c) => c.name(),
+        }
+    }
+
+    fn generate(&self, seed: u64, cfg: &ScenarioConfig) -> Scenario<AnyProgram, AnyTy> {
+        match self {
+            AnyCase::SharedMem(c) => {
+                let s = c.generate(seed, cfg);
+                Scenario {
+                    seed,
+                    program: AnyProgram::SharedMem(s.program),
+                    ty: AnyTy::SharedMem(s.ty),
+                }
+            }
+            AnyCase::Affine(c) => {
+                let s = c.generate(seed, cfg);
+                Scenario {
+                    seed,
+                    program: AnyProgram::Affine(s.program),
+                    ty: AnyTy::Affine(s.ty),
+                }
+            }
+            AnyCase::MemGc(c) => {
+                let s = c.generate(seed, cfg);
+                Scenario {
+                    seed,
+                    program: AnyProgram::MemGc(s.program),
+                    ty: AnyTy::MemGc(s.ty),
+                }
+            }
+        }
+    }
+
+    fn typecheck(&self, program: &AnyProgram) -> Result<AnyTy, String> {
+        match (self, program) {
+            (AnyCase::SharedMem(c), AnyProgram::SharedMem(p)) => {
+                c.typecheck(p).map(AnyTy::SharedMem)
+            }
+            (AnyCase::Affine(c), AnyProgram::Affine(p)) => c.typecheck(p).map(AnyTy::Affine),
+            (AnyCase::MemGc(c), AnyProgram::MemGc(p)) => c.typecheck(p).map(AnyTy::MemGc),
+            _ => mismatch(self),
+        }
+    }
+
+    fn compile(&self, program: &AnyProgram) -> Result<(), String> {
+        match (self, program) {
+            (AnyCase::SharedMem(c), AnyProgram::SharedMem(p)) => c.compile(p),
+            (AnyCase::Affine(c), AnyProgram::Affine(p)) => c.compile(p),
+            (AnyCase::MemGc(c), AnyProgram::MemGc(p)) => c.compile(p),
+            _ => mismatch(self),
+        }
+    }
+
+    fn run(&self, program: &AnyProgram, fuel: Fuel) -> Result<AnyReport, String> {
+        match (self, program) {
+            (AnyCase::SharedMem(c), AnyProgram::SharedMem(p)) => {
+                c.run(p, fuel).map(AnyReport::StackLang)
+            }
+            (AnyCase::Affine(c), AnyProgram::Affine(p)) => c.run(p, fuel).map(AnyReport::Lcvm),
+            (AnyCase::MemGc(c), AnyProgram::MemGc(p)) => c.run(p, fuel).map(AnyReport::Lcvm),
+            _ => mismatch(self),
+        }
+    }
+
+    fn stats(&self, report: &AnyReport) -> RunStats {
+        match (self, report) {
+            (AnyCase::SharedMem(c), AnyReport::StackLang(r)) => c.stats(r),
+            (AnyCase::Affine(c), AnyReport::Lcvm(r)) => c.stats(r),
+            (AnyCase::MemGc(c), AnyReport::Lcvm(r)) => c.stats(r),
+            // A mismatched report cannot be produced through this trait; the
+            // engine always pairs a case's own report with its stats call.
+            _ => unreachable!("report does not belong to case study `{}`", self.name()),
+        }
+    }
+
+    fn model_check(&self, program: &AnyProgram, ty: &AnyTy) -> Result<(), CheckFailure> {
+        let bug = |case: &AnyCase| CheckFailure {
+            claim: "driver invariant".into(),
+            witness: program.to_string(),
+            reason: format!("program does not belong to case study `{}`", case.name()),
+        };
+        match (self, program, ty) {
+            (AnyCase::SharedMem(c), AnyProgram::SharedMem(p), AnyTy::SharedMem(t)) => {
+                c.model_check(p, t)
+            }
+            (AnyCase::Affine(c), AnyProgram::Affine(p), AnyTy::Affine(t)) => c.model_check(p, t),
+            (AnyCase::MemGc(c), AnyProgram::MemGc(p), AnyTy::MemGc(t)) => c.model_check(p, t),
+            _ => Err(bug(self)),
+        }
+    }
+
+    fn shrink(&self, program: &AnyProgram) -> Vec<AnyProgram> {
+        match (self, program) {
+            (AnyCase::SharedMem(c), AnyProgram::SharedMem(p)) => {
+                c.shrink(p).into_iter().map(AnyProgram::SharedMem).collect()
+            }
+            (AnyCase::Affine(c), AnyProgram::Affine(p)) => {
+                c.shrink(p).into_iter().map(AnyProgram::Affine).collect()
+            }
+            (AnyCase::MemGc(c), AnyProgram::MemGc(p)) => {
+                c.shrink(p).into_iter().map(AnyProgram::MemGc).collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    // boundary_count: the trait default (count `⦇` in the rendering) is
+    // exactly right for all three syntaxes.
+
+    fn check_conversions(&self) -> Result<(), CheckFailure> {
+        match self {
+            AnyCase::SharedMem(c) => c.check_conversions(),
+            AnyCase::Affine(c) => c.check_conversions(),
+            AnyCase::MemGc(c) => c.check_conversions(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_name_round_trips() {
+        for name in ["sharedmem", "affine", "memgc"] {
+            let case = AnyCase::by_name(name, false).expect("known name");
+            assert_eq!(case.name(), name);
+        }
+        assert!(AnyCase::by_name("unknown", false).is_none());
+    }
+
+    #[test]
+    fn generated_any_scenarios_typecheck() {
+        let cfg = ScenarioConfig::default();
+        for case in AnyCase::all(false) {
+            for seed in 0..10 {
+                let scen = case.generate(seed, &cfg);
+                let checked = case.typecheck(&scen.program).expect("well-typed");
+                assert_eq!(checked, scen.ty, "{} seed {seed}", case.name());
+            }
+        }
+    }
+
+    #[test]
+    fn cross_case_programs_are_rejected() {
+        let sm = AnyCase::by_name("sharedmem", false).unwrap();
+        let affine = AnyCase::by_name("affine", false).unwrap();
+        let scen = affine.generate(0, &ScenarioConfig::default());
+        assert!(sm.typecheck(&scen.program).is_err());
+        assert!(sm.model_check(&scen.program, &scen.ty).is_err());
+    }
+}

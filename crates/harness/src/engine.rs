@@ -1,0 +1,295 @@
+//! The parallel batch runner.
+//!
+//! A sweep turns a seed range into one task per (case study, seed) pair and
+//! drains the tasks through a **work-stealing pool**: every worker owns a
+//! deque, pops from its own front, and steals from the backs of the others
+//! when it runs dry.  Scheduling never influences results — each task's
+//! generator is seeded purely by its sweep seed, and records are re-ordered
+//! by task index before aggregation — so a sweep is deterministic for any
+//! `--jobs` value, which the integration suite asserts.
+
+use crate::shrink::shrink_failure;
+use semint_core::case::{CaseStudy, ScenarioConfig};
+use semint_core::stats::{CaseReport, FailStage, FailureRecord, ScenarioRecord, SweepReport};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Configuration for one sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// First seed (inclusive).
+    pub seed_start: u64,
+    /// Last seed (exclusive).
+    pub seed_end: u64,
+    /// Worker threads; clamped to the task count and to at least 1.
+    pub jobs: usize,
+    /// Per-scenario generation and fuel knobs.
+    pub scenario: ScenarioConfig,
+    /// Whether to run the realizability-model check on every scenario (the
+    /// expensive stage; `run`-only sweeps skip it).
+    pub model_check: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            seed_start: 0,
+            seed_end: 100,
+            jobs: 4,
+            scenario: ScenarioConfig::default(),
+            model_check: true,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// The number of seeds in the range.
+    pub fn seed_count(&self) -> u64 {
+        self.seed_end.saturating_sub(self.seed_start)
+    }
+}
+
+/// The largest seed range a single sweep accepts.  Tasks are materialised
+/// up front (so the pool can deal them round-robin), and this bound keeps
+/// that allocation trivially small while still far exceeding any practical
+/// sweep.
+pub const MAX_SEEDS_PER_SWEEP: u64 = 10_000_000;
+
+/// Maps `f` over `items` on a work-stealing pool of `jobs` threads,
+/// returning results in input order.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let jobs = jobs.clamp(1, n);
+    // Tasks are dealt round-robin so every worker starts with a share;
+    // stealing rebalances whatever unevenness the workloads create.
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
+    for idx in 0..n {
+        queues[idx % jobs]
+            .lock()
+            .expect("queue poisoned")
+            .push_back(idx);
+    }
+
+    let pop_task = |worker: usize| -> Option<usize> {
+        // Own queue first (front), then steal from the others (back).
+        if let Some(idx) = queues[worker].lock().expect("queue poisoned").pop_front() {
+            return Some(idx);
+        }
+        for offset in 1..queues.len() {
+            let victim = (worker + offset) % queues.len();
+            if let Some(idx) = queues[victim].lock().expect("queue poisoned").pop_back() {
+                return Some(idx);
+            }
+        }
+        None
+    };
+
+    let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|worker| {
+                let f = &f;
+                let pop_task = &pop_task;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    while let Some(idx) = pop_task(worker) {
+                        out.push((idx, f(&items[idx])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    indexed.sort_by_key(|(idx, _)| *idx);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs the full pipeline for one seed of one case study.
+pub fn run_scenario<C: CaseStudy>(case: &C, seed: u64, cfg: &SweepConfig) -> ScenarioRecord {
+    let scenario = case.generate(seed, &cfg.scenario);
+    run_generated(case, &scenario, cfg)
+}
+
+/// Runs the full pipeline on an already-generated scenario (callers that
+/// want to display the program first generate once and reuse it here).
+pub fn run_generated<C: CaseStudy>(
+    case: &C,
+    scenario: &semint_core::case::Scenario<C::Program, C::Ty>,
+    cfg: &SweepConfig,
+) -> ScenarioRecord {
+    let seed = scenario.seed;
+    let rendered = scenario.program.to_string();
+    let mut record = ScenarioRecord {
+        seed,
+        ty: scenario.ty.to_string(),
+        program_chars: rendered.chars().count(),
+        boundaries: case.boundary_count(&scenario.program),
+        stats: None,
+        failure: None,
+    };
+    let plain_failure = |stage: FailStage, reason: String| FailureRecord {
+        seed,
+        stage,
+        reason,
+        witness: rendered.clone(),
+        shrunk: rendered.clone(),
+        shrink_steps: 0,
+    };
+
+    // 1. The generator's type claim must re-check.
+    match case.typecheck(&scenario.program) {
+        Ok(checked) if checked == scenario.ty => {}
+        Ok(checked) => {
+            record.failure = Some(plain_failure(
+                FailStage::Typecheck,
+                format!("claimed {}, checked {}", scenario.ty, checked),
+            ));
+            return record;
+        }
+        Err(err) => {
+            record.failure = Some(plain_failure(FailStage::Typecheck, err));
+            return record;
+        }
+    }
+
+    // 2+3. Compile and run under the budget.  `CaseStudy::run` compiles
+    // internally, so a dedicated compile stage would only repeat the work;
+    // an `Err` here is a compilation failure (runtime outcomes, including
+    // failing ones, come back as a report).
+    match case.run(&scenario.program, cfg.scenario.fuel) {
+        Ok(report) => {
+            let stats = case.stats(&report);
+            record.stats = Some(stats);
+            if !stats.outcome.is_safe() {
+                let (shrunk, steps) = shrink_failure(case, &scenario.program, |p| {
+                    case.typecheck(p).is_ok()
+                        && case
+                            .run(p, cfg.scenario.fuel)
+                            .map(|r| !case.stats(&r).outcome.is_safe())
+                            .unwrap_or(false)
+                });
+                record.failure = Some(FailureRecord {
+                    seed,
+                    stage: FailStage::Run,
+                    reason: format!("unsafe outcome {}", stats.outcome),
+                    witness: rendered.clone(),
+                    shrunk: shrunk.to_string(),
+                    shrink_steps: steps,
+                });
+                return record;
+            }
+        }
+        Err(err) => {
+            record.failure = Some(plain_failure(FailStage::Compile, err));
+            return record;
+        }
+    }
+
+    // 4. Model check, shrinking any counterexample.
+    if cfg.model_check {
+        if let Err(check) = case.model_check(&scenario.program, &scenario.ty) {
+            let (shrunk, steps) = shrink_failure(case, &scenario.program, |p| {
+                case.typecheck(p)
+                    .map(|ty| case.model_check(p, &ty).is_err())
+                    .unwrap_or(false)
+            });
+            record.failure = Some(FailureRecord {
+                seed,
+                stage: FailStage::ModelCheck,
+                reason: check.to_string(),
+                witness: rendered,
+                shrunk: shrunk.to_string(),
+                shrink_steps: steps,
+            });
+        }
+    }
+    record
+}
+
+fn check_range(cfg: &SweepConfig) {
+    assert!(
+        cfg.seed_count() <= MAX_SEEDS_PER_SWEEP,
+        "seed range {}..{} exceeds MAX_SEEDS_PER_SWEEP ({MAX_SEEDS_PER_SWEEP})",
+        cfg.seed_start,
+        cfg.seed_end,
+    );
+}
+
+/// Sweeps one case study over the configured seed range.
+pub fn sweep_case<C: CaseStudy + Sync>(case: &C, cfg: &SweepConfig) -> CaseReport {
+    check_range(cfg);
+    let seeds: Vec<u64> = (cfg.seed_start..cfg.seed_end).collect();
+    let records = parallel_map(&seeds, cfg.jobs, |&seed| run_scenario(case, seed, cfg));
+    let mut report = CaseReport::new(case.name());
+    for record in &records {
+        report.absorb(record);
+    }
+    report
+}
+
+/// Sweeps several case studies through **one shared pool**: all (case, seed)
+/// tasks are interleaved, so the three case studies genuinely run in
+/// parallel rather than back to back.
+pub fn sweep_all<C: CaseStudy + Sync>(cases: &[C], cfg: &SweepConfig) -> SweepReport {
+    check_range(cfg);
+    let tasks: Vec<(usize, u64)> = cases
+        .iter()
+        .enumerate()
+        .flat_map(|(idx, _)| (cfg.seed_start..cfg.seed_end).map(move |seed| (idx, seed)))
+        .collect();
+    let records = parallel_map(&tasks, cfg.jobs, |&(idx, seed)| {
+        (idx, run_scenario(&cases[idx], seed, cfg))
+    });
+    let mut reports: Vec<CaseReport> = cases
+        .iter()
+        .map(|case| CaseReport::new(case.name()))
+        .collect();
+    for (idx, record) in &records {
+        reports[*idx].absorb(record);
+    }
+    SweepReport { cases: reports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..250).collect();
+        let doubled = parallel_map(&items, 7, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_runs_every_task_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..503).collect();
+        let out = parallel_map(&items, 4, |_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(out.len(), 503);
+        assert_eq!(counter.load(Ordering::SeqCst), 503);
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_oversized_jobs() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map(&empty, 8, |&x| x).is_empty());
+        let one = vec![9u64];
+        assert_eq!(parallel_map(&one, 64, |&x| x + 1), vec![10]);
+    }
+}

@@ -1,0 +1,48 @@
+//! # semint-harness
+//!
+//! The unified scenario engine over all three case studies.
+//!
+//! The paper instantiates its framework once per language pair; the
+//! reproduction's case-study crates each expose the same pipeline shape
+//! (generate → typecheck → compile → run → model-check) through the
+//! [`CaseStudy`] trait in `semint-core`.  This crate supplies everything
+//! generic on top of that trait:
+//!
+//! * [`engine`] — a parallel batch runner with deterministic per-task seed
+//!   splitting and a work-stealing thread pool (std threads + mutex deques,
+//!   no external dependencies), producing the shared
+//!   [`CaseReport`](semint_core::stats::CaseReport) aggregates;
+//! * [`shrink`] — greedy structural counterexample shrinking for scenarios
+//!   that fail type safety or model checking;
+//! * [`cases`] — the [`cases::AnyCase`] dispatcher that erases the three
+//!   case studies into one task type so a single pool can interleave all of
+//!   them;
+//! * [`report`] — plain-text rendering of sweep reports for the `semint`
+//!   CLI binary shipped by this crate (`run`, `check`, `sweep`, `report`
+//!   subcommands).
+//!
+//! ## Example
+//!
+//! ```
+//! use semint_harness::cases::AnyCase;
+//! use semint_harness::engine::{sweep_all, SweepConfig};
+//!
+//! let cases = AnyCase::all(false);
+//! let cfg = SweepConfig { seed_start: 0, seed_end: 16, jobs: 2, ..SweepConfig::default() };
+//! let report = sweep_all(&cases, &cfg);
+//! assert_eq!(report.scenarios(), 48); // 16 seeds × 3 case studies
+//! assert_eq!(report.failure_count(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cases;
+pub mod engine;
+pub mod report;
+pub mod shrink;
+
+pub use cases::AnyCase;
+pub use engine::{sweep_all, sweep_case, SweepConfig};
+pub use semint_core::case::{CaseStudy, CheckFailure, Scenario, ScenarioConfig};
+pub use semint_core::stats::{CaseReport, SweepReport};

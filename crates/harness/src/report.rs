@@ -1,0 +1,101 @@
+//! Plain-text rendering of sweep reports for the `semint` CLI.
+
+use semint_core::stats::{CaseReport, SweepReport};
+
+/// Renders one case report as an aligned block.
+pub fn render_case(report: &CaseReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("case {}\n", report.case));
+    out.push_str(&format!("  scenarios        {:>10}\n", report.scenarios));
+    out.push_str(&format!("  total steps      {:>10}\n", report.total_steps));
+    out.push_str(&format!(
+        "  boundaries       {:>10}\n",
+        report.total_boundaries
+    ));
+    let avg_chars = report
+        .total_program_chars
+        .checked_div(report.scenarios)
+        .unwrap_or(0);
+    out.push_str(&format!("  avg program size {:>10} chars\n", avg_chars));
+    out.push_str("  outcomes\n");
+    if report.outcome_histogram.is_empty() {
+        out.push_str("    (none)\n");
+    }
+    for (label, count) in &report.outcome_histogram {
+        out.push_str(&format!("    {label:<14} {count:>8}\n"));
+    }
+    out.push_str(&format!(
+        "  failures         {:>10}\n",
+        report.failures.len()
+    ));
+    for failure in &report.failures {
+        out.push_str(&format!(
+            "    seed {:>6} [{}] {}\n      witness: {}\n      shrunk ({} steps): {}\n",
+            failure.seed,
+            failure.stage,
+            failure.reason,
+            truncate(&failure.witness, 120),
+            failure.shrink_steps,
+            truncate(&failure.shrunk, 120),
+        ));
+    }
+    out
+}
+
+/// Renders a whole sweep report.
+pub fn render_sweep(report: &SweepReport) -> String {
+    let mut out = String::new();
+    for case in &report.cases {
+        out.push_str(&render_case(case));
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "total: {} scenarios, {} failures\n",
+        report.scenarios(),
+        report.failure_count()
+    ));
+    out
+}
+
+fn truncate(s: &str, max_chars: usize) -> String {
+    if s.chars().count() <= max_chars {
+        s.to_string()
+    } else {
+        let prefix: String = s.chars().take(max_chars).collect();
+        format!("{prefix}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semint_core::stats::{FailStage, FailureRecord};
+
+    #[test]
+    fn render_includes_failures_and_totals() {
+        let mut case = CaseReport::new("sharedmem");
+        case.scenarios = 2;
+        case.failures.push(FailureRecord {
+            seed: 7,
+            stage: FailStage::ModelCheck,
+            reason: "not in E⟦bool⟧".into(),
+            witness: "if true then false else true".into(),
+            shrunk: "true".into(),
+            shrink_steps: 3,
+        });
+        let text = render_sweep(&SweepReport { cases: vec![case] });
+        assert!(text.contains("case sharedmem"));
+        assert!(text.contains("seed      7"));
+        assert!(text.contains("shrunk (3 steps): true"));
+        assert!(text.contains("total: 2 scenarios, 1 failures"));
+    }
+
+    #[test]
+    fn truncate_caps_long_witnesses() {
+        assert_eq!(truncate("short", 10), "short");
+        let long = "x".repeat(200);
+        let t = truncate(&long, 120);
+        assert_eq!(t.chars().count(), 121);
+        assert!(t.ends_with('…'));
+    }
+}

@@ -142,7 +142,10 @@ impl Heap {
 
     /// Reads the value stored at `l`.
     pub fn read(&self, l: Loc) -> Result<&Value, HeapError> {
-        self.slots.get(&l).map(Slot::value).ok_or(HeapError::Dangling(l))
+        self.slots
+            .get(&l)
+            .map(Slot::value)
+            .ok_or(HeapError::Dangling(l))
     }
 
     /// Writes `v` at `l`, preserving its management discipline.
@@ -240,7 +243,12 @@ impl Heap {
         // Manual cells are unconditional roots: the machine cannot see the
         // "owned heap fragments" the §5 model threads through values, so we
         // conservatively keep everything reachable from manual memory.
-        worklist.extend(self.slots.iter().filter(|(_, s)| s.is_manual()).map(|(l, _)| *l));
+        worklist.extend(
+            self.slots
+                .iter()
+                .filter(|(_, s)| s.is_manual())
+                .map(|(l, _)| *l),
+        );
         while let Some(l) = worklist.pop() {
             if !marked.insert(l) {
                 continue;

@@ -180,7 +180,11 @@ impl Machine {
 
     /// True if the machine can take no further step.
     pub fn is_terminal(&self) -> bool {
-        self.halted.is_some() || matches!((&self.control, self.kont.is_empty()), (Control::Return(_), true))
+        self.halted.is_some()
+            || matches!(
+                (&self.control, self.kont.is_empty()),
+                (Control::Return(_), true)
+            )
     }
 
     fn fail(&mut self, code: ErrorCode) {
@@ -198,7 +202,10 @@ impl Machine {
         }
         for frame in &self.kont {
             match frame {
-                Frame::PairL(e, env) | Frame::AppL(e, env) | Frame::AssignL(e, env) | Frame::PrimL(_, e, env) => {
+                Frame::PairL(e, env)
+                | Frame::AppL(e, env)
+                | Frame::AssignL(e, env)
+                | Frame::PrimL(_, e, env) => {
                     env.collect_locs(&mut roots);
                     collect_expr_locs(e, &mut roots);
                 }
@@ -320,7 +327,11 @@ impl Machine {
                 self.control = Control::Eval(*bound, env);
             }
             Expr::Lam(x, body) => {
-                self.control = Control::Return(Value::Closure { param: x, body: Arc::new(*body), env });
+                self.control = Control::Return(Value::Closure {
+                    param: x,
+                    body: Arc::new(*body),
+                    env,
+                });
             }
             Expr::App(f, a) => {
                 self.kont.push(Frame::AppL(*a, env.clone()));
@@ -546,7 +557,14 @@ impl Machine {
     /// Convenience: runs an expression under the augmented (phantom-flag)
     /// semantics with the given protected binders.
     pub fn run_phantom(expr: Expr, cfg: PhantomConfig, fuel: Fuel) -> RunResult {
-        Machine::with_config(expr, MachineConfig { phantom: Some(cfg), pinned: BTreeSet::new() }).run(fuel)
+        Machine::with_config(
+            expr,
+            MachineConfig {
+                phantom: Some(cfg),
+                pinned: BTreeSet::new(),
+            },
+        )
+        .run(fuel)
     }
 }
 
@@ -600,13 +618,31 @@ mod tests {
 
     #[test]
     fn arithmetic_and_booleans() {
-        assert_eq!(run(Expr::add(Expr::int(2), Expr::int(3))), Halt::Value(Value::Int(5)));
-        assert_eq!(run(Expr::sub(Expr::int(2), Expr::int(3))), Halt::Value(Value::Int(-1)));
-        assert_eq!(run(Expr::mul(Expr::int(4), Expr::int(3))), Halt::Value(Value::Int(12)));
+        assert_eq!(
+            run(Expr::add(Expr::int(2), Expr::int(3))),
+            Halt::Value(Value::Int(5))
+        );
+        assert_eq!(
+            run(Expr::sub(Expr::int(2), Expr::int(3))),
+            Halt::Value(Value::Int(-1))
+        );
+        assert_eq!(
+            run(Expr::mul(Expr::int(4), Expr::int(3))),
+            Halt::Value(Value::Int(12))
+        );
         // 0 encodes true.
-        assert_eq!(run(Expr::less(Expr::int(1), Expr::int(2))), Halt::Value(Value::Int(0)));
-        assert_eq!(run(Expr::eq(Expr::int(2), Expr::int(2))), Halt::Value(Value::Int(0)));
-        assert_eq!(run(Expr::eq(Expr::int(2), Expr::int(3))), Halt::Value(Value::Int(1)));
+        assert_eq!(
+            run(Expr::less(Expr::int(1), Expr::int(2))),
+            Halt::Value(Value::Int(0))
+        );
+        assert_eq!(
+            run(Expr::eq(Expr::int(2), Expr::int(2))),
+            Halt::Value(Value::Int(0))
+        );
+        assert_eq!(
+            run(Expr::eq(Expr::int(2), Expr::int(3))),
+            Halt::Value(Value::Int(1))
+        );
     }
 
     #[test]
@@ -619,7 +655,10 @@ mod tests {
             run(Expr::if_(Expr::int(5), Expr::int(10), Expr::int(20))),
             Halt::Value(Value::Int(20))
         );
-        assert_eq!(run(Expr::if_(Expr::unit(), Expr::int(1), Expr::int(2))), Halt::Fail(ErrorCode::Type));
+        assert_eq!(
+            run(Expr::if_(Expr::unit(), Expr::int(1), Expr::int(2))),
+            Halt::Fail(ErrorCode::Type)
+        );
     }
 
     #[test]
@@ -628,7 +667,10 @@ mod tests {
         let e = Expr::let_(
             "y",
             Expr::int(10),
-            Expr::app(Expr::lam("x", Expr::add(Expr::var("x"), Expr::var("y"))), Expr::int(5)),
+            Expr::app(
+                Expr::lam("x", Expr::add(Expr::var("x"), Expr::var("y"))),
+                Expr::int(5),
+            ),
         );
         assert_eq!(run(e), Halt::Value(Value::Int(15)));
     }
@@ -649,11 +691,23 @@ mod tests {
         );
         assert_eq!(run(e), Halt::Value(Value::Int(8)));
 
-        let e = Expr::match_(Expr::inr(Expr::int(7)), "x", Expr::int(0), "y", Expr::var("y"));
+        let e = Expr::match_(
+            Expr::inr(Expr::int(7)),
+            "x",
+            Expr::int(0),
+            "y",
+            Expr::var("y"),
+        );
         assert_eq!(run(e), Halt::Value(Value::Int(7)));
 
         assert_eq!(
-            run(Expr::match_(Expr::int(3), "x", Expr::int(0), "y", Expr::int(1))),
+            run(Expr::match_(
+                Expr::int(3),
+                "x",
+                Expr::int(0),
+                "y",
+                Expr::int(1)
+            )),
             Halt::Fail(ErrorCode::Type)
         );
         assert_eq!(run(Expr::fst(Expr::int(3))), Halt::Fail(ErrorCode::Type));
@@ -665,7 +719,10 @@ mod tests {
         let e = Expr::let_(
             "r",
             Expr::ref_(Expr::int(1)),
-            Expr::seq(Expr::assign(Expr::var("r"), Expr::int(42)), Expr::deref(Expr::var("r"))),
+            Expr::seq(
+                Expr::assign(Expr::var("r"), Expr::int(42)),
+                Expr::deref(Expr::var("r")),
+            ),
         );
         assert_eq!(run(e), Halt::Value(Value::Int(42)));
     }
@@ -695,7 +752,11 @@ mod tests {
         let e = Expr::let_(
             "p",
             Expr::alloc(Expr::int(3)),
-            Expr::let_("q", Expr::gcmov(Expr::var("p")), Expr::deref(Expr::var("q"))),
+            Expr::let_(
+                "q",
+                Expr::gcmov(Expr::var("p")),
+                Expr::deref(Expr::var("q")),
+            ),
         );
         let r = Machine::run_expr(e, Fuel::default());
         assert_eq!(r.halt, Halt::Value(Value::Int(3)));
@@ -716,7 +777,10 @@ mod tests {
         let e = Expr::let_(
             "live",
             Expr::ref_(Expr::int(1)),
-            Expr::seq(Expr::ref_(Expr::int(2)), Expr::seq(Expr::Callgc, Expr::deref(Expr::var("live")))),
+            Expr::seq(
+                Expr::ref_(Expr::int(2)),
+                Expr::seq(Expr::Callgc, Expr::deref(Expr::var("live"))),
+            ),
         );
         let r = Machine::run_expr(e, Fuel::default());
         assert_eq!(r.halt, Halt::Value(Value::Int(1)));
@@ -729,9 +793,17 @@ mod tests {
     fn pinned_locations_survive_collection() {
         let mut heap = Heap::new();
         let pinned = heap.alloc_gc(Value::Int(77));
-        let cfg = MachineConfig { phantom: None, pinned: BTreeSet::from([pinned]) };
+        let cfg = MachineConfig {
+            phantom: None,
+            pinned: BTreeSet::from([pinned]),
+        };
         // The program never mentions the pinned location, but callgc must keep it.
-        let m = Machine::with_state(heap, Env::empty(), Expr::seq(Expr::Callgc, Expr::unit()), cfg);
+        let m = Machine::with_state(
+            heap,
+            Env::empty(),
+            Expr::seq(Expr::Callgc, Expr::unit()),
+            cfg,
+        );
         let r = m.run(Fuel::default());
         assert_eq!(r.halt, Halt::Value(Value::Unit));
         assert!(r.heap.contains(pinned));
@@ -739,7 +811,10 @@ mod tests {
 
     #[test]
     fn explicit_fail_reports_its_code() {
-        assert_eq!(run(Expr::Fail(ErrorCode::Conv)), Halt::Fail(ErrorCode::Conv));
+        assert_eq!(
+            run(Expr::Fail(ErrorCode::Conv)),
+            Halt::Fail(ErrorCode::Conv)
+        );
         assert!(!Halt::Fail(ErrorCode::Type).is_safe());
         assert!(Halt::Fail(ErrorCode::Conv).is_safe());
     }
@@ -764,7 +839,10 @@ mod tests {
 
     #[test]
     fn application_of_non_function_is_a_type_error() {
-        assert_eq!(run(Expr::app(Expr::int(3), Expr::int(4))), Halt::Fail(ErrorCode::Type));
+        assert_eq!(
+            run(Expr::app(Expr::int(3), Expr::int(4))),
+            Halt::Fail(ErrorCode::Type)
+        );
     }
 
     #[test]
@@ -832,7 +910,10 @@ mod tests {
     fn church_boolean_application_shape() {
         // (λ_. λx. λy. y) () 0 1  ==> 1   (the CBOOL↦bool conversion shape)
         let church_false = Expr::lam("_", Expr::lam("x", Expr::lam("y", Expr::var("y"))));
-        let e = Expr::app(Expr::app(Expr::app(church_false, Expr::unit()), Expr::int(0)), Expr::int(1));
+        let e = Expr::app(
+            Expr::app(Expr::app(church_false, Expr::unit()), Expr::int(0)),
+            Expr::int(1),
+        );
         assert_eq!(run(e), Halt::Value(Value::Int(1)));
     }
 }

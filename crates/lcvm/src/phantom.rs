@@ -35,7 +35,9 @@ pub struct PhantomConfig {
 impl PhantomConfig {
     /// A configuration protecting the given binders.
     pub fn protecting(binders: impl IntoIterator<Item = Var>) -> Self {
-        PhantomConfig { protected_binders: binders.into_iter().collect() }
+        PhantomConfig {
+            protected_binders: binders.into_iter().collect(),
+        }
     }
 
     /// True if `x` should be protected when bound.

@@ -166,7 +166,13 @@ impl Expr {
 
     /// `match e x { left } y { right }`.
     pub fn match_(e: Expr, x: impl Into<Var>, left: Expr, y: impl Into<Var>, right: Expr) -> Expr {
-        Expr::Match(Box::new(e), x.into(), Box::new(left), y.into(), Box::new(right))
+        Expr::Match(
+            Box::new(e),
+            x.into(),
+            Box::new(left),
+            y.into(),
+            Box::new(right),
+        )
     }
 
     /// `ref e`.
@@ -185,16 +191,19 @@ impl Expr {
     }
 
     /// `e1 + e2`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(e1: Expr, e2: Expr) -> Expr {
         Expr::Prim(PrimOp::Add, Box::new(e1), Box::new(e2))
     }
 
     /// `e1 - e2`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(e1: Expr, e2: Expr) -> Expr {
         Expr::Prim(PrimOp::Sub, Box::new(e1), Box::new(e2))
     }
 
     /// `e1 * e2`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(e1: Expr, e2: Expr) -> Expr {
         Expr::Prim(PrimOp::Mul, Box::new(e1), Box::new(e2))
     }
@@ -256,10 +265,15 @@ impl Expr {
     /// at every node bottom-up.
     fn map_subexprs(&self, f: &impl Fn(&Expr) -> Expr) -> Expr {
         let rebuilt = match self {
-            Expr::Unit | Expr::Int(_) | Expr::Loc(_) | Expr::Var(_) | Expr::Fail(_) | Expr::Callgc => {
-                self.clone()
+            Expr::Unit
+            | Expr::Int(_)
+            | Expr::Loc(_)
+            | Expr::Var(_)
+            | Expr::Fail(_)
+            | Expr::Callgc => self.clone(),
+            Expr::Pair(a, b) => {
+                Expr::Pair(Box::new(a.map_subexprs(f)), Box::new(b.map_subexprs(f)))
             }
-            Expr::Pair(a, b) => Expr::Pair(Box::new(a.map_subexprs(f)), Box::new(b.map_subexprs(f))),
             Expr::Fst(a) => Expr::Fst(Box::new(a.map_subexprs(f))),
             Expr::Snd(a) => Expr::Snd(Box::new(a.map_subexprs(f))),
             Expr::Inl(a) => Expr::Inl(Box::new(a.map_subexprs(f))),
@@ -276,9 +290,11 @@ impl Expr {
                 y.clone(),
                 Box::new(r.map_subexprs(f)),
             ),
-            Expr::Let(x, a, b) => {
-                Expr::Let(x.clone(), Box::new(a.map_subexprs(f)), Box::new(b.map_subexprs(f)))
-            }
+            Expr::Let(x, a, b) => Expr::Let(
+                x.clone(),
+                Box::new(a.map_subexprs(f)),
+                Box::new(b.map_subexprs(f)),
+            ),
             Expr::Lam(x, b) => Expr::Lam(x.clone(), Box::new(b.map_subexprs(f))),
             Expr::App(a, b) => Expr::App(Box::new(a.map_subexprs(f)), Box::new(b.map_subexprs(f))),
             Expr::Ref(a) => Expr::Ref(Box::new(a.map_subexprs(f))),
@@ -286,9 +302,11 @@ impl Expr {
             Expr::Assign(a, b) => {
                 Expr::Assign(Box::new(a.map_subexprs(f)), Box::new(b.map_subexprs(f)))
             }
-            Expr::Prim(op, a, b) => {
-                Expr::Prim(*op, Box::new(a.map_subexprs(f)), Box::new(b.map_subexprs(f)))
-            }
+            Expr::Prim(op, a, b) => Expr::Prim(
+                *op,
+                Box::new(a.map_subexprs(f)),
+                Box::new(b.map_subexprs(f)),
+            ),
             Expr::Alloc(a) => Expr::Alloc(Box::new(a.map_subexprs(f))),
             Expr::Free(a) => Expr::Free(Box::new(a.map_subexprs(f))),
             Expr::Gcmov(a) => Expr::Gcmov(Box::new(a.map_subexprs(f))),
@@ -307,11 +325,13 @@ impl Expr {
     fn visit(&self, f: &mut impl FnMut(&Expr)) {
         f(self);
         match self {
-            Expr::Unit | Expr::Int(_) | Expr::Loc(_) | Expr::Var(_) | Expr::Fail(_) | Expr::Callgc => {}
-            Expr::Pair(a, b)
-            | Expr::App(a, b)
-            | Expr::Assign(a, b)
-            | Expr::Prim(_, a, b) => {
+            Expr::Unit
+            | Expr::Int(_)
+            | Expr::Loc(_)
+            | Expr::Var(_)
+            | Expr::Fail(_)
+            | Expr::Callgc => {}
+            Expr::Pair(a, b) | Expr::App(a, b) | Expr::Assign(a, b) | Expr::Prim(_, a, b) => {
                 a.visit(f);
                 b.visit(f);
             }
@@ -441,7 +461,13 @@ mod tests {
 
     #[test]
     fn match_binders_scope_only_their_branch() {
-        let e = Expr::match_(Expr::inl(Expr::int(1)), "a", Expr::var("a"), "b", Expr::var("a"));
+        let e = Expr::match_(
+            Expr::inl(Expr::int(1)),
+            "a",
+            Expr::var("a"),
+            "b",
+            Expr::var("a"),
+        );
         // The second branch's `a` is free: only `b` is bound there.
         assert!(e.free_vars().contains(&Var::new("a")));
     }
@@ -450,7 +476,10 @@ mod tests {
     fn erase_protect_removes_wrappers_recursively() {
         let inner = Expr::add(Expr::int(1), Expr::int(2));
         let e = Expr::Protect(
-            Box::new(Expr::pair(Expr::Protect(Box::new(inner.clone()), 7), Expr::unit())),
+            Box::new(Expr::pair(
+                Expr::Protect(Box::new(inner.clone()), 7),
+                Expr::unit(),
+            )),
             3,
         );
         assert_eq!(e.erase_protect(), Expr::pair(inner, Expr::unit()));

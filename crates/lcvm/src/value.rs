@@ -136,7 +136,11 @@ impl Env {
     /// Extends the environment with `var ↦ val` (shadowing any previous
     /// binding of `var`).
     pub fn extend(&self, var: Var, val: Value) -> Env {
-        Env(Some(Arc::new(EnvNode { var, val, parent: self.clone() })))
+        Env(Some(Arc::new(EnvNode {
+            var,
+            val,
+            parent: self.clone(),
+        })))
     }
 
     /// Looks a variable up.
@@ -218,7 +222,11 @@ mod tests {
     #[test]
     fn closure_roots_include_captured_environment() {
         let env = Env::empty().extend(Var::new("r"), Value::Loc(Loc(9)));
-        let clo = Value::Closure { param: Var::new("x"), body: Arc::new(Expr::unit()), env };
+        let clo = Value::Closure {
+            param: Var::new("x"),
+            body: Arc::new(Expr::unit()),
+            env,
+        };
         let mut locs = BTreeSet::new();
         clo.collect_locs(&mut locs);
         assert!(locs.contains(&Loc(9)));

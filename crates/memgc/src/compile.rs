@@ -70,8 +70,15 @@ pub struct MemGcCompiler<'a> {
 
 impl<'a> MemGcCompiler<'a> {
     /// A compiler over the given oracle and emitter.
-    pub fn new(oracle: &'a dyn MemGcConvertOracle, emitter: &'a dyn MemGcConversionEmitter) -> Self {
-        MemGcCompiler { oracle, emitter, fresh: 0 }
+    pub fn new(
+        oracle: &'a dyn MemGcConvertOracle,
+        emitter: &'a dyn MemGcConversionEmitter,
+    ) -> Self {
+        MemGcCompiler {
+            oracle,
+            emitter,
+            fresh: 0,
+        }
     }
 
     fn fresh_var(&mut self, hint: &str) -> Var {
@@ -120,9 +127,10 @@ impl<'a> MemGcCompiler<'a> {
                     self.ml(&ctx.with_ml(y.clone(), tr), r)?,
                 )
             }
-            PolyExpr::Lam(x, ty, body) => {
-                Expr::lam(x.clone(), self.ml(&ctx.with_ml(x.clone(), ty.clone()), body)?)
-            }
+            PolyExpr::Lam(x, ty, body) => Expr::lam(
+                x.clone(),
+                self.ml(&ctx.with_ml(x.clone(), ty.clone()), body)?,
+            ),
             PolyExpr::App(f, a) => Expr::app(self.ml(ctx, f)?, self.ml(ctx, a)?),
             PolyExpr::TyLam(a, body) => Expr::lam("_", self.ml(&ctx.with_tyvar(a.clone()), body)?),
             PolyExpr::TyApp(e1, _) => Expr::app(self.ml(ctx, e1)?, Expr::Unit),
@@ -133,7 +141,10 @@ impl<'a> MemGcCompiler<'a> {
             PolyExpr::Boundary(l3, ty) => {
                 let (tl, _) = check_l3(ctx, l3, self.oracle)?;
                 let glue = self.emitter.l3_to_ml(&tl, ty).ok_or_else(|| {
-                    MemGcCompileError::MissingConversion { ml: ty.clone(), l3: tl.clone() }
+                    MemGcCompileError::MissingConversion {
+                        ml: ty.clone(),
+                        l3: tl.clone(),
+                    }
                 })?;
                 Expr::app(glue, self.l3(ctx, l3)?)
             }
@@ -145,9 +156,10 @@ impl<'a> MemGcCompiler<'a> {
             L3Expr::Unit => Expr::Unit,
             L3Expr::Bool(b) => Expr::bool_lit(*b),
             L3Expr::Var(x) | L3Expr::UVar(x) => Expr::Var(x.clone()),
-            L3Expr::Lam(x, ty, body) => {
-                Expr::lam(x.clone(), self.l3(&ctx.with_l3_linear(x.clone(), ty.clone()), body)?)
-            }
+            L3Expr::Lam(x, ty, body) => Expr::lam(
+                x.clone(),
+                self.l3(&ctx.with_l3_linear(x.clone(), ty.clone()), body)?,
+            ),
             L3Expr::App(f, a) => Expr::app(self.l3(ctx, f)?, self.l3(ctx, a)?),
             L3Expr::Pair(a, b) => Expr::pair(self.l3(ctx, a)?, self.l3(ctx, b)?),
             L3Expr::LetPair(x, y, e1, body) => {
@@ -163,21 +175,25 @@ impl<'a> MemGcCompiler<'a> {
                     }
                 };
                 let p = self.fresh_var("pair");
-                let inner_ctx = ctx.with_l3_linear(x.clone(), t1).with_l3_linear(y.clone(), t2);
+                let inner_ctx = ctx
+                    .with_l3_linear(x.clone(), t1)
+                    .with_l3_linear(y.clone(), t2);
                 Expr::let_(
                     p.clone(),
                     self.l3(ctx, e1)?,
                     Expr::let_(
                         x.clone(),
                         Expr::fst(Expr::Var(p.clone())),
-                        Expr::let_(y.clone(), Expr::snd(Expr::Var(p)), self.l3(&inner_ctx, body)?),
+                        Expr::let_(
+                            y.clone(),
+                            Expr::snd(Expr::Var(p)),
+                            self.l3(&inner_ctx, body)?,
+                        ),
                     ),
                 )
             }
             L3Expr::LetUnit(e1, body) => Expr::seq(self.l3(ctx, e1)?, self.l3(ctx, body)?),
-            L3Expr::If(c, t, f) => {
-                Expr::if_(self.l3(ctx, c)?, self.l3(ctx, t)?, self.l3(ctx, f)?)
-            }
+            L3Expr::If(c, t, f) => Expr::if_(self.l3(ctx, c)?, self.l3(ctx, t)?, self.l3(ctx, f)?),
             L3Expr::Bang(v) => self.l3(ctx, v)?,
             L3Expr::LetBang(x, e1, body) => {
                 let (t, _) = check_l3(ctx, e1, self.oracle)?;
@@ -270,7 +286,10 @@ impl<'a> MemGcCompiler<'a> {
             L3Expr::Boundary(ml, ty) => {
                 let (tm, _) = check_poly(ctx, ml, self.oracle)?;
                 let glue = self.emitter.ml_to_l3(&tm, ty).ok_or_else(|| {
-                    MemGcCompileError::MissingConversion { ml: tm.clone(), l3: ty.clone() }
+                    MemGcCompileError::MissingConversion {
+                        ml: tm.clone(),
+                        l3: ty.clone(),
+                    }
                 })?;
                 Expr::app(glue, self.ml(ctx, ml)?)
             }
@@ -296,7 +315,9 @@ mod tests {
     }
 
     fn compile_l3(e: &L3Expr) -> Expr {
-        MemGcCompiler::new(&NoConversions, &NoGlue).compile_l3_program(e).unwrap()
+        MemGcCompiler::new(&NoConversions, &NoGlue)
+            .compile_l3_program(e)
+            .unwrap()
     }
 
     fn run(e: Expr) -> lcvm::RunResult {
@@ -312,7 +333,11 @@ mod tests {
         assert_eq!(r.heap.manual_len(), 0);
         assert_eq!(r.heap.stats().manual_allocs, 1);
         assert_eq!(r.heap.stats().frees, 1);
-        assert_eq!(r.heap.stats().gc_runs, 1, "new invokes callgc before allocating");
+        assert_eq!(
+            r.heap.stats().gc_runs,
+            1,
+            "new invokes callgc before allocating"
+        );
     }
 
     #[test]
@@ -423,10 +448,7 @@ mod tests {
 
     #[test]
     fn location_abstraction_erases_to_thunking() {
-        let e = L3Expr::locapp(
-            L3Expr::loclam("ζ", L3Expr::bool_(true)),
-            "ζ",
-        );
+        let e = L3Expr::locapp(L3Expr::loclam("ζ", L3Expr::bool_(true)), "ζ");
         // Type checking requires ζ in scope for the application; compile the
         // closed loclam and apply: Λζ. true [ζ] ⇝ (λ_. 0) () ⇝ 0.
         let compiled = MemGcCompiler::new(&NoConversions, &NoGlue)
@@ -440,19 +462,26 @@ mod tests {
         // (Λα. λx:α. x) [int] 7  ==> 7
         let e = PolyExpr::app(
             PolyExpr::tyapp(
-                PolyExpr::tylam("α", PolyExpr::lam("x", PolyType::tvar("α"), PolyExpr::var("x"))),
+                PolyExpr::tylam(
+                    "α",
+                    PolyExpr::lam("x", PolyType::tvar("α"), PolyExpr::var("x")),
+                ),
                 PolyType::Int,
             ),
             PolyExpr::int(7),
         );
-        let compiled = MemGcCompiler::new(&NoConversions, &NoGlue).compile_ml_program(&e).unwrap();
+        let compiled = MemGcCompiler::new(&NoConversions, &NoGlue)
+            .compile_ml_program(&e)
+            .unwrap();
         assert_eq!(run(compiled).halt, Halt::Value(Value::Int(7)));
     }
 
     #[test]
     fn miniml_gc_references_stay_gc_managed() {
         let e = PolyExpr::deref(PolyExpr::ref_(PolyExpr::int(5)));
-        let compiled = MemGcCompiler::new(&NoConversions, &NoGlue).compile_ml_program(&e).unwrap();
+        let compiled = MemGcCompiler::new(&NoConversions, &NoGlue)
+            .compile_ml_program(&e)
+            .unwrap();
         let r = run(compiled);
         assert_eq!(r.halt, Halt::Value(Value::Int(5)));
         assert_eq!(r.heap.stats().gc_allocs, 1);
@@ -466,7 +495,9 @@ mod tests {
     #[test]
     fn boundaries_without_glue_are_compile_errors() {
         let e = PolyExpr::boundary(L3Expr::bool_(true), PolyType::foreign(L3Type::Bool));
-        let err = MemGcCompiler::new(&NoConversions, &NoGlue).compile_ml_program(&e).unwrap_err();
+        let err = MemGcCompiler::new(&NoConversions, &NoGlue)
+            .compile_ml_program(&e)
+            .unwrap_err();
         assert!(matches!(err, MemGcCompileError::MissingConversion { .. }));
     }
 }

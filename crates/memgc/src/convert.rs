@@ -111,7 +111,10 @@ fn identity() -> Expr {
 
 /// `λx. if x {0} {1}`.
 fn collapse_to_bool() -> Expr {
-    Expr::lam("cv%x", Expr::if_(Expr::var("cv%x"), Expr::int(0), Expr::int(1)))
+    Expr::lam(
+        "cv%x",
+        Expr::if_(Expr::var("cv%x"), Expr::int(0), Expr::int(1)),
+    )
 }
 
 /// `λp. (c1 (fst p), c2 (snd p))`.
@@ -151,7 +154,10 @@ fn gc_ref_to_l3(c_payload_ml_to_l3: Expr) -> Expr {
         "cv%ref",
         Expr::let_(
             "cv%new",
-            Expr::alloc(Expr::app(c_payload_ml_to_l3, Expr::deref(Expr::var("cv%ref")))),
+            Expr::alloc(Expr::app(
+                c_payload_ml_to_l3,
+                Expr::deref(Expr::var("cv%ref")),
+            )),
             Expr::pair(Expr::Unit, Expr::var("cv%new")),
         ),
     )
@@ -184,7 +190,10 @@ fn wrap_fun(c_arg: Expr, c_res: Expr) -> Expr {
         "cv%f",
         Expr::lam(
             "cv%a",
-            Expr::app(c_res, Expr::app(Expr::var("cv%f"), Expr::app(c_arg, Expr::var("cv%a")))),
+            Expr::app(
+                c_res,
+                Expr::app(Expr::var("cv%f"), Expr::app(c_arg, Expr::var("cv%a"))),
+            ),
         ),
     )
 }
@@ -192,8 +201,8 @@ fn wrap_fun(c_arg: Expr, c_res: Expr) -> Expr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lcvm::{Halt, Heap, Machine, MachineConfig, Slot, Value};
     use lcvm::Env;
+    use lcvm::{Halt, Heap, Machine, MachineConfig, Slot, Value};
     use semint_core::Fuel;
 
     fn conv() -> MemGcConversions {
@@ -211,11 +220,17 @@ mod tests {
         assert!(c.convertible(&PolyType::Int, &L3Type::Bool));
         assert!(c.convertible(&PolyType::foreign(L3Type::Bool), &L3Type::Bool));
         assert!(c.convertible(&PolyType::foreign(L3Type::ptr("ζ")), &L3Type::ptr("ζ")));
-        assert!(!c.convertible(
-            &PolyType::foreign(L3Type::cap("ζ", L3Type::Bool)),
-            &L3Type::cap("ζ", L3Type::Bool)
-        ), "capabilities are linear, hence not Duplicable, hence not foreign-embeddable");
-        assert!(c.convertible(&PolyType::ref_(PolyType::Int), &L3Type::ref_like(L3Type::Bool)));
+        assert!(
+            !c.convertible(
+                &PolyType::foreign(L3Type::cap("ζ", L3Type::Bool)),
+                &L3Type::cap("ζ", L3Type::Bool)
+            ),
+            "capabilities are linear, hence not Duplicable, hence not foreign-embeddable"
+        );
+        assert!(c.convertible(
+            &PolyType::ref_(PolyType::Int),
+            &L3Type::ref_like(L3Type::Bool)
+        ));
         assert!(c.convertible(&PolyType::church_bool(), &L3Type::Bool));
         assert!(c.convertible(
             &PolyType::fun(PolyType::Int, PolyType::Int),
@@ -229,7 +244,12 @@ mod tests {
         // Build an L3 package ((), ℓ) with ℓ a manual cell holding true (0).
         let mut heap = Heap::new();
         let loc = heap.alloc_manual(Value::Int(0));
-        let glue = conv().l3_to_ml(&L3Type::ref_like(L3Type::Bool), &PolyType::ref_(PolyType::Int)).unwrap();
+        let glue = conv()
+            .l3_to_ml(
+                &L3Type::ref_like(L3Type::Bool),
+                &PolyType::ref_(PolyType::Int),
+            )
+            .unwrap();
         let prog = Expr::app(glue, Expr::pair(Expr::Unit, Expr::Loc(loc)));
         let machine = Machine::with_state(heap, Env::empty(), prog, MachineConfig::default());
         let r = machine.run(Fuel::default());
@@ -247,7 +267,12 @@ mod tests {
     fn miniml_to_l3_reference_conversion_copies_into_fresh_manual_cell() {
         let mut heap = Heap::new();
         let loc = heap.alloc_gc(Value::Int(7));
-        let glue = conv().ml_to_l3(&PolyType::ref_(PolyType::Int), &L3Type::ref_like(L3Type::Bool)).unwrap();
+        let glue = conv()
+            .ml_to_l3(
+                &PolyType::ref_(PolyType::Int),
+                &L3Type::ref_like(L3Type::Bool),
+            )
+            .unwrap();
         let prog = Expr::app(glue, Expr::Loc(loc));
         let machine = Machine::with_state(heap, Env::empty(), prog, MachineConfig::default());
         let r = machine.run(Fuel::default());
@@ -268,10 +293,15 @@ mod tests {
 
     #[test]
     fn church_boolean_conversions_round_trip() {
-        let (to_l3, to_ml) = conv().derive(&PolyType::church_bool(), &L3Type::Bool).unwrap();
+        let (to_l3, to_ml) = conv()
+            .derive(&PolyType::church_bool(), &L3Type::Bool)
+            .unwrap();
         // Church true (compiled) → L3 true (0).
         let church_true = Expr::lam("_", Expr::lam("x", Expr::lam("y", Expr::var("x"))));
-        assert_eq!(run(Expr::app(to_l3.clone(), church_true)), Halt::Value(Value::Int(0)));
+        assert_eq!(
+            run(Expr::app(to_l3.clone(), church_true)),
+            Halt::Value(Value::Int(0))
+        );
         // L3 false (1) → Church boolean → back to 1.
         let round = Expr::app(to_l3, Expr::app(to_ml, Expr::int(1)));
         assert_eq!(run(round), Halt::Value(Value::Int(1)));
@@ -297,7 +327,13 @@ mod tests {
             .derive(&PolyType::foreign(L3Type::Bool), &L3Type::Bool)
             .unwrap();
         // Both directions are the identity λ.
-        assert_eq!(run(Expr::app(to_l3, Expr::int(0))), Halt::Value(Value::Int(0)));
-        assert_eq!(run(Expr::app(to_ml, Expr::int(1))), Halt::Value(Value::Int(1)));
+        assert_eq!(
+            run(Expr::app(to_l3, Expr::int(0))),
+            Halt::Value(Value::Int(0))
+        );
+        assert_eq!(
+            run(Expr::app(to_ml, Expr::int(1))),
+            Halt::Value(Value::Int(1))
+        );
     }
 }

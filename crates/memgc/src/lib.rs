@@ -28,10 +28,13 @@
 
 pub mod compile;
 pub mod convert;
+pub mod gen;
+pub mod harness;
 pub mod model;
 pub mod multilang;
 pub mod syntax;
 pub mod typecheck;
 
+pub use harness::{MemGcCase, MgProgram};
 pub use multilang::{MemGcMultiLang, MemGcMultiLangError};
 pub use syntax::{L3Expr, L3Type, PolyExpr, PolyType};

@@ -22,8 +22,8 @@
 
 use crate::convert::MemGcConversions;
 use crate::syntax::{L3Type, LocVar, PolyType};
-use lcvm::{Expr, Halt, Heap, Loc, Machine, MachineConfig, Slot, Value};
 use lcvm::Env;
+use lcvm::{Expr, Halt, Heap, Loc, Machine, MachineConfig, Slot, Value};
 use semint_core::{ErrorCode, Fuel};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -74,7 +74,10 @@ pub struct MemGcModelChecker {
 
 impl Default for MemGcModelChecker {
     fn default() -> Self {
-        MemGcModelChecker { conversions: MemGcConversions::standard(), fuel: Fuel::steps(100_000) }
+        MemGcModelChecker {
+            conversions: MemGcConversions::standard(),
+            fuel: Fuel::steps(100_000),
+        }
     }
 }
 
@@ -98,7 +101,9 @@ impl MemGcModelChecker {
             PolyType::Unit => matches!(v, Value::Unit),
             PolyType::Int => matches!(v, Value::Int(_)),
             PolyType::Prod(a, b) => match v {
-                Value::Pair(x, y) => self.value_in_ml(heap, rho, x, a) && self.value_in_ml(heap, rho, y, b),
+                Value::Pair(x, y) => {
+                    self.value_in_ml(heap, rho, x, a) && self.value_in_ml(heap, rho, y, b)
+                }
                 _ => false,
             },
             PolyType::Sum(a, b) => match v {
@@ -116,7 +121,9 @@ impl MemGcModelChecker {
             PolyType::Var(_) => true,
             // ref τ: a live GC-managed cell whose contents inhabit τ.
             PolyType::Ref(t) => match v {
-                Value::Loc(l) => matches!(heap.slot(*l), Some(Slot::Gc(stored)) if self.value_in_ml(heap, rho, stored, t)),
+                Value::Loc(l) => {
+                    matches!(heap.slot(*l), Some(Slot::Gc(stored)) if self.value_in_ml(heap, rho, stored, t))
+                }
                 _ => false,
             },
             // ⟨𝜏⟩ is interpreted exactly as 𝜏 (Fig. 14: V⟦⟨𝜏⟩⟧ρ = V⟦𝜏⟧ρ).
@@ -129,7 +136,9 @@ impl MemGcModelChecker {
             L3Type::Unit => matches!(v, Value::Unit),
             L3Type::Bool => matches!(v, Value::Int(0) | Value::Int(1)),
             L3Type::Tensor(a, b) => match v {
-                Value::Pair(x, y) => self.value_in_l3(heap, rho, x, a) && self.value_in_l3(heap, rho, y, b),
+                Value::Pair(x, y) => {
+                    self.value_in_l3(heap, rho, x, a) && self.value_in_l3(heap, rho, y, b)
+                }
                 _ => false,
             },
             L3Type::Lolli(_, _) => matches!(v, Value::Closure { .. }),
@@ -144,7 +153,9 @@ impl MemGcModelChecker {
             L3Type::Cap(z, stored) => {
                 matches!(v, Value::Unit)
                     && match rho.get(z) {
-                        Some(l) => matches!(heap.slot(*l), Some(Slot::Manual(contents)) if self.value_in_l3(heap, rho, contents, stored)),
+                        Some(l) => {
+                            matches!(heap.slot(*l), Some(Slot::Manual(contents)) if self.value_in_l3(heap, rho, contents, stored))
+                        }
                         None => false,
                     }
             }
@@ -183,17 +194,21 @@ impl MemGcModelChecker {
     ) -> Result<(), MemGcCounterExample> {
         let ml_ref = PolyType::ref_(ml_payload.clone());
         let l3_ref = L3Type::ref_like(l3_payload.clone());
-        let (to_l3, to_ml) = self.conversions.derive(&ml_ref, &l3_ref).ok_or_else(|| MemGcCounterExample {
-            claim: format!("{ml_ref} ∼ {l3_ref}"),
-            reason: "rule not derivable".into(),
-        })?;
+        let (to_l3, to_ml) =
+            self.conversions
+                .derive(&ml_ref, &l3_ref)
+                .ok_or_else(|| MemGcCounterExample {
+                    claim: format!("{ml_ref} ∼ {l3_ref}"),
+                    reason: "rule not derivable".into(),
+                })?;
 
         // Direction 1: L3 → MiniML must transfer ownership without copying.
         let mut heap = Heap::new();
         let loc = heap.alloc_manual(initial.clone());
         let before = heap.stats();
         let prog = Expr::app(to_ml, Expr::pair(Expr::Unit, Expr::Loc(loc)));
-        let r = Machine::with_state(heap, Env::empty(), prog, MachineConfig::default()).run(self.fuel);
+        let r =
+            Machine::with_state(heap, Env::empty(), prog, MachineConfig::default()).run(self.fuel);
         match &r.halt {
             Halt::Value(v) => {
                 if v.as_loc() != Some(loc) {
@@ -210,7 +225,12 @@ impl MemGcModelChecker {
                         reason: "the conversion allocated — it must move, not copy".into(),
                     });
                 }
-                if !self.value_in(&r.heap, &LocSubst::new(), v, &MemGcSemType::Ml(ml_ref.clone())) {
+                if !self.value_in(
+                    &r.heap,
+                    &LocSubst::new(),
+                    v,
+                    &MemGcSemType::Ml(ml_ref.clone()),
+                ) {
                     return Err(MemGcCounterExample {
                         claim: "L3→MiniML transfer".into(),
                         reason: format!("result is not in V⟦{ml_ref}⟧"),
@@ -230,7 +250,8 @@ impl MemGcModelChecker {
         let mut heap = Heap::new();
         let gc_loc = heap.alloc_gc(initial.clone());
         let prog = Expr::app(to_l3, Expr::Loc(gc_loc));
-        let r = Machine::with_state(heap, Env::empty(), prog, MachineConfig::default()).run(self.fuel);
+        let r =
+            Machine::with_state(heap, Env::empty(), prog, MachineConfig::default()).run(self.fuel);
         match &r.halt {
             Halt::Value(v) => {
                 let new_loc = match v {
@@ -244,7 +265,8 @@ impl MemGcModelChecker {
                 if new_loc == gc_loc {
                     return Err(MemGcCounterExample {
                         claim: "MiniML→L3 conversion".into(),
-                        reason: "the GC'd cell was reused directly — aliases would be broken".into(),
+                        reason: "the GC'd cell was reused directly — aliases would be broken"
+                            .into(),
                     });
                 }
                 if !matches!(r.heap.slot(gc_loc), Some(Slot::Gc(_))) {
@@ -323,7 +345,12 @@ mod tests {
         let cap_ty = MemGcSemType::L3(L3Type::cap("ζ", L3Type::Bool));
         assert!(c.value_in(&heap, &rho, &Value::Unit, &cap_ty));
         // A pointer to the same cell inhabits ptr ζ.
-        assert!(c.value_in(&heap, &rho, &Value::Loc(l), &MemGcSemType::L3(L3Type::ptr("ζ"))));
+        assert!(c.value_in(
+            &heap,
+            &rho,
+            &Value::Loc(l),
+            &MemGcSemType::L3(L3Type::ptr("ζ"))
+        ));
         // Freeing the cell invalidates the capability.
         heap.free(l).unwrap();
         assert!(!c.value_in(&heap, &rho, &Value::Unit, &cap_ty));
@@ -394,7 +421,11 @@ mod tests {
     fn transfer_soundness_rejects_underivable_payloads() {
         let c = checker();
         let err = c
-            .check_transfer_soundness(&PolyType::Int, &L3Type::cap("ζ", L3Type::Bool), Value::Int(0))
+            .check_transfer_soundness(
+                &PolyType::Int,
+                &L3Type::cap("ζ", L3Type::Bool),
+                Value::Int(0),
+            )
             .unwrap_err();
         assert!(err.reason.contains("not derivable"));
     }

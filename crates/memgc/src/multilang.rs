@@ -51,7 +51,10 @@ pub struct MemGcMultiLang {
 impl MemGcMultiLang {
     /// A system with the standard rule set and default fuel.
     pub fn new() -> Self {
-        MemGcMultiLang { conversions: MemGcConversions::standard(), fuel: Fuel::default() }
+        MemGcMultiLang {
+            conversions: MemGcConversions::standard(),
+            fuel: Fuel::default(),
+        }
     }
 
     /// Overrides the fuel budget.
@@ -111,7 +114,10 @@ mod tests {
     #[test]
     fn l3_memory_transfers_to_miniml_without_copying() {
         // MiniML: !⦇ new true ⦈(ref int)   — read the transferred reference.
-        let e = PolyExpr::deref(PolyExpr::boundary(l3_new_bool(true), PolyType::ref_(PolyType::Int)));
+        let e = PolyExpr::deref(PolyExpr::boundary(
+            l3_new_bool(true),
+            PolyType::ref_(PolyType::Int),
+        ));
         let r = sys().run_ml(&e).unwrap();
         assert_eq!(r.halt, Halt::Value(Value::Int(0)));
         // Exactly one manual allocation happened (inside L3), zero GC
@@ -129,7 +135,10 @@ mod tests {
         // unreachable by then and gets collected.
         let e = PolyExpr::snd(PolyExpr::pair(
             PolyExpr::boundary(l3_new_bool(true), PolyType::ref_(PolyType::Int)),
-            PolyExpr::deref(PolyExpr::boundary(l3_new_bool(false), PolyType::ref_(PolyType::Int))),
+            PolyExpr::deref(PolyExpr::boundary(
+                l3_new_bool(false),
+                PolyType::ref_(PolyType::Int),
+            )),
         ));
         let r = sys().run_ml(&e).unwrap();
         assert_eq!(r.halt, Halt::Value(Value::Int(1)));
@@ -170,9 +179,16 @@ mod tests {
             PolyExpr::boundary(L3Expr::bool_(false), PolyType::foreign(L3Type::Bool)),
         );
         let sysm = sys();
-        assert_eq!(sysm.typecheck_ml(&e).unwrap(), PolyType::foreign(L3Type::Bool));
+        assert_eq!(
+            sysm.typecheck_ml(&e).unwrap(),
+            PolyType::foreign(L3Type::Bool)
+        );
         let r = sysm.run_ml(&e).unwrap();
-        assert_eq!(r.halt, Halt::Value(Value::Int(1)), "the second argument (false) is returned");
+        assert_eq!(
+            r.halt,
+            Halt::Value(Value::Int(1)),
+            "the second argument (false) is returned"
+        );
     }
 
     #[test]
@@ -198,7 +214,11 @@ mod tests {
     #[test]
     fn miniml_functions_cross_as_banged_lollis() {
         // L3 applies a MiniML increment-ish function to a boolean.
-        let ml_fun = PolyExpr::lam("x", PolyType::Int, PolyExpr::add(PolyExpr::var("x"), PolyExpr::int(0)));
+        let ml_fun = PolyExpr::lam(
+            "x",
+            PolyType::Int,
+            PolyExpr::add(PolyExpr::var("x"), PolyExpr::int(0)),
+        );
         let l3_ty = L3Type::bang(L3Type::lolli(L3Type::bang(L3Type::Bool), L3Type::Bool));
         let e = L3Expr::let_bang(
             "f",
@@ -219,7 +239,9 @@ mod tests {
         );
         assert!(matches!(
             sys().run_ml(&e),
-            Err(MemGcMultiLangError::Type(MemGcTypeError::NotConvertible { .. }))
+            Err(MemGcMultiLangError::Type(
+                MemGcTypeError::NotConvertible { .. }
+            ))
         ));
     }
 
@@ -247,17 +269,30 @@ mod tests {
     fn well_typed_programs_are_safe() {
         let sysm = sys();
         let ml_programs = vec![
-            PolyExpr::deref(PolyExpr::boundary(l3_new_bool(false), PolyType::ref_(PolyType::Int))),
+            PolyExpr::deref(PolyExpr::boundary(
+                l3_new_bool(false),
+                PolyType::ref_(PolyType::Int),
+            )),
             PolyExpr::boundary(L3Expr::unit(), PolyType::Unit),
-            PolyExpr::add(PolyExpr::int(1), PolyExpr::boundary(L3Expr::bool_(true), PolyType::Int)),
+            PolyExpr::add(
+                PolyExpr::int(1),
+                PolyExpr::boundary(L3Expr::bool_(true), PolyType::Int),
+            ),
         ];
         for e in ml_programs {
             let r = sysm.run_ml(&e).unwrap();
             assert!(r.halt.is_safe(), "{e} produced {:?}", r.halt);
         }
         let l3_programs = vec![
-            L3Expr::free(L3Expr::boundary(PolyExpr::ref_(PolyExpr::int(3)), L3Type::ref_like(L3Type::Bool))),
-            L3Expr::if_(L3Expr::boundary(PolyExpr::int(0), L3Type::Bool), L3Expr::unit(), L3Expr::unit()),
+            L3Expr::free(L3Expr::boundary(
+                PolyExpr::ref_(PolyExpr::int(3)),
+                L3Type::ref_like(L3Type::Bool),
+            )),
+            L3Expr::if_(
+                L3Expr::boundary(PolyExpr::int(0), L3Type::Bool),
+                L3Expr::unit(),
+                L3Expr::unit(),
+            ),
         ];
         for e in l3_programs {
             let r = sysm.run_l3(&e).unwrap();
@@ -269,7 +304,11 @@ mod tests {
     fn transferred_cell_slot_is_gc_after_the_boundary() {
         let e = PolyExpr::boundary(l3_new_bool(true), PolyType::ref_(PolyType::Int));
         let r = sys().run_ml(&e).unwrap();
-        let loc = r.halt.value_ref().and_then(|v| v.as_loc()).expect("a location");
+        let loc = r
+            .halt
+            .value_ref()
+            .and_then(|v| v.as_loc())
+            .expect("a location");
         assert!(matches!(r.heap.slot(loc), Some(Slot::Gc(Value::Int(0)))));
     }
 }

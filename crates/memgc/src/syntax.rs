@@ -66,7 +66,13 @@ impl PolyType {
     }
     /// The Church-boolean type `∀α. α → α → α` used in the paper's example (2).
     pub fn church_bool() -> PolyType {
-        PolyType::forall("α", PolyType::fun(PolyType::tvar("α"), PolyType::fun(PolyType::tvar("α"), PolyType::tvar("α"))))
+        PolyType::forall(
+            "α",
+            PolyType::fun(
+                PolyType::tvar("α"),
+                PolyType::fun(PolyType::tvar("α"), PolyType::tvar("α")),
+            ),
+        )
     }
 
     /// Capture-avoiding substitution of `target` for type variable `a`.
@@ -170,13 +176,19 @@ impl L3Type {
     }
     /// The `REF 𝜏` abbreviation from §5: `∃ζ. cap ζ 𝜏 ⊗ !ptr ζ`.
     pub fn ref_like(t: L3Type) -> L3Type {
-        L3Type::exists_loc("ζ", L3Type::tensor(L3Type::cap("ζ", t), L3Type::bang(L3Type::ptr("ζ"))))
+        L3Type::exists_loc(
+            "ζ",
+            L3Type::tensor(L3Type::cap("ζ", t), L3Type::bang(L3Type::ptr("ζ"))),
+        )
     }
 
     /// Is this type in the `Duplicable` set (§5): `unit`, `bool`, `ptr ζ` and
     /// `!𝜏`?  Only these may be embedded as foreign types `⟨𝜏⟩`.
     pub fn is_duplicable(&self) -> bool {
-        matches!(self, L3Type::Unit | L3Type::Bool | L3Type::Ptr(_) | L3Type::Bang(_))
+        matches!(
+            self,
+            L3Type::Unit | L3Type::Bool | L3Type::Ptr(_) | L3Type::Bang(_)
+        )
     }
 
     /// Substitutes the location variable `z` with another location variable
@@ -331,6 +343,7 @@ impl PolyExpr {
         PolyExpr::Assign(Box::new(a), Box::new(b))
     }
     /// `a + b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(a: Self, b: Self) -> Self {
         PolyExpr::Add(Box::new(a), Box::new(b))
     }
@@ -553,7 +566,10 @@ mod tests {
     fn type_substitution_respects_binders() {
         let t = PolyType::forall("β", PolyType::fun(PolyType::tvar("α"), PolyType::tvar("β")));
         let s = t.subst(&TyVar::new("α"), &PolyType::Int);
-        assert_eq!(s, PolyType::forall("β", PolyType::fun(PolyType::Int, PolyType::tvar("β"))));
+        assert_eq!(
+            s,
+            PolyType::forall("β", PolyType::fun(PolyType::Int, PolyType::tvar("β")))
+        );
         // Substituting under a shadowing binder is a no-op.
         let t = PolyType::forall("α", PolyType::tvar("α"));
         assert_eq!(t.subst(&TyVar::new("α"), &PolyType::Int), t);
@@ -572,7 +588,10 @@ mod tests {
 
     #[test]
     fn loc_substitution() {
-        let t = L3Type::tensor(L3Type::cap("ζ", L3Type::Bool), L3Type::bang(L3Type::ptr("ζ")));
+        let t = L3Type::tensor(
+            L3Type::cap("ζ", L3Type::Bool),
+            L3Type::bang(L3Type::ptr("ζ")),
+        );
         let s = t.subst_loc(&LocVar::new("ζ"), &LocVar::new("η"));
         assert_eq!(s.to_string(), "(cap η bool ⊗ !ptr η)");
         // Bound occurrences are untouched.

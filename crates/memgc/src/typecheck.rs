@@ -124,22 +124,41 @@ impl fmt::Display for MemGcTypeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MemGcTypeError::Unbound(x) => write!(f, "unbound {x}"),
-            MemGcTypeError::Mismatch { expected, found, context } => {
-                write!(f, "type mismatch in {context}: expected {expected}, found {found}")
+            MemGcTypeError::Mismatch {
+                expected,
+                found,
+                context,
+            } => {
+                write!(
+                    f,
+                    "type mismatch in {context}: expected {expected}, found {found}"
+                )
             }
             MemGcTypeError::LinearReuse(x) => write!(f, "linear variable {x} used more than once"),
             MemGcTypeError::LinearUnused(x) => write!(f, "linear variable {x} is never used"),
             MemGcTypeError::NotDuplicable(t) => write!(f, "type {t} is not Duplicable"),
-            MemGcTypeError::BangCapturesLinear(x) => write!(f, "!-value captures linear variable {x}"),
-            MemGcTypeError::NotConvertible { ml, l3 } => write!(f, "no convertibility rule {ml} ∼ {l3}"),
+            MemGcTypeError::BangCapturesLinear(x) => {
+                write!(f, "!-value captures linear variable {x}")
+            }
+            MemGcTypeError::NotConvertible { ml, l3 } => {
+                write!(f, "no convertibility rule {ml} ∼ {l3}")
+            }
         }
     }
 }
 
 impl std::error::Error for MemGcTypeError {}
 
-fn mismatch(expected: impl fmt::Display, found: impl fmt::Display, context: &'static str) -> MemGcTypeError {
-    MemGcTypeError::Mismatch { expected: expected.to_string(), found: found.to_string(), context }
+fn mismatch(
+    expected: impl fmt::Display,
+    found: impl fmt::Display,
+    context: &'static str,
+) -> MemGcTypeError {
+    MemGcTypeError::Mismatch {
+        expected: expected.to_string(),
+        found: found.to_string(),
+        context,
+    }
 }
 
 fn split(u1: &Usage, u2: &Usage) -> Result<Usage, MemGcTypeError> {
@@ -292,7 +311,11 @@ pub fn check_poly(
             let (ta, ua) = check_poly(ctx, a, oracle)?;
             let (tb, ub) = check_poly(ctx, b, oracle)?;
             if ta != PolyType::Int || tb != PolyType::Int {
-                return Err(mismatch(PolyType::Int, if ta != PolyType::Int { ta } else { tb }, "addition"));
+                return Err(mismatch(
+                    PolyType::Int,
+                    if ta != PolyType::Int { ta } else { tb },
+                    "addition",
+                ));
             }
             Ok((PolyType::Int, split(&ua, &ub)?))
         }
@@ -301,7 +324,10 @@ pub fn check_poly(
             if oracle.convertible(ty, &tl) {
                 Ok((ty.clone(), ul))
             } else {
-                Err(MemGcTypeError::NotConvertible { ml: ty.clone(), l3: tl })
+                Err(MemGcTypeError::NotConvertible {
+                    ml: ty.clone(),
+                    l3: tl,
+                })
             }
         }
     }
@@ -355,7 +381,9 @@ pub fn check_l3(
             let (t, u1) = check_l3(ctx, e1, oracle)?;
             match t {
                 L3Type::Tensor(t1, t2) => {
-                    let inner = ctx.with_l3_linear(x.clone(), *t1).with_l3_linear(y.clone(), *t2);
+                    let inner = ctx
+                        .with_l3_linear(x.clone(), *t1)
+                        .with_l3_linear(y.clone(), *t2);
                     let (tb, ub) = check_l3(&inner, body, oracle)?;
                     let ub = consume_binder(ub, x)?;
                     let ub = consume_binder(ub, y)?;
@@ -483,7 +511,11 @@ pub fn check_l3(
                     let (tb, ub) = check_l3(&inner_ctx, body, oracle)?;
                     let ub = consume_binder(ub, x)?;
                     if does_loc_occur(&tb, z) {
-                        return Err(mismatch("a type not mentioning the opened location", tb, "unpack body"));
+                        return Err(mismatch(
+                            "a type not mentioning the opened location",
+                            tb,
+                            "unpack body",
+                        ));
                     }
                     Ok((tb, split(&u1, &ub)?))
                 }
@@ -495,7 +527,10 @@ pub fn check_l3(
             if oracle.convertible(&tm, ty) {
                 Ok((ty.clone(), um))
             } else {
-                Err(MemGcTypeError::NotConvertible { ml: tm, l3: ty.clone() })
+                Err(MemGcTypeError::NotConvertible {
+                    ml: tm,
+                    l3: ty.clone(),
+                })
             }
         }
     }
@@ -529,18 +564,35 @@ mod tests {
     #[test]
     fn linear_lambda_must_use_its_argument_exactly_once() {
         let ok = L3Expr::lam("x", L3Type::Bool, L3Expr::var("x"));
-        assert_eq!(check(&ok).unwrap(), L3Type::lolli(L3Type::Bool, L3Type::Bool));
+        assert_eq!(
+            check(&ok).unwrap(),
+            L3Type::lolli(L3Type::Bool, L3Type::Bool)
+        );
 
         let unused = L3Expr::lam("x", L3Type::Bool, L3Expr::bool_(true));
-        assert_eq!(check(&unused).unwrap_err(), MemGcTypeError::LinearUnused(Var::new("x")));
+        assert_eq!(
+            check(&unused).unwrap_err(),
+            MemGcTypeError::LinearUnused(Var::new("x"))
+        );
 
-        let reused = L3Expr::lam("x", L3Type::Bool, L3Expr::pair(L3Expr::var("x"), L3Expr::var("x")));
-        assert_eq!(check(&reused).unwrap_err(), MemGcTypeError::LinearReuse(Var::new("x")));
+        let reused = L3Expr::lam(
+            "x",
+            L3Type::Bool,
+            L3Expr::pair(L3Expr::var("x"), L3Expr::var("x")),
+        );
+        assert_eq!(
+            check(&reused).unwrap_err(),
+            MemGcTypeError::LinearReuse(Var::new("x"))
+        );
     }
 
     #[test]
     fn dupl_and_drop_require_duplicable_types() {
-        let ok = L3Expr::lam("x", L3Type::bang(L3Type::Bool), L3Expr::dupl(L3Expr::var("x")));
+        let ok = L3Expr::lam(
+            "x",
+            L3Type::bang(L3Type::Bool),
+            L3Expr::dupl(L3Expr::var("x")),
+        );
         assert_eq!(
             check(&ok).unwrap(),
             L3Type::lolli(
@@ -612,7 +664,10 @@ mod tests {
         let e = L3Expr::let_pair(
             "c",
             "p",
-            L3Expr::free(L3Expr::new(L3Expr::pair(L3Expr::bool_(true), L3Expr::bool_(false)))),
+            L3Expr::free(L3Expr::new(L3Expr::pair(
+                L3Expr::bool_(true),
+                L3Expr::bool_(false),
+            ))),
             L3Expr::var("c"),
         );
         // 'p' (the second bool) is unused → linear error.
@@ -624,12 +679,19 @@ mod tests {
         // Λζ. λp: !ptr ζ. drop-style: use let ! to consume.
         let e = L3Expr::loclam(
             "ζ",
-            L3Expr::lam("p", L3Type::bang(L3Type::ptr("ζ")), L3Expr::let_bang("q", L3Expr::var("p"), L3Expr::unit())),
+            L3Expr::lam(
+                "p",
+                L3Type::bang(L3Type::ptr("ζ")),
+                L3Expr::let_bang("q", L3Expr::var("p"), L3Expr::unit()),
+            ),
         );
         let ty = check(&e).unwrap();
         assert_eq!(
             ty,
-            L3Type::forall_loc("ζ", L3Type::lolli(L3Type::bang(L3Type::ptr("ζ")), L3Type::Unit))
+            L3Type::forall_loc(
+                "ζ",
+                L3Type::lolli(L3Type::bang(L3Type::ptr("ζ")), L3Type::Unit)
+            )
         );
     }
 
@@ -649,7 +711,10 @@ mod tests {
             ty,
             PolyType::forall(
                 "α",
-                PolyType::fun(PolyType::tvar("α"), PolyType::fun(PolyType::tvar("α"), PolyType::tvar("α")))
+                PolyType::fun(
+                    PolyType::tvar("α"),
+                    PolyType::fun(PolyType::tvar("α"), PolyType::tvar("α"))
+                )
             )
         );
         // Instantiating at a foreign type substitutes it straight in.
@@ -659,7 +724,10 @@ mod tests {
             ty,
             PolyType::fun(
                 PolyType::foreign(L3Type::Bool),
-                PolyType::fun(PolyType::foreign(L3Type::Bool), PolyType::foreign(L3Type::Bool))
+                PolyType::fun(
+                    PolyType::foreign(L3Type::Bool),
+                    PolyType::foreign(L3Type::Bool)
+                )
             )
         );
     }
@@ -668,9 +736,7 @@ mod tests {
     fn boundaries_require_convertibility_rules() {
         let e = PolyExpr::boundary(L3Expr::bool_(true), PolyType::foreign(L3Type::Bool));
         assert!(check_poly(&MemGcCtx::empty(), &e, &NoConversions).is_err());
-        let allow = |ml: &PolyType, l3: &L3Type| {
-            matches!((ml, l3), (PolyType::Foreign(inner), t) if inner.as_ref() == t)
-        };
+        let allow = |ml: &PolyType, l3: &L3Type| matches!((ml, l3), (PolyType::Foreign(inner), t) if inner.as_ref() == t);
         let (ty, _) = check_poly(&MemGcCtx::empty(), &e, &allow).unwrap();
         assert_eq!(ty, PolyType::foreign(L3Type::Bool));
     }
@@ -679,6 +745,12 @@ mod tests {
     fn unpack_cannot_leak_its_location_variable() {
         // let ⌜ζ, x⌝ = new true in x  — the body's type mentions ζ.
         let e = L3Expr::unpack("ζ", "x", L3Expr::new(L3Expr::bool_(true)), L3Expr::var("x"));
-        assert!(matches!(check(&e), Err(MemGcTypeError::Mismatch { context: "unpack body", .. })));
+        assert!(matches!(
+            check(&e),
+            Err(MemGcTypeError::Mismatch {
+                context: "unpack body",
+                ..
+            })
+        ));
     }
 }

@@ -66,7 +66,11 @@ pub struct MissingConversion {
 
 impl fmt::Display for MissingConversion {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "no conversion registered for boundary {} ∼ {}", self.hl, self.ll)
+        write!(
+            f,
+            "no conversion registered for boundary {} ∼ {}",
+            self.hl, self.ll
+        )
     }
 }
 
@@ -102,8 +106,10 @@ pub fn compile_hl(
         HlExpr::Snd(e1) => compile_hl(ctx, e1, emitter)?
             .then_instr(Instr::push_num(1))
             .then_instr(Instr::Idx),
-        HlExpr::If(c, t, f) => compile_hl(ctx, c, emitter)?
-            .then_instr(Instr::If0(compile_hl(ctx, t, emitter)?, compile_hl(ctx, f, emitter)?)),
+        HlExpr::If(c, t, f) => compile_hl(ctx, c, emitter)?.then_instr(Instr::If0(
+            compile_hl(ctx, t, emitter)?,
+            compile_hl(ctx, f, emitter)?,
+        )),
         HlExpr::Match(s, x, l, y, r) => compile_hl(ctx, s, emitter)?
             .then_instr(dup())
             .then_instr(Instr::push_num(1))
@@ -115,10 +121,12 @@ pub fn compile_hl(
                 Program::single(Instr::Lam(vec![x.clone()], compile_hl(ctx, l, emitter)?)),
                 Program::single(Instr::Lam(vec![y.clone()], compile_hl(ctx, r, emitter)?)),
             )),
-        HlExpr::Lam(x, ty, body) => Program::single(Instr::push_thunk(Program::single(Instr::Lam(
-            vec![x.clone()],
-            compile_hl(&ctx.with_hl(x.clone(), ty.clone()), body, emitter)?,
-        )))),
+        HlExpr::Lam(x, ty, body) => {
+            Program::single(Instr::push_thunk(Program::single(Instr::Lam(
+                vec![x.clone()],
+                compile_hl(&ctx.with_hl(x.clone(), ty.clone()), body, emitter)?,
+            ))))
+        }
         HlExpr::App(f, a) => compile_hl(ctx, f, emitter)?
             .then(compile_hl(ctx, a, emitter)?)
             .then_instr(swap())
@@ -135,12 +143,18 @@ pub fn compile_hl(
                 None => {
                     // The emitter gets a chance with every registered LL type
                     // via the annotation-free path; if that fails, report.
-                    return Err(MissingConversion { hl: ty.clone(), ll: LlType::Int });
+                    return Err(MissingConversion {
+                        hl: ty.clone(),
+                        ll: LlType::Int,
+                    });
                 }
             };
             let glue = emitter
                 .ll_to_hl(&ll_ty, ty)
-                .ok_or_else(|| MissingConversion { hl: ty.clone(), ll: ll_ty.clone() })?;
+                .ok_or_else(|| MissingConversion {
+                    hl: ty.clone(),
+                    ll: ll_ty.clone(),
+                })?;
             compile_ll(ctx, ll, emitter)?.then(glue)
         }
     })
@@ -170,10 +184,12 @@ pub fn compile_ll(
         LlExpr::Index(a, i) => compile_ll(ctx, a, emitter)?
             .then(compile_ll(ctx, i, emitter)?)
             .then_instr(Instr::Idx),
-        LlExpr::Lam(x, ty, body) => Program::single(Instr::push_thunk(Program::single(Instr::Lam(
-            vec![x.clone()],
-            compile_ll(&ctx.with_ll(x.clone(), ty.clone()), body, emitter)?,
-        )))),
+        LlExpr::Lam(x, ty, body) => {
+            Program::single(Instr::push_thunk(Program::single(Instr::Lam(
+                vec![x.clone()],
+                compile_ll(&ctx.with_ll(x.clone(), ty.clone()), body, emitter)?,
+            ))))
+        }
         LlExpr::App(f, a) => compile_ll(ctx, f, emitter)?
             .then(compile_ll(ctx, a, emitter)?)
             .then_instr(swap())
@@ -182,8 +198,10 @@ pub fn compile_ll(
             .then(compile_ll(ctx, b, emitter)?)
             .then_instr(swap())
             .then_instr(Instr::Add),
-        LlExpr::If0(c, t, f) => compile_ll(ctx, c, emitter)?
-            .then_instr(Instr::If0(compile_ll(ctx, t, emitter)?, compile_ll(ctx, f, emitter)?)),
+        LlExpr::If0(c, t, f) => compile_ll(ctx, c, emitter)?.then_instr(Instr::If0(
+            compile_ll(ctx, t, emitter)?,
+            compile_ll(ctx, f, emitter)?,
+        )),
         LlExpr::Ref(e1) => compile_ll(ctx, e1, emitter)?.then_instr(Instr::Alloc),
         LlExpr::Deref(e1) => compile_ll(ctx, e1, emitter)?.then_instr(Instr::Read),
         LlExpr::Assign(a, b) => compile_ll(ctx, a, emitter)?
@@ -193,11 +211,19 @@ pub fn compile_ll(
         LlExpr::Boundary(hl, ty) => {
             let hl_ty = match infer_hl_type_for_boundary(ctx, hl) {
                 Some(t) => t,
-                None => return Err(MissingConversion { hl: HlType::Unit, ll: ty.clone() }),
+                None => {
+                    return Err(MissingConversion {
+                        hl: HlType::Unit,
+                        ll: ty.clone(),
+                    })
+                }
             };
             let glue = emitter
                 .hl_to_ll(&hl_ty, ty)
-                .ok_or_else(|| MissingConversion { hl: hl_ty.clone(), ll: ty.clone() })?;
+                .ok_or_else(|| MissingConversion {
+                    hl: hl_ty.clone(),
+                    ll: ty.clone(),
+                })?;
             compile_hl(ctx, hl, emitter)?.then(glue)
         }
     })
@@ -240,7 +266,10 @@ mod tests {
 
     fn run_hl(e: &HlExpr) -> Outcome<Value> {
         let p = compile_hl(&TypeCtx::empty(), e, &NoBoundaries).unwrap();
-        assert!(p.is_closed(), "compiled closed source terms are closed programs");
+        assert!(
+            p.is_closed(),
+            "compiled closed source terms are closed programs"
+        );
         Machine::run_program(p, Fuel::default()).outcome
     }
 
@@ -260,15 +289,26 @@ mod tests {
             run_hl(&pair),
             Outcome::Value(Value::array([Value::Num(0), Value::Num(1)]))
         );
-        assert_eq!(run_hl(&HlExpr::fst(pair.clone())), Outcome::Value(Value::Num(0)));
+        assert_eq!(
+            run_hl(&HlExpr::fst(pair.clone())),
+            Outcome::Value(Value::Num(0))
+        );
         assert_eq!(run_hl(&HlExpr::snd(pair)), Outcome::Value(Value::Num(1)));
     }
 
     #[test]
     fn hl_if_and_booleans_follow_zero_is_true() {
-        let e = HlExpr::if_(HlExpr::bool_(true), HlExpr::bool_(false), HlExpr::bool_(true));
+        let e = HlExpr::if_(
+            HlExpr::bool_(true),
+            HlExpr::bool_(false),
+            HlExpr::bool_(true),
+        );
         assert_eq!(run_hl(&e), Outcome::Value(Value::Num(1)));
-        let e = HlExpr::if_(HlExpr::bool_(false), HlExpr::bool_(false), HlExpr::bool_(true));
+        let e = HlExpr::if_(
+            HlExpr::bool_(false),
+            HlExpr::bool_(false),
+            HlExpr::bool_(true),
+        );
         assert_eq!(run_hl(&e), Outcome::Value(Value::Num(0)));
     }
 
@@ -311,19 +351,31 @@ mod tests {
             HlExpr::assign(HlExpr::var("r"), HlExpr::bool_(false)),
             HlExpr::deref(HlExpr::var("r")),
         ));
-        let e = HlExpr::app(HlExpr::lam("r", HlType::ref_(HlType::Bool), body), HlExpr::ref_(HlExpr::bool_(true)));
+        let e = HlExpr::app(
+            HlExpr::lam("r", HlType::ref_(HlType::Bool), body),
+            HlExpr::ref_(HlExpr::bool_(true)),
+        );
         assert_eq!(run_hl(&e), Outcome::Value(Value::Num(1)));
     }
 
     #[test]
     fn ll_arithmetic_arrays_and_indexing() {
-        assert_eq!(run_ll(&LlExpr::add(LlExpr::int(2), LlExpr::int(3))), Outcome::Value(Value::Num(5)));
-        let arr = LlExpr::array([LlExpr::int(5), LlExpr::int(6), LlExpr::int(7)], LlType::Int);
+        assert_eq!(
+            run_ll(&LlExpr::add(LlExpr::int(2), LlExpr::int(3))),
+            Outcome::Value(Value::Num(5))
+        );
+        let arr = LlExpr::array(
+            [LlExpr::int(5), LlExpr::int(6), LlExpr::int(7)],
+            LlType::Int,
+        );
         assert_eq!(
             run_ll(&arr),
             Outcome::Value(Value::array([Value::Num(5), Value::Num(6), Value::Num(7)]))
         );
-        assert_eq!(run_ll(&LlExpr::index(arr.clone(), LlExpr::int(2))), Outcome::Value(Value::Num(7)));
+        assert_eq!(
+            run_ll(&LlExpr::index(arr.clone(), LlExpr::int(2))),
+            Outcome::Value(Value::Num(7))
+        );
         // Out of bounds is the well-defined Idx error, not a type error.
         assert_eq!(
             run_ll(&LlExpr::index(arr, LlExpr::int(9))),
@@ -334,8 +386,15 @@ mod tests {
     #[test]
     fn ll_functions_if0_and_refs() {
         // (λx:int. x + 1) 41 ==> 42
-        let inc = LlExpr::lam("x", LlType::Int, LlExpr::add(LlExpr::var("x"), LlExpr::int(1)));
-        assert_eq!(run_ll(&LlExpr::app(inc, LlExpr::int(41))), Outcome::Value(Value::Num(42)));
+        let inc = LlExpr::lam(
+            "x",
+            LlType::Int,
+            LlExpr::add(LlExpr::var("x"), LlExpr::int(1)),
+        );
+        assert_eq!(
+            run_ll(&LlExpr::app(inc, LlExpr::int(41))),
+            Outcome::Value(Value::Num(42))
+        );
 
         let e = LlExpr::if0(LlExpr::int(0), LlExpr::int(10), LlExpr::int(20));
         assert_eq!(run_ll(&e), Outcome::Value(Value::Num(10)));
@@ -358,12 +417,23 @@ mod tests {
         // A small gallery of well-typed programs; none may hit fail Type
         // (Theorem 3.4's operational content).
         let programs = vec![
-            HlExpr::if_(HlExpr::bool_(true), HlExpr::pair(HlExpr::unit(), HlExpr::bool_(false)), HlExpr::pair(HlExpr::unit(), HlExpr::bool_(true))),
+            HlExpr::if_(
+                HlExpr::bool_(true),
+                HlExpr::pair(HlExpr::unit(), HlExpr::bool_(false)),
+                HlExpr::pair(HlExpr::unit(), HlExpr::bool_(true)),
+            ),
             HlExpr::app(
-                HlExpr::lam("p", HlType::prod(HlType::Bool, HlType::Bool), HlExpr::fst(HlExpr::var("p"))),
+                HlExpr::lam(
+                    "p",
+                    HlType::prod(HlType::Bool, HlType::Bool),
+                    HlExpr::fst(HlExpr::var("p")),
+                ),
                 HlExpr::pair(HlExpr::bool_(false), HlExpr::bool_(true)),
             ),
-            HlExpr::deref(HlExpr::ref_(HlExpr::pair(HlExpr::bool_(true), HlExpr::unit()))),
+            HlExpr::deref(HlExpr::ref_(HlExpr::pair(
+                HlExpr::bool_(true),
+                HlExpr::unit(),
+            ))),
         ];
         for e in programs {
             let out = run_hl(&e);

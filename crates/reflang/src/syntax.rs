@@ -222,8 +222,15 @@ impl HlExpr {
     pub fn size(&self) -> usize {
         match self {
             HlExpr::Unit | HlExpr::Bool(_) | HlExpr::Var(_) => 1,
-            HlExpr::Inl(e, _) | HlExpr::Inr(e, _) | HlExpr::Fst(e) | HlExpr::Snd(e) | HlExpr::Ref(e) | HlExpr::Deref(e) => 1 + e.size(),
-            HlExpr::Pair(a, b) | HlExpr::App(a, b) | HlExpr::Assign(a, b) => 1 + a.size() + b.size(),
+            HlExpr::Inl(e, _)
+            | HlExpr::Inr(e, _)
+            | HlExpr::Fst(e)
+            | HlExpr::Snd(e)
+            | HlExpr::Ref(e)
+            | HlExpr::Deref(e) => 1 + e.size(),
+            HlExpr::Pair(a, b) | HlExpr::App(a, b) | HlExpr::Assign(a, b) => {
+                1 + a.size() + b.size()
+            }
             HlExpr::If(a, b, c) => 1 + a.size() + b.size() + c.size(),
             HlExpr::Match(s, _, l, _, r) => 1 + s.size() + l.size() + r.size(),
             HlExpr::Lam(_, _, b) => 1 + b.size(),
@@ -293,6 +300,7 @@ impl LlExpr {
     }
 
     /// `ē1 + ē2`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(a: LlExpr, b: LlExpr) -> LlExpr {
         LlExpr::Add(Box::new(a), Box::new(b))
     }
@@ -395,7 +403,10 @@ mod tests {
 
     #[test]
     fn type_constructors_and_display() {
-        let t = HlType::fun(HlType::sum(HlType::Bool, HlType::Unit), HlType::ref_(HlType::Bool));
+        let t = HlType::fun(
+            HlType::sum(HlType::Bool, HlType::Unit),
+            HlType::ref_(HlType::Bool),
+        );
         assert_eq!(t.to_string(), "((bool + unit) → ref bool)");
         let u = LlType::fun(LlType::array(LlType::Int), LlType::ref_(LlType::Int));
         assert_eq!(u.to_string(), "([int] → ref int)");
@@ -405,7 +416,10 @@ mod tests {
     fn boundaries_nest_across_languages() {
         // ⦇ ⦇ true ⦈int + 1 ⦈bool : a RefHL bool containing RefLL code that
         // itself embeds a RefHL bool.
-        let inner = LlExpr::add(LlExpr::boundary(HlExpr::bool_(true), LlType::Int), LlExpr::int(1));
+        let inner = LlExpr::add(
+            LlExpr::boundary(HlExpr::bool_(true), LlType::Int),
+            LlExpr::int(1),
+        );
         let outer = HlExpr::boundary(inner, HlType::Bool);
         assert_eq!(outer.size(), 5);
         assert!(outer.to_string().contains("⦇"));

@@ -109,8 +109,15 @@ impl fmt::Display for TypeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TypeError::UnboundVariable(x) => write!(f, "unbound variable {x}"),
-            TypeError::Mismatch { expected, found, context } => {
-                write!(f, "type mismatch in {context}: expected {expected}, found {found}")
+            TypeError::Mismatch {
+                expected,
+                found,
+                context,
+            } => {
+                write!(
+                    f,
+                    "type mismatch in {context}: expected {expected}, found {found}"
+                )
             }
             TypeError::NotConvertible { hl, ll } => {
                 write!(f, "no convertibility rule {hl} ∼ {ll}")
@@ -121,16 +128,31 @@ impl fmt::Display for TypeError {
 
 impl std::error::Error for TypeError {}
 
-fn mismatch(expected: impl fmt::Display, found: impl fmt::Display, context: &'static str) -> TypeError {
-    TypeError::Mismatch { expected: expected.to_string(), found: found.to_string(), context }
+fn mismatch(
+    expected: impl fmt::Display,
+    found: impl fmt::Display,
+    context: &'static str,
+) -> TypeError {
+    TypeError::Mismatch {
+        expected: expected.to_string(),
+        found: found.to_string(),
+        context,
+    }
 }
 
 /// Checks a RefHL expression, returning its type.
-pub fn check_hl(ctx: &TypeCtx, e: &HlExpr, oracle: &dyn ConvertOracle) -> Result<HlType, TypeError> {
+pub fn check_hl(
+    ctx: &TypeCtx,
+    e: &HlExpr,
+    oracle: &dyn ConvertOracle,
+) -> Result<HlType, TypeError> {
     match e {
         HlExpr::Unit => Ok(HlType::Unit),
         HlExpr::Bool(_) => Ok(HlType::Bool),
-        HlExpr::Var(x) => ctx.hl(x).cloned().ok_or_else(|| TypeError::UnboundVariable(x.clone())),
+        HlExpr::Var(x) => ctx
+            .hl(x)
+            .cloned()
+            .ok_or_else(|| TypeError::UnboundVariable(x.clone())),
         HlExpr::Inl(e1, ty) => match ty {
             HlType::Sum(l, _) => {
                 let t = check_hl(ctx, e1, oracle)?;
@@ -227,17 +249,27 @@ pub fn check_hl(ctx: &TypeCtx, e: &HlExpr, oracle: &dyn ConvertOracle) -> Result
             if oracle.convertible(ty, &tll) {
                 Ok(ty.clone())
             } else {
-                Err(TypeError::NotConvertible { hl: ty.clone(), ll: tll })
+                Err(TypeError::NotConvertible {
+                    hl: ty.clone(),
+                    ll: tll,
+                })
             }
         }
     }
 }
 
 /// Checks a RefLL expression, returning its type.
-pub fn check_ll(ctx: &TypeCtx, e: &LlExpr, oracle: &dyn ConvertOracle) -> Result<LlType, TypeError> {
+pub fn check_ll(
+    ctx: &TypeCtx,
+    e: &LlExpr,
+    oracle: &dyn ConvertOracle,
+) -> Result<LlType, TypeError> {
     match e {
         LlExpr::Int(_) => Ok(LlType::Int),
-        LlExpr::Var(x) => ctx.ll(x).cloned().ok_or_else(|| TypeError::UnboundVariable(x.clone())),
+        LlExpr::Var(x) => ctx
+            .ll(x)
+            .cloned()
+            .ok_or_else(|| TypeError::UnboundVariable(x.clone())),
         LlExpr::Array(es, elem) => {
             for e1 in es {
                 let t = check_ll(ctx, e1, oracle)?;
@@ -319,7 +351,10 @@ pub fn check_ll(ctx: &TypeCtx, e: &LlExpr, oracle: &dyn ConvertOracle) -> Result
             if oracle.convertible(&thl, ty) {
                 Ok(ty.clone())
             } else {
-                Err(TypeError::NotConvertible { hl: thl, ll: ty.clone() })
+                Err(TypeError::NotConvertible {
+                    hl: thl,
+                    ll: ty.clone(),
+                })
             }
         }
     }
@@ -338,11 +373,23 @@ mod tests {
         let oracle = DenyAllConversions;
         let ctx = TypeCtx::empty();
         assert_eq!(check_hl(&ctx, &HlExpr::unit(), &oracle), Ok(HlType::Unit));
-        assert_eq!(check_hl(&ctx, &HlExpr::bool_(true), &oracle), Ok(HlType::Bool));
+        assert_eq!(
+            check_hl(&ctx, &HlExpr::bool_(true), &oracle),
+            Ok(HlType::Bool)
+        );
         let pair = HlExpr::pair(HlExpr::bool_(true), HlExpr::unit());
-        assert_eq!(check_hl(&ctx, &pair, &oracle), Ok(HlType::prod(HlType::Bool, HlType::Unit)));
-        assert_eq!(check_hl(&ctx, &HlExpr::fst(pair.clone()), &oracle), Ok(HlType::Bool));
-        assert_eq!(check_hl(&ctx, &HlExpr::snd(pair), &oracle), Ok(HlType::Unit));
+        assert_eq!(
+            check_hl(&ctx, &pair, &oracle),
+            Ok(HlType::prod(HlType::Bool, HlType::Unit))
+        );
+        assert_eq!(
+            check_hl(&ctx, &HlExpr::fst(pair.clone()), &oracle),
+            Ok(HlType::Bool)
+        );
+        assert_eq!(
+            check_hl(&ctx, &HlExpr::snd(pair), &oracle),
+            Ok(HlType::Unit)
+        );
     }
 
     #[test]
@@ -350,12 +397,22 @@ mod tests {
         let oracle = DenyAllConversions;
         let ctx = TypeCtx::empty();
         // λx:bool. if x then () else ()
-        let f = HlExpr::lam("x", HlType::Bool, HlExpr::if_(HlExpr::var("x"), HlExpr::unit(), HlExpr::unit()));
-        assert_eq!(check_hl(&ctx, &f, &oracle), Ok(HlType::fun(HlType::Bool, HlType::Unit)));
+        let f = HlExpr::lam(
+            "x",
+            HlType::Bool,
+            HlExpr::if_(HlExpr::var("x"), HlExpr::unit(), HlExpr::unit()),
+        );
+        assert_eq!(
+            check_hl(&ctx, &f, &oracle),
+            Ok(HlType::fun(HlType::Bool, HlType::Unit))
+        );
         let app = HlExpr::app(f.clone(), HlExpr::bool_(false));
         assert_eq!(check_hl(&ctx, &app, &oracle), Ok(HlType::Unit));
         let bad = HlExpr::app(f, HlExpr::unit());
-        assert!(matches!(check_hl(&ctx, &bad, &oracle), Err(TypeError::Mismatch { .. })));
+        assert!(matches!(
+            check_hl(&ctx, &bad, &oracle),
+            Err(TypeError::Mismatch { .. })
+        ));
     }
 
     #[test]
@@ -378,8 +435,18 @@ mod tests {
         let ctx = TypeCtx::empty();
         let r = HlExpr::ref_(HlExpr::bool_(true));
         assert_eq!(check_hl(&ctx, &r, &oracle), Ok(HlType::ref_(HlType::Bool)));
-        assert_eq!(check_hl(&ctx, &HlExpr::deref(r.clone()), &oracle), Ok(HlType::Bool));
-        assert_eq!(check_hl(&ctx, &HlExpr::assign(r.clone(), HlExpr::bool_(false)), &oracle), Ok(HlType::Unit));
+        assert_eq!(
+            check_hl(&ctx, &HlExpr::deref(r.clone()), &oracle),
+            Ok(HlType::Bool)
+        );
+        assert_eq!(
+            check_hl(
+                &ctx,
+                &HlExpr::assign(r.clone(), HlExpr::bool_(false)),
+                &oracle
+            ),
+            Ok(HlType::Unit)
+        );
         assert!(check_hl(&ctx, &HlExpr::assign(r, HlExpr::unit()), &oracle).is_err());
     }
 
@@ -389,8 +456,14 @@ mod tests {
         let ctx = TypeCtx::empty();
         assert_eq!(check_ll(&ctx, &LlExpr::int(3), &oracle), Ok(LlType::Int));
         let arr = LlExpr::array([LlExpr::int(1), LlExpr::int(2)], LlType::Int);
-        assert_eq!(check_ll(&ctx, &arr, &oracle), Ok(LlType::array(LlType::Int)));
-        assert_eq!(check_ll(&ctx, &LlExpr::index(arr, LlExpr::int(0)), &oracle), Ok(LlType::Int));
+        assert_eq!(
+            check_ll(&ctx, &arr, &oracle),
+            Ok(LlType::array(LlType::Int))
+        );
+        assert_eq!(
+            check_ll(&ctx, &LlExpr::index(arr, LlExpr::int(0)), &oracle),
+            Ok(LlType::Int)
+        );
         let add = LlExpr::add(LlExpr::int(1), LlExpr::int(2));
         assert_eq!(check_ll(&ctx, &add, &oracle), Ok(LlType::Int));
         let if0 = LlExpr::if0(LlExpr::int(0), LlExpr::int(1), LlExpr::int(2));
@@ -401,7 +474,10 @@ mod tests {
     fn ll_heterogeneous_array_rejected() {
         let oracle = DenyAllConversions;
         let arr = LlExpr::Array(
-            vec![LlExpr::int(1), LlExpr::lam("x", LlType::Int, LlExpr::var("x"))],
+            vec![
+                LlExpr::int(1),
+                LlExpr::lam("x", LlType::Int, LlExpr::var("x")),
+            ],
             LlType::Int,
         );
         assert!(check_ll(&TypeCtx::empty(), &arr, &oracle).is_err());
@@ -438,13 +514,21 @@ mod tests {
         );
         assert_eq!(check_hl(&ctx, &e, &allow_bool_int), Ok(HlType::Bool));
 
-        let e = LlExpr::add(LlExpr::var("l"), LlExpr::boundary(HlExpr::var("h"), LlType::Int));
+        let e = LlExpr::add(
+            LlExpr::var("l"),
+            LlExpr::boundary(HlExpr::var("h"), LlType::Int),
+        );
         assert_eq!(check_ll(&ctx, &e, &allow_bool_int), Ok(LlType::Int));
     }
 
     #[test]
     fn unbound_variables_are_reported() {
-        let err = check_hl(&TypeCtx::empty(), &HlExpr::var("ghost"), &DenyAllConversions).unwrap_err();
+        let err = check_hl(
+            &TypeCtx::empty(),
+            &HlExpr::var("ghost"),
+            &DenyAllConversions,
+        )
+        .unwrap_err();
         assert_eq!(err.to_string(), "unbound variable ghost");
     }
 

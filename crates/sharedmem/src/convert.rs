@@ -52,12 +52,16 @@ pub struct SharedMemConversions {
 impl SharedMemConversions {
     /// The paper's rule set: pointer-sharing references.
     pub fn standard() -> Self {
-        SharedMemConversions { ref_strategy: RefStrategy::Share }
+        SharedMemConversions {
+            ref_strategy: RefStrategy::Share,
+        }
     }
 
     /// The copy-convert ablation from the Discussion.
     pub fn with_ref_strategy(strategy: RefStrategy) -> Self {
-        SharedMemConversions { ref_strategy: strategy }
+        SharedMemConversions {
+            ref_strategy: strategy,
+        }
     }
 
     /// The configured reference strategy.
@@ -96,13 +100,19 @@ impl SharedMemConversions {
             (HlType::Sum(t1, t2), LlType::Array(elem)) if **elem == LlType::Int => {
                 let (c1_to, c1_from) = self.derive(t1, &LlType::Int)?;
                 let (c2_to, c2_from) = self.derive(t2, &LlType::Int)?;
-                Some((sum_to_array(&c1_to, &c2_to), array_to_sum(&c1_from, &c2_from)))
+                Some((
+                    sum_to_array(&c1_to, &c2_to),
+                    array_to_sum(&c1_from, &c2_from),
+                ))
             }
             // τ1 × τ2 ∼ [𝜏] when τ1 ∼ 𝜏 and τ2 ∼ 𝜏 (elided in Fig. 4).
             (HlType::Prod(t1, t2), LlType::Array(elem)) => {
                 let (c1_to, c1_from) = self.derive(t1, elem)?;
                 let (c2_to, c2_from) = self.derive(t2, elem)?;
-                Some((prod_to_array(&c1_to, &c2_to), array_to_prod(&c1_from, &c2_from)))
+                Some((
+                    prod_to_array(&c1_to, &c2_to),
+                    array_to_prod(&c1_from, &c2_from),
+                ))
             }
             _ => None,
         }
@@ -231,7 +241,9 @@ fn convert_two_elements(c1: &Program, c2: &Program) -> Program {
 /// The copy-convert reference strategy: read the contents, convert them with
 /// `payload_conv`, and allocate a fresh location (paper §3 Discussion).
 fn copy_ref(payload_conv: &Program) -> Program {
-    Program::single(Instr::Read).then(payload_conv.clone()).then_instr(Instr::Alloc)
+    Program::single(Instr::Read)
+        .then(payload_conv.clone())
+        .then_instr(Instr::Alloc)
 }
 
 #[cfg(test)]
@@ -257,8 +269,9 @@ mod tests {
     #[test]
     fn ref_bool_ref_int_shares_the_pointer() {
         let c = SharedMemConversions::standard();
-        let (to_ll, from_ll) =
-            c.derive(&HlType::ref_(HlType::Bool), &LlType::ref_(LlType::Int)).unwrap();
+        let (to_ll, from_ll) = c
+            .derive(&HlType::ref_(HlType::Bool), &LlType::ref_(LlType::Int))
+            .unwrap();
         assert!(to_ll.is_empty(), "sharing a pointer must be free");
         assert!(from_ll.is_empty());
     }
@@ -296,10 +309,16 @@ mod tests {
 
         // Compiled inl true = [0, 0]; converting to [int] keeps the shape.
         let inl_true = Value::array([Value::Num(0), Value::Num(0)]);
-        assert_eq!(run_conv(inl_true.clone(), &to_ll), Outcome::Value(inl_true.clone()));
+        assert_eq!(
+            run_conv(inl_true.clone(), &to_ll),
+            Outcome::Value(inl_true.clone())
+        );
 
         // Converting back succeeds on well-formed arrays…
-        assert_eq!(run_conv(inl_true.clone(), &from_ll), Outcome::Value(inl_true));
+        assert_eq!(
+            run_conv(inl_true.clone(), &from_ll),
+            Outcome::Value(inl_true)
+        );
         let inr_x = Value::array([Value::Num(1), Value::Num(42)]);
         assert_eq!(run_conv(inr_x.clone(), &from_ll), Outcome::Value(inr_x));
 
@@ -309,7 +328,10 @@ mod tests {
 
         // …and fails Conv on arrays that are too short.
         let too_short = Value::array([Value::Num(0)]);
-        assert_eq!(run_conv(too_short, &from_ll), Outcome::Fail(ErrorCode::Conv));
+        assert_eq!(
+            run_conv(too_short, &from_ll),
+            Outcome::Fail(ErrorCode::Conv)
+        );
     }
 
     #[test]
@@ -337,7 +359,10 @@ mod tests {
     fn unit_int_collapses_to_zero() {
         let c = SharedMemConversions::standard();
         let (_, from_ll) = c.derive(&HlType::Unit, &LlType::Int).unwrap();
-        assert_eq!(run_conv(Value::Num(17), &from_ll), Outcome::Value(Value::Num(0)));
+        assert_eq!(
+            run_conv(Value::Num(17), &from_ll),
+            Outcome::Value(Value::Num(0))
+        );
     }
 
     #[test]
@@ -350,7 +375,11 @@ mod tests {
         // a *different* location with the same contents.
         let p = Program::from(vec![Instr::push_num(1), Instr::Alloc]).then(to_ll);
         let r = Machine::run_program(p, Fuel::default());
-        let loc = r.outcome.value().and_then(|v| v.as_loc()).expect("a location");
+        let loc = r
+            .outcome
+            .value()
+            .and_then(|v| v.as_loc())
+            .expect("a location");
         assert_eq!(r.heap.read(loc), Some(&Value::Num(1)));
         assert_eq!(r.heap.len(), 2, "copying allocates a second cell");
     }

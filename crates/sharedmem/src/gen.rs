@@ -23,7 +23,10 @@ pub struct GenConfig {
 
 impl Default for GenConfig {
     fn default() -> Self {
-        GenConfig { max_depth: 5, boundary_bias: 35 }
+        GenConfig {
+            max_depth: 5,
+            boundary_bias: 35,
+        }
     }
 }
 
@@ -65,7 +68,11 @@ impl ProgramGen {
     /// type itself in property tests).
     pub fn gen_hl_type(&mut self, depth: usize) -> HlType {
         if depth == 0 {
-            return if self.rng.gen_bool(0.5) { HlType::Bool } else { HlType::Unit };
+            return if self.rng.gen_bool(0.5) {
+                HlType::Bool
+            } else {
+                HlType::Unit
+            };
         }
         match self.rng.gen_range(0..6) {
             0 => HlType::Bool,
@@ -78,7 +85,7 @@ impl ProgramGen {
     }
 
     fn boundary_here(&mut self) -> bool {
-        self.rng.gen_range(0..100) < self.config.boundary_bias
+        self.rng.gen_range(0u32..100) < self.config.boundary_bias
     }
 
     fn hl(&mut self, ty: &HlType, depth: usize) -> HlExpr {
@@ -104,14 +111,24 @@ impl ProgramGen {
             // Projection from a pair containing the goal type.
             2 => {
                 if self.rng.gen_bool(0.5) {
-                    HlExpr::fst(HlExpr::pair(self.hl(ty, depth - 1), self.hl(&HlType::Unit, 0)))
+                    HlExpr::fst(HlExpr::pair(
+                        self.hl(ty, depth - 1),
+                        self.hl(&HlType::Unit, 0),
+                    ))
                 } else {
-                    HlExpr::snd(HlExpr::pair(self.hl(&HlType::Bool, 0), self.hl(ty, depth - 1)))
+                    HlExpr::snd(HlExpr::pair(
+                        self.hl(&HlType::Bool, 0),
+                        self.hl(ty, depth - 1),
+                    ))
                 }
             }
             // Immediate application of a lambda.
             _ => {
-                let arg_ty = if self.rng.gen_bool(0.5) { HlType::Bool } else { HlType::Unit };
+                let arg_ty = if self.rng.gen_bool(0.5) {
+                    HlType::Bool
+                } else {
+                    HlType::Unit
+                };
                 let var = format!("x{}", self.rng.gen_range(0..1000));
                 HlExpr::app(
                     HlExpr::lam(var.as_str(), arg_ty.clone(), self.hl(ty, depth - 1)),
@@ -160,7 +177,10 @@ impl ProgramGen {
         match ty {
             LlType::Int => match self.rng.gen_range(0..4) {
                 0 => LlExpr::int(self.rng.gen_range(-5..50)),
-                1 => LlExpr::add(self.ll(&LlType::Int, depth - 1), self.ll(&LlType::Int, depth - 1)),
+                1 => LlExpr::add(
+                    self.ll(&LlType::Int, depth - 1),
+                    self.ll(&LlType::Int, depth - 1),
+                ),
                 2 => LlExpr::if0(
                     self.ll(&LlType::Int, depth - 1),
                     self.ll(&LlType::Int, depth - 1),
@@ -168,14 +188,18 @@ impl ProgramGen {
                 ),
                 _ => LlExpr::index(
                     LlExpr::array(
-                        (0..self.rng.gen_range(1..4)).map(|_| self.ll(&LlType::Int, 0)).collect::<Vec<_>>(),
+                        (0..self.rng.gen_range(1..4))
+                            .map(|_| self.ll(&LlType::Int, 0))
+                            .collect::<Vec<_>>(),
                         LlType::Int,
                     ),
                     LlExpr::int(0),
                 ),
             },
             LlType::Array(elem) => LlExpr::array(
-                (0..self.rng.gen_range(0..4)).map(|_| self.ll(elem, depth - 1)).collect::<Vec<_>>(),
+                (0..self.rng.gen_range(0..4))
+                    .map(|_| self.ll(elem, depth - 1))
+                    .collect::<Vec<_>>(),
                 (**elem).clone(),
             ),
             LlType::Fun(a, b) => {
@@ -232,7 +256,10 @@ impl ProgramGen {
             }
             LlType::Ref(inner) if **inner == LlType::Int => vec![HlType::ref_(HlType::Bool)],
             LlType::Array(inner) if **inner == LlType::Int => {
-                vec![HlType::sum(HlType::Bool, HlType::Bool), HlType::prod(HlType::Bool, HlType::Bool)]
+                vec![
+                    HlType::sum(HlType::Bool, HlType::Bool),
+                    HlType::prod(HlType::Bool, HlType::Bool),
+                ]
             }
             _ => vec![],
         };
@@ -267,7 +294,9 @@ mod tests {
         for seed in 0..60 {
             let mut gen = ProgramGen::new(seed);
             let e = gen.gen_ll(&LlType::Int);
-            let ty = ml.typecheck_ll(&e).expect("generated RefLL program typechecks");
+            let ty = ml
+                .typecheck_ll(&e)
+                .expect("generated RefLL program typechecks");
             assert_eq!(ty, LlType::Int);
         }
     }
@@ -281,7 +310,10 @@ mod tests {
 
     #[test]
     fn boundary_bias_zero_generates_single_language_programs() {
-        let cfg = GenConfig { max_depth: 4, boundary_bias: 0 };
+        let cfg = GenConfig {
+            max_depth: 4,
+            boundary_bias: 0,
+        };
         for seed in 0..20 {
             let mut gen = ProgramGen::with_config(seed, cfg);
             let e = gen.gen_hl(&HlType::Bool);

@@ -38,8 +38,10 @@
 
 pub mod convert;
 pub mod gen;
+pub mod harness;
 pub mod model;
 pub mod multilang;
 
 pub use convert::{RefStrategy, SharedMemConversions};
+pub use harness::{SharedMemCase, SmProgram};
 pub use multilang::{MultiLang, MultiLangError};

@@ -93,7 +93,8 @@ pub fn interp_equal(a: &SemType, b: &SemType) -> bool {
         }
         // Functions are equal when both domain and codomain interpretations
         // are equal (the relation is the same set of thunks).
-        (Hl(HlType::Fun(a1, b1)), Ll(LlType::Fun(a2, b2))) | (Ll(LlType::Fun(a2, b2)), Hl(HlType::Fun(a1, b1))) => {
+        (Hl(HlType::Fun(a1, b1)), Ll(LlType::Fun(a2, b2)))
+        | (Ll(LlType::Fun(a2, b2)), Hl(HlType::Fun(a1, b1))) => {
             interp_equal(&Hl((**a1).clone()), &Ll((**a2).clone()))
                 && interp_equal(&Hl((**b1).clone()), &Ll((**b2).clone()))
         }
@@ -114,7 +115,10 @@ pub struct World {
 impl World {
     /// A world with the given budget and empty heap typing.
     pub fn new(k: u64) -> World {
-        World { k: StepIndex::new(k), heap_typing: BTreeMap::new() }
+        World {
+            k: StepIndex::new(k),
+            heap_typing: BTreeMap::new(),
+        }
     }
 
     /// Adds (or replaces) a heap-typing entry.
@@ -130,7 +134,11 @@ impl World {
             return false;
         }
         self.heap_typing.iter().all(|(l, ty)| {
-            future.heap_typing.get(l).map(|ty2| interp_equal(ty, ty2)).unwrap_or(false)
+            future
+                .heap_typing
+                .get(l)
+                .map(|ty2| interp_equal(ty, ty2))
+                .unwrap_or(false)
         })
     }
 }
@@ -143,7 +151,10 @@ impl semint_core::world::World for World {
         World::extended_by(self, future)
     }
     fn with_step_index(&self, k: StepIndex) -> Self {
-        World { k, heap_typing: self.heap_typing.clone() }
+        World {
+            k,
+            heap_typing: self.heap_typing.clone(),
+        }
     }
 }
 
@@ -181,7 +192,10 @@ impl Default for ModelChecker {
 impl ModelChecker {
     /// A checker over the given conversion rule set.
     pub fn new(conversions: SharedMemConversions) -> Self {
-        ModelChecker { conversions, fun_depth: 2 }
+        ModelChecker {
+            conversions,
+            fun_depth: 2,
+        }
     }
 
     /// `(W, v) ∈ V⟦ty⟧` under heap `heap` (needed to chase references that
@@ -190,14 +204,28 @@ impl ModelChecker {
         self.value_in_depth(world, heap, v, ty, self.fun_depth)
     }
 
-    fn value_in_depth(&self, world: &World, heap: &Heap, v: &Value, ty: &SemType, depth: usize) -> bool {
+    fn value_in_depth(
+        &self,
+        world: &World,
+        heap: &Heap,
+        v: &Value,
+        ty: &SemType,
+        depth: usize,
+    ) -> bool {
         match ty {
             SemType::Hl(t) => self.value_in_hl(world, heap, v, t, depth),
             SemType::Ll(t) => self.value_in_ll(world, heap, v, t, depth),
         }
     }
 
-    fn value_in_hl(&self, world: &World, heap: &Heap, v: &Value, ty: &HlType, depth: usize) -> bool {
+    fn value_in_hl(
+        &self,
+        world: &World,
+        heap: &Heap,
+        v: &Value,
+        ty: &HlType,
+        depth: usize,
+    ) -> bool {
         match ty {
             // V⟦unit⟧ = {(W, 0)}
             HlType::Unit => matches!(v, Value::Num(0)),
@@ -231,15 +259,22 @@ impl ModelChecker {
         }
     }
 
-    fn value_in_ll(&self, world: &World, heap: &Heap, v: &Value, ty: &LlType, depth: usize) -> bool {
+    fn value_in_ll(
+        &self,
+        world: &World,
+        heap: &Heap,
+        v: &Value,
+        ty: &LlType,
+        depth: usize,
+    ) -> bool {
         match ty {
             // V⟦int⟧ = {(W, n)}
             LlType::Int => matches!(v, Value::Num(_)),
             // V⟦[𝜏]⟧: every element is in V⟦𝜏⟧ (any length).
             LlType::Array(elem) => match v {
-                Value::Array(parts) => {
-                    parts.iter().all(|p| self.value_in_ll(world, heap, p, elem, depth))
-                }
+                Value::Array(parts) => parts
+                    .iter()
+                    .all(|p| self.value_in_ll(world, heap, p, elem, depth)),
                 _ => false,
             },
             LlType::Fun(t1, t2) => self.fun_value_in(
@@ -258,7 +293,14 @@ impl ModelChecker {
     /// the interpretation of `τ`.  For locations the world does not mention,
     /// the checker falls back to verifying the current heap contents — the
     /// "inferred extension" approximation described in the module docs.
-    fn ref_value_in(&self, world: &World, heap: &Heap, v: &Value, payload: &SemType, depth: usize) -> bool {
+    fn ref_value_in(
+        &self,
+        world: &World,
+        heap: &Heap,
+        v: &Value,
+        payload: &SemType,
+        depth: usize,
+    ) -> bool {
         let l = match v {
             Value::Loc(l) => *l,
             _ => return false,
@@ -332,7 +374,10 @@ impl ModelChecker {
                 // Build the future world: the budget shrinks by the steps
                 // taken; existing heap-typing entries persist.
                 let k_left = world.k.get().saturating_sub(result.steps);
-                let future = World { k: StepIndex::new(k_left), heap_typing: world.heap_typing.clone() };
+                let future = World {
+                    k: StepIndex::new(k_left),
+                    heap_typing: world.heap_typing.clone(),
+                };
                 self.value_in_depth(&future, &result.heap, &v, ty, depth)
             }
         }
@@ -350,6 +395,7 @@ impl ModelChecker {
     /// Canonical inhabitants of `V⟦ty⟧`, used to instantiate the universally
     /// quantified argument of the function case and to seed convertibility
     /// checks.
+    #[allow(clippy::only_used_in_recursion)]
     pub fn sample_values(&self, ty: &SemType, depth: usize) -> Vec<Value> {
         match ty {
             SemType::Hl(HlType::Unit) => vec![Value::Num(0)],
@@ -503,12 +549,18 @@ mod tests {
 
     #[test]
     fn bool_and_int_have_the_same_interpretation() {
-        assert!(interp_equal(&SemType::Hl(HlType::Bool), &SemType::Ll(LlType::Int)));
+        assert!(interp_equal(
+            &SemType::Hl(HlType::Bool),
+            &SemType::Ll(LlType::Int)
+        ));
         assert!(interp_equal(
             &SemType::Hl(HlType::ref_(HlType::Bool)),
             &SemType::Ll(LlType::ref_(LlType::Int))
         ));
-        assert!(!interp_equal(&SemType::Hl(HlType::Unit), &SemType::Ll(LlType::Int)));
+        assert!(!interp_equal(
+            &SemType::Hl(HlType::Unit),
+            &SemType::Ll(LlType::Int)
+        ));
         assert!(!interp_equal(
             &SemType::Hl(HlType::sum(HlType::Bool, HlType::Bool)),
             &SemType::Ll(LlType::array(LlType::Int))
@@ -545,7 +597,12 @@ mod tests {
 
         let arr = SemType::Ll(LlType::array(LlType::Int));
         assert!(c.value_in(&w, &h, &Value::Array(vec![]), &arr));
-        assert!(c.value_in(&w, &h, &Value::array([Value::Num(1), Value::Num(2), Value::Num(3)]), &arr));
+        assert!(c.value_in(
+            &w,
+            &h,
+            &Value::array([Value::Num(1), Value::Num(2), Value::Num(3)]),
+            &arr
+        ));
         assert!(!c.value_in(&w, &h, &Value::array([Value::Array(vec![])]), &arr));
     }
 
@@ -557,15 +614,40 @@ mod tests {
         // With ℓ : bool in the world, ℓ inhabits both ref bool and ref int —
         // the crux of the §3 case study.
         let w = World::new(100).with_loc(l, HlType::Bool);
-        assert!(c.value_in(&w, &h, &Value::Loc(l), &SemType::Hl(HlType::ref_(HlType::Bool))));
-        assert!(c.value_in(&w, &h, &Value::Loc(l), &SemType::Ll(LlType::ref_(LlType::Int))));
+        assert!(c.value_in(
+            &w,
+            &h,
+            &Value::Loc(l),
+            &SemType::Hl(HlType::ref_(HlType::Bool))
+        ));
+        assert!(c.value_in(
+            &w,
+            &h,
+            &Value::Loc(l),
+            &SemType::Ll(LlType::ref_(LlType::Int))
+        ));
         // But not ref unit: V⟦unit⟧ ≠ V⟦bool⟧.
-        assert!(!c.value_in(&w, &h, &Value::Loc(l), &SemType::Hl(HlType::ref_(HlType::Unit))));
+        assert!(!c.value_in(
+            &w,
+            &h,
+            &Value::Loc(l),
+            &SemType::Hl(HlType::ref_(HlType::Unit))
+        ));
         // A location the world does not know falls back to the heap contents.
         let w0 = World::new(100);
-        assert!(c.value_in(&w0, &h, &Value::Loc(l), &SemType::Hl(HlType::ref_(HlType::Bool))));
+        assert!(c.value_in(
+            &w0,
+            &h,
+            &Value::Loc(l),
+            &SemType::Hl(HlType::ref_(HlType::Bool))
+        ));
         // Dangling locations are never in the relation.
-        assert!(!c.value_in(&w0, &h, &Value::Loc(Loc(99)), &SemType::Hl(HlType::ref_(HlType::Bool))));
+        assert!(!c.value_in(
+            &w0,
+            &h,
+            &Value::Loc(Loc(99)),
+            &SemType::Hl(HlType::ref_(HlType::Bool))
+        ));
     }
 
     #[test]
@@ -644,9 +726,18 @@ mod tests {
             (HlType::Bool, LlType::Int),
             (HlType::Unit, LlType::Int),
             (HlType::ref_(HlType::Bool), LlType::ref_(LlType::Int)),
-            (HlType::sum(HlType::Bool, HlType::Bool), LlType::array(LlType::Int)),
-            (HlType::sum(HlType::Unit, HlType::Bool), LlType::array(LlType::Int)),
-            (HlType::prod(HlType::Bool, HlType::Bool), LlType::array(LlType::Int)),
+            (
+                HlType::sum(HlType::Bool, HlType::Bool),
+                LlType::array(LlType::Int),
+            ),
+            (
+                HlType::sum(HlType::Unit, HlType::Bool),
+                LlType::array(LlType::Int),
+            ),
+            (
+                HlType::prod(HlType::Bool, HlType::Bool),
+                LlType::array(LlType::Int),
+            ),
         ];
         for (hl, ll) in rules {
             c.check_convertibility(&hl, &ll)
@@ -660,7 +751,11 @@ mod tests {
         // Claim: int converts to unit by doing nothing. False: 7 is not in
         // V⟦unit⟧.
         let err = c
-            .check_direction(&SemType::Ll(LlType::Int), &SemType::Hl(HlType::Unit), &Program::empty())
+            .check_direction(
+                &SemType::Ll(LlType::Int),
+                &SemType::Hl(HlType::Unit),
+                &Program::empty(),
+            )
             .unwrap_err();
         assert!(err.reason.contains("not in"));
 
@@ -691,7 +786,9 @@ mod tests {
     #[test]
     fn unregistered_rules_report_not_derivable() {
         let c = checker();
-        let err = c.check_convertibility(&HlType::Bool, &LlType::array(LlType::Int)).unwrap_err();
+        let err = c
+            .check_convertibility(&HlType::Bool, &LlType::array(LlType::Int))
+            .unwrap_err();
         assert_eq!(err.reason, "rule not derivable");
     }
 
@@ -702,20 +799,33 @@ mod tests {
         // Forgetting a location is not an extension; relabelling bool as int is.
         let forgot = World::new(5);
         assert!(!w.extended_by(&forgot));
-        let relabelled = World { k: StepIndex::new(5), heap_typing: BTreeMap::from([(Loc(0), SemType::Ll(LlType::Int))]) };
+        let relabelled = World {
+            k: StepIndex::new(5),
+            heap_typing: BTreeMap::from([(Loc(0), SemType::Ll(LlType::Int))]),
+        };
         assert!(w.extended_by(&relabelled));
         // Raising the budget is not an extension.
-        let raised = World { k: StepIndex::new(50), heap_typing: w.heap_typing.clone() };
+        let raised = World {
+            k: StepIndex::new(50),
+            heap_typing: w.heap_typing.clone(),
+        };
         assert!(!w.extended_by(&raised));
     }
 
     #[test]
     fn type_safety_checker_flags_type_failures_only() {
         let c = checker();
-        assert!(c.check_type_safety(&Program::single(Instr::push_num(1)), Fuel::default()).is_ok());
         assert!(c
-            .check_type_safety(&Program::single(Instr::Fail(ErrorCode::Conv)), Fuel::default())
+            .check_type_safety(&Program::single(Instr::push_num(1)), Fuel::default())
             .is_ok());
-        assert!(c.check_type_safety(&Program::single(Instr::Call), Fuel::default()).is_err());
+        assert!(c
+            .check_type_safety(
+                &Program::single(Instr::Fail(ErrorCode::Conv)),
+                Fuel::default()
+            )
+            .is_ok());
+        assert!(c
+            .check_type_safety(&Program::single(Instr::Call), Fuel::default())
+            .is_err());
     }
 }

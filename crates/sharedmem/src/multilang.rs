@@ -87,7 +87,10 @@ pub struct MultiLang {
 impl MultiLang {
     /// A system using the given conversion rule set and the default fuel.
     pub fn new(conversions: SharedMemConversions) -> Self {
-        MultiLang { conversions, fuel: Fuel::default() }
+        MultiLang {
+            conversions,
+            fuel: Fuel::default(),
+        }
     }
 
     /// Overrides the fuel used by [`MultiLang::run_hl`] / [`MultiLang::run_ll`].
@@ -115,14 +118,20 @@ impl MultiLang {
     pub fn compile_hl(&self, e: &HlExpr) -> Result<Compiled, MultiLangError> {
         let ty = self.typecheck_hl(e)?;
         let program = compile_hl(&TypeCtx::empty(), e, &self.conversions)?;
-        Ok(Compiled { ty: SourceType::Hl(ty), program })
+        Ok(Compiled {
+            ty: SourceType::Hl(ty),
+            program,
+        })
     }
 
     /// Type checks and compiles a closed RefLL program.
     pub fn compile_ll(&self, e: &LlExpr) -> Result<Compiled, MultiLangError> {
         let ty = self.typecheck_ll(e)?;
         let program = compile_ll(&TypeCtx::empty(), e, &self.conversions)?;
-        Ok(Compiled { ty: SourceType::Ll(ty), program })
+        Ok(Compiled {
+            ty: SourceType::Ll(ty),
+            program,
+        })
     }
 
     /// Type checks, compiles and runs a closed RefHL program.
@@ -150,7 +159,11 @@ mod tests {
 
     #[test]
     fn boundary_free_programs_run_as_usual() {
-        let e = HlExpr::if_(HlExpr::bool_(true), HlExpr::bool_(false), HlExpr::bool_(true));
+        let e = HlExpr::if_(
+            HlExpr::bool_(true),
+            HlExpr::bool_(false),
+            HlExpr::bool_(true),
+        );
         let r = ml().run_hl(&e).unwrap();
         assert_eq!(r.outcome, Outcome::Value(Value::Num(1)));
 
@@ -167,7 +180,10 @@ mod tests {
             HlExpr::bool_(false),
             HlExpr::bool_(true),
         );
-        assert_eq!(ml().run_hl(&e).unwrap().outcome, Outcome::Value(Value::Num(1)));
+        assert_eq!(
+            ml().run_hl(&e).unwrap().outcome,
+            Outcome::Value(Value::Num(1))
+        );
 
         // Any non-zero int behaves as false on the RefHL side.
         let e = HlExpr::if_(
@@ -175,14 +191,23 @@ mod tests {
             HlExpr::bool_(false),
             HlExpr::bool_(true),
         );
-        assert_eq!(ml().run_hl(&e).unwrap().outcome, Outcome::Value(Value::Num(0)));
+        assert_eq!(
+            ml().run_hl(&e).unwrap().outcome,
+            Outcome::Value(Value::Num(0))
+        );
     }
 
     #[test]
     fn refhl_bools_flow_into_refll_ints() {
         // ⦇ true ⦈int + 5  ==> 0 + 5 = 5.
-        let e = LlExpr::add(LlExpr::boundary(HlExpr::bool_(true), LlType::Int), LlExpr::int(5));
-        assert_eq!(ml().run_ll(&e).unwrap().outcome, Outcome::Value(Value::Num(5)));
+        let e = LlExpr::add(
+            LlExpr::boundary(HlExpr::bool_(true), LlType::Int),
+            LlExpr::int(5),
+        );
+        assert_eq!(
+            ml().run_ll(&e).unwrap().outcome,
+            Outcome::Value(Value::Num(5))
+        );
     }
 
     #[test]
@@ -242,7 +267,10 @@ mod tests {
             "y",
             HlExpr::var("y"),
         );
-        assert_eq!(ml().run_hl(&e).unwrap().outcome, Outcome::Value(Value::Num(0)));
+        assert_eq!(
+            ml().run_hl(&e).unwrap().outcome,
+            Outcome::Value(Value::Num(0))
+        );
 
         // A malformed tag produces the well-defined Conv failure.
         let e = HlExpr::match_(
@@ -255,7 +283,10 @@ mod tests {
             "y",
             HlExpr::var("y"),
         );
-        assert_eq!(ml().run_hl(&e).unwrap().outcome, Outcome::Fail(ErrorCode::Conv));
+        assert_eq!(
+            ml().run_hl(&e).unwrap().outcome,
+            Outcome::Fail(ErrorCode::Conv)
+        );
     }
 
     #[test]
@@ -266,7 +297,10 @@ mod tests {
             HlType::ref_(HlType::sum(HlType::Bool, HlType::Bool)),
         );
         let err = ml().run_hl(&e).unwrap_err();
-        assert!(matches!(err, MultiLangError::Type(TypeError::NotConvertible { .. })));
+        assert!(matches!(
+            err,
+            MultiLangError::Type(TypeError::NotConvertible { .. })
+        ));
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub fn swap() -> Instr {
         vec![x.clone()],
         Program::from(vec![Instr::Lam(
             vec![y.clone()],
-            Program::from(vec![Instr::Push(Operand::Var(x)), Instr::Push(Operand::Var(y))]),
+            Program::from(vec![
+                Instr::Push(Operand::Var(x)),
+                Instr::Push(Operand::Var(y)),
+            ]),
         )]),
     )
 }
@@ -40,7 +43,10 @@ pub fn dup() -> Instr {
     let x = Var::new("dup%x");
     Instr::Lam(
         vec![x.clone()],
-        Program::from(vec![Instr::Push(Operand::Var(x.clone())), Instr::Push(Operand::Var(x))]),
+        Program::from(vec![
+            Instr::Push(Operand::Var(x.clone())),
+            Instr::Push(Operand::Var(x)),
+        ]),
     )
 }
 
@@ -93,8 +99,14 @@ mod tests {
     #[test]
     fn pack_then_project_recovers_elements() {
         let build = Program::from(vec![Instr::push_num(10), Instr::push_num(20), pack(2)]);
-        assert_eq!(run(build.clone().then(project(0))), Outcome::Value(Value::Num(10)));
-        assert_eq!(run(build.clone().then(project(1))), Outcome::Value(Value::Num(20)));
+        assert_eq!(
+            run(build.clone().then(project(0))),
+            Outcome::Value(Value::Num(10))
+        );
+        assert_eq!(
+            run(build.clone().then(project(1))),
+            Outcome::Value(Value::Num(20))
+        );
         assert_eq!(
             run(build),
             Outcome::Value(Value::array([Value::Num(10), Value::Num(20)]))

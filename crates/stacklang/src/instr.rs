@@ -433,7 +433,10 @@ mod tests {
             ),
         ]);
         let q = p.subst(&var("x"), &Value::Num(3));
-        assert_eq!(q.0[0], Instr::push_thunk(Program::single(Instr::push_num(3))));
+        assert_eq!(
+            q.0[0],
+            Instr::push_thunk(Program::single(Instr::push_num(3)))
+        );
         assert_eq!(
             q.0[1],
             Instr::If0(
@@ -447,7 +450,10 @@ mod tests {
     fn free_vars_and_closedness() {
         let p = Program::from(vec![
             Instr::push_var("a"),
-            Instr::lam1("b", Program::from(vec![Instr::push_var("b"), Instr::push_var("c")])),
+            Instr::lam1(
+                "b",
+                Program::from(vec![Instr::push_var("b"), Instr::push_var("c")]),
+            ),
         ]);
         let fv = p.free_vars();
         assert!(fv.contains(&var("a")));

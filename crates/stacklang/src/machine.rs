@@ -100,7 +100,12 @@ impl Machine {
     pub fn with_state(heap: Heap, stack: StackState, program: Program) -> Machine {
         let mut control = program.0;
         control.reverse();
-        Machine { heap, stack, control, steps: 0 }
+        Machine {
+            heap,
+            stack,
+            control,
+            steps: 0,
+        }
     }
 
     /// The current heap.
@@ -163,7 +168,10 @@ impl Machine {
         if self.is_terminal() {
             return StepStatus::Done;
         }
-        let instr = self.control.pop().expect("non-terminal machine has an instruction");
+        let instr = self
+            .control
+            .pop()
+            .expect("non-terminal machine has an instruction");
         self.steps += 1;
         match instr {
             Instr::Push(op) => match op.resolve() {
@@ -288,7 +296,12 @@ impl Machine {
                 None => Outcome::Fail(ErrorCode::Type),
             },
         };
-        RunResult { outcome, heap: self.heap, stack: self.stack, steps: self.steps }
+        RunResult {
+            outcome,
+            heap: self.heap,
+            stack: self.stack,
+            steps: self.steps,
+        }
     }
 
     /// Convenience: run a closed program from the empty configuration.
@@ -311,13 +324,25 @@ mod tests {
 
     #[test]
     fn arithmetic_and_comparison() {
-        let r = run(Program::from(vec![Instr::push_num(4), Instr::push_num(5), Instr::Add]));
+        let r = run(Program::from(vec![
+            Instr::push_num(4),
+            Instr::push_num(5),
+            Instr::Add,
+        ]));
         assert_eq!(r.outcome, Outcome::Value(Value::Num(9)));
 
         // less? pushes 0 (true) when n < n'.
-        let r = run(Program::from(vec![Instr::push_num(3), Instr::push_num(8), Instr::Less]));
+        let r = run(Program::from(vec![
+            Instr::push_num(3),
+            Instr::push_num(8),
+            Instr::Less,
+        ]));
         assert_eq!(r.outcome, Outcome::Value(Value::Num(0)));
-        let r = run(Program::from(vec![Instr::push_num(8), Instr::push_num(3), Instr::Less]));
+        let r = run(Program::from(vec![
+            Instr::push_num(8),
+            Instr::push_num(3),
+            Instr::Less,
+        ]));
         assert_eq!(r.outcome, Outcome::Value(Value::Num(1)));
     }
 
@@ -348,12 +373,18 @@ mod tests {
         // push 21, lam x. (push x, push x, add)  ==>  42
         let p = Program::from(vec![
             Instr::push_num(21),
-            Instr::lam1("x", Program::from(vec![Instr::push_var("x"), Instr::push_var("x"), Instr::Add])),
+            Instr::lam1(
+                "x",
+                Program::from(vec![Instr::push_var("x"), Instr::push_var("x"), Instr::Add]),
+            ),
         ]);
         assert_eq!(run(p).outcome, Outcome::Value(Value::Num(42)));
 
         // thunks suspend: push (thunk (push 1)), call ==> 1
-        let p = Program::from(vec![Instr::push_thunk(Program::single(Instr::push_num(1))), Instr::Call]);
+        let p = Program::from(vec![
+            Instr::push_thunk(Program::single(Instr::push_num(1))),
+            Instr::Call,
+        ]);
         assert_eq!(run(p).outcome, Outcome::Value(Value::Num(1)));
     }
 
@@ -375,7 +406,10 @@ mod tests {
         let p2 = Program::from(vec![
             Instr::push_num(1),
             Instr::push_num(2),
-            Instr::Lam(vec![Var::new("x2"), Var::new("x1")], Program::single(Instr::push_var("x1"))),
+            Instr::Lam(
+                vec![Var::new("x2"), Var::new("x1")],
+                Program::single(Instr::push_var("x1")),
+            ),
         ]);
         assert_eq!(run(p2).outcome, Outcome::Value(Value::Num(1)));
         let _ = p;
@@ -390,7 +424,11 @@ mod tests {
     #[test]
     fn array_indexing_and_len() {
         let arr = Value::array([Value::Num(10), Value::Num(20), Value::Num(30)]);
-        let p = Program::from(vec![Instr::push_val(arr.clone()), Instr::push_num(1), Instr::Idx]);
+        let p = Program::from(vec![
+            Instr::push_val(arr.clone()),
+            Instr::push_num(1),
+            Instr::Idx,
+        ]);
         assert_eq!(run(p).outcome, Outcome::Value(Value::Num(20)));
 
         let p = Program::from(vec![Instr::push_val(arr.clone()), Instr::Len]);
@@ -423,7 +461,11 @@ mod tests {
 
     #[test]
     fn explicit_fail_aborts_with_code() {
-        let p = Program::from(vec![Instr::push_num(1), Instr::Fail(ErrorCode::Conv), Instr::push_num(2)]);
+        let p = Program::from(vec![
+            Instr::push_num(1),
+            Instr::Fail(ErrorCode::Conv),
+            Instr::push_num(2),
+        ]);
         let r = run(p);
         assert_eq!(r.outcome, Outcome::Fail(ErrorCode::Conv));
         assert_eq!(r.stack, StackState::Fail(ErrorCode::Conv));
@@ -485,6 +527,9 @@ mod tests {
     #[test]
     fn remaining_program_reports_execution_order() {
         let m = Machine::new(Program::from(vec![Instr::push_num(1), Instr::Add]));
-        assert_eq!(m.remaining_program(), Program::from(vec![Instr::push_num(1), Instr::Add]));
+        assert_eq!(
+            m.remaining_program(),
+            Program::from(vec![Instr::push_num(1), Instr::Add])
+        );
     }
 }

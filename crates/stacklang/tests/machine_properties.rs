@@ -19,8 +19,11 @@ fn arith_strategy() -> impl Strategy<Value = Arith> {
     leaf.prop_recursive(4, 32, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(a, b, c)| Arith::IfZero(Box::new(a), Box::new(b), Box::new(c))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| Arith::IfZero(
+                Box::new(a),
+                Box::new(b),
+                Box::new(c)
+            )),
         ]
     })
 }
@@ -42,7 +45,10 @@ fn eval(a: &Arith) -> i64 {
 fn compile(a: &Arith) -> Program {
     match a {
         Arith::Lit(n) => Program::single(Instr::push_num(*n)),
-        Arith::Add(x, y) => compile(x).then(compile(y)).then_instr(swap()).then_instr(Instr::Add),
+        Arith::Add(x, y) => compile(x)
+            .then(compile(y))
+            .then_instr(swap())
+            .then_instr(Instr::Add),
         Arith::IfZero(c, t, f) => compile(c).then_instr(Instr::If0(compile(t), compile(f))),
     }
 }

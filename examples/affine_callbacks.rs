@@ -29,7 +29,10 @@ fn main() {
         MlExpr::lam(
             "cb",
             thunked(MlType::Int, MlType::Int),
-            MlExpr::app(MlExpr::var("cb"), MlExpr::lam("_", MlType::Unit, MlExpr::int(41))),
+            MlExpr::app(
+                MlExpr::var("cb"),
+                MlExpr::lam("_", MlType::Unit, MlExpr::int(41)),
+            ),
         ),
         MlExpr::boundary(callback.clone(), thunked(MlType::Int, MlType::Int)),
     );
@@ -70,7 +73,10 @@ fn main() {
     let standard = sys.run(&compiled);
     let phantom = sys.run_phantom(&compiled);
     println!("  standard semantics:  {:?}", standard.halt);
-    println!("  augmented semantics: {:?} (flags consumed: {})", phantom.halt, phantom.flags_consumed);
+    println!(
+        "  augmented semantics: {:?} (flags consumed: {})",
+        phantom.halt, phantom.flags_consumed
+    );
 
     // And the boundary that would leak a static resource is rejected
     // statically (no•(Ω) in the typing rule).

@@ -20,16 +20,25 @@ fn main() {
             "r",
             PolyType::ref_(PolyType::Int),
             PolyExpr::snd(PolyExpr::pair(
-                PolyExpr::assign(PolyExpr::var("r"), PolyExpr::add(PolyExpr::deref(PolyExpr::var("r")), PolyExpr::int(41))),
+                PolyExpr::assign(
+                    PolyExpr::var("r"),
+                    PolyExpr::add(PolyExpr::deref(PolyExpr::var("r")), PolyExpr::int(41)),
+                ),
                 PolyExpr::deref(PolyExpr::var("r")),
             )),
         ),
-        PolyExpr::boundary(L3Expr::new(L3Expr::bool_(true)), PolyType::ref_(PolyType::Int)),
+        PolyExpr::boundary(
+            L3Expr::new(L3Expr::bool_(true)),
+            PolyType::ref_(PolyType::Int),
+        ),
     );
     let r = sys.run_ml(&transfer).unwrap();
     println!("L3 → MiniML transfer:");
     println!("  result                    = {:?}", r.halt);
-    println!("  manual allocations        = {}", r.heap.stats().manual_allocs);
+    println!(
+        "  manual allocations        = {}",
+        r.heap.stats().manual_allocs
+    );
     println!("  GC allocations            = {}", r.heap.stats().gc_allocs);
     println!("  gcmov transfers           = {}", r.heap.stats().gcmovs);
     println!("  live manual cells at exit = {}", r.heap.manual_len());
@@ -66,7 +75,10 @@ fn main() {
         PolyExpr::boundary(L3Expr::bool_(false), PolyType::foreign(L3Type::Bool)),
     );
     let r = sys.run_ml(&example1).unwrap();
-    println!("\npaper example (1), (Λα. λx:α. λy:α. y) [⟨bool⟩] ⦇true⦈ ⦇false⦈ = {:?}", r.halt);
+    println!(
+        "\npaper example (1), (Λα. λx:α. λy:α. y) [⟨bool⟩] ⦇true⦈ ⦇false⦈ = {:?}",
+        r.halt
+    );
 
     // The paper's example (2): converting actual values through Church
     // booleans, then branching on the result back in L3.
@@ -82,7 +94,10 @@ fn main() {
         L3Expr::bool_(false),
     );
     let r = sys.run_l3(&example2).unwrap();
-    println!("paper example (2), Church-boolean round trip            = {:?}", r.halt);
+    println!(
+        "paper example (2), Church-boolean round trip            = {:?}",
+        r.halt
+    );
 
     // Linear capabilities cannot be laundered through foreign types.
     let smuggle = PolyExpr::boundary(

@@ -29,16 +29,25 @@ fn main() {
     println!("source program:\n  {program}\n");
 
     let system = MultiLang::new(SharedMemConversions::standard());
-    let ty = system.typecheck_hl(&program).expect("the program type checks");
+    let ty = system
+        .typecheck_hl(&program)
+        .expect("the program type checks");
     println!("type: {ty}");
 
     let compiled = system.compile_hl(&program).expect("compiles");
-    println!("compiled StackLang program ({} instructions):\n  {}\n", compiled.program.len(), compiled.program);
+    println!(
+        "compiled StackLang program ({} instructions):\n  {}\n",
+        compiled.program.len(),
+        compiled.program
+    );
 
     let result = system.run_hl(&program).expect("runs");
     println!("result: {}", result.outcome);
     println!("machine steps: {}", result.steps);
-    assert!(result.outcome.is_safe(), "well-typed programs never fail Type");
+    assert!(
+        result.outcome.is_safe(),
+        "well-typed programs never fail Type"
+    );
 
     // Step 3: the realizability model lets us ask the question the paper
     // highlights: is V⟦bool⟧ the same set of target terms as V⟦int⟧?
@@ -52,7 +61,10 @@ fn main() {
     for (hl, ll) in [
         (HlType::Bool, LlType::Int),
         (HlType::ref_(HlType::Bool), LlType::ref_(LlType::Int)),
-        (HlType::sum(HlType::Bool, HlType::Unit), LlType::array(LlType::Int)),
+        (
+            HlType::sum(HlType::Bool, HlType::Unit),
+            LlType::array(LlType::Int),
+        ),
     ] {
         match checker.check_convertibility(&hl, &ll) {
             Ok(()) => println!("Lemma 3.1 holds for  {hl} ∼ {ll}"),

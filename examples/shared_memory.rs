@@ -27,7 +27,11 @@ fn refhl_toggle() -> HlExpr {
                 HlExpr::snd(HlExpr::pair(
                     HlExpr::assign(
                         HlExpr::var("flag"),
-                        HlExpr::if_(HlExpr::var("old"), HlExpr::bool_(false), HlExpr::bool_(true)),
+                        HlExpr::if_(
+                            HlExpr::var("old"),
+                            HlExpr::bool_(false),
+                            HlExpr::bool_(true),
+                        ),
                     ),
                     HlExpr::var("old"),
                 )),
@@ -47,11 +51,7 @@ fn main() {
             "cell",
             LlType::ref_(LlType::Int),
             LlExpr::app(
-                LlExpr::lam(
-                    "ignored",
-                    LlType::Int,
-                    LlExpr::deref(LlExpr::var("cell")),
-                ),
+                LlExpr::lam("ignored", LlType::Int, LlExpr::deref(LlExpr::var("cell"))),
                 LlExpr::boundary(
                     HlExpr::app(
                         refhl_toggle(),
@@ -69,7 +69,10 @@ fn main() {
     let sharing = MultiLang::new(SharedMemConversions::standard());
     let result = sharing.run_ll(&program).expect("well-typed program runs");
     println!("[pointer-sharing conversions]");
-    println!("  result (contents seen by RefLL after RefHL's write): {}", result.outcome);
+    println!(
+        "  result (contents seen by RefLL after RefHL's write): {}",
+        result.outcome
+    );
     println!("  heap cells allocated: {}", result.heap.len());
     println!("  machine steps: {}", result.steps);
 
@@ -78,7 +81,9 @@ fn main() {
     // does not observe the update — the aliasing behaviour differs, which is
     // exactly why the paper requires identical interpretations for sharing.
     let copying = MultiLang::new(SharedMemConversions::with_ref_strategy(RefStrategy::Copy));
-    let result = copying.run_ll(&program).expect("still well-typed under copying");
+    let result = copying
+        .run_ll(&program)
+        .expect("still well-typed under copying");
     println!("\n[copy-convert conversions (ablation)]");
     println!("  result: {}", result.outcome);
     println!("  heap cells allocated: {}", result.heap.len());

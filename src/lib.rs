@@ -8,13 +8,41 @@
 //!
 //! | module | contents |
 //! |---|---|
-//! | [`core`] | the framework vocabulary: convertibility registries, boundaries, fuel, step indices |
+//! | [`core`] | the framework vocabulary: convertibility registries, boundaries, fuel, step indices, the [`core::case::CaseStudy`] trait and shared sweep statistics |
 //! | [`stacklang`] | the untyped stack-machine target of case study 1 (Fig. 2) |
 //! | [`lcvm`] | the Scheme-like target of case studies 2–3, with GC'd + manual memory and the phantom-flag augmented semantics |
 //! | [`reflang`] | RefHL and RefLL, their type systems and compilers (Fig. 1, 3) |
 //! | [`sharedmem`] | case study 1: shared-memory interoperability, Fig. 4 conversions, Fig. 5 executable model |
 //! | [`affine`] | case study 2: Affi ⊸ MiniML, thunk guards, Fig. 9 conversions, Fig. 10 phantom-flag model |
 //! | [`memgc`] | case study 3: MiniML ⊸ L3, `gcmov` ownership transfer, polymorphism over foreign types, Fig. 14 model |
+//! | [`harness`] | the unified scenario engine: a parallel, work-stealing batch runner with counterexample shrinking over every case study, and the `semint` CLI |
+//!
+//! ## The `CaseStudy` abstraction and the `semint` CLI
+//!
+//! Each case-study crate implements [`core::case::CaseStudy`] (associated
+//! `Program`/`Ty`/`Report` types; `generate`, `typecheck`, `compile`, `run`,
+//! `model_check`), and the [`harness`] engine drives any implementation —
+//! including all three at once, interleaved on one thread pool:
+//!
+//! ```
+//! use semint::harness::cases::AnyCase;
+//! use semint::harness::engine::{sweep_all, SweepConfig};
+//!
+//! let report = sweep_all(
+//!     &AnyCase::all(false),
+//!     &SweepConfig { seed_start: 0, seed_end: 8, jobs: 2, ..SweepConfig::default() },
+//! );
+//! assert_eq!(report.failure_count(), 0);
+//! ```
+//!
+//! The same engine backs the `semint` binary:
+//!
+//! ```text
+//! semint sweep --seeds 0..200 --jobs 4          # parallel sweep, aggregate report
+//! semint check --case sharedmem --seeds 0..50   # Lemma 3.1 catalogue + model checks
+//! semint run --case memgc --seed 7              # one scenario, verbosely
+//! semint sweep --seeds 0..50 --broken           # sabotaged rule → shrunk counterexamples
+//! ```
 //!
 //! ## Quick start
 //!
@@ -45,5 +73,6 @@ pub use lcvm;
 pub use memgc_interop as memgc;
 pub use reflang;
 pub use semint_core as core;
+pub use semint_harness as harness;
 pub use sharedmem;
 pub use stacklang;

@@ -23,7 +23,10 @@ fn an_affine_pipeline_across_three_boundaries() {
         "a",
         AffiType::Int,
         AffiExpr::boundary(
-            MlExpr::add(MlExpr::boundary(AffiExpr::avar("a"), MlType::Int), MlExpr::int(10)),
+            MlExpr::add(
+                MlExpr::boundary(AffiExpr::avar("a"), MlType::Int),
+                MlExpr::int(10),
+            ),
             AffiType::Int,
         ),
     );
@@ -56,7 +59,10 @@ fn the_two_enforcement_regimes_have_observably_different_costs() {
         AffiExpr::lam(
             "x",
             AffiType::Int,
-            AffiExpr::app(AffiExpr::lam("y", AffiType::Int, AffiExpr::avar("y")), AffiExpr::avar("x")),
+            AffiExpr::app(
+                AffiExpr::lam("y", AffiType::Int, AffiExpr::avar("y")),
+                AffiExpr::avar("x"),
+            ),
         ),
         AffiExpr::int(5),
     );
@@ -70,7 +76,12 @@ fn the_two_enforcement_regimes_have_observably_different_costs() {
     let rd = sys.run(&dynamic_out);
     assert_eq!(rs.halt, Halt::Value(Value::Int(5)));
     assert_eq!(rd.halt, Halt::Value(Value::Int(5)));
-    assert!(rd.steps > rs.steps, "dynamic {} should exceed static {}", rd.steps, rs.steps);
+    assert!(
+        rd.steps > rs.steps,
+        "dynamic {} should exceed static {}",
+        rd.steps,
+        rs.steps
+    );
 }
 
 #[test]
@@ -82,12 +93,21 @@ fn convertibility_soundness_for_a_catalogue_of_rules() {
         (AffiType::Bool, MlType::Int),
         (AffiType::Int, MlType::Int),
         (AffiType::bang(AffiType::Int), MlType::Int),
-        (AffiType::tensor(AffiType::Bool, AffiType::Bool), MlType::prod(MlType::Int, MlType::Int)),
         (
-            AffiType::tensor(AffiType::Int, AffiType::tensor(AffiType::Bool, AffiType::Unit)),
+            AffiType::tensor(AffiType::Bool, AffiType::Bool),
+            MlType::prod(MlType::Int, MlType::Int),
+        ),
+        (
+            AffiType::tensor(
+                AffiType::Int,
+                AffiType::tensor(AffiType::Bool, AffiType::Unit),
+            ),
             MlType::prod(MlType::Int, MlType::prod(MlType::Int, MlType::Unit)),
         ),
-        (AffiType::lolli(AffiType::Int, AffiType::Int), thunked.clone()),
+        (
+            AffiType::lolli(AffiType::Int, AffiType::Int),
+            thunked.clone(),
+        ),
         (
             AffiType::lolli(AffiType::Bool, AffiType::Int),
             MlType::fun(MlType::fun(MlType::Unit, MlType::Int), MlType::Int),
@@ -135,7 +155,10 @@ fn static_arrow_stays_inside_affi_and_phantom_agrees_with_standard() {
             Err(err) => {
                 // Static resources crossing a boundary are *rejected*, which
                 // is also a correct outcome for the first program shape.
-                assert!(format!("{err}").contains("escape"), "unexpected error {err} for {e}");
+                assert!(
+                    format!("{err}").contains("escape"),
+                    "unexpected error {err} for {e}"
+                );
             }
         }
     }

@@ -25,7 +25,10 @@ fn the_generic_registry_can_host_the_fig4_rules() {
         (HlType::Bool, LlType::Int),
         (HlType::Unit, LlType::Int),
         (HlType::ref_(HlType::Bool), LlType::ref_(LlType::Int)),
-        (HlType::sum(HlType::Bool, HlType::Bool), LlType::array(LlType::Int)),
+        (
+            HlType::sum(HlType::Bool, HlType::Bool),
+            LlType::array(LlType::Int),
+        ),
     ];
     for (hl, ll) in pairs {
         let (to_ll, to_hl) = derived.derive(&hl, &ll).expect("derivable");
@@ -42,11 +45,16 @@ fn the_generic_registry_can_host_the_fig4_rules() {
 #[test]
 fn all_case_study_worlds_satisfy_the_world_laws() {
     // §3 world.
-    let w = World::new(64).with_loc(Loc(0), HlType::Bool).with_loc(Loc(1), LlType::Int);
+    let w = World::new(64)
+        .with_loc(Loc(0), HlType::Bool)
+        .with_loc(Loc(1), LlType::Int);
     check_world_laws(&w).unwrap();
     // Lowering the index is an extension; raising it is not; forgetting a
     // location is not.
-    assert!(w.extended_by(&World { k: StepIndex::new(10), heap_typing: w.heap_typing.clone() }));
+    assert!(w.extended_by(&World {
+        k: StepIndex::new(10),
+        heap_typing: w.heap_typing.clone()
+    }));
     assert!(!w.extended_by(&World::new(64)));
 }
 

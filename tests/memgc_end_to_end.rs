@@ -24,7 +24,10 @@ fn a_full_tour_allocate_in_l3_mutate_in_miniml_collect() {
                 PolyType::ref_(PolyType::Int),
                 PolyExpr::assign(PolyExpr::var("r"), PolyExpr::int(99)),
             ),
-            PolyExpr::boundary(L3Expr::new(L3Expr::bool_(true)), PolyType::ref_(PolyType::Int)),
+            PolyExpr::boundary(
+                L3Expr::new(L3Expr::bool_(true)),
+                PolyType::ref_(PolyType::Int),
+            ),
         ),
         // Second transfer: its `new` runs callgc, reclaiming the first cell.
         PolyExpr::deref(PolyExpr::boundary(
@@ -53,7 +56,10 @@ fn l3_uses_a_miniml_generic_library() {
         PolyExpr::lam(
             "p",
             PolyType::prod(PolyType::tvar("α"), PolyType::tvar("α")),
-            PolyExpr::pair(PolyExpr::snd(PolyExpr::var("p")), PolyExpr::fst(PolyExpr::var("p"))),
+            PolyExpr::pair(
+                PolyExpr::snd(PolyExpr::var("p")),
+                PolyExpr::fst(PolyExpr::var("p")),
+            ),
         ),
     );
     let fb = PolyType::foreign(L3Type::Bool);
@@ -102,14 +108,21 @@ fn double_transfer_keeps_the_same_location_alive() {
     // L3 → MiniML → L3 → MiniML: the first hop moves, the second copies, the
     // third moves again; contents survive every hop.
     let sysm = sys();
-    let hop1 = PolyExpr::boundary(L3Expr::new(L3Expr::bool_(true)), PolyType::ref_(PolyType::Int));
+    let hop1 = PolyExpr::boundary(
+        L3Expr::new(L3Expr::bool_(true)),
+        PolyType::ref_(PolyType::Int),
+    );
     let hop2 = L3Expr::boundary(hop1, L3Type::ref_like(L3Type::Bool));
     let hop3 = PolyExpr::boundary(hop2, PolyType::ref_(PolyType::Int));
     let read = PolyExpr::deref(hop3);
     let r = sysm.run_ml(&read).unwrap();
     assert_eq!(r.halt, Halt::Value(Value::Int(0)));
     assert_eq!(r.heap.stats().gcmovs, 2, "two L3→MiniML hops");
-    assert_eq!(r.heap.stats().manual_allocs, 2, "the initial new plus one copy");
+    assert_eq!(
+        r.heap.stats().manual_allocs,
+        2,
+        "the initial new plus one copy"
+    );
 }
 
 proptest! {

@@ -21,7 +21,10 @@ fn the_paper_running_example_bool_int_roundtrip() {
     let sys = system();
     let e = HlExpr::if_(
         HlExpr::boundary(
-            LlExpr::add(LlExpr::boundary(HlExpr::bool_(true), LlType::Int), LlExpr::int(0)),
+            LlExpr::add(
+                LlExpr::boundary(HlExpr::bool_(true), LlType::Int),
+                LlExpr::int(0),
+            ),
             HlType::Bool,
         ),
         HlExpr::bool_(false),
@@ -91,7 +94,10 @@ fn convertibility_soundness_holds_for_every_derivable_rule_in_a_catalogue() {
             }
         }
     }
-    assert!(derivable >= 8, "the catalogue should exercise plenty of rules, got {derivable}");
+    assert!(
+        derivable >= 8,
+        "the catalogue should exercise plenty of rules, got {derivable}"
+    );
 }
 
 #[test]

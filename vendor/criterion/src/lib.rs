@@ -1,0 +1,292 @@
+//! A small, dependency-free, **offline** stand-in for the subset of the
+//! crates.io `criterion` API this workspace's benchmark suite uses.
+//!
+//! The build environment has no network access, so the real Criterion cannot
+//! be fetched.  This crate keeps the same structure — groups, parameterised
+//! benchmark IDs, `Bencher::iter`, `criterion_main!` — and measures each
+//! benchmark with a warm-up phase followed by timed batches, reporting the
+//! median nanoseconds per iteration to stdout.  There are no HTML reports,
+//! statistical regressions, or plots; the point is that `cargo bench`
+//! compiles, runs, and prints comparable relative numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Applies command-line arguments (`cargo bench -- <filter>`); only the
+    /// positional filter is honoured, Criterion-specific flags are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--test" | "--exact" | "--nocapture" => {}
+                "--sample-size" | "--warm-up-time" | "--measurement-time" | "--save-baseline"
+                | "--baseline" => {
+                    let _ = args.next();
+                }
+                other if other.starts_with('-') => {}
+                filter => self.filter = Some(filter.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id().id;
+        self.run_one(&id, f);
+        self
+    }
+
+    /// Prints the closing line (kept for API compatibility).
+    pub fn final_summary(&mut self) {
+        println!("criterion-lite: done");
+    }
+
+    fn run_one<F>(&self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        let mut bencher = Bencher::default();
+        while Instant::now() < warm_up_end {
+            f(&mut bencher);
+            if bencher.iterations == 0 {
+                break; // the closure never called iter(); nothing to time
+            }
+        }
+        // Sampling: split the measurement budget into `sample_size` samples.
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        for _ in 0..self.sample_size {
+            let sample_end = Instant::now() + per_sample;
+            let mut iters: u64 = 0;
+            let mut elapsed = Duration::ZERO;
+            loop {
+                bencher.reset();
+                f(&mut bencher);
+                iters += bencher.iterations;
+                elapsed += bencher.elapsed;
+                if bencher.iterations == 0 || Instant::now() >= sample_end {
+                    break;
+                }
+            }
+            if iters > 0 {
+                samples_ns.push(elapsed.as_nanos() as f64 / iters as f64);
+            }
+        }
+        match median(&mut samples_ns) {
+            Some(ns) => println!(
+                "bench: {id:<60} {:>14} ns/iter ({} samples)",
+                fmt_ns(ns),
+                samples_ns.len()
+            ),
+            None => println!("bench: {id:<60} (no iterations)"),
+        }
+    }
+}
+
+fn median(xs: &mut [f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("benchmark times are finite"));
+    Some(xs[xs.len() / 2])
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1_000_000.0 {
+        format!("{:.1}", ns)
+    } else {
+        format!("{:.2}", ns)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        let criterion: &Criterion = self.criterion;
+        criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure with no external input.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        let criterion: &Criterion = self.criterion;
+        criterion.run_one(&full, |b| f(b));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Times the measured routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` in a timed loop.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        const BATCH: u64 = 16;
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += BATCH;
+    }
+
+    fn reset(&mut self) {
+        self.iterations = 0;
+        self.elapsed = Duration::ZERO;
+    }
+}
+
+/// A benchmark identifier with a parameter, rendered as `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into [`BenchmarkId`], so benchmark names can be given as plain
+/// strings or as parameterised ids.
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Generates `fn main` running the given benchmark entry points.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($entry:path),+ $(,)?) => {
+        fn main() {
+            $($entry();)+
+        }
+    };
+}
+
+/// Groups benchmark functions under one entry point (upstream-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}

@@ -1,0 +1,123 @@
+//! Deterministic case execution for the [`proptest!`](crate::proptest) macro.
+
+use crate::strategy::Strategy;
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// The deterministic RNG threaded through strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// An RNG seeded from an arbitrary 64-bit value.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `usize` drawn from `range`.
+    pub fn below_range(&mut self, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "cannot sample empty range");
+        let span = (range.end - range.start) as u64;
+        range.start + (self.next_u64() % span) as usize
+    }
+}
+
+/// Why a single test case failed.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed-assertion error.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// How many random cases each property runs.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Executes the cases of one property.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    config: Config,
+}
+
+impl TestRunner {
+    /// A runner with the given configuration.
+    pub fn new(config: Config) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `body` over `config.cases` inputs drawn from `strategy`.
+    ///
+    /// Seeds are derived from the test name and the case index, so a failing
+    /// case reproduces on every run and is reported with its input attached.
+    pub fn run<S, F>(&self, name: &str, strategy: S, mut body: F)
+    where
+        S: Strategy,
+        S::Value: Debug,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(name.as_bytes());
+        for case in 0..self.config.cases {
+            let mut rng =
+                TestRng::new(base ^ (u64::from(case)).wrapping_mul(0xA076_1D64_78BD_642F));
+            let input = strategy.generate(&mut rng);
+            let rendered = format!("{input:?}");
+            if let Err(err) = body(input) {
+                panic!(
+                    "proptest property `{name}` failed at case {case}/{total}\n\
+                     input: {rendered}\n{err}",
+                    total = self.config.cases,
+                );
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
