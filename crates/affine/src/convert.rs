@@ -21,22 +21,49 @@ use crate::compile::{thunk_guard, AffineConversionEmitter};
 use crate::syntax::{AffiType, MlType, Mode};
 use crate::typecheck::AffineConvertOracle;
 use lcvm::Expr;
+use semint_core::convert::{ConversionPair, ConversionScheme, GlueCache};
 use semint_core::Var;
 
-/// The §4 conversion rule set.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct AffineConversions;
+/// The §4 conversion rule set, memoized through a shared
+/// [`GlueCache`] (clones share the cache).
+#[derive(Debug, Clone, Default)]
+pub struct AffineConversions {
+    cache: GlueCache<AffiType, MlType, Expr>,
+}
 
 impl AffineConversions {
-    /// A fresh rule set (it is stateless; this mirrors the other case
+    /// A fresh rule set with a cold glue cache (this mirrors the other case
     /// studies' constructors).
     pub fn standard() -> Self {
-        AffineConversions
+        AffineConversions::default()
     }
 
-    /// Derives `𝜏 ∼ τ`, returning `(C_{𝜏↦τ}, C_{τ↦𝜏})` as LCVM functions.
+    /// The memoization cache behind [`AffineConversions::derive`].
+    pub fn cache(&self) -> &GlueCache<AffiType, MlType, Expr> {
+        &self.cache
+    }
+
+    /// Derives `𝜏 ∼ τ` (memoized), returning `(C_{𝜏↦τ}, C_{τ↦𝜏})` as LCVM
+    /// functions.
     pub fn derive(&self, affi: &AffiType, ml: &MlType) -> Option<(Expr, Expr)> {
-        match (affi, ml) {
+        self.derive_pair(affi, ml)
+            .map(|p| (p.a_to_b.clone(), p.b_to_a.clone()))
+    }
+}
+
+impl ConversionScheme for AffineConversions {
+    type TyA = AffiType;
+    type TyB = MlType;
+    type Glue = Expr;
+
+    fn glue_cache(&self) -> &GlueCache<AffiType, MlType, Expr> {
+        &self.cache
+    }
+
+    /// One Fig. 9 derivation step; sub-derivations recurse through the
+    /// memoized [`AffineConversions::derive`].
+    fn derive_uncached(&self, affi: &AffiType, ml: &MlType) -> Option<ConversionPair<Expr>> {
+        let pair = match (affi, ml) {
             (AffiType::Unit, MlType::Unit) => Some((identity(), identity())),
             (AffiType::Int, MlType::Int) => Some((identity(), identity())),
             // C_{bool↦int}(e) ≜ e        C_{int↦bool}(e) ≜ if e 0 1
@@ -63,22 +90,23 @@ impl AffineConversions {
                 ))
             }
             _ => None,
-        }
+        };
+        pair.map(|(to_ml, to_affi)| ConversionPair::new(to_ml, to_affi))
     }
 }
 
 impl AffineConvertOracle for AffineConversions {
     fn convertible(&self, affi: &AffiType, ml: &MlType) -> bool {
-        self.derive(affi, ml).is_some()
+        self.derivable(affi, ml)
     }
 }
 
 impl AffineConversionEmitter for AffineConversions {
     fn affi_to_ml(&self, affi: &AffiType, ml: &MlType) -> Option<Expr> {
-        self.derive(affi, ml).map(|(to_ml, _)| to_ml)
+        self.derive_pair(affi, ml).map(|p| p.a_to_b.clone())
     }
     fn ml_to_affi(&self, ml: &MlType, affi: &AffiType) -> Option<Expr> {
-        self.derive(affi, ml).map(|(_, to_affi)| to_affi)
+        self.derive_pair(affi, ml).map(|p| p.b_to_a.clone())
     }
 }
 
@@ -299,6 +327,28 @@ mod tests {
         let (_, to_affi) = conv().derive(&affi_ty, &ml_ty).unwrap();
         let prog = Expr::app(Expr::app(to_affi, polite), thunk_guard(Expr::int(4)));
         assert_eq!(run(prog), Halt::Value(Value::Int(5)));
+    }
+
+    #[test]
+    fn repeated_derivations_hit_the_glue_cache() {
+        let c = conv();
+        let affi = AffiType::lolli(
+            AffiType::tensor(AffiType::Bool, AffiType::Int),
+            AffiType::tensor(AffiType::Int, AffiType::Bool),
+        );
+        let ml = MlType::fun(
+            MlType::fun(MlType::Unit, MlType::prod(MlType::Int, MlType::Int)),
+            MlType::prod(MlType::Int, MlType::Int),
+        );
+        let first = c.derive(&affi, &ml);
+        assert!(first.is_some());
+        let after_first = c.cache().stats();
+        let second = c.derive(&affi, &ml);
+        assert_eq!(first, second, "cached result is observably identical");
+        let after_second = c.cache().stats();
+        assert_eq!(after_second.misses, after_first.misses);
+        assert_eq!(after_second.hits, after_first.hits + 1);
+        assert_eq!(first, AffineConversions::standard().derive(&affi, &ml));
     }
 
     #[test]

@@ -4,48 +4,14 @@
 use crate::gen::{AffineGenConfig, AffineProgramGen};
 use crate::model::{AffineModelChecker, AffineSemType};
 use crate::multilang::AffineMultiLang;
-use crate::syntax::{AffiExpr, AffiType, MlExpr, MlType};
+use crate::syntax::{AffiType, MlType};
 use lcvm::RunResult;
 use semint_core::case::{CaseStudy, CheckFailure, Scenario, ScenarioConfig};
 use semint_core::stats::{OutcomeClass, RunStats};
-use semint_core::Fuel;
-use std::fmt;
+use semint_core::{Fuel, GlueCacheStats};
 
-/// A closed §4 multi-language program, hosted in either language.
-#[derive(Debug, Clone, PartialEq)]
-pub enum AffProgram {
-    /// An Affi-hosted program.
-    Affi(AffiExpr),
-    /// A MiniML-hosted program.
-    Ml(MlExpr),
-}
-
-impl fmt::Display for AffProgram {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            AffProgram::Affi(e) => write!(f, "{e}"),
-            AffProgram::Ml(e) => write!(f, "{e}"),
-        }
-    }
-}
-
-/// A source type of either §4 language.
-#[derive(Debug, Clone, PartialEq)]
-pub enum AffSourceType {
-    /// An Affi type.
-    Affi(AffiType),
-    /// A MiniML type.
-    Ml(MlType),
-}
-
-impl fmt::Display for AffSourceType {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            AffSourceType::Affi(t) => write!(f, "{t} (Affi)"),
-            AffSourceType::Ml(t) => write!(f, "{t} (MiniML)"),
-        }
-    }
-}
+pub use crate::multilang::{AffProgram, AffSourceType};
+use crate::syntax::{AffiExpr, MlExpr};
 
 /// Case study 2 packaged for the harness engine.
 ///
@@ -173,41 +139,20 @@ impl CaseStudy for AffineCase {
     }
 
     fn typecheck(&self, program: &AffProgram) -> Result<AffSourceType, String> {
-        match program {
-            AffProgram::Affi(e) => self
-                .system
-                .typecheck_affi(e)
-                .map(AffSourceType::Affi)
-                .map_err(|e| e.to_string()),
-            AffProgram::Ml(e) => self
-                .system
-                .typecheck_ml(e)
-                .map(AffSourceType::Ml)
-                .map_err(|e| e.to_string()),
-        }
+        self.system.typecheck(program).map_err(|e| e.to_string())
     }
 
     fn compile(&self, program: &AffProgram) -> Result<(), String> {
-        match program {
-            AffProgram::Affi(e) => self
-                .system
-                .compile_affi(e)
-                .map(drop)
-                .map_err(|e| e.to_string()),
-            AffProgram::Ml(e) => self
-                .system
-                .compile_ml(e)
-                .map(drop)
-                .map_err(|e| e.to_string()),
-        }
+        self.system
+            .compile(program)
+            .map(drop)
+            .map_err(|e| e.to_string())
     }
 
     fn run(&self, program: &AffProgram, fuel: Fuel) -> Result<RunResult, String> {
-        let system = self.system.clone().with_fuel(fuel);
-        match program {
-            AffProgram::Affi(e) => system.run_affi(e).map_err(|e| e.to_string()),
-            AffProgram::Ml(e) => system.run_ml(e).map_err(|e| e.to_string()),
-        }
+        self.system
+            .run_with_fuel(program, fuel)
+            .map_err(|e| e.to_string())
     }
 
     fn stats(&self, report: &RunResult) -> RunStats {
@@ -218,11 +163,7 @@ impl CaseStudy for AffineCase {
     }
 
     fn model_check(&self, program: &AffProgram, ty: &AffSourceType) -> Result<(), CheckFailure> {
-        let compiled = match program {
-            AffProgram::Affi(e) => self.system.compile_affi(e),
-            AffProgram::Ml(e) => self.system.compile_ml(e),
-        }
-        .map_err(|e| CheckFailure {
+        let compiled = self.system.compile(program).map_err(|e| CheckFailure {
             claim: "compilation".into(),
             witness: program.to_string(),
             reason: e.to_string(),
@@ -293,6 +234,10 @@ impl CaseStudy for AffineCase {
             }
         }
         Ok(())
+    }
+
+    fn glue_cache_stats(&self) -> Option<GlueCacheStats> {
+        Some(self.system.conversions().cache().stats())
     }
 }
 

@@ -1,96 +1,177 @@
 //! The end-to-end driver for case study 2: type check → compile → run, under
 //! either the standard LCVM semantics or the augmented (phantom-flag)
 //! semantics that additionally enforces the static affine discipline.
+//!
+//! Since PR 2 the driver is the shared [`InteropPipeline`] from
+//! `semint-core`; this module supplies the §4 instantiation
+//! ([`AffineSystem`]) plus the phantom-semantics runner, which is unique to
+//! this case study.
 
 use crate::compile::{CompileError, CompileOutput, Compiler};
 use crate::convert::AffineConversions;
 use crate::syntax::{AffiExpr, AffiType, MlExpr, MlType};
 use crate::typecheck::{check_affi, check_ml, AffineCtx, AffineTypeError};
 use lcvm::{Machine, MachineConfig, PhantomConfig, RunResult};
+use semint_core::pipeline::{InteropPipeline, InteropSystem, PipelineError};
 use semint_core::Fuel;
 use std::collections::BTreeSet;
 use std::fmt;
 
-/// Errors from the §4 pipeline.
+/// Errors from the §4 pipeline: the shared [`PipelineError`] shape
+/// instantiated at this case study's stage errors.
+pub type AffineMultiLangError = PipelineError<AffineTypeError, CompileError>;
+
+/// A closed §4 multi-language program, hosted in either language.
 #[derive(Debug, Clone, PartialEq)]
-pub enum AffineMultiLangError {
-    /// The program did not type check.
-    Type(AffineTypeError),
-    /// Compilation failed (missing conversion).
-    Compile(CompileError),
+pub enum AffProgram {
+    /// An Affi-hosted program.
+    Affi(AffiExpr),
+    /// A MiniML-hosted program.
+    Ml(MlExpr),
 }
 
-impl fmt::Display for AffineMultiLangError {
+impl fmt::Display for AffProgram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AffineMultiLangError::Type(e) => write!(f, "type error: {e}"),
-            AffineMultiLangError::Compile(e) => write!(f, "compile error: {e}"),
+            AffProgram::Affi(e) => write!(f, "{e}"),
+            AffProgram::Ml(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for AffineMultiLangError {}
+/// A source type of either §4 language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AffSourceType {
+    /// An Affi type.
+    Affi(AffiType),
+    /// A MiniML type.
+    Ml(MlType),
+}
 
-impl From<AffineTypeError> for AffineMultiLangError {
-    fn from(e: AffineTypeError) -> Self {
-        AffineMultiLangError::Type(e)
+impl fmt::Display for AffSourceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AffSourceType::Affi(t) => write!(f, "{t} (Affi)"),
+            AffSourceType::Ml(t) => write!(f, "{t} (MiniML)"),
+        }
     }
 }
 
-impl From<CompileError> for AffineMultiLangError {
-    fn from(e: CompileError) -> Self {
-        AffineMultiLangError::Compile(e)
+/// The §4 instantiation of [`InteropSystem`]: MiniML + Affi compiled (with
+/// Fig. 9 glue) to LCVM.
+#[derive(Debug, Clone, Default)]
+pub struct AffineSystem {
+    conversions: AffineConversions,
+}
+
+impl AffineSystem {
+    /// A system over the standard (memoizing) rule set.
+    pub fn new() -> Self {
+        AffineSystem {
+            conversions: AffineConversions::standard(),
+        }
+    }
+
+    /// The conversion rule set in use.
+    pub fn conversions(&self) -> &AffineConversions {
+        &self.conversions
+    }
+}
+
+impl InteropSystem for AffineSystem {
+    type Program = AffProgram;
+    type Ty = AffSourceType;
+    type Artifact = CompileOutput;
+    type TypeError = AffineTypeError;
+    type CompileError = CompileError;
+    type Exec = RunResult;
+
+    fn typecheck(&self, program: &AffProgram) -> Result<AffSourceType, AffineTypeError> {
+        match program {
+            AffProgram::Affi(e) => check_affi(&AffineCtx::empty(), e, &self.conversions)
+                .map(|(t, _)| AffSourceType::Affi(t)),
+            AffProgram::Ml(e) => check_ml(&AffineCtx::empty(), e, &self.conversions)
+                .map(|(t, _)| AffSourceType::Ml(t)),
+        }
+    }
+
+    fn compile(&self, program: &AffProgram) -> Result<CompileOutput, CompileError> {
+        let compiler = Compiler::new(&self.conversions, &self.conversions);
+        match program {
+            AffProgram::Affi(e) => compiler.compile_affi_program(e),
+            AffProgram::Ml(e) => compiler.compile_ml_program(e),
+        }
+    }
+
+    fn execute(&self, artifact: CompileOutput, fuel: Fuel) -> RunResult {
+        Machine::run_expr(artifact.expr, fuel)
     }
 }
 
 /// The §4 multi-language system: MiniML + Affi + the Fig. 9 conversions over
-/// LCVM.
+/// LCVM, driven by the shared [`InteropPipeline`].
 #[derive(Debug, Clone, Default)]
 pub struct AffineMultiLang {
-    conversions: AffineConversions,
-    fuel: Fuel,
+    pipeline: InteropPipeline<AffineSystem>,
 }
 
 impl AffineMultiLang {
     /// A system with the standard rule set and default fuel.
     pub fn new() -> Self {
         AffineMultiLang {
-            conversions: AffineConversions::standard(),
-            fuel: Fuel::default(),
+            pipeline: InteropPipeline::new(AffineSystem::new()),
         }
     }
 
     /// Overrides the fuel budget used by the run methods.
     pub fn with_fuel(mut self, fuel: Fuel) -> Self {
-        self.fuel = fuel;
+        self.pipeline = self.pipeline.with_fuel(fuel);
         self
+    }
+
+    /// The conversion rule set in use.
+    pub fn conversions(&self) -> &AffineConversions {
+        self.pipeline.system().conversions()
+    }
+
+    /// The shared pipeline driving this system.
+    pub fn pipeline(&self) -> &InteropPipeline<AffineSystem> {
+        &self.pipeline
+    }
+
+    /// Type checks a closed multi-language program (either host language).
+    pub fn typecheck(&self, program: &AffProgram) -> Result<AffSourceType, AffineTypeError> {
+        self.pipeline.typecheck(program)
     }
 
     /// Type checks a closed MiniML program.
     pub fn typecheck_ml(&self, e: &MlExpr) -> Result<MlType, AffineTypeError> {
-        check_ml(&AffineCtx::empty(), e, &self.conversions).map(|(t, _)| t)
+        check_ml(&AffineCtx::empty(), e, self.conversions()).map(|(t, _)| t)
     }
 
     /// Type checks a closed Affi program.
     pub fn typecheck_affi(&self, e: &AffiExpr) -> Result<AffiType, AffineTypeError> {
-        check_affi(&AffineCtx::empty(), e, &self.conversions).map(|(t, _)| t)
+        check_affi(&AffineCtx::empty(), e, self.conversions()).map(|(t, _)| t)
+    }
+
+    /// Type checks and compiles a closed multi-language program.
+    pub fn compile(&self, program: &AffProgram) -> Result<CompileOutput, AffineMultiLangError> {
+        Ok(self.pipeline.compile(program)?.artifact)
     }
 
     /// Type checks and compiles a closed MiniML program.
     pub fn compile_ml(&self, e: &MlExpr) -> Result<CompileOutput, AffineMultiLangError> {
-        self.typecheck_ml(e)?;
-        Ok(Compiler::new(&self.conversions, &self.conversions).compile_ml_program(e)?)
+        self.compile(&AffProgram::Ml(e.clone()))
     }
 
     /// Type checks and compiles a closed Affi program.
     pub fn compile_affi(&self, e: &AffiExpr) -> Result<CompileOutput, AffineMultiLangError> {
-        self.typecheck_affi(e)?;
-        Ok(Compiler::new(&self.conversions, &self.conversions).compile_affi_program(e)?)
+        self.compile(&AffProgram::Affi(e.clone()))
     }
 
     /// Runs a compiled program under the *standard* semantics.
     pub fn run(&self, compiled: &CompileOutput) -> RunResult {
-        Machine::run_expr(compiled.expr.clone(), self.fuel)
+        self.pipeline.execute(compiled)
     }
 
     /// Runs a compiled program under the *augmented* (phantom-flag) semantics,
@@ -102,17 +183,26 @@ impl AffineMultiLang {
             )),
             pinned: BTreeSet::new(),
         };
-        Machine::with_config(compiled.expr.clone(), cfg).run(self.fuel)
+        Machine::with_config(compiled.expr.clone(), cfg).run(self.pipeline.fuel())
+    }
+
+    /// Runs a closed multi-language program under the given fuel budget.
+    pub fn run_with_fuel(
+        &self,
+        program: &AffProgram,
+        fuel: Fuel,
+    ) -> Result<RunResult, AffineMultiLangError> {
+        self.pipeline.run_with_fuel(program, fuel)
     }
 
     /// Convenience: type check, compile and run a MiniML program.
     pub fn run_ml(&self, e: &MlExpr) -> Result<RunResult, AffineMultiLangError> {
-        Ok(self.run(&self.compile_ml(e)?))
+        self.pipeline.run(&AffProgram::Ml(e.clone()))
     }
 
     /// Convenience: type check, compile and run an Affi program.
     pub fn run_affi(&self, e: &AffiExpr) -> Result<RunResult, AffineMultiLangError> {
-        Ok(self.run(&self.compile_affi(e)?))
+        self.pipeline.run(&AffProgram::Affi(e.clone()))
     }
 }
 

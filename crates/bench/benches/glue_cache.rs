@@ -1,0 +1,133 @@
+//! E10 — memoized glue derivation (`semint_core::convert::GlueCache`).
+//!
+//! Claim: structural derivation of compound glue is recursive and allocates
+//! fresh target code at every level, so repeated boundary crossings at the
+//! same type pair re-pay the full cost; the shared `ConversionScheme` layer
+//! memoizes each pair, making every derivation after the first O(1).  The
+//! benchmark derives the same deep compound pair repeatedly against a warm
+//! cache vs. a cold rule set per derivation, in all three case studies, and
+//! compares the convertibility oracle's warm probe-only fast path against a
+//! full cold derivation.
+
+mod common;
+
+use affine_interop::convert::AffineConversions;
+use affine_interop::{AffiType, MlType};
+use criterion::{criterion_main, BenchmarkId, Criterion};
+use memgc_interop::convert::MemGcConversions;
+use memgc_interop::{L3Type, PolyType};
+use reflang::syntax::{HlType, LlType};
+use semint_core::convert::ConversionScheme;
+use sharedmem::convert::SharedMemConversions;
+
+/// A §3 pair of the given nesting depth (products over `bool ∼ int`).
+fn sharedmem_pair(depth: usize) -> (HlType, LlType) {
+    let mut hl = HlType::sum(HlType::Bool, HlType::Unit);
+    let mut ll = LlType::array(LlType::Int);
+    for _ in 0..depth {
+        hl = HlType::prod(hl.clone(), hl);
+        ll = LlType::array(ll);
+    }
+    (hl, ll)
+}
+
+/// A §4 pair of the given depth (tensors under a dynamic lolli).
+fn affine_pair(depth: usize) -> (AffiType, MlType) {
+    let mut affi = AffiType::Int;
+    let mut ml = MlType::Int;
+    for _ in 0..depth {
+        affi = AffiType::tensor(affi.clone(), affi);
+        ml = MlType::prod(ml.clone(), ml);
+    }
+    (
+        AffiType::lolli(affi.clone(), affi),
+        MlType::fun(MlType::fun(MlType::Unit, ml.clone()), ml),
+    )
+}
+
+/// A §5 pair of the given depth (tensors under a banged lolli).
+fn memgc_pair(depth: usize) -> (PolyType, L3Type) {
+    let mut ml = PolyType::Int;
+    let mut l3 = L3Type::Bool;
+    for _ in 0..depth {
+        ml = PolyType::prod(ml.clone(), ml);
+        l3 = L3Type::tensor(l3.clone(), l3);
+    }
+    (
+        PolyType::fun(ml.clone(), ml),
+        L3Type::bang(L3Type::lolli(L3Type::bang(l3.clone()), l3)),
+    )
+}
+
+fn bench_glue_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E10_glue_derivation_memoization");
+    for depth in [2usize, 4, 6] {
+        let (hl, ll) = sharedmem_pair(depth);
+        let warm = SharedMemConversions::standard();
+        warm.derive(&hl, &ll).expect("derivable");
+        group.bench_with_input(
+            BenchmarkId::new("sharedmem_warm_cache", depth),
+            &depth,
+            |b, _| b.iter(|| warm.derive(&hl, &ll)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sharedmem_cold_per_derivation", depth),
+            &depth,
+            |b, _| b.iter(|| SharedMemConversions::standard().derive(&hl, &ll)),
+        );
+
+        let (affi, ml) = affine_pair(depth);
+        let warm = AffineConversions::standard();
+        warm.derive(&affi, &ml).expect("derivable");
+        group.bench_with_input(
+            BenchmarkId::new("affine_warm_cache", depth),
+            &depth,
+            |b, _| b.iter(|| warm.derive(&affi, &ml)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("affine_cold_per_derivation", depth),
+            &depth,
+            |b, _| b.iter(|| AffineConversions::standard().derive(&affi, &ml)),
+        );
+
+        let (poly, l3) = memgc_pair(depth);
+        let warm = MemGcConversions::standard();
+        warm.derive(&poly, &l3).expect("derivable");
+        group.bench_with_input(
+            BenchmarkId::new("memgc_warm_cache", depth),
+            &depth,
+            |b, _| b.iter(|| warm.derive(&poly, &l3)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("memgc_cold_per_derivation", depth),
+            &depth,
+            |b, _| b.iter(|| MemGcConversions::standard().derive(&poly, &l3)),
+        );
+    }
+    group.finish();
+}
+
+/// The convertibility-oracle view: the type checker only asks yes/no, which
+/// a warm cache answers with one map probe and zero glue traffic.
+fn bench_oracle_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E10_oracle_queries");
+    let (hl, ll) = sharedmem_pair(6);
+    let warm = SharedMemConversions::standard();
+    warm.derive(&hl, &ll).expect("derivable");
+    group.bench_function("warm_derivable_probe", |b| {
+        b.iter(|| warm.derivable(&hl, &ll))
+    });
+    group.bench_function("cold_full_derivation", |b| {
+        b.iter(|| SharedMemConversions::standard().derivable(&hl, &ll))
+    });
+    group.finish();
+}
+
+fn benches() {
+    let mut c = common::criterion();
+    bench_glue_cache(&mut c);
+    bench_oracle_queries(&mut c);
+    c.final_summary();
+}
+
+criterion_main!(benches);

@@ -36,9 +36,7 @@ pub fn generated_programs(case: &AnyCase, seeds: std::ops::Range<u64>) -> Vec<An
         .collect()
 }
 
-/// One full harness sweep over all three case studies — the engine-level
-/// workload measured by the E9 throughput benchmark.
-pub fn harness_sweep(seed_count: u64, jobs: usize, model_check: bool) -> SweepReport {
+fn sweep_with(seed_count: u64, jobs: usize, model_check: bool, time: bool) -> SweepReport {
     let cases = AnyCase::all(false);
     let cfg = SweepConfig {
         seed_start: 0,
@@ -46,8 +44,21 @@ pub fn harness_sweep(seed_count: u64, jobs: usize, model_check: bool) -> SweepRe
         jobs,
         scenario: scenario_config(),
         model_check,
+        time,
     };
     sweep_all(&cases, &cfg)
+}
+
+/// One full harness sweep over all three case studies — the engine-level
+/// workload measured by the E9 throughput benchmark.
+pub fn harness_sweep(seed_count: u64, jobs: usize, model_check: bool) -> SweepReport {
+    sweep_with(seed_count, jobs, model_check, false)
+}
+
+/// Like [`harness_sweep`], but collecting per-stage wall-clock totals — the
+/// workload behind the E10 glue-cache experiment (`semint sweep --time`).
+pub fn harness_sweep_timed(seed_count: u64, jobs: usize, model_check: bool) -> SweepReport {
+    sweep_with(seed_count, jobs, model_check, true)
 }
 
 #[cfg(test)]
@@ -76,5 +87,20 @@ mod tests {
         assert_eq!(a.failure_count(), 0);
         let digests = |r: &SweepReport| r.cases.iter().map(|c| c.digest()).collect::<Vec<_>>();
         assert_eq!(digests(&a), digests(&b));
+    }
+
+    #[test]
+    fn timed_sweep_collects_stage_totals_and_cache_counters() {
+        let report = harness_sweep_timed(12, 2, false);
+        assert_eq!(report.failure_count(), 0);
+        for case in &report.cases {
+            let timings = case.timings.expect("timed sweep records timings");
+            assert!(timings.total_ns() > 0, "{}", case.case);
+            assert!(
+                case.glue_hits + case.glue_misses > 0,
+                "{} derived no glue at all",
+                case.case
+            );
+        }
     }
 }

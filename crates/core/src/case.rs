@@ -13,6 +13,7 @@
 //! `affine_interop::harness`, `memgc_interop::harness`); only the vocabulary
 //! lives here so the case-study crates need not depend on the engine.
 
+use crate::convert::GlueCacheStats;
 use crate::fuel::Fuel;
 use crate::stats::RunStats;
 use std::fmt;
@@ -136,6 +137,14 @@ pub trait CaseStudy {
     /// Cases without an executable conversion checker return `Ok(())`.
     fn check_conversions(&self) -> Result<(), CheckFailure> {
         Ok(())
+    }
+
+    /// A snapshot of the case study's glue-derivation cache counters
+    /// (see [`crate::convert::GlueCache`]), if its conversion scheme is
+    /// memoized.  The sweep engine diffs two snapshots to report per-sweep
+    /// hit/miss figures.
+    fn glue_cache_stats(&self) -> Option<GlueCacheStats> {
+        None
     }
 }
 

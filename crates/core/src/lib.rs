@@ -43,16 +43,20 @@ pub mod convert;
 pub mod fresh;
 pub mod fuel;
 pub mod outcome;
+pub mod pipeline;
 pub mod stats;
 pub mod symbol;
 pub mod world;
 
 pub use boundary::BoundaryDirection;
 pub use case::{CaseStudy, CheckFailure, Scenario, ScenarioConfig};
-pub use convert::{ConversionPair, ConvertibilityRegistry};
+pub use convert::{
+    ConversionPair, ConversionScheme, ConvertibilityRegistry, GlueCache, GlueCacheStats,
+};
 pub use fresh::FreshGen;
 pub use fuel::Fuel;
 pub use outcome::{ErrorCode, Outcome};
-pub use stats::{CaseReport, OutcomeClass, RunStats, ScenarioRecord, SweepReport};
+pub use pipeline::{CompiledProgram, InteropPipeline, InteropSystem, PipelineError};
+pub use stats::{CaseReport, OutcomeClass, RunStats, ScenarioRecord, StageTimings, SweepReport};
 pub use symbol::Var;
 pub use world::StepIndex;

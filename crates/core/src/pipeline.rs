@@ -1,0 +1,247 @@
+//! The generic interop boundary pipeline: typecheck → compile-with-glue →
+//! run under fuel.
+//!
+//! Every case study in the paper instantiates the same driver shape: a
+//! multi-language program is type checked (consulting the convertibility
+//! rules at boundaries), compiled to the common target (emitting glue code at
+//! boundaries), and run on the target machine under a step budget.  The seed
+//! repo told that story three times with three hand-rolled `multilang.rs`
+//! drivers and three structurally identical error enums; this module captures
+//! it once:
+//!
+//! * [`InteropSystem`] is what a language pair provides — the two stages that
+//!   differ per pair (typecheck, compile) plus target execution;
+//! * [`InteropPipeline`] is the driver everybody shares — it sequences the
+//!   stages, owns the default fuel budget, and reports failures through the
+//!   single [`PipelineError`] shape.
+//!
+//! The per-case `MultiLang` types remain as thin, ergonomically typed facades
+//! over an `InteropPipeline` (see `sharedmem::multilang`, `affine_interop::
+//! multilang`, `memgc_interop::multilang`).
+
+use crate::fuel::Fuel;
+use std::fmt;
+
+/// What a multi-language system provides to the shared pipeline: the paper's
+/// three designer artifacts (rules + compilers + target) behind two fallible
+/// stages and one execution step.
+pub trait InteropSystem {
+    /// Closed multi-language programs (either host language at the top).
+    type Program;
+    /// Source types (of either language).
+    type Ty;
+    /// The compiled target artifact (a target program plus whatever metadata
+    /// the case study's runner needs).
+    type Artifact;
+    /// Type-checking errors, including `NotConvertible` boundary rejections.
+    type TypeError: fmt::Display;
+    /// Compilation errors (missing conversion glue).
+    type CompileError: fmt::Display;
+    /// The result of one target-machine run.
+    type Exec;
+
+    /// Type checks a closed program, consulting the convertibility rules at
+    /// boundaries.
+    fn typecheck(&self, program: &Self::Program) -> Result<Self::Ty, Self::TypeError>;
+
+    /// Compiles a (type-correct) program to the target, emitting conversion
+    /// glue at boundaries.
+    fn compile(&self, program: &Self::Program) -> Result<Self::Artifact, Self::CompileError>;
+
+    /// Runs a compiled artifact on the target machine under `fuel`.
+    ///
+    /// The artifact is taken by value so the common compile-and-run path
+    /// never copies a compiled program; callers that want to re-run a kept
+    /// artifact clone explicitly (see [`InteropPipeline::execute`]).
+    fn execute(&self, artifact: Self::Artifact, fuel: Fuel) -> Self::Exec;
+}
+
+/// The one error shape shared by every case study's pipeline, generic over
+/// the per-stage error types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError<T, C> {
+    /// The program did not type check.
+    Type(T),
+    /// Compilation failed (a boundary had no registered conversion).
+    ///
+    /// With a sound rule set this cannot happen for programs that type
+    /// check, because the type checker consults the same rules.
+    Compile(C),
+}
+
+impl<T: fmt::Display, C: fmt::Display> fmt::Display for PipelineError<T, C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Type(e) => write!(f, "type error: {e}"),
+            PipelineError::Compile(e) => write!(f, "compile error: {e}"),
+        }
+    }
+}
+
+impl<T, C> std::error::Error for PipelineError<T, C>
+where
+    T: fmt::Display + fmt::Debug,
+    C: fmt::Display + fmt::Debug,
+{
+}
+
+/// The result type of the fallible pipeline stages over a system `S`.
+pub type PipelineResult<T, S> =
+    Result<T, PipelineError<<S as InteropSystem>::TypeError, <S as InteropSystem>::CompileError>>;
+
+/// A compiled multi-language program: the checked source type plus the
+/// target artifact, ready to run or inspect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledProgram<Ty, A> {
+    /// The source-level type the checker assigned to the program.
+    pub ty: Ty,
+    /// The compiled target artifact.
+    pub artifact: A,
+}
+
+/// The shared driver: typecheck → compile-with-glue → run under fuel.
+#[derive(Debug, Clone, Default)]
+pub struct InteropPipeline<S> {
+    system: S,
+    fuel: Fuel,
+}
+
+impl<S: InteropSystem> InteropPipeline<S> {
+    /// A pipeline over `system` with the default fuel budget.
+    pub fn new(system: S) -> Self {
+        InteropPipeline {
+            system,
+            fuel: Fuel::default(),
+        }
+    }
+
+    /// Overrides the fuel used by [`InteropPipeline::run`].
+    pub fn with_fuel(mut self, fuel: Fuel) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// The underlying system.
+    pub fn system(&self) -> &S {
+        &self.system
+    }
+
+    /// The configured fuel budget.
+    pub fn fuel(&self) -> Fuel {
+        self.fuel
+    }
+
+    /// Stage 1: type check.
+    pub fn typecheck(&self, program: &S::Program) -> Result<S::Ty, S::TypeError> {
+        self.system.typecheck(program)
+    }
+
+    /// Stages 1–2: type check, then compile with glue.
+    pub fn compile(
+        &self,
+        program: &S::Program,
+    ) -> PipelineResult<CompiledProgram<S::Ty, S::Artifact>, S> {
+        let ty = self
+            .system
+            .typecheck(program)
+            .map_err(PipelineError::Type)?;
+        let artifact = self
+            .system
+            .compile(program)
+            .map_err(PipelineError::Compile)?;
+        Ok(CompiledProgram { ty, artifact })
+    }
+
+    /// Stages 1–3 under the pipeline's own fuel budget.
+    pub fn run(&self, program: &S::Program) -> PipelineResult<S::Exec, S> {
+        self.run_with_fuel(program, self.fuel)
+    }
+
+    /// Stages 1–3 under an explicit fuel budget (what the sweep engine uses,
+    /// so per-scenario budgets need not clone the system).
+    pub fn run_with_fuel(&self, program: &S::Program, fuel: Fuel) -> PipelineResult<S::Exec, S> {
+        let compiled = self.compile(program)?;
+        Ok(self.system.execute(compiled.artifact, fuel))
+    }
+
+    /// Runs an already-compiled artifact under the pipeline's fuel, keeping
+    /// the artifact (one clone — the price of re-runnability).
+    pub fn execute(&self, artifact: &S::Artifact) -> S::Exec
+    where
+        S::Artifact: Clone,
+    {
+        self.system.execute(artifact.clone(), self.fuel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy system: programs are integers, "compilation" doubles them,
+    /// negative programs are type errors and odd ones compile errors.
+    struct Toy;
+
+    impl InteropSystem for Toy {
+        type Program = i64;
+        type Ty = &'static str;
+        type Artifact = i64;
+        type TypeError = String;
+        type CompileError = String;
+        type Exec = (i64, Fuel);
+
+        fn typecheck(&self, program: &i64) -> Result<&'static str, String> {
+            if *program < 0 {
+                Err(format!("{program} is negative"))
+            } else {
+                Ok("nat")
+            }
+        }
+
+        fn compile(&self, program: &i64) -> Result<i64, String> {
+            if program % 2 == 1 {
+                Err(format!("{program} is odd"))
+            } else {
+                Ok(program * 2)
+            }
+        }
+
+        fn execute(&self, artifact: i64, fuel: Fuel) -> (i64, Fuel) {
+            (artifact, fuel)
+        }
+    }
+
+    #[test]
+    fn pipeline_sequences_the_stages() {
+        let p = InteropPipeline::new(Toy).with_fuel(Fuel::steps(7));
+        let compiled = p.compile(&4).unwrap();
+        assert_eq!(compiled.ty, "nat");
+        assert_eq!(compiled.artifact, 8);
+        let (out, fuel) = p.run(&4).unwrap();
+        assert_eq!(out, 8);
+        assert_eq!(fuel, Fuel::steps(7));
+        let (_, fuel) = p.run_with_fuel(&4, Fuel::steps(3)).unwrap();
+        assert_eq!(fuel, Fuel::steps(3));
+    }
+
+    #[test]
+    fn stage_errors_keep_their_stage() {
+        let p = InteropPipeline::new(Toy);
+        match p.run(&-3) {
+            Err(PipelineError::Type(e)) => assert!(e.contains("negative")),
+            other => panic!("expected a type error, got {other:?}"),
+        }
+        match p.compile(&5) {
+            Err(PipelineError::Compile(e)) => assert!(e.contains("odd")),
+            other => panic!("expected a compile error, got {other:?}"),
+        }
+        assert_eq!(
+            PipelineError::<String, String>::Type("t".into()).to_string(),
+            "type error: t"
+        );
+        assert_eq!(
+            PipelineError::<String, String>::Compile("c".into()).to_string(),
+            "compile error: c"
+        );
+    }
+}

@@ -62,6 +62,65 @@ pub struct RunStats {
     pub steps: u64,
 }
 
+/// Per-stage wall-clock totals for one scenario or one whole sweep, in
+/// nanoseconds.  Collected only when the sweep asks for timing (`semint
+/// sweep --time`); wall-clock is inherently nondeterministic, so timings are
+/// excluded from [`CaseReport::digest`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Scenario generation.
+    pub generate_ns: u64,
+    /// Type checking (including boundary convertibility queries).
+    pub typecheck_ns: u64,
+    /// Compilation with glue emission.
+    pub compile_ns: u64,
+    /// Target-machine execution (includes the runner's internal compile).
+    pub run_ns: u64,
+    /// Realizability-model checking.
+    pub model_check_ns: u64,
+}
+
+impl StageTimings {
+    /// Adds another timing record into this one, stage by stage.
+    pub fn absorb(&mut self, other: &StageTimings) {
+        self.generate_ns += other.generate_ns;
+        self.typecheck_ns += other.typecheck_ns;
+        self.compile_ns += other.compile_ns;
+        self.run_ns += other.run_ns;
+        self.model_check_ns += other.model_check_ns;
+    }
+
+    /// Total wall-clock across all stages.
+    pub fn total_ns(&self) -> u64 {
+        self.generate_ns + self.typecheck_ns + self.compile_ns + self.run_ns + self.model_check_ns
+    }
+
+    /// The stages as `(label, nanoseconds)` pairs, in pipeline order.
+    pub fn stages(&self) -> [(&'static str, u64); 5] {
+        [
+            ("generate", self.generate_ns),
+            ("typecheck", self.typecheck_ns),
+            ("compile", self.compile_ns),
+            ("run", self.run_ns),
+            ("model-check", self.model_check_ns),
+        ]
+    }
+
+    /// Sets the stage named `label` (the names from
+    /// [`StageTimings::stages`]); unknown labels are rejected.
+    pub fn set_stage(&mut self, label: &str, ns: u64) -> Result<(), String> {
+        match label {
+            "generate" => self.generate_ns = ns,
+            "typecheck" => self.typecheck_ns = ns,
+            "compile" => self.compile_ns = ns,
+            "run" => self.run_ns = ns,
+            "model-check" => self.model_check_ns = ns,
+            other => return Err(format!("unknown stage {other:?}")),
+        }
+        Ok(())
+    }
+}
+
 /// The full record of one swept scenario.
 #[derive(Debug, Clone)]
 pub struct ScenarioRecord {
@@ -77,6 +136,8 @@ pub struct ScenarioRecord {
     pub stats: Option<RunStats>,
     /// The stage that failed, if any.
     pub failure: Option<FailureRecord>,
+    /// Per-stage wall-clock, when the sweep collects timing.
+    pub timings: Option<StageTimings>,
 }
 
 /// Which pipeline stage rejected a scenario.
@@ -148,6 +209,13 @@ pub struct CaseReport {
     pub total_boundaries: u64,
     /// Total rendered program size (characters) across all scenarios.
     pub total_program_chars: u64,
+    /// Glue-cache hits during the sweep (see
+    /// [`crate::convert::GlueCache`]); filled in by the sweep engine.
+    pub glue_hits: u64,
+    /// Glue-cache misses (full structural derivations) during the sweep.
+    pub glue_misses: u64,
+    /// Per-stage wall-clock totals, when the sweep collected timing.
+    pub timings: Option<StageTimings>,
     /// Scenarios that failed some pipeline stage.
     pub failures: Vec<FailureRecord>,
 }
@@ -176,6 +244,21 @@ impl CaseReport {
         if let Some(failure) = &record.failure {
             self.failures.push(failure.clone());
         }
+        if let Some(timings) = &record.timings {
+            self.timings
+                .get_or_insert_with(StageTimings::default)
+                .absorb(timings);
+        }
+    }
+
+    /// Fraction of glue-cache lookups answered from the cache, in `[0, 1]`.
+    pub fn glue_hit_rate(&self) -> f64 {
+        crate::convert::GlueCacheStats {
+            hits: self.glue_hits,
+            misses: self.glue_misses,
+            entries: 0,
+        }
+        .hit_rate()
     }
 
     /// True if no scenario failed any stage.
@@ -233,6 +316,13 @@ impl SweepReport {
                 "total_program_chars\t{}\n",
                 case.total_program_chars
             ));
+            out.push_str(&format!("glue_hits\t{}\n", case.glue_hits));
+            out.push_str(&format!("glue_misses\t{}\n", case.glue_misses));
+            if let Some(timings) = &case.timings {
+                for (label, ns) in timings.stages() {
+                    out.push_str(&format!("stage_ns\t{label}\t{ns}\n"));
+                }
+            }
             out.push_str(&format!("failures\t{}\n", case.failures.len()));
             for (label, count) in &case.outcome_histogram {
                 out.push_str(&format!("outcome\t{label}\t{count}\n"));
@@ -273,6 +363,17 @@ impl SweepReport {
                         "total_steps" => case.total_steps = parse(value)?,
                         "total_boundaries" => case.total_boundaries = parse(value)?,
                         "total_program_chars" => case.total_program_chars = parse(value)?,
+                        "glue_hits" => case.glue_hits = parse(value)?,
+                        "glue_misses" => case.glue_misses = parse(value)?,
+                        "stage_ns" => {
+                            let ns = fields.next().ok_or_else(|| {
+                                format!("line {}: missing stage time", lineno + 1)
+                            })?;
+                            case.timings
+                                .get_or_insert_with(StageTimings::default)
+                                .set_stage(value, parse(ns)?)
+                                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                        }
                         "failures" => {
                             for _ in 0..parse(value)? {
                                 case.failures.push(FailureRecord {
@@ -313,6 +414,7 @@ mod tests {
             boundaries: 2,
             stats: Some(RunStats { outcome, steps }),
             failure: None,
+            timings: None,
         }
     }
 
@@ -341,6 +443,15 @@ mod tests {
     fn tsv_round_trip() {
         let mut case = CaseReport::new("affine");
         case.absorb(&record(3, OutcomeClass::Value, 11));
+        case.glue_hits = 9;
+        case.glue_misses = 4;
+        case.timings = Some(StageTimings {
+            generate_ns: 1,
+            typecheck_ns: 2,
+            compile_ns: 3,
+            run_ns: 4,
+            model_check_ns: 5,
+        });
         let report = SweepReport { cases: vec![case] };
         let parsed = SweepReport::from_tsv(&report.to_tsv()).unwrap();
         assert_eq!(parsed.cases.len(), 1);
@@ -348,6 +459,28 @@ mod tests {
         assert_eq!(parsed.cases[0].scenarios, 1);
         assert_eq!(parsed.cases[0].total_steps, 11);
         assert_eq!(parsed.cases[0].outcome_histogram.get("value"), Some(&1));
+        assert_eq!(parsed.cases[0].glue_hits, 9);
+        assert_eq!(parsed.cases[0].glue_misses, 4);
+        assert_eq!(parsed.cases[0].timings, report.cases[0].timings);
+    }
+
+    #[test]
+    fn timings_absorb_and_total() {
+        let mut report = CaseReport::new("memgc");
+        let mut rec = record(0, OutcomeClass::Value, 1);
+        rec.timings = Some(StageTimings {
+            generate_ns: 10,
+            typecheck_ns: 20,
+            compile_ns: 30,
+            run_ns: 40,
+            model_check_ns: 50,
+        });
+        report.absorb(&rec);
+        report.absorb(&rec);
+        let timings = report.timings.expect("collected");
+        assert_eq!(timings.generate_ns, 20);
+        assert_eq!(timings.total_ns(), 300);
+        assert!((report.glue_hit_rate() - 0.0).abs() < 1e-9);
     }
 
     #[test]

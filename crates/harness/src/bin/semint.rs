@@ -41,6 +41,8 @@ OPTIONS:
     --boundary-bias P  boundary probability 0-100            (default: 35)
     --fuel N         step budget per run                     (default: 200000)
     --no-model-check skip the realizability-model stage (sweep only)
+    --time           collect per-stage wall-clock totals
+                     (generate/typecheck/compile/run/model-check)
     --broken         sabotage a conversion rule per case study; failing
                      scenarios are reported with shrunk counterexamples
 
@@ -79,6 +81,7 @@ fn main() -> ExitCode {
 }
 
 /// Options shared by the scenario-driven subcommands.
+#[derive(Debug)]
 struct Options {
     case: String,
     seed_start: u64,
@@ -87,6 +90,7 @@ struct Options {
     jobs: usize,
     scenario: ScenarioConfig,
     model_check: bool,
+    time: bool,
     broken: bool,
     save: Option<String>,
 }
@@ -101,6 +105,7 @@ impl Default for Options {
             jobs: 4,
             scenario: ScenarioConfig::default(),
             model_check: true,
+            time: false,
             broken: false,
             save: None,
         }
@@ -125,10 +130,20 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| format!("--seeds expects A..B, got `{spec}`"))?;
                 opts.seed_start = a.parse().map_err(|e| format!("--seeds start: {e}"))?;
                 opts.seed_end = b.parse().map_err(|e| format!("--seeds end: {e}"))?;
-                if opts.seed_end <= opts.seed_start {
-                    return Err(format!("--seeds range `{spec}` is empty"));
+                if opts.seed_end < opts.seed_start {
+                    return Err(format!(
+                        "--seeds range `{spec}` is reversed: the end ({}) is smaller than \
+                         the start ({}); expected a half-open range A..B with A < B",
+                        opts.seed_end, opts.seed_start
+                    ));
                 }
-                if opts.seed_end - opts.seed_start > MAX_SEEDS_PER_SWEEP {
+                if opts.seed_end == opts.seed_start {
+                    return Err(format!(
+                        "--seeds range `{spec}` is empty; expected a half-open range A..B \
+                         with A < B"
+                    ));
+                }
+                if opts.seed_end.saturating_sub(opts.seed_start) > MAX_SEEDS_PER_SWEEP {
                     return Err(format!(
                         "--seeds range `{spec}` has more than {MAX_SEEDS_PER_SWEEP} seeds"
                     ));
@@ -169,6 +184,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.scenario.fuel = Fuel::steps(steps);
             }
             "--no-model-check" => opts.model_check = false,
+            "--time" => opts.time = true,
             "--broken" => opts.broken = true,
             "--save" => opts.save = Some(value("--save")?.to_string()),
             other => return Err(format!("unknown option `{other}`; try `semint help`")),
@@ -199,6 +215,7 @@ fn sweep_config(opts: &Options) -> SweepConfig {
         jobs: opts.jobs,
         scenario: opts.scenario,
         model_check: opts.model_check,
+        time: opts.time,
     }
 }
 
@@ -220,6 +237,11 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
             println!("  outcome {} after {} steps", stats.outcome, stats.steps);
         }
         println!("  boundaries {}", record.boundaries);
+        if let Some(timings) = &record.timings {
+            for (label, ns) in timings.stages() {
+                println!("  {label:<11} {:.3} ms", ns as f64 / 1_000_000.0);
+            }
+        }
         match &record.failure {
             None => println!("  verdict OK"),
             Some(failure) => {
@@ -286,4 +308,43 @@ fn cmd_report(args: &[String]) -> Result<bool, String> {
     let report = SweepReport::from_tsv(&text)?;
     print!("{}", render_sweep(&report));
     Ok(report.failure_count() == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_options(&owned)
+    }
+
+    #[test]
+    fn reversed_seed_ranges_are_rejected_with_a_friendly_error() {
+        let err = parse(&["--seeds", "50..10"]).unwrap_err();
+        assert!(err.contains("reversed"), "{err}");
+        assert!(err.contains("50..10"), "{err}");
+        // No panic (debug-build underflow) either way round.
+        let err = parse(&["--seeds", "7..7"]).unwrap_err();
+        assert!(err.contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn well_formed_seed_ranges_parse() {
+        let opts = parse(&["--seeds", "3..9"]).unwrap();
+        assert_eq!((opts.seed_start, opts.seed_end), (3, 9));
+    }
+
+    #[test]
+    fn time_flag_enables_stage_timing() {
+        assert!(!parse(&[]).unwrap().time);
+        let opts = parse(&["--time"]).unwrap();
+        assert!(opts.time);
+        assert!(sweep_config(&opts).time);
+    }
+
+    #[test]
+    fn unknown_options_are_rejected() {
+        assert!(parse(&["--nope"]).unwrap_err().contains("--nope"));
+    }
 }

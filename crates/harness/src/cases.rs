@@ -256,6 +256,14 @@ impl CaseStudy for AnyCase {
             AnyCase::MemGc(c) => c.check_conversions(),
         }
     }
+
+    fn glue_cache_stats(&self) -> Option<semint_core::GlueCacheStats> {
+        match self {
+            AnyCase::SharedMem(c) => c.glue_cache_stats(),
+            AnyCase::Affine(c) => c.glue_cache_stats(),
+            AnyCase::MemGc(c) => c.glue_cache_stats(),
+        }
+    }
 }
 
 #[cfg(test)]

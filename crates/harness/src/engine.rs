@@ -10,9 +10,12 @@
 
 use crate::shrink::shrink_failure;
 use semint_core::case::{CaseStudy, ScenarioConfig};
-use semint_core::stats::{CaseReport, FailStage, FailureRecord, ScenarioRecord, SweepReport};
+use semint_core::stats::{
+    CaseReport, FailStage, FailureRecord, ScenarioRecord, StageTimings, SweepReport,
+};
 use std::collections::VecDeque;
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Configuration for one sweep.
 #[derive(Debug, Clone, Copy)]
@@ -28,6 +31,14 @@ pub struct SweepConfig {
     /// Whether to run the realizability-model check on every scenario (the
     /// expensive stage; `run`-only sweeps skip it).
     pub model_check: bool,
+    /// Whether to collect per-stage wall-clock totals (`semint sweep
+    /// --time`).  Timing adds a dedicated compile stage — normally folded
+    /// into the run stage — so stage totals are attributable; the recompile
+    /// inside the run stage is cheap because glue derivation is cached.
+    /// The extra stage's cache lookups are counted like any other, so glue
+    /// hit/miss figures from a timed sweep are slightly higher than from an
+    /// untimed sweep of the same seeds — compare like with like.
+    pub time: bool,
 }
 
 impl Default for SweepConfig {
@@ -38,6 +49,7 @@ impl Default for SweepConfig {
             jobs: 4,
             scenario: ScenarioConfig::default(),
             model_check: true,
+            time: false,
         }
     }
 }
@@ -116,10 +128,29 @@ where
     indexed.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Runs `f`, adding its wall-clock to `slot` when `enabled`.
+fn staged<R>(enabled: bool, slot: &mut u64, f: impl FnOnce() -> R) -> R {
+    if enabled {
+        let started = Instant::now();
+        let out = f();
+        *slot += started.elapsed().as_nanos() as u64;
+        out
+    } else {
+        f()
+    }
+}
+
 /// Runs the full pipeline for one seed of one case study.
 pub fn run_scenario<C: CaseStudy>(case: &C, seed: u64, cfg: &SweepConfig) -> ScenarioRecord {
-    let scenario = case.generate(seed, &cfg.scenario);
-    run_generated(case, &scenario, cfg)
+    let mut generate_ns = 0;
+    let scenario = staged(cfg.time, &mut generate_ns, || {
+        case.generate(seed, &cfg.scenario)
+    });
+    let mut record = run_generated(case, &scenario, cfg);
+    if let Some(timings) = &mut record.timings {
+        timings.generate_ns = generate_ns;
+    }
+    record
 }
 
 /// Runs the full pipeline on an already-generated scenario (callers that
@@ -131,6 +162,7 @@ pub fn run_generated<C: CaseStudy>(
 ) -> ScenarioRecord {
     let seed = scenario.seed;
     let rendered = scenario.program.to_string();
+    let mut timings = StageTimings::default();
     let mut record = ScenarioRecord {
         seed,
         ty: scenario.ty.to_string(),
@@ -138,6 +170,7 @@ pub fn run_generated<C: CaseStudy>(
         boundaries: case.boundary_count(&scenario.program),
         stats: None,
         failure: None,
+        timings: None,
     };
     let plain_failure = |stage: FailStage, reason: String| FailureRecord {
         seed,
@@ -147,28 +180,54 @@ pub fn run_generated<C: CaseStudy>(
         shrunk: rendered.clone(),
         shrink_steps: 0,
     };
+    let time = cfg.time;
+    let finish = move |mut record: ScenarioRecord, timings: StageTimings| {
+        if time {
+            record.timings = Some(timings);
+        }
+        record
+    };
 
     // 1. The generator's type claim must re-check.
-    match case.typecheck(&scenario.program) {
+    let checked = staged(cfg.time, &mut timings.typecheck_ns, || {
+        case.typecheck(&scenario.program)
+    });
+    match checked {
         Ok(checked) if checked == scenario.ty => {}
         Ok(checked) => {
             record.failure = Some(plain_failure(
                 FailStage::Typecheck,
                 format!("claimed {}, checked {}", scenario.ty, checked),
             ));
-            return record;
+            return finish(record, timings);
         }
         Err(err) => {
             record.failure = Some(plain_failure(FailStage::Typecheck, err));
-            return record;
+            return finish(record, timings);
+        }
+    }
+
+    // 2. A dedicated compile stage, only when timing is collected (without
+    // `--time` the compile inside `CaseStudy::run` covers it, and a separate
+    // stage would only repeat the work; with `--time` the repeat is cheap
+    // because glue derivation is memoized).
+    if cfg.time {
+        let compiled = staged(true, &mut timings.compile_ns, || {
+            case.compile(&scenario.program)
+        });
+        if let Err(err) = compiled {
+            record.failure = Some(plain_failure(FailStage::Compile, err));
+            return finish(record, timings);
         }
     }
 
     // 2+3. Compile and run under the budget.  `CaseStudy::run` compiles
-    // internally, so a dedicated compile stage would only repeat the work;
-    // an `Err` here is a compilation failure (runtime outcomes, including
-    // failing ones, come back as a report).
-    match case.run(&scenario.program, cfg.scenario.fuel) {
+    // internally; an `Err` here is a compilation failure (runtime outcomes,
+    // including failing ones, come back as a report).
+    let ran = staged(cfg.time, &mut timings.run_ns, || {
+        case.run(&scenario.program, cfg.scenario.fuel)
+    });
+    match ran {
         Ok(report) => {
             let stats = case.stats(&report);
             record.stats = Some(stats);
@@ -188,18 +247,21 @@ pub fn run_generated<C: CaseStudy>(
                     shrunk: shrunk.to_string(),
                     shrink_steps: steps,
                 });
-                return record;
+                return finish(record, timings);
             }
         }
         Err(err) => {
             record.failure = Some(plain_failure(FailStage::Compile, err));
-            return record;
+            return finish(record, timings);
         }
     }
 
     // 4. Model check, shrinking any counterexample.
     if cfg.model_check {
-        if let Err(check) = case.model_check(&scenario.program, &scenario.ty) {
+        let checked = staged(cfg.time, &mut timings.model_check_ns, || {
+            case.model_check(&scenario.program, &scenario.ty)
+        });
+        if let Err(check) = checked {
             let (shrunk, steps) = shrink_failure(case, &scenario.program, |p| {
                 case.typecheck(p)
                     .map(|ty| case.model_check(p, &ty).is_err())
@@ -215,7 +277,7 @@ pub fn run_generated<C: CaseStudy>(
             });
         }
     }
-    record
+    finish(record, timings)
 }
 
 fn check_range(cfg: &SweepConfig) {
@@ -227,23 +289,45 @@ fn check_range(cfg: &SweepConfig) {
     );
 }
 
+/// Records the per-sweep glue-cache counters into `report`, as the
+/// difference between two snapshots of the case's shared cache.
+fn record_glue_stats<C: CaseStudy>(
+    case: &C,
+    before: Option<semint_core::GlueCacheStats>,
+    report: &mut CaseReport,
+) {
+    if let (Some(before), Some(after)) = (before, case.glue_cache_stats()) {
+        let delta = after.since(&before);
+        report.glue_hits = delta.hits;
+        report.glue_misses = delta.misses;
+    }
+}
+
 /// Sweeps one case study over the configured seed range.
 pub fn sweep_case<C: CaseStudy + Sync>(case: &C, cfg: &SweepConfig) -> CaseReport {
     check_range(cfg);
+    let glue_before = case.glue_cache_stats();
     let seeds: Vec<u64> = (cfg.seed_start..cfg.seed_end).collect();
     let records = parallel_map(&seeds, cfg.jobs, |&seed| run_scenario(case, seed, cfg));
     let mut report = CaseReport::new(case.name());
     for record in &records {
         report.absorb(record);
     }
+    record_glue_stats(case, glue_before, &mut report);
     report
 }
 
 /// Sweeps several case studies through **one shared pool**: all (case, seed)
 /// tasks are interleaved, so the three case studies genuinely run in
 /// parallel rather than back to back.
+///
+/// Every worker consults the same per-case [`semint_core::GlueCache`]
+/// (conversion schemes share their cache across clones), so compound glue is
+/// derived once per type pair per sweep; the per-case hit/miss deltas land in
+/// [`CaseReport::glue_hits`] / [`CaseReport::glue_misses`].
 pub fn sweep_all<C: CaseStudy + Sync>(cases: &[C], cfg: &SweepConfig) -> SweepReport {
     check_range(cfg);
+    let glue_before: Vec<_> = cases.iter().map(|case| case.glue_cache_stats()).collect();
     let tasks: Vec<(usize, u64)> = cases
         .iter()
         .enumerate()
@@ -258,6 +342,9 @@ pub fn sweep_all<C: CaseStudy + Sync>(cases: &[C], cfg: &SweepConfig) -> SweepRe
         .collect();
     for (idx, record) in &records {
         reports[*idx].absorb(record);
+    }
+    for ((case, report), before) in cases.iter().zip(&mut reports).zip(glue_before) {
+        record_glue_stats(case, before, report);
     }
     SweepReport { cases: reports }
 }

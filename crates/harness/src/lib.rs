@@ -11,7 +11,7 @@
 //! * [`engine`] — a parallel batch runner with deterministic per-task seed
 //!   splitting and a work-stealing thread pool (std threads + mutex deques,
 //!   no external dependencies), producing the shared
-//!   [`CaseReport`](semint_core::stats::CaseReport) aggregates;
+//!   [`CaseReport`] aggregates;
 //! * [`shrink`] — greedy structural counterexample shrinking for scenarios
 //!   that fail type safety or model checking;
 //! * [`cases`] — the [`cases::AnyCase`] dispatcher that erases the three

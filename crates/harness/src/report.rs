@@ -17,6 +17,26 @@ pub fn render_case(report: &CaseReport) -> String {
         .checked_div(report.scenarios)
         .unwrap_or(0);
     out.push_str(&format!("  avg program size {:>10} chars\n", avg_chars));
+    out.push_str(&format!(
+        "  glue cache       {:>10} hits / {} misses ({:.1}% hit rate)\n",
+        report.glue_hits,
+        report.glue_misses,
+        report.glue_hit_rate() * 100.0
+    ));
+    if let Some(timings) = &report.timings {
+        out.push_str("  stage wall-clock\n");
+        for (label, ns) in timings.stages() {
+            out.push_str(&format!(
+                "    {label:<14} {:>10.3} ms\n",
+                ns as f64 / 1_000_000.0
+            ));
+        }
+        out.push_str(&format!(
+            "    {:<14} {:>10.3} ms\n",
+            "total",
+            timings.total_ns() as f64 / 1_000_000.0
+        ));
+    }
     out.push_str("  outcomes\n");
     if report.outcome_histogram.is_empty() {
         out.push_str("    (none)\n");
@@ -88,6 +108,31 @@ mod tests {
         assert!(text.contains("seed      7"));
         assert!(text.contains("shrunk (3 steps): true"));
         assert!(text.contains("total: 2 scenarios, 1 failures"));
+    }
+
+    #[test]
+    fn render_includes_glue_cache_and_timings() {
+        let mut case = CaseReport::new("memgc");
+        case.scenarios = 4;
+        case.glue_hits = 30;
+        case.glue_misses = 10;
+        case.timings = Some(semint_core::StageTimings {
+            generate_ns: 2_000_000,
+            typecheck_ns: 1_000_000,
+            compile_ns: 500_000,
+            run_ns: 4_000_000,
+            model_check_ns: 0,
+        });
+        let text = render_case(&case);
+        assert!(text.contains("glue cache"), "{text}");
+        assert!(
+            text.contains("30 hits / 10 misses (75.0% hit rate)"),
+            "{text}"
+        );
+        assert!(text.contains("stage wall-clock"), "{text}");
+        assert!(text.contains("generate"), "{text}");
+        assert!(text.contains("model-check"), "{text}");
+        assert!(text.contains("total"), "{text}");
     }
 
     #[test]

@@ -31,27 +31,53 @@ use crate::compile::MemGcConversionEmitter;
 use crate::syntax::{L3Type, PolyType};
 use crate::typecheck::{ref_like_payload, MemGcConvertOracle};
 use lcvm::Expr;
+use semint_core::convert::{ConversionPair, ConversionScheme, GlueCache};
 
-/// The §5 conversion rule set.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct MemGcConversions;
+/// The §5 conversion rule set, memoized through a shared
+/// [`GlueCache`] (clones share the cache).
+#[derive(Debug, Clone, Default)]
+pub struct MemGcConversions {
+    cache: GlueCache<PolyType, L3Type, Expr>,
+}
 
 impl MemGcConversions {
-    /// The standard rule set.
+    /// The standard rule set with a cold glue cache.
     pub fn standard() -> Self {
-        MemGcConversions
+        MemGcConversions::default()
     }
 
-    /// Derives `τ ∼ 𝜏`, returning `(C_{τ↦𝜏}, C_{𝜏↦τ})`.
+    /// The memoization cache behind [`MemGcConversions::derive`].
+    pub fn cache(&self) -> &GlueCache<PolyType, L3Type, Expr> {
+        &self.cache
+    }
+
+    /// Derives `τ ∼ 𝜏` (memoized), returning `(C_{τ↦𝜏}, C_{𝜏↦τ})`.
     pub fn derive(&self, ml: &PolyType, l3: &L3Type) -> Option<(Expr, Expr)> {
+        self.derive_pair(ml, l3)
+            .map(|p| (p.a_to_b.clone(), p.b_to_a.clone()))
+    }
+}
+
+impl ConversionScheme for MemGcConversions {
+    type TyA = PolyType;
+    type TyB = L3Type;
+    type Glue = Expr;
+
+    fn glue_cache(&self) -> &GlueCache<PolyType, L3Type, Expr> {
+        &self.cache
+    }
+
+    /// One §5 derivation step; sub-derivations recurse through the memoized
+    /// [`MemGcConversions::derive`].
+    fn derive_uncached(&self, ml: &PolyType, l3: &L3Type) -> Option<ConversionPair<Expr>> {
         // Foreign embedding: ⟨𝜏⟩ ∼ 𝜏 for Duplicable 𝜏, no runtime consequence.
         if let PolyType::Foreign(inner) = ml {
             if inner.as_ref() == l3 && l3.is_duplicable() {
-                return Some((identity(), identity()));
+                return Some(ConversionPair::new(identity(), identity()));
             }
             return None;
         }
-        match (ml, l3) {
+        let pair = match (ml, l3) {
             (PolyType::Unit, L3Type::Unit) => Some((identity(), identity())),
             // MiniML int ∼ L3 bool: ints collapse onto 0/1.
             (PolyType::Int, L3Type::Bool) => Some((collapse_to_bool(), identity())),
@@ -71,7 +97,7 @@ impl MemGcConversions {
                     if let L3Type::Bang(a1_inner) = a1.as_ref() {
                         let (c_arg_ml_to_l3, c_arg_l3_to_ml) = self.derive(m1, a1_inner)?;
                         let (c_res_ml_to_l3, c_res_l3_to_ml) = self.derive(m2, a2)?;
-                        return Some((
+                        return Some(ConversionPair::new(
                             wrap_fun(c_arg_l3_to_ml, c_res_ml_to_l3),
                             wrap_fun(c_arg_ml_to_l3, c_res_l3_to_ml),
                         ));
@@ -86,22 +112,23 @@ impl MemGcConversions {
                 Some((pair_map(c1_to, c2_to), pair_map(c1_from, c2_from)))
             }
             _ => None,
-        }
+        };
+        pair.map(|(to_l3, from_l3)| ConversionPair::new(to_l3, from_l3))
     }
 }
 
 impl MemGcConvertOracle for MemGcConversions {
     fn convertible(&self, ml: &PolyType, l3: &L3Type) -> bool {
-        self.derive(ml, l3).is_some()
+        self.derivable(ml, l3)
     }
 }
 
 impl MemGcConversionEmitter for MemGcConversions {
     fn l3_to_ml(&self, l3: &L3Type, ml: &PolyType) -> Option<Expr> {
-        self.derive(ml, l3).map(|(_, from_l3)| from_l3)
+        self.derive_pair(ml, l3).map(|p| p.b_to_a.clone())
     }
     fn ml_to_l3(&self, ml: &PolyType, l3: &L3Type) -> Option<Expr> {
-        self.derive(ml, l3).map(|(to_l3, _)| to_l3)
+        self.derive_pair(ml, l3).map(|p| p.a_to_b.clone())
     }
 }
 
@@ -319,6 +346,28 @@ mod tests {
         let ml_fun = Expr::lam("x", Expr::add(Expr::var("x"), Expr::int(3)));
         let prog = Expr::app(Expr::app(to_l3, ml_fun), Expr::int(0));
         assert_eq!(run(prog), Halt::Value(Value::Int(1)));
+    }
+
+    #[test]
+    fn repeated_derivations_hit_the_glue_cache() {
+        let c = conv();
+        let ml = PolyType::fun(
+            PolyType::prod(PolyType::Int, PolyType::Int),
+            PolyType::prod(PolyType::Int, PolyType::Int),
+        );
+        let l3 = L3Type::bang(L3Type::lolli(
+            L3Type::bang(L3Type::tensor(L3Type::Bool, L3Type::Bool)),
+            L3Type::tensor(L3Type::Bool, L3Type::Bool),
+        ));
+        let first = c.derive(&ml, &l3);
+        assert!(first.is_some());
+        let after_first = c.cache().stats();
+        let second = c.derive(&ml, &l3);
+        assert_eq!(first, second, "cached result is observably identical");
+        let after_second = c.cache().stats();
+        assert_eq!(after_second.misses, after_first.misses);
+        assert_eq!(after_second.hits, after_first.hits + 1);
+        assert_eq!(first, MemGcConversions::standard().derive(&ml, &l3));
     }
 
     #[test]

@@ -8,44 +8,9 @@ use crate::syntax::{L3Expr, L3Type, PolyExpr, PolyType};
 use lcvm::{Expr, RunResult};
 use semint_core::case::{CaseStudy, CheckFailure, Scenario, ScenarioConfig};
 use semint_core::stats::{OutcomeClass, RunStats};
-use semint_core::Fuel;
-use std::fmt;
+use semint_core::{Fuel, GlueCacheStats};
 
-/// A closed §5 multi-language program, hosted in either language.
-#[derive(Debug, Clone, PartialEq)]
-pub enum MgProgram {
-    /// A MiniML-hosted program.
-    Ml(PolyExpr),
-    /// An L3-hosted program.
-    L3(L3Expr),
-}
-
-impl fmt::Display for MgProgram {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            MgProgram::Ml(e) => write!(f, "{e}"),
-            MgProgram::L3(e) => write!(f, "{e}"),
-        }
-    }
-}
-
-/// A source type of either §5 language.
-#[derive(Debug, Clone, PartialEq)]
-pub enum MgSourceType {
-    /// A MiniML type.
-    Ml(PolyType),
-    /// An L3 type.
-    L3(L3Type),
-}
-
-impl fmt::Display for MgSourceType {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            MgSourceType::Ml(t) => write!(f, "{t} (MiniML)"),
-            MgSourceType::L3(t) => write!(f, "{t} (L3)"),
-        }
-    }
-}
+pub use crate::multilang::{MgProgram, MgSourceType};
 
 /// Case study 3 packaged for the harness engine.
 ///
@@ -192,41 +157,20 @@ impl CaseStudy for MemGcCase {
     }
 
     fn typecheck(&self, program: &MgProgram) -> Result<MgSourceType, String> {
-        match program {
-            MgProgram::Ml(e) => self
-                .system
-                .typecheck_ml(e)
-                .map(MgSourceType::Ml)
-                .map_err(|e| e.to_string()),
-            MgProgram::L3(e) => self
-                .system
-                .typecheck_l3(e)
-                .map(MgSourceType::L3)
-                .map_err(|e| e.to_string()),
-        }
+        self.system.typecheck(program).map_err(|e| e.to_string())
     }
 
     fn compile(&self, program: &MgProgram) -> Result<(), String> {
-        match program {
-            MgProgram::Ml(e) => self
-                .system
-                .compile_ml(e)
-                .map(drop)
-                .map_err(|e| e.to_string()),
-            MgProgram::L3(e) => self
-                .system
-                .compile_l3(e)
-                .map(drop)
-                .map_err(|e| e.to_string()),
-        }
+        self.system
+            .compile(program)
+            .map(drop)
+            .map_err(|e| e.to_string())
     }
 
     fn run(&self, program: &MgProgram, fuel: Fuel) -> Result<RunResult, String> {
-        let system = self.system.clone().with_fuel(fuel);
-        match program {
-            MgProgram::Ml(e) => system.run_ml(e).map_err(|e| e.to_string()),
-            MgProgram::L3(e) => system.run_l3(e).map_err(|e| e.to_string()),
-        }
+        self.system
+            .run_with_fuel(program, fuel)
+            .map_err(|e| e.to_string())
     }
 
     fn stats(&self, report: &RunResult) -> RunStats {
@@ -244,11 +188,7 @@ impl CaseStudy for MemGcCase {
     }
 
     fn model_check(&self, program: &MgProgram, _ty: &MgSourceType) -> Result<(), CheckFailure> {
-        let compiled: Expr = match program {
-            MgProgram::Ml(e) => self.system.compile_ml(e),
-            MgProgram::L3(e) => self.system.compile_l3(e),
-        }
-        .map_err(|e| CheckFailure {
+        let compiled: Expr = self.system.compile(program).map_err(|e| CheckFailure {
             claim: "compilation".into(),
             witness: program.to_string(),
             reason: e.to_string(),
@@ -306,6 +246,10 @@ impl CaseStudy for MemGcCase {
                 })?;
         }
         Ok(())
+    }
+
+    fn glue_cache_stats(&self) -> Option<GlueCacheStats> {
+        Some(self.system.conversions().cache().stats())
     }
 }
 

@@ -1,98 +1,188 @@
 //! The end-to-end driver for case study 3.
+//!
+//! Since PR 2 the driver is the shared [`InteropPipeline`] from
+//! `semint-core`; this module supplies the §5 instantiation
+//! ([`MemGcSystem`]).
 
 use crate::compile::{MemGcCompileError, MemGcCompiler};
 use crate::convert::MemGcConversions;
 use crate::syntax::{L3Expr, L3Type, PolyExpr, PolyType};
 use crate::typecheck::{check_l3, check_poly, MemGcCtx, MemGcTypeError};
 use lcvm::{Expr, Machine, RunResult};
+use semint_core::pipeline::{InteropPipeline, InteropSystem, PipelineError};
 use semint_core::Fuel;
 use std::fmt;
 
-/// Errors from the §5 pipeline.
+/// Errors from the §5 pipeline: the shared [`PipelineError`] shape
+/// instantiated at this case study's stage errors.
+pub type MemGcMultiLangError = PipelineError<MemGcTypeError, MemGcCompileError>;
+
+/// A closed §5 multi-language program, hosted in either language.
 #[derive(Debug, Clone, PartialEq)]
-pub enum MemGcMultiLangError {
-    /// The program did not type check.
-    Type(MemGcTypeError),
-    /// Compilation failed.
-    Compile(MemGcCompileError),
+pub enum MgProgram {
+    /// A MiniML-hosted program.
+    Ml(PolyExpr),
+    /// An L3-hosted program.
+    L3(L3Expr),
 }
 
-impl fmt::Display for MemGcMultiLangError {
+impl fmt::Display for MgProgram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MemGcMultiLangError::Type(e) => write!(f, "type error: {e}"),
-            MemGcMultiLangError::Compile(e) => write!(f, "compile error: {e}"),
+            MgProgram::Ml(e) => write!(f, "{e}"),
+            MgProgram::L3(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for MemGcMultiLangError {}
+/// A source type of either §5 language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MgSourceType {
+    /// A MiniML type.
+    Ml(PolyType),
+    /// An L3 type.
+    L3(L3Type),
+}
 
-impl From<MemGcTypeError> for MemGcMultiLangError {
-    fn from(e: MemGcTypeError) -> Self {
-        MemGcMultiLangError::Type(e)
+impl fmt::Display for MgSourceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MgSourceType::Ml(t) => write!(f, "{t} (MiniML)"),
+            MgSourceType::L3(t) => write!(f, "{t} (L3)"),
+        }
     }
 }
 
-impl From<MemGcCompileError> for MemGcMultiLangError {
-    fn from(e: MemGcCompileError) -> Self {
-        MemGcMultiLangError::Compile(e)
+/// The §5 instantiation of [`InteropSystem`]: MiniML + L3 compiled (with §5
+/// glue) to LCVM with GC and manual memory.
+#[derive(Debug, Clone, Default)]
+pub struct MemGcSystem {
+    conversions: MemGcConversions,
+}
+
+impl MemGcSystem {
+    /// A system over the standard (memoizing) rule set.
+    pub fn new() -> Self {
+        MemGcSystem {
+            conversions: MemGcConversions::standard(),
+        }
+    }
+
+    /// The conversion rule set in use.
+    pub fn conversions(&self) -> &MemGcConversions {
+        &self.conversions
+    }
+}
+
+impl InteropSystem for MemGcSystem {
+    type Program = MgProgram;
+    type Ty = MgSourceType;
+    type Artifact = Expr;
+    type TypeError = MemGcTypeError;
+    type CompileError = MemGcCompileError;
+    type Exec = RunResult;
+
+    fn typecheck(&self, program: &MgProgram) -> Result<MgSourceType, MemGcTypeError> {
+        match program {
+            MgProgram::Ml(e) => check_poly(&MemGcCtx::empty(), e, &self.conversions)
+                .map(|(t, _)| MgSourceType::Ml(t)),
+            MgProgram::L3(e) => {
+                check_l3(&MemGcCtx::empty(), e, &self.conversions).map(|(t, _)| MgSourceType::L3(t))
+            }
+        }
+    }
+
+    fn compile(&self, program: &MgProgram) -> Result<Expr, MemGcCompileError> {
+        let compiler = MemGcCompiler::new(&self.conversions, &self.conversions);
+        match program {
+            MgProgram::Ml(e) => compiler.compile_ml_program(e),
+            MgProgram::L3(e) => compiler.compile_l3_program(e),
+        }
+    }
+
+    fn execute(&self, artifact: Expr, fuel: Fuel) -> RunResult {
+        Machine::run_expr(artifact, fuel)
     }
 }
 
 /// The §5 multi-language system: MiniML + L3 + the §5 conversions over
-/// LCVM with GC and manual memory.
+/// LCVM with GC and manual memory, driven by the shared [`InteropPipeline`].
 #[derive(Debug, Clone, Default)]
 pub struct MemGcMultiLang {
-    conversions: MemGcConversions,
-    fuel: Fuel,
+    pipeline: InteropPipeline<MemGcSystem>,
 }
 
 impl MemGcMultiLang {
     /// A system with the standard rule set and default fuel.
     pub fn new() -> Self {
         MemGcMultiLang {
-            conversions: MemGcConversions::standard(),
-            fuel: Fuel::default(),
+            pipeline: InteropPipeline::new(MemGcSystem::new()),
         }
     }
 
     /// Overrides the fuel budget.
     pub fn with_fuel(mut self, fuel: Fuel) -> Self {
-        self.fuel = fuel;
+        self.pipeline = self.pipeline.with_fuel(fuel);
         self
+    }
+
+    /// The conversion rule set in use.
+    pub fn conversions(&self) -> &MemGcConversions {
+        self.pipeline.system().conversions()
+    }
+
+    /// The shared pipeline driving this system.
+    pub fn pipeline(&self) -> &InteropPipeline<MemGcSystem> {
+        &self.pipeline
+    }
+
+    /// Type checks a closed multi-language program (either host language).
+    pub fn typecheck(&self, program: &MgProgram) -> Result<MgSourceType, MemGcTypeError> {
+        self.pipeline.typecheck(program)
     }
 
     /// Type checks a closed MiniML program.
     pub fn typecheck_ml(&self, e: &PolyExpr) -> Result<PolyType, MemGcTypeError> {
-        check_poly(&MemGcCtx::empty(), e, &self.conversions).map(|(t, _)| t)
+        check_poly(&MemGcCtx::empty(), e, self.conversions()).map(|(t, _)| t)
     }
 
     /// Type checks a closed L3 program.
     pub fn typecheck_l3(&self, e: &L3Expr) -> Result<L3Type, MemGcTypeError> {
-        check_l3(&MemGcCtx::empty(), e, &self.conversions).map(|(t, _)| t)
+        check_l3(&MemGcCtx::empty(), e, self.conversions()).map(|(t, _)| t)
+    }
+
+    /// Type checks and compiles a closed multi-language program.
+    pub fn compile(&self, program: &MgProgram) -> Result<Expr, MemGcMultiLangError> {
+        Ok(self.pipeline.compile(program)?.artifact)
     }
 
     /// Type checks and compiles a closed MiniML program.
     pub fn compile_ml(&self, e: &PolyExpr) -> Result<Expr, MemGcMultiLangError> {
-        self.typecheck_ml(e)?;
-        Ok(MemGcCompiler::new(&self.conversions, &self.conversions).compile_ml_program(e)?)
+        self.compile(&MgProgram::Ml(e.clone()))
     }
 
     /// Type checks and compiles a closed L3 program.
     pub fn compile_l3(&self, e: &L3Expr) -> Result<Expr, MemGcMultiLangError> {
-        self.typecheck_l3(e)?;
-        Ok(MemGcCompiler::new(&self.conversions, &self.conversions).compile_l3_program(e)?)
+        self.compile(&MgProgram::L3(e.clone()))
+    }
+
+    /// Runs a closed multi-language program under the given fuel budget.
+    pub fn run_with_fuel(
+        &self,
+        program: &MgProgram,
+        fuel: Fuel,
+    ) -> Result<RunResult, MemGcMultiLangError> {
+        self.pipeline.run_with_fuel(program, fuel)
     }
 
     /// Type checks, compiles and runs a MiniML program.
     pub fn run_ml(&self, e: &PolyExpr) -> Result<RunResult, MemGcMultiLangError> {
-        Ok(Machine::run_expr(self.compile_ml(e)?, self.fuel))
+        self.pipeline.run(&MgProgram::Ml(e.clone()))
     }
 
     /// Type checks, compiles and runs an L3 program.
     pub fn run_l3(&self, e: &L3Expr) -> Result<RunResult, MemGcMultiLangError> {
-        Ok(Machine::run_expr(self.compile_l3(e)?, self.fuel))
+        self.pipeline.run(&MgProgram::L3(e.clone()))
     }
 }
 

@@ -26,6 +26,7 @@
 use reflang::compile::ConversionEmitter;
 use reflang::syntax::{HlType, LlType};
 use reflang::typecheck::ConvertOracle;
+use semint_core::convert::{ConversionPair, ConversionScheme, GlueCache};
 use semint_core::ErrorCode;
 use stacklang::builder::{dup, pack, swap};
 use stacklang::{Instr, Program};
@@ -43,24 +44,26 @@ pub enum RefStrategy {
     Copy,
 }
 
-/// The §3 conversion rule set.
+/// The §3 conversion rule set, memoized through a shared
+/// [`GlueCache`] (clones share the cache, so the type checker, compiler and
+/// model checker of one system all reuse each other's derivations).
 #[derive(Debug, Clone, Default)]
 pub struct SharedMemConversions {
     ref_strategy: RefStrategy,
+    cache: GlueCache<HlType, LlType, Program>,
 }
 
 impl SharedMemConversions {
     /// The paper's rule set: pointer-sharing references.
     pub fn standard() -> Self {
-        SharedMemConversions {
-            ref_strategy: RefStrategy::Share,
-        }
+        SharedMemConversions::with_ref_strategy(RefStrategy::Share)
     }
 
     /// The copy-convert ablation from the Discussion.
     pub fn with_ref_strategy(strategy: RefStrategy) -> Self {
         SharedMemConversions {
             ref_strategy: strategy,
+            cache: GlueCache::new(),
         }
     }
 
@@ -69,10 +72,32 @@ impl SharedMemConversions {
         self.ref_strategy
     }
 
-    /// Derives `τ ∼ 𝜏` and returns the conversion pair
+    /// The memoization cache behind [`SharedMemConversions::derive`].
+    pub fn cache(&self) -> &GlueCache<HlType, LlType, Program> {
+        &self.cache
+    }
+
+    /// Derives `τ ∼ 𝜏` (memoized) and returns the conversion pair
     /// `(C_{τ↦𝜏}, C_{𝜏↦τ})`, or `None` if the judgment is not derivable.
     pub fn derive(&self, hl: &HlType, ll: &LlType) -> Option<(Program, Program)> {
-        match (hl, ll) {
+        self.derive_pair(hl, ll)
+            .map(|p| (p.a_to_b.clone(), p.b_to_a.clone()))
+    }
+}
+
+impl ConversionScheme for SharedMemConversions {
+    type TyA = HlType;
+    type TyB = LlType;
+    type Glue = Program;
+
+    fn glue_cache(&self) -> &GlueCache<HlType, LlType, Program> {
+        &self.cache
+    }
+
+    /// One Fig. 4 derivation step; sub-derivations recurse through the
+    /// memoized [`SharedMemConversions::derive`].
+    fn derive_uncached(&self, hl: &HlType, ll: &LlType) -> Option<ConversionPair<Program>> {
+        let pair = match (hl, ll) {
             // bool ∼ int: both are target integers already.
             (HlType::Bool, LlType::Int) => Some((Program::empty(), Program::empty())),
             // unit ∼ int: unit compiles to 0; the other direction collapses
@@ -84,54 +109,55 @@ impl SharedMemConversions {
             // ref τ ∼ ref 𝜏: only when the payload conversions are no-ops, in
             // which case the pointer can be passed directly.
             (HlType::Ref(t), LlType::Ref(u)) => {
-                let (a, b) = self.derive(t, u)?;
+                let sub = self.derive_pair(t, u)?;
                 match self.ref_strategy {
                     RefStrategy::Share => {
-                        if a.is_empty() && b.is_empty() {
+                        if sub.a_to_b.is_empty() && sub.b_to_a.is_empty() {
                             Some((Program::empty(), Program::empty()))
                         } else {
                             None
                         }
                     }
-                    RefStrategy::Copy => Some((copy_ref(&a), copy_ref(&b))),
+                    RefStrategy::Copy => Some((copy_ref(&sub.a_to_b), copy_ref(&sub.b_to_a))),
                 }
             }
             // τ1 + τ2 ∼ [int] when τ1 ∼ int and τ2 ∼ int.
             (HlType::Sum(t1, t2), LlType::Array(elem)) if **elem == LlType::Int => {
-                let (c1_to, c1_from) = self.derive(t1, &LlType::Int)?;
-                let (c2_to, c2_from) = self.derive(t2, &LlType::Int)?;
+                let c1 = self.derive_pair(t1, &LlType::Int)?;
+                let c2 = self.derive_pair(t2, &LlType::Int)?;
                 Some((
-                    sum_to_array(&c1_to, &c2_to),
-                    array_to_sum(&c1_from, &c2_from),
+                    sum_to_array(&c1.a_to_b, &c2.a_to_b),
+                    array_to_sum(&c1.b_to_a, &c2.b_to_a),
                 ))
             }
             // τ1 × τ2 ∼ [𝜏] when τ1 ∼ 𝜏 and τ2 ∼ 𝜏 (elided in Fig. 4).
             (HlType::Prod(t1, t2), LlType::Array(elem)) => {
-                let (c1_to, c1_from) = self.derive(t1, elem)?;
-                let (c2_to, c2_from) = self.derive(t2, elem)?;
+                let c1 = self.derive_pair(t1, elem)?;
+                let c2 = self.derive_pair(t2, elem)?;
                 Some((
-                    prod_to_array(&c1_to, &c2_to),
-                    array_to_prod(&c1_from, &c2_from),
+                    prod_to_array(&c1.a_to_b, &c2.a_to_b),
+                    array_to_prod(&c1.b_to_a, &c2.b_to_a),
                 ))
             }
             _ => None,
-        }
+        };
+        pair.map(|(to_ll, from_ll)| ConversionPair::new(to_ll, from_ll))
     }
 }
 
 impl ConvertOracle for SharedMemConversions {
     fn convertible(&self, hl: &HlType, ll: &LlType) -> bool {
-        self.derive(hl, ll).is_some()
+        self.derivable(hl, ll)
     }
 }
 
 impl ConversionEmitter for SharedMemConversions {
     fn ll_to_hl(&self, ll: &LlType, hl: &HlType) -> Option<Program> {
-        self.derive(hl, ll).map(|(_, from_ll)| from_ll)
+        self.derive_pair(hl, ll).map(|p| p.b_to_a.clone())
     }
 
     fn hl_to_ll(&self, hl: &HlType, ll: &LlType) -> Option<Program> {
-        self.derive(hl, ll).map(|(to_ll, _)| to_ll)
+        self.derive_pair(hl, ll).map(|p| p.a_to_b.clone())
     }
 }
 
@@ -382,6 +408,33 @@ mod tests {
             .expect("a location");
         assert_eq!(r.heap.read(loc), Some(&Value::Num(1)));
         assert_eq!(r.heap.len(), 2, "copying allocates a second cell");
+    }
+
+    #[test]
+    fn repeated_derivations_hit_the_glue_cache() {
+        let c = SharedMemConversions::standard();
+        let hl = HlType::prod(
+            HlType::sum(HlType::Bool, HlType::Unit),
+            HlType::sum(HlType::Unit, HlType::Bool),
+        );
+        let ll = LlType::array(LlType::array(LlType::Int));
+        let first = c.derive(&hl, &ll);
+        let after_first = c.cache().stats();
+        assert!(
+            after_first.misses > 0,
+            "first derivation populates the cache"
+        );
+        let second = c.derive(&hl, &ll);
+        assert_eq!(first, second, "cached result is observably identical");
+        let after_second = c.cache().stats();
+        assert_eq!(
+            after_second.misses, after_first.misses,
+            "second derivation derives nothing"
+        );
+        assert_eq!(after_second.hits, after_first.hits + 1);
+        // A fresh (cold-cache) rule set derives the very same glue.
+        let fresh = SharedMemConversions::standard().derive(&hl, &ll);
+        assert_eq!(first, fresh);
     }
 
     #[test]

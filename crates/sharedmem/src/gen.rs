@@ -3,8 +3,8 @@
 //! The fundamental property (Theorem 3.2) and the type-safety theorems
 //! (3.3/3.4) quantify over *all* well-typed programs; the executable test
 //! suite instantiates them over a large randomized sample.  The generator is
-//! type-directed: [`gen_hl`] produces a RefHL expression of a requested type,
-//! [`gen_ll`] a RefLL expression, and both freely insert boundaries at
+//! type-directed: [`ProgramGen::gen_hl`] produces a RefHL expression of a requested type,
+//! [`ProgramGen::gen_ll`] a RefLL expression, and both freely insert boundaries at
 //! convertible types so the generated programs exercise the glue code.
 
 use crate::convert::SharedMemConversions;

@@ -8,27 +8,10 @@ use crate::multilang::{MultiLang, SourceType};
 use reflang::syntax::{HlExpr, HlType, LlExpr, LlType};
 use semint_core::case::{CaseStudy, CheckFailure, Scenario, ScenarioConfig};
 use semint_core::stats::{OutcomeClass, RunStats};
-use semint_core::{Fuel, Outcome};
+use semint_core::{Fuel, GlueCacheStats, Outcome};
 use stacklang::{Heap, Program, RunResult};
-use std::fmt;
 
-/// A closed §3 multi-language program, hosted in either language.
-#[derive(Debug, Clone, PartialEq)]
-pub enum SmProgram {
-    /// A RefHL-hosted program.
-    Hl(HlExpr),
-    /// A RefLL-hosted program.
-    Ll(LlExpr),
-}
-
-impl fmt::Display for SmProgram {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SmProgram::Hl(e) => write!(f, "{e}"),
-            SmProgram::Ll(e) => write!(f, "{e}"),
-        }
-    }
-}
+pub use crate::multilang::SmProgram;
 
 /// Case study 1 packaged for the harness engine.
 ///
@@ -174,41 +157,20 @@ impl CaseStudy for SharedMemCase {
     }
 
     fn typecheck(&self, program: &SmProgram) -> Result<SourceType, String> {
-        match program {
-            SmProgram::Hl(e) => self
-                .system
-                .typecheck_hl(e)
-                .map(SourceType::Hl)
-                .map_err(|e| e.to_string()),
-            SmProgram::Ll(e) => self
-                .system
-                .typecheck_ll(e)
-                .map(SourceType::Ll)
-                .map_err(|e| e.to_string()),
-        }
+        self.system.typecheck(program).map_err(|e| e.to_string())
     }
 
     fn compile(&self, program: &SmProgram) -> Result<(), String> {
-        match program {
-            SmProgram::Hl(e) => self
-                .system
-                .compile_hl(e)
-                .map(drop)
-                .map_err(|e| e.to_string()),
-            SmProgram::Ll(e) => self
-                .system
-                .compile_ll(e)
-                .map(drop)
-                .map_err(|e| e.to_string()),
-        }
+        self.system
+            .compile(program)
+            .map(drop)
+            .map_err(|e| e.to_string())
     }
 
     fn run(&self, program: &SmProgram, fuel: Fuel) -> Result<RunResult, String> {
-        let system = self.system.clone().with_fuel(fuel);
-        match program {
-            SmProgram::Hl(e) => system.run_hl(e).map_err(|e| e.to_string()),
-            SmProgram::Ll(e) => system.run_ll(e).map_err(|e| e.to_string()),
-        }
+        self.system
+            .run_with_fuel(program, fuel)
+            .map_err(|e| e.to_string())
     }
 
     fn stats(&self, report: &RunResult) -> RunStats {
@@ -224,16 +186,15 @@ impl CaseStudy for SharedMemCase {
     }
 
     fn model_check(&self, program: &SmProgram, ty: &SourceType) -> Result<(), CheckFailure> {
-        let compiled: Program = match program {
-            SmProgram::Hl(e) => self.system.compile_hl(e),
-            SmProgram::Ll(e) => self.system.compile_ll(e),
-        }
-        .map_err(|e| CheckFailure {
-            claim: "compilation".into(),
-            witness: program.to_string(),
-            reason: e.to_string(),
-        })?
-        .program;
+        let compiled: Program = self
+            .system
+            .compile(program)
+            .map_err(|e| CheckFailure {
+                claim: "compilation".into(),
+                witness: program.to_string(),
+                reason: e.to_string(),
+            })?
+            .program;
 
         // Theorems 3.3/3.4: no dynamic type errors.
         self.checker
@@ -313,6 +274,10 @@ impl CaseStudy for SharedMemCase {
                 })?;
         }
         Ok(())
+    }
+
+    fn glue_cache_stats(&self) -> Option<GlueCacheStats> {
+        Some(self.system.conversions().cache().stats())
     }
 }
 

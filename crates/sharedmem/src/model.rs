@@ -19,7 +19,7 @@
 //!   in `V⟦τ⟧` under an extended world);
 //! * [`ModelChecker::check_convertibility`] is the executable content of
 //!   Lemma 3.1 (Convertibility Soundness), and
-//!   [`ModelChecker::check_type_safety_hl`] of Theorem 3.4.
+//!   [`ModelChecker::check_type_safety`] of Theorem 3.4.
 //!
 //! The positive direction (a term *is* in the relation) is approximate —
 //! quantifiers are sampled — but the negative direction is exact: when the

@@ -2,50 +2,40 @@
 //!
 //! [`MultiLang`] bundles the three artifacts a language designer produces in
 //! the paper's framework — the convertibility rules (with glue code), the two
-//! compilers, and the common target — behind one entry point: type check a
-//! RefHL or RefLL program (with boundaries), compile it, and run it on the
-//! StackLang machine.
+//! compilers, and the common target — behind one entry point.  Since PR 2 the
+//! driver itself is the *shared* [`InteropPipeline`] from `semint-core`
+//! (typecheck → compile-with-glue → run under fuel); this module only
+//! supplies the §3 instantiation ([`SharedMemSystem`]) and the per-language
+//! convenience API.
 
 use crate::convert::SharedMemConversions;
 use reflang::compile::{compile_hl, compile_ll, MissingConversion};
 use reflang::syntax::{HlExpr, HlType, LlExpr, LlType};
 use reflang::typecheck::{check_hl, check_ll, TypeCtx, TypeError};
+use semint_core::pipeline::{InteropPipeline, InteropSystem, PipelineError};
 use semint_core::Fuel;
 use stacklang::{Machine, Program, RunResult};
 use std::fmt;
 
-/// Errors from the multi-language pipeline.
+/// Errors from the multi-language pipeline: the shared [`PipelineError`]
+/// shape instantiated at the §3 stage errors.
+pub type MultiLangError = PipelineError<TypeError, MissingConversion>;
+
+/// A closed §3 multi-language program, hosted in either language.
 #[derive(Debug, Clone, PartialEq)]
-pub enum MultiLangError {
-    /// The program did not type check.
-    Type(TypeError),
-    /// A boundary had no registered conversion at compile time.
-    ///
-    /// With the standard rule set this cannot happen for programs that type
-    /// check, because the type checker consults the same rules.
-    Conversion(MissingConversion),
+pub enum SmProgram {
+    /// A RefHL-hosted program.
+    Hl(HlExpr),
+    /// A RefLL-hosted program.
+    Ll(LlExpr),
 }
 
-impl fmt::Display for MultiLangError {
+impl fmt::Display for SmProgram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MultiLangError::Type(e) => write!(f, "type error: {e}"),
-            MultiLangError::Conversion(e) => write!(f, "conversion error: {e}"),
+            SmProgram::Hl(e) => write!(f, "{e}"),
+            SmProgram::Ll(e) => write!(f, "{e}"),
         }
-    }
-}
-
-impl std::error::Error for MultiLangError {}
-
-impl From<TypeError> for MultiLangError {
-    fn from(e: TypeError) -> Self {
-        MultiLangError::Type(e)
-    }
-}
-
-impl From<MissingConversion> for MultiLangError {
-    fn from(e: MissingConversion) -> Self {
-        MultiLangError::Conversion(e)
     }
 }
 
@@ -76,74 +66,138 @@ impl fmt::Display for SourceType {
     }
 }
 
-/// The §3 multi-language system: RefHL + RefLL + the Fig. 4 conversions over
-/// StackLang.
+/// The §3 instantiation of [`InteropSystem`]: RefHL + RefLL compiled (with
+/// Fig. 4 glue) to StackLang.
 #[derive(Debug, Clone, Default)]
-pub struct MultiLang {
+pub struct SharedMemSystem {
     conversions: SharedMemConversions,
-    fuel: Fuel,
 }
 
-impl MultiLang {
-    /// A system using the given conversion rule set and the default fuel.
+impl SharedMemSystem {
+    /// A system over the given (memoizing) rule set.
     pub fn new(conversions: SharedMemConversions) -> Self {
-        MultiLang {
-            conversions,
-            fuel: Fuel::default(),
-        }
-    }
-
-    /// Overrides the fuel used by [`MultiLang::run_hl`] / [`MultiLang::run_ll`].
-    pub fn with_fuel(mut self, fuel: Fuel) -> Self {
-        self.fuel = fuel;
-        self
+        SharedMemSystem { conversions }
     }
 
     /// The conversion rule set in use.
     pub fn conversions(&self) -> &SharedMemConversions {
         &self.conversions
     }
+}
+
+impl InteropSystem for SharedMemSystem {
+    type Program = SmProgram;
+    type Ty = SourceType;
+    type Artifact = Program;
+    type TypeError = TypeError;
+    type CompileError = MissingConversion;
+    type Exec = RunResult;
+
+    fn typecheck(&self, program: &SmProgram) -> Result<SourceType, TypeError> {
+        match program {
+            SmProgram::Hl(e) => {
+                check_hl(&TypeCtx::empty(), e, &self.conversions).map(SourceType::Hl)
+            }
+            SmProgram::Ll(e) => {
+                check_ll(&TypeCtx::empty(), e, &self.conversions).map(SourceType::Ll)
+            }
+        }
+    }
+
+    fn compile(&self, program: &SmProgram) -> Result<Program, MissingConversion> {
+        match program {
+            SmProgram::Hl(e) => compile_hl(&TypeCtx::empty(), e, &self.conversions),
+            SmProgram::Ll(e) => compile_ll(&TypeCtx::empty(), e, &self.conversions),
+        }
+    }
+
+    fn execute(&self, artifact: Program, fuel: Fuel) -> RunResult {
+        Machine::run_program(artifact, fuel)
+    }
+}
+
+/// The §3 multi-language system: RefHL + RefLL + the Fig. 4 conversions over
+/// StackLang, driven by the shared [`InteropPipeline`].
+#[derive(Debug, Clone, Default)]
+pub struct MultiLang {
+    pipeline: InteropPipeline<SharedMemSystem>,
+}
+
+impl MultiLang {
+    /// A system using the given conversion rule set and the default fuel.
+    pub fn new(conversions: SharedMemConversions) -> Self {
+        MultiLang {
+            pipeline: InteropPipeline::new(SharedMemSystem::new(conversions)),
+        }
+    }
+
+    /// Overrides the fuel used by [`MultiLang::run_hl`] / [`MultiLang::run_ll`].
+    pub fn with_fuel(mut self, fuel: Fuel) -> Self {
+        self.pipeline = self.pipeline.with_fuel(fuel);
+        self
+    }
+
+    /// The conversion rule set in use.
+    pub fn conversions(&self) -> &SharedMemConversions {
+        self.pipeline.system().conversions()
+    }
+
+    /// The shared pipeline driving this system.
+    pub fn pipeline(&self) -> &InteropPipeline<SharedMemSystem> {
+        &self.pipeline
+    }
+
+    /// Type checks a closed multi-language program (either host language).
+    pub fn typecheck(&self, program: &SmProgram) -> Result<SourceType, TypeError> {
+        self.pipeline.typecheck(program)
+    }
 
     /// Type checks a closed RefHL program.
     pub fn typecheck_hl(&self, e: &HlExpr) -> Result<HlType, TypeError> {
-        check_hl(&TypeCtx::empty(), e, &self.conversions)
+        check_hl(&TypeCtx::empty(), e, self.conversions())
     }
 
     /// Type checks a closed RefLL program.
     pub fn typecheck_ll(&self, e: &LlExpr) -> Result<LlType, TypeError> {
-        check_ll(&TypeCtx::empty(), e, &self.conversions)
+        check_ll(&TypeCtx::empty(), e, self.conversions())
+    }
+
+    /// Type checks and compiles a closed multi-language program.
+    pub fn compile(&self, program: &SmProgram) -> Result<Compiled, MultiLangError> {
+        let compiled = self.pipeline.compile(program)?;
+        Ok(Compiled {
+            ty: compiled.ty,
+            program: compiled.artifact,
+        })
     }
 
     /// Type checks and compiles a closed RefHL program.
     pub fn compile_hl(&self, e: &HlExpr) -> Result<Compiled, MultiLangError> {
-        let ty = self.typecheck_hl(e)?;
-        let program = compile_hl(&TypeCtx::empty(), e, &self.conversions)?;
-        Ok(Compiled {
-            ty: SourceType::Hl(ty),
-            program,
-        })
+        self.compile(&SmProgram::Hl(e.clone()))
     }
 
     /// Type checks and compiles a closed RefLL program.
     pub fn compile_ll(&self, e: &LlExpr) -> Result<Compiled, MultiLangError> {
-        let ty = self.typecheck_ll(e)?;
-        let program = compile_ll(&TypeCtx::empty(), e, &self.conversions)?;
-        Ok(Compiled {
-            ty: SourceType::Ll(ty),
-            program,
-        })
+        self.compile(&SmProgram::Ll(e.clone()))
+    }
+
+    /// Runs a closed multi-language program under the given fuel budget.
+    pub fn run_with_fuel(
+        &self,
+        program: &SmProgram,
+        fuel: Fuel,
+    ) -> Result<RunResult, MultiLangError> {
+        self.pipeline.run_with_fuel(program, fuel)
     }
 
     /// Type checks, compiles and runs a closed RefHL program.
     pub fn run_hl(&self, e: &HlExpr) -> Result<RunResult, MultiLangError> {
-        let compiled = self.compile_hl(e)?;
-        Ok(Machine::run_program(compiled.program, self.fuel))
+        self.pipeline.run(&SmProgram::Hl(e.clone()))
     }
 
     /// Type checks, compiles and runs a closed RefLL program.
     pub fn run_ll(&self, e: &LlExpr) -> Result<RunResult, MultiLangError> {
-        let compiled = self.compile_ll(e)?;
-        Ok(Machine::run_program(compiled.program, self.fuel))
+        self.pipeline.run(&SmProgram::Ll(e.clone()))
     }
 }
 

@@ -6,8 +6,9 @@
 
 use semint::harness::cases::AnyCase;
 use semint::harness::engine::{run_scenario, sweep_all, sweep_case, SweepConfig};
+use semint::harness::report::render_sweep;
 use semint::harness::CaseStudy;
-use semint_core::stats::FailStage;
+use semint_core::stats::{FailStage, SweepReport};
 
 fn fixed_config(jobs: usize) -> SweepConfig {
     SweepConfig {
@@ -111,6 +112,70 @@ fn broken_conversion_is_reported_with_a_shrunk_counterexample() {
         .check_conversions()
         .expect_err("broken rule must be refuted");
     assert!(err.claim.contains("broken"), "{}", err.claim);
+}
+
+#[test]
+fn sweeps_reuse_glue_through_the_shared_cache() {
+    let cases = AnyCase::all(false);
+    let report = sweep_all(&cases, &fixed_config(4));
+    for case in &report.cases {
+        assert!(
+            case.glue_hits > 0,
+            "{}: repeated boundary crossings must hit the glue cache \
+             (hits {}, misses {})",
+            case.case,
+            case.glue_hits,
+            case.glue_misses
+        );
+        assert!(
+            case.glue_misses > 0,
+            "{}: a cold cache must record the first derivations",
+            case.case
+        );
+        assert!(
+            case.glue_hits > case.glue_misses,
+            "{}: the cache should answer most lookups after warm-up \
+             (hits {}, misses {})",
+            case.case,
+            case.glue_hits,
+            case.glue_misses
+        );
+    }
+    // A second sweep over the same cases re-uses the warm cache: no new
+    // derivations at all.
+    let again = sweep_all(&cases, &fixed_config(4));
+    for case in &again.cases {
+        assert_eq!(
+            case.glue_misses, 0,
+            "{}: warm-cache sweep must not re-derive anything",
+            case.case
+        );
+    }
+    // The counters survive the save/report round trip and are rendered.
+    let parsed = SweepReport::from_tsv(&report.to_tsv()).expect("tsv round trip");
+    for (orig, parsed) in report.cases.iter().zip(&parsed.cases) {
+        assert_eq!(orig.glue_hits, parsed.glue_hits);
+        assert_eq!(orig.glue_misses, parsed.glue_misses);
+    }
+    assert!(render_sweep(&parsed).contains("glue cache"));
+}
+
+#[test]
+fn timed_sweep_reports_per_stage_wall_clock() {
+    let cfg = SweepConfig {
+        time: true,
+        ..fixed_config(2)
+    };
+    let report = sweep_all(&AnyCase::all(false), &cfg);
+    for case in &report.cases {
+        let timings = case.timings.expect("--time collects stage totals");
+        assert!(timings.run_ns > 0, "{}", case.case);
+        assert!(timings.total_ns() >= timings.run_ns, "{}", case.case);
+    }
+    // Timed and untimed sweeps agree on everything the digest covers.
+    let untimed = sweep_all(&AnyCase::all(false), &fixed_config(2));
+    let digests = |r: &SweepReport| r.cases.iter().map(|c| c.digest()).collect::<Vec<_>>();
+    assert_eq!(digests(&report), digests(&untimed));
 }
 
 #[test]
