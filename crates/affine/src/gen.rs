@@ -8,28 +8,47 @@
 //! suites sample that space through this module.
 
 use crate::convert::AffineConversions;
-use crate::syntax::{AffiExpr, AffiType, MlExpr, MlType};
+use crate::syntax::{AffiExpr, AffiType, MlExpr, MlType, Mode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use semint_core::case::{ConstructorClass, ConstructorWeights, GenProfile};
 
 /// Tuning knobs for the §4 generator.
 #[derive(Debug, Clone, Copy)]
 pub struct AffineGenConfig {
     /// Maximum expression depth.
     pub max_depth: usize,
+    /// Maximum goal-type depth.
+    pub type_depth: usize,
     /// Probability (0–100) of crossing a boundary when a conversion exists.
     pub boundary_bias: u32,
     /// Probability (0–100) of choosing the static arrow over the dynamic one
     /// when introducing an affine function.
     pub static_bias: u32,
+    /// Constructor-class weights for goal-type generation.
+    pub weights: ConstructorWeights,
 }
 
 impl Default for AffineGenConfig {
     fn default() -> Self {
         AffineGenConfig {
             max_depth: 4,
+            type_depth: 2,
             boundary_bias: 35,
             static_bias: 50,
+            weights: ConstructorWeights::STANDARD,
+        }
+    }
+}
+
+impl From<&GenProfile> for AffineGenConfig {
+    fn from(profile: &GenProfile) -> Self {
+        AffineGenConfig {
+            max_depth: profile.max_depth,
+            type_depth: profile.type_depth,
+            boundary_bias: profile.boundary_bias,
+            static_bias: 50,
+            weights: profile.weights,
         }
     }
 }
@@ -66,8 +85,10 @@ impl AffineProgramGen {
         format!("{hint}{n}")
     }
 
-    /// Generates a random "ground" Affi type (no arrows), used both as a goal
-    /// type and for binder annotations.
+    /// Generates a random Affi goal type, drawing constructor classes from
+    /// the configured weights: base types (`leaf`), tensors and dynamic
+    /// lollis (`branch`, so deep pairs *and functions* sit under glue), and
+    /// `!` wrappers (`wrap`).
     pub fn gen_affi_type(&mut self, depth: usize) -> AffiType {
         if depth == 0 {
             return match self.rng.gen_range(0..3) {
@@ -76,13 +97,57 @@ impl AffineProgramGen {
                 _ => AffiType::Unit,
             };
         }
-        match self.rng.gen_range(0..5) {
-            0 => AffiType::Int,
-            1 => AffiType::Bool,
-            2 => AffiType::Unit,
-            3 => AffiType::tensor(self.gen_affi_type(depth - 1), self.gen_affi_type(depth - 1)),
-            _ => AffiType::bang(self.gen_affi_type(depth - 1)),
+        match self.pick_class() {
+            ConstructorClass::Leaf => match self.rng.gen_range(0..3) {
+                0 => AffiType::Int,
+                1 => AffiType::Bool,
+                _ => AffiType::Unit,
+            },
+            ConstructorClass::Branch => match self.rng.gen_range(0..3) {
+                0 | 1 => {
+                    AffiType::tensor(self.gen_affi_type(depth - 1), self.gen_affi_type(depth - 1))
+                }
+                _ => AffiType::lolli(self.gen_affi_type(depth - 1), self.gen_affi_type(depth - 1)),
+            },
+            ConstructorClass::Wrap => AffiType::bang(self.gen_affi_type(depth - 1)),
         }
+    }
+
+    /// A goal type at the configured type depth.
+    pub fn gen_goal_affi_type(&mut self) -> AffiType {
+        self.gen_affi_type(self.config.type_depth)
+    }
+
+    /// Generates a random MiniML goal type of bounded size (for the
+    /// MiniML-hosted scenarios, which used to be pinned at `int`).
+    pub fn gen_ml_type(&mut self, depth: usize) -> MlType {
+        if depth == 0 {
+            return if self.rng.gen_bool(0.5) {
+                MlType::Int
+            } else {
+                MlType::Unit
+            };
+        }
+        match self.pick_class() {
+            ConstructorClass::Leaf => {
+                if self.rng.gen_bool(0.5) {
+                    MlType::Int
+                } else {
+                    MlType::Unit
+                }
+            }
+            ConstructorClass::Branch => match self.rng.gen_range(0..3) {
+                0 => MlType::prod(self.gen_ml_type(depth - 1), self.gen_ml_type(depth - 1)),
+                1 => MlType::sum(self.gen_ml_type(depth - 1), self.gen_ml_type(depth - 1)),
+                _ => MlType::fun(self.gen_ml_type(depth - 1), self.gen_ml_type(depth - 1)),
+            },
+            ConstructorClass::Wrap => MlType::ref_(self.gen_ml_type(depth - 1)),
+        }
+    }
+
+    fn pick_class(&mut self) -> ConstructorClass {
+        let total = self.config.weights.total().max(1);
+        self.config.weights.class_for(self.rng.gen_range(0..total))
     }
 
     /// Generates a closed, well-typed Affi expression of type `ty`.
@@ -294,6 +359,9 @@ impl AffineProgramGen {
     }
 
     /// Picks a MiniML type convertible with the Affi goal type, if any.
+    /// Recursion covers tensors, `!` and dynamic lollis (`𝜏1 ⊸ 𝜏2 ∼
+    /// (unit → τ1) → τ2`), so boundaries appear under deep pairs and
+    /// functions, not only at base types.
     fn ml_type_convertible_to(&mut self, ty: &AffiType) -> Option<MlType> {
         let candidate = match ty {
             AffiType::Unit => MlType::Unit,
@@ -303,12 +371,17 @@ impl AffineProgramGen {
                 self.ml_type_convertible_to(a)?,
                 self.ml_type_convertible_to(b)?,
             ),
+            AffiType::Lolli(Mode::Dynamic, a, b) => MlType::fun(
+                MlType::fun(MlType::Unit, self.ml_type_convertible_to(a)?),
+                self.ml_type_convertible_to(b)?,
+            ),
             _ => return None,
         };
         self.conversions.derive(ty, &candidate).map(|_| candidate)
     }
 
-    /// Picks an Affi type convertible with the MiniML goal type, if any.
+    /// Picks an Affi type convertible with the MiniML goal type, if any
+    /// (the mirror image of [`Self::ml_type_convertible_to`]).
     fn affi_type_convertible_to(&mut self, ty: &MlType) -> Option<AffiType> {
         let candidate = match ty {
             MlType::Unit => AffiType::Unit,
@@ -323,6 +396,16 @@ impl AffineProgramGen {
                 self.affi_type_convertible_to(a)?,
                 self.affi_type_convertible_to(b)?,
             ),
+            MlType::Fun(thunk, b) => {
+                let m1 = match thunk.as_ref() {
+                    MlType::Fun(u, m1) if **u == MlType::Unit => m1,
+                    _ => return None,
+                };
+                AffiType::lolli(
+                    self.affi_type_convertible_to(m1)?,
+                    self.affi_type_convertible_to(b)?,
+                )
+            }
             _ => return None,
         };
         self.conversions.derive(&candidate, ty).map(|_| candidate)
@@ -392,12 +475,76 @@ mod tests {
         let cfg = AffineGenConfig {
             max_depth: 4,
             boundary_bias: 0,
-            static_bias: 50,
+            ..AffineGenConfig::default()
         };
         for seed in 0..20 {
             let mut gen = AffineProgramGen::with_config(seed, cfg);
             let e = gen.gen_affi(&AffiType::Int);
             assert!(!format!("{e}").contains('⦇'), "unexpected boundary in {e}");
         }
+    }
+
+    fn affi_type_depth(ty: &AffiType) -> usize {
+        match ty {
+            AffiType::Int | AffiType::Bool | AffiType::Unit => 0,
+            AffiType::Tensor(a, b) | AffiType::With(a, b) | AffiType::Lolli(_, a, b) => {
+                1 + affi_type_depth(a).max(affi_type_depth(b))
+            }
+            AffiType::Bang(a) => 1 + affi_type_depth(a),
+        }
+    }
+
+    #[test]
+    fn deep_profile_types_reach_depth_four_and_programs_typecheck() {
+        use semint_core::case::GenProfile;
+        let sys = AffineMultiLang::new();
+        let cfg = AffineGenConfig::from(&GenProfile::deep());
+        let mut max_depth_seen = 0;
+        for seed in 0..40 {
+            let mut gen = AffineProgramGen::with_config(seed, cfg);
+            let ty = gen.gen_goal_affi_type();
+            max_depth_seen = max_depth_seen.max(affi_type_depth(&ty));
+            let e = gen.gen_affi(&ty);
+            let checked = sys
+                .typecheck_affi(&e)
+                .unwrap_or_else(|err| panic!("seed {seed}: {e} does not typecheck: {err}"));
+            assert_eq!(checked, ty, "seed {seed}");
+        }
+        assert!(
+            max_depth_seen >= 4,
+            "deep profile never generated a depth-4 goal type (max {max_depth_seen})"
+        );
+    }
+
+    #[test]
+    fn deep_ml_goal_types_typecheck_too() {
+        use semint_core::case::GenProfile;
+        let sys = AffineMultiLang::new();
+        let cfg = AffineGenConfig::from(&GenProfile::deep());
+        for seed in 0..40 {
+            let mut gen = AffineProgramGen::with_config(seed, cfg);
+            let ty = gen.gen_ml_type(cfg.type_depth);
+            let e = gen.gen_ml(&ty);
+            let checked = sys
+                .typecheck_ml(&e)
+                .unwrap_or_else(|err| panic!("seed {seed}: {e} does not typecheck: {err}"));
+            assert_eq!(checked, ty, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dynamic_lolli_goals_can_cross_the_boundary() {
+        // 𝜏 ⊸ 𝜏 ∼ (unit → τ) → τ is derivable, so bias 100 must produce a
+        // boundary at a lolli goal type for some seed.
+        let cfg = AffineGenConfig {
+            boundary_bias: 100,
+            ..AffineGenConfig::default()
+        };
+        let goal = AffiType::lolli(AffiType::Int, AffiType::Int);
+        let crossed = (0..20).any(|seed| {
+            let mut gen = AffineProgramGen::with_config(seed, cfg);
+            format!("{}", gen.gen_affi(&goal)).contains('⦇')
+        });
+        assert!(crossed, "no seed crossed a boundary at {goal}");
     }
 }

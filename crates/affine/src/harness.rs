@@ -6,7 +6,7 @@ use crate::model::{AffineModelChecker, AffineSemType};
 use crate::multilang::AffineMultiLang;
 use crate::syntax::{AffiType, MlType};
 use lcvm::RunResult;
-use semint_core::case::{CaseStudy, CheckFailure, Scenario, ScenarioConfig};
+use semint_core::case::{CaseStudy, CheckFailure, GenProfile, Scenario};
 use semint_core::stats::{OutcomeClass, RunStats};
 use semint_core::{Fuel, GlueCacheStats};
 
@@ -112,23 +112,19 @@ impl CaseStudy for AffineCase {
         "affine"
     }
 
-    fn generate(&self, seed: u64, cfg: &ScenarioConfig) -> Scenario<AffProgram, AffSourceType> {
-        let gen_cfg = AffineGenConfig {
-            max_depth: cfg.max_depth,
-            boundary_bias: cfg.boundary_bias,
-            static_bias: 50,
-        };
-        let mut gen = AffineProgramGen::with_config(seed, gen_cfg);
+    fn generate(&self, seed: u64, profile: &GenProfile) -> Scenario<AffProgram, AffSourceType> {
+        let mut gen = AffineProgramGen::with_config(seed, AffineGenConfig::from(profile));
         // Every fourth scenario is MiniML-hosted.
         if seed % 4 == 3 {
-            let program = gen.gen_ml(&MlType::Int);
+            let ty = gen.gen_ml_type(profile.type_depth);
+            let program = gen.gen_ml(&ty);
             Scenario {
                 seed,
                 program: AffProgram::Ml(program),
-                ty: AffSourceType::Ml(MlType::Int),
+                ty: AffSourceType::Ml(ty),
             }
         } else {
-            let ty = gen.gen_affi_type(2);
+            let ty = gen.gen_goal_affi_type();
             let program = gen.gen_affi(&ty);
             Scenario {
                 seed,
@@ -212,6 +208,13 @@ impl CaseStudy for AffineCase {
         out
     }
 
+    fn boundary_count(&self, program: &AffProgram) -> usize {
+        match program {
+            AffProgram::Affi(e) => e.boundary_count(),
+            AffProgram::Ml(e) => e.boundary_count(),
+        }
+    }
+
     fn check_conversions(&self) -> Result<(), CheckFailure> {
         let checker = AffineModelChecker::new();
         let catalogue = [
@@ -258,7 +261,7 @@ mod tests {
     #[test]
     fn scenarios_typecheck_at_their_claimed_type() {
         let case = AffineCase::standard();
-        let cfg = ScenarioConfig::default();
+        let cfg = GenProfile::standard();
         for seed in 0..40 {
             let scen = case.generate(seed, &cfg);
             let checked = case
@@ -271,7 +274,7 @@ mod tests {
     #[test]
     fn model_check_accepts_sound_scenarios() {
         let case = AffineCase::standard();
-        let cfg = ScenarioConfig::default();
+        let cfg = GenProfile::standard();
         for seed in 0..12 {
             let scen = case.generate(seed, &cfg);
             case.model_check(&scen.program, &scen.ty)
@@ -282,7 +285,7 @@ mod tests {
     #[test]
     fn broken_claim_is_refuted_for_some_seed() {
         let case = AffineCase::broken();
-        let cfg = ScenarioConfig::default();
+        let cfg = GenProfile::standard();
         let refuted = (0..60).any(|seed| {
             let scen = case.generate(seed, &cfg);
             case.model_check(&scen.program, &scen.ty).is_err()

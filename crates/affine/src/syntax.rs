@@ -352,6 +352,54 @@ impl AffiExpr {
     }
 }
 
+impl MlExpr {
+    /// Number of syntactic language boundaries `⦇·⦈`, counted structurally
+    /// (one tree walk, no rendering) across both embedded languages.
+    pub fn boundary_count(&self) -> usize {
+        match self {
+            MlExpr::Unit | MlExpr::Int(_) | MlExpr::Var(_) => 0,
+            MlExpr::Fst(e)
+            | MlExpr::Snd(e)
+            | MlExpr::Inl(e, _)
+            | MlExpr::Inr(e, _)
+            | MlExpr::Lam(_, _, e)
+            | MlExpr::Ref(e)
+            | MlExpr::Deref(e) => e.boundary_count(),
+            MlExpr::Pair(a, b) | MlExpr::App(a, b) | MlExpr::Assign(a, b) | MlExpr::Add(a, b) => {
+                a.boundary_count() + b.boundary_count()
+            }
+            MlExpr::Match(s, _, l, _, r) => {
+                s.boundary_count() + l.boundary_count() + r.boundary_count()
+            }
+            MlExpr::Boundary(e, _) => 1 + e.boundary_count(),
+        }
+    }
+}
+
+impl AffiExpr {
+    /// Number of syntactic language boundaries `⦇·⦈`, counted structurally
+    /// (one tree walk, no rendering) across both embedded languages.
+    pub fn boundary_count(&self) -> usize {
+        match self {
+            AffiExpr::Unit
+            | AffiExpr::Bool(_)
+            | AffiExpr::Int(_)
+            | AffiExpr::UVar(_)
+            | AffiExpr::AVar(_, _) => 0,
+            AffiExpr::Lam(_, _, _, e)
+            | AffiExpr::Bang(e)
+            | AffiExpr::Proj1(e)
+            | AffiExpr::Proj2(e) => e.boundary_count(),
+            AffiExpr::App(a, b)
+            | AffiExpr::WithPair(a, b)
+            | AffiExpr::TensorPair(a, b)
+            | AffiExpr::LetBang(_, a, b)
+            | AffiExpr::LetTensor(_, _, a, b) => a.boundary_count() + b.boundary_count(),
+            AffiExpr::Boundary(e, _) => 1 + e.boundary_count(),
+        }
+    }
+}
+
 impl fmt::Display for MlExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

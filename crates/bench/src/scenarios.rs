@@ -7,16 +7,23 @@
 //! random population the property suites and `semint sweep` exercise, and
 //! every workload automatically covers all three case studies.
 
-use semint_core::case::{CaseStudy, ScenarioConfig};
+use semint_core::case::{CaseStudy, GenProfile};
 use semint_core::stats::SweepReport;
 use semint_harness::cases::{AnyCase, AnyProgram};
 use semint_harness::engine::{sweep_all, SweepConfig};
+use semint_harness::source::SeedRange;
 use semint_harness::Scenario;
 
-/// The generation knobs every E9 workload uses (kept fixed so bench numbers
-/// are comparable across runs).
-pub fn scenario_config() -> ScenarioConfig {
-    ScenarioConfig::default()
+/// The generation profile every E9 workload uses (kept fixed so bench
+/// numbers are comparable across runs).
+pub fn scenario_profile() -> GenProfile {
+    GenProfile::standard()
+}
+
+/// The deep-type profile behind the E11 experiment: source types of depth
+/// ≥ 4, which puts compound-glue derivation on the sweep's critical path.
+pub fn deep_profile() -> GenProfile {
+    GenProfile::deep()
 }
 
 /// The generated scenarios for `case` over `seeds`, in seed order.
@@ -24,8 +31,8 @@ pub fn generated_scenarios(
     case: &AnyCase,
     seeds: std::ops::Range<u64>,
 ) -> Vec<Scenario<AnyProgram, <AnyCase as CaseStudy>::Ty>> {
-    let cfg = scenario_config();
-    seeds.map(|seed| case.generate(seed, &cfg)).collect()
+    let profile = scenario_profile();
+    seeds.map(|seed| case.generate(seed, &profile)).collect()
 }
 
 /// The generated programs for `case` over `seeds` (interpreter-bench food).
@@ -36,29 +43,41 @@ pub fn generated_programs(case: &AnyCase, seeds: std::ops::Range<u64>) -> Vec<An
         .collect()
 }
 
-fn sweep_with(seed_count: u64, jobs: usize, model_check: bool, time: bool) -> SweepReport {
+fn sweep_with(
+    seed_count: u64,
+    jobs: usize,
+    model_check: bool,
+    time: bool,
+    profile: GenProfile,
+) -> SweepReport {
     let cases = AnyCase::all(false);
+    let source = SeedRange::new(0, seed_count).expect("bench ranges are non-empty");
     let cfg = SweepConfig {
-        seed_start: 0,
-        seed_end: seed_count,
         jobs,
-        scenario: scenario_config(),
+        profile,
         model_check,
         time,
     };
-    sweep_all(&cases, &cfg)
+    sweep_all(&cases, &source, &cfg)
 }
 
 /// One full harness sweep over all three case studies — the engine-level
 /// workload measured by the E9 throughput benchmark.
 pub fn harness_sweep(seed_count: u64, jobs: usize, model_check: bool) -> SweepReport {
-    sweep_with(seed_count, jobs, model_check, false)
+    sweep_with(seed_count, jobs, model_check, false, scenario_profile())
 }
 
 /// Like [`harness_sweep`], but collecting per-stage wall-clock totals — the
 /// workload behind the E10 glue-cache experiment (`semint sweep --time`).
 pub fn harness_sweep_timed(seed_count: u64, jobs: usize, model_check: bool) -> SweepReport {
-    sweep_with(seed_count, jobs, model_check, true)
+    sweep_with(seed_count, jobs, model_check, true, scenario_profile())
+}
+
+/// A timed sweep over the `deep` profile — the E11 workload (`semint bench
+/// --profile deep`), where compound glue derivation is hot enough for the
+/// cache to show up in whole-sweep wall clock.
+pub fn deep_sweep_timed(seed_count: u64, jobs: usize) -> SweepReport {
+    sweep_with(seed_count, jobs, false, true, deep_profile())
 }
 
 #[cfg(test)]
@@ -96,6 +115,19 @@ mod tests {
         for case in &report.cases {
             let timings = case.timings.expect("timed sweep records timings");
             assert!(timings.total_ns() > 0, "{}", case.case);
+            assert!(
+                case.glue_hits + case.glue_misses > 0,
+                "{} derived no glue at all",
+                case.case
+            );
+        }
+    }
+
+    #[test]
+    fn deep_sweep_is_clean_and_exercises_the_cache() {
+        let report = deep_sweep_timed(12, 2);
+        assert_eq!(report.failure_count(), 0);
+        for case in &report.cases {
             assert!(
                 case.glue_hits + case.glue_misses > 0,
                 "{} derived no glue at all",

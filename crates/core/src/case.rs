@@ -18,25 +18,256 @@ use crate::fuel::Fuel;
 use crate::stats::RunStats;
 use std::fmt;
 
-/// Tuning knobs shared by every case study's scenario generator.
+/// Relative weights for the generators' choice among goal-type constructor
+/// classes.  All three case studies' type generators draw from the same
+/// three shapes: base types (`leaf`), binary constructors such as sums,
+/// products, functions and tensors (`branch`), and unary wrappers such as
+/// references, arrays and `!` (`wrap`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ScenarioConfig {
+pub struct ConstructorWeights {
+    /// Weight of base types (bool, int, unit, …).
+    pub leaf: u32,
+    /// Weight of binary constructors (sum, product, function, tensor, …).
+    pub branch: u32,
+    /// Weight of unary wrappers (ref, array, `!`, …).
+    pub wrap: u32,
+}
+
+impl ConstructorWeights {
+    /// The weights every preset except `deep` uses: an even split between
+    /// stopping and recursing, with wrappers rarer than branches.
+    pub const STANDARD: ConstructorWeights = ConstructorWeights {
+        leaf: 3,
+        branch: 3,
+        wrap: 1,
+    };
+
+    /// Branch-heavy weights for the `deep` preset: goal types keep
+    /// recursing most of the time, so deep pairs/functions/refs dominate.
+    pub const DEEP: ConstructorWeights = ConstructorWeights {
+        leaf: 1,
+        branch: 4,
+        wrap: 2,
+    };
+
+    /// The largest sum of weights [`GenProfile::validate`] accepts; keeps
+    /// every arithmetic path comfortably inside `u32`.
+    pub const MAX_TOTAL: u32 = 1_000_000;
+
+    /// Sum of the three weights (saturating, so hand-built weights beyond
+    /// [`ConstructorWeights::MAX_TOTAL`] cannot overflow — validation
+    /// rejects them before they matter).
+    pub fn total(&self) -> u32 {
+        self.leaf
+            .saturating_add(self.branch)
+            .saturating_add(self.wrap)
+    }
+
+    /// Maps a uniform roll in `0..total()` to a constructor class; the
+    /// generators draw the roll from their seeded RNG so this type needs no
+    /// randomness of its own.
+    pub fn class_for(&self, roll: u32) -> ConstructorClass {
+        let roll = roll % self.total().max(1);
+        if roll < self.leaf {
+            ConstructorClass::Leaf
+        } else if roll < self.leaf + self.branch {
+            ConstructorClass::Branch
+        } else {
+            ConstructorClass::Wrap
+        }
+    }
+}
+
+/// One of the three goal-type constructor classes weighted by
+/// [`ConstructorWeights`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstructorClass {
+    /// A base type.
+    Leaf,
+    /// A binary constructor.
+    Branch,
+    /// A unary wrapper.
+    Wrap,
+}
+
+impl Default for ConstructorWeights {
+    fn default() -> Self {
+        ConstructorWeights::STANDARD
+    }
+}
+
+/// A named generation profile: every knob the scenario generators honor.
+///
+/// Profiles are the engine's first-class notion of a workload *population*
+/// (replacing the old flat `ScenarioConfig`): four presets cover the common
+/// sweeps, and every knob is independently overridable (`semint sweep
+/// --profile deep --boundary-bias 60 …`).  Construct presets via
+/// [`GenProfile::by_name`] or the named constructors; after mutating knobs,
+/// re-check with [`GenProfile::validate`] — the engine and CLI reject
+/// invalid profiles instead of silently clamping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenProfile {
+    /// The preset this profile started from (`custom` once knobs diverge in
+    /// the CLI; informational only — never affects generation).
+    pub name: &'static str,
+    /// Maximum structural depth of generated goal *types* (source-type
+    /// depth).  Depths above 2 put compound-glue derivation on the sweep's
+    /// critical path, which is where the glue cache shows up in wall-clock.
+    pub type_depth: usize,
     /// Maximum expression depth of generated programs.
     pub max_depth: usize,
     /// Probability (0–100) of inserting a language boundary where a
     /// convertibility rule permits one.
     pub boundary_bias: u32,
+    /// Constructor-class weights for goal-type generation.
+    pub weights: ConstructorWeights,
     /// Step budget for each run.
     pub fuel: Fuel,
 }
 
-impl Default for ScenarioConfig {
-    fn default() -> Self {
-        ScenarioConfig {
+impl GenProfile {
+    /// The four preset names, in the order `semint --help` lists them.
+    pub const PRESET_NAMES: [&'static str; 4] = ["smoke", "default", "deep", "boundary-heavy"];
+
+    /// Tiny population for CI smokes: shallow types, shallow programs,
+    /// small budget.
+    pub fn smoke() -> GenProfile {
+        GenProfile {
+            name: "smoke",
+            type_depth: 1,
+            max_depth: 2,
+            boundary_bias: 25,
+            weights: ConstructorWeights::STANDARD,
+            fuel: Fuel::steps(50_000),
+        }
+    }
+
+    /// The standard population (the pre-profile engine's behavior):
+    /// source-type depth 2, expression depth 4, 35% boundary bias.
+    pub fn standard() -> GenProfile {
+        GenProfile {
+            name: "default",
+            type_depth: 2,
             max_depth: 4,
             boundary_bias: 35,
+            weights: ConstructorWeights::STANDARD,
             fuel: Fuel::steps(200_000),
         }
+    }
+
+    /// Deep population: source types of depth up to 4 with branch-heavy
+    /// constructor weights, so compound-glue derivation sits on the sweep's
+    /// critical path.
+    pub fn deep() -> GenProfile {
+        GenProfile {
+            name: "deep",
+            type_depth: 4,
+            max_depth: 6,
+            boundary_bias: 45,
+            weights: ConstructorWeights::DEEP,
+            fuel: Fuel::steps(400_000),
+        }
+    }
+
+    /// Boundary-stress population: standard depths, but boundaries are
+    /// inserted at (almost) every opportunity.
+    pub fn boundary_heavy() -> GenProfile {
+        GenProfile {
+            name: "boundary-heavy",
+            type_depth: 2,
+            max_depth: 5,
+            boundary_bias: 85,
+            weights: ConstructorWeights::STANDARD,
+            fuel: Fuel::steps(200_000),
+        }
+    }
+
+    /// Looks a preset up by name.
+    pub fn by_name(name: &str) -> Option<GenProfile> {
+        match name {
+            "smoke" => Some(GenProfile::smoke()),
+            "default" => Some(GenProfile::standard()),
+            "deep" => Some(GenProfile::deep()),
+            "boundary-heavy" => Some(GenProfile::boundary_heavy()),
+            _ => None,
+        }
+    }
+
+    /// All four presets.
+    pub fn presets() -> Vec<GenProfile> {
+        GenProfile::PRESET_NAMES
+            .iter()
+            .map(|name| GenProfile::by_name(name).expect("preset names are exhaustive"))
+            .collect()
+    }
+
+    /// Checks every knob, returning a human-readable complaint for the
+    /// first invalid one.  Presets always validate; mutated profiles must
+    /// be re-checked before use (the CLI turns the complaint into a usage
+    /// error instead of silently clamping).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.type_depth == 0 {
+            return Err("type depth must be at least 1".into());
+        }
+        if self.max_depth == 0 {
+            return Err("expression depth must be at least 1".into());
+        }
+        if self.boundary_bias > 100 {
+            return Err(format!(
+                "boundary bias is a percentage: {} is not in 0-100",
+                self.boundary_bias
+            ));
+        }
+        if self.fuel.remaining() == Some(0) {
+            return Err("fuel budget must be nonzero (a zero-step budget can run nothing)".into());
+        }
+        if self.weights.total() == 0 {
+            return Err("constructor weights must not all be zero".into());
+        }
+        let exact_total = [self.weights.leaf, self.weights.branch, self.weights.wrap]
+            .iter()
+            .try_fold(0u32, |acc, w| acc.checked_add(*w));
+        if !matches!(exact_total, Some(total) if total <= ConstructorWeights::MAX_TOTAL) {
+            return Err(format!(
+                "constructor weights are relative; keep their sum at or below {}",
+                ConstructorWeights::MAX_TOTAL
+            ));
+        }
+        Ok(())
+    }
+
+    /// Validates and returns `self` (builder-style sugar over
+    /// [`GenProfile::validate`]).
+    pub fn validated(self) -> Result<GenProfile, String> {
+        self.validate()?;
+        Ok(self)
+    }
+}
+
+impl Default for GenProfile {
+    fn default() -> Self {
+        GenProfile::standard()
+    }
+}
+
+impl fmt::Display for GenProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fuel = match self.fuel.remaining() {
+            Some(steps) => steps.to_string(),
+            None => "unlimited".into(),
+        };
+        write!(
+            f,
+            "{} (type depth {}, expr depth {}, boundary bias {}%, weights {}/{}/{}, fuel {})",
+            self.name,
+            self.type_depth,
+            self.max_depth,
+            self.boundary_bias,
+            self.weights.leaf,
+            self.weights.branch,
+            self.weights.wrap,
+            fuel
+        )
     }
 }
 
@@ -92,8 +323,9 @@ pub trait CaseStudy {
     /// A short stable name (`sharedmem`, `affine`, `memgc`).
     fn name(&self) -> &'static str;
 
-    /// Deterministically generates a well-typed scenario from `seed`.
-    fn generate(&self, seed: u64, cfg: &ScenarioConfig) -> Scenario<Self::Program, Self::Ty>;
+    /// Deterministically generates a well-typed scenario from `seed` under
+    /// the given generation profile.
+    fn generate(&self, seed: u64, profile: &GenProfile) -> Scenario<Self::Program, Self::Ty>;
 
     /// Type checks a program, returning its type.
     fn typecheck(&self, program: &Self::Program) -> Result<Self::Ty, String>;
@@ -126,11 +358,11 @@ pub trait CaseStudy {
     /// The number of syntactic language boundaries in `program`, used for
     /// the boundary-crossing aggregate statistics.
     ///
-    /// All three case studies render boundaries as `⦇e⦈τ`, so the default
-    /// counts the opening half-brackets in the rendered program.
-    fn boundary_count(&self, program: &Self::Program) -> usize {
-        program.to_string().matches('⦇').count()
-    }
+    /// This runs once per scenario on the sweep hot path, so implementations
+    /// must count structurally (one tree walk) — rendering the program and
+    /// counting `⦇` characters costs a full O(program) string allocation per
+    /// scenario, which is why there is deliberately no render-based default.
+    fn boundary_count(&self, program: &Self::Program) -> usize;
 
     /// Checks Lemma 3.1 (convertibility soundness) over the case study's
     /// registered rule catalogue, independent of any generated program.
@@ -153,10 +385,68 @@ mod tests {
     use super::*;
 
     #[test]
-    fn default_config_is_bounded() {
-        let cfg = ScenarioConfig::default();
-        assert!(cfg.fuel.remaining().is_some());
-        assert!(cfg.boundary_bias <= 100);
+    fn every_preset_validates_and_is_bounded() {
+        for profile in GenProfile::presets() {
+            profile
+                .validate()
+                .unwrap_or_else(|e| panic!("preset {} invalid: {e}", profile.name));
+            assert!(profile.fuel.remaining().is_some(), "{}", profile.name);
+            assert!(profile.boundary_bias <= 100, "{}", profile.name);
+            assert_eq!(
+                GenProfile::by_name(profile.name),
+                Some(profile),
+                "by_name must round-trip {}",
+                profile.name
+            );
+        }
+        assert!(GenProfile::by_name("nope").is_none());
+        assert_eq!(GenProfile::default(), GenProfile::standard());
+    }
+
+    #[test]
+    fn deep_preset_reaches_past_the_old_type_depth_cap() {
+        assert!(GenProfile::deep().type_depth >= 4);
+    }
+
+    #[test]
+    fn invalid_knobs_are_rejected_with_friendly_messages() {
+        let mut p = GenProfile::standard();
+        p.boundary_bias = 101;
+        assert!(p.validate().unwrap_err().contains("0-100"));
+        let mut p = GenProfile::standard();
+        p.fuel = crate::Fuel::steps(0);
+        assert!(p.validate().unwrap_err().contains("fuel"));
+        let mut p = GenProfile::standard();
+        p.type_depth = 0;
+        assert!(p.validate().unwrap_err().contains("type depth"));
+        let mut p = GenProfile::standard();
+        p.max_depth = 0;
+        assert!(p.validate().unwrap_err().contains("expression depth"));
+        let mut p = GenProfile::standard();
+        p.weights = ConstructorWeights {
+            leaf: 0,
+            branch: 0,
+            wrap: 0,
+        };
+        assert!(p.validate().unwrap_err().contains("weights"));
+        // Oversized weights are rejected rather than overflowing the total.
+        let mut p = GenProfile::standard();
+        p.weights = ConstructorWeights {
+            leaf: 3_000_000_000,
+            branch: 3_000_000_000,
+            wrap: 1,
+        };
+        assert!(p.validate().unwrap_err().contains("at or below"));
+        assert!(GenProfile::standard().validated().is_ok());
+    }
+
+    #[test]
+    fn profiles_render_their_knobs() {
+        let text = GenProfile::deep().to_string();
+        assert!(
+            text.contains("deep") && text.contains("type depth 4"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -49,7 +49,9 @@ pub mod symbol;
 pub mod world;
 
 pub use boundary::BoundaryDirection;
-pub use case::{CaseStudy, CheckFailure, Scenario, ScenarioConfig};
+pub use case::{
+    CaseStudy, CheckFailure, ConstructorClass, ConstructorWeights, GenProfile, Scenario,
+};
 pub use convert::{
     ConversionPair, ConversionScheme, ConvertibilityRegistry, GlueCache, GlueCacheStats,
 };

@@ -251,6 +251,29 @@ impl CaseReport {
         }
     }
 
+    /// Merges another report over the *same* case study into this one:
+    /// every aggregate is additive, so merging the per-shard reports of a
+    /// partitioned seed range reproduces the unsharded report (and its
+    /// [`CaseReport::digest`]) exactly.
+    pub fn merge(&mut self, other: &CaseReport) {
+        debug_assert_eq!(self.case, other.case, "merging reports of different cases");
+        self.scenarios += other.scenarios;
+        self.total_steps += other.total_steps;
+        self.total_boundaries += other.total_boundaries;
+        self.total_program_chars += other.total_program_chars;
+        self.glue_hits += other.glue_hits;
+        self.glue_misses += other.glue_misses;
+        for (label, count) in &other.outcome_histogram {
+            *self.outcome_histogram.entry(label.clone()).or_insert(0) += count;
+        }
+        self.failures.extend(other.failures.iter().cloned());
+        if let Some(timings) = &other.timings {
+            self.timings
+                .get_or_insert_with(StageTimings::default)
+                .absorb(timings);
+        }
+    }
+
     /// Fraction of glue-cache lookups answered from the cache, in `[0, 1]`.
     pub fn glue_hit_rate(&self) -> f64 {
         crate::convert::GlueCacheStats {
@@ -300,6 +323,19 @@ impl SweepReport {
     /// Total failures across all cases.
     pub fn failure_count(&self) -> usize {
         self.cases.iter().map(|c| c.failures.len()).sum()
+    }
+
+    /// Merges another sweep report into this one, matching case reports by
+    /// name (cases only in `other` are appended).  Sharded sweeps merge
+    /// into the digests of the unsharded sweep — the property `semint
+    /// report a.tsv b.tsv` and the CI shard smoke rely on.
+    pub fn merge(&mut self, other: &SweepReport) {
+        for incoming in &other.cases {
+            match self.cases.iter_mut().find(|c| c.case == incoming.case) {
+                Some(existing) => existing.merge(incoming),
+                None => self.cases.push(incoming.clone()),
+            }
+        }
     }
 
     /// Serialises the aggregate (not the failure witnesses) to a simple
@@ -481,6 +517,34 @@ mod tests {
         assert_eq!(timings.generate_ns, 20);
         assert_eq!(timings.total_ns(), 300);
         assert!((report.glue_hit_rate() - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_shards_reproduce_the_unsharded_digest() {
+        let mut whole = CaseReport::new("sharedmem");
+        let mut even = CaseReport::new("sharedmem");
+        let mut odd = CaseReport::new("sharedmem");
+        for seed in 0..10u64 {
+            let rec = record(
+                seed,
+                if seed % 3 == 0 {
+                    OutcomeClass::Value
+                } else {
+                    OutcomeClass::OutOfFuel
+                },
+                seed + 1,
+            );
+            whole.absorb(&rec);
+            if seed % 2 == 0 {
+                even.absorb(&rec);
+            } else {
+                odd.absorb(&rec);
+            }
+        }
+        let mut merged = SweepReport { cases: vec![even] };
+        merged.merge(&SweepReport { cases: vec![odd] });
+        assert_eq!(merged.cases.len(), 1);
+        assert_eq!(merged.cases[0].digest(), whole.digest());
     }
 
     #[test]

@@ -3,21 +3,28 @@
 //! One entry point over all three case studies:
 //!
 //! ```text
-//! semint run   --case sharedmem --seed 42        # one scenario, verbose
-//! semint check --case all --seeds 0..50          # model-check a seed range
-//! semint sweep --seeds 0..200 --jobs 4           # parallel sweep, aggregate report
-//! semint sweep --seeds 0..50 --broken            # sabotaged conversions → shrunk counterexamples
-//! semint report sweep.tsv                        # re-render a saved report
+//! semint run   --case sharedmem --seed 42           # one scenario, verbose
+//! semint check --case all --seeds 0..50             # model-check a seed range
+//! semint sweep --seeds 0..200 --jobs 4              # parallel sweep, aggregate report
+//! semint sweep --profile deep                       # deep-type population (glue cache on the hot path)
+//! semint sweep --seeds 0..200 --shard 0/2           # this process takes half the range
+//! semint sweep --corpus-save pop.corpus             # persist the swept scenario set
+//! semint sweep --corpus-load pop.corpus             # replay it (identical digests)
+//! semint bench --profile deep --repeat 3            # E9/E11 timing mode (per-stage totals)
+//! semint report a.tsv b.tsv                         # merge + re-render saved reports
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace is offline; no clap).
 
-use semint_core::case::{CaseStudy, ScenarioConfig};
+use semint_core::case::{CaseStudy, ConstructorWeights, GenProfile};
 use semint_core::stats::SweepReport;
 use semint_core::Fuel;
 use semint_harness::cases::AnyCase;
-use semint_harness::engine::{run_generated, sweep_all, SweepConfig, MAX_SEEDS_PER_SWEEP};
+use semint_harness::engine::{
+    parallel_map, run_generated, run_scenario, sweep_all, SweepConfig, MAX_SEEDS_PER_SWEEP,
+};
 use semint_harness::report::render_sweep;
+use semint_harness::source::{Corpus, ScenarioSource, SeedRange, Shard};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -29,22 +36,46 @@ USAGE:
                                                       Lemma 3.1 catalogue + model-check a seed range
     semint sweep [--case NAME] [--seeds A..B] [--jobs J] [--save PATH] [options]
                                                       parallel sweep with aggregate statistics
-    semint report [PATH]                              render a report saved by `sweep --save`
+    semint bench [--case NAME] [--seeds A..B] [--repeat R] [--cold] [options]
+                                                      timed sweep: per-stage wall-clock totals and
+                                                      throughput (model check off unless --model-check)
+    semint report PATH...                             render (and, for several PATHs, merge) reports
+                                                      saved by `sweep --save`; sharded sweeps merge
+                                                      into the digests of the unsharded sweep
     semint help                                       this text
+
+SCENARIO SUPPLY:
+    --seeds A..B     half-open seed range                    (default: 0..100)
+    --shard K/N      take the K-th of N deterministic slices of the seed range;
+                     the N shards are disjoint, cover the range, and their saved
+                     reports merge (`semint report`) into the unsharded digests
+    --corpus-load PATH  replay a persisted scenario corpus (pins the profile it
+                     was saved with; excludes --seeds/--shard)
+    --corpus-save PATH  persist the swept scenario set as a corpus
+
+GENERATION PROFILE:
+    --profile NAME   smoke | default | deep | boundary-heavy (default: default)
+                     deep generates source types of depth >= 4, putting
+                     compound-glue derivation on the sweep's critical path
+    --type-depth D   max source-type depth                   (overrides profile)
+    --depth D        max expression depth                    (overrides profile)
+    --boundary-bias P  boundary probability 0-100            (overrides profile)
+    --weights L,B,W  leaf,branch,wrap constructor weights    (overrides profile)
+    --fuel N         step budget per run                     (overrides profile)
 
 OPTIONS:
     --case NAME      sharedmem | affine | memgc | all        (default: all)
-    --seeds A..B     half-open seed range                    (default: 0..100)
     --seed N         single seed (run only)
     --jobs J         worker threads                          (default: 4)
-    --depth D        max generated-program depth             (default: 4)
-    --boundary-bias P  boundary probability 0-100            (default: 35)
-    --fuel N         step budget per run                     (default: 200000)
     --no-model-check skip the realizability-model stage (sweep only)
+    --model-check    force the realizability-model stage (bench only; off there by default)
     --time           collect per-stage wall-clock totals
                      (generate/typecheck/compile/run/model-check)
+    --repeat R       bench repeats, best-of-R is reported    (default: 3)
+    --cold           bench with a cold glue cache per scenario (cache bypassed)
     --broken         sabotage a conversion rule per case study; failing
                      scenarios are reported with shrunk counterexamples
+    --save PATH      save the sweep report as TSV
 
 EXIT STATUS: 0 on success, 1 if any scenario or conversion check failed, 2 on usage errors.";
 
@@ -58,6 +89,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "check" => cmd_check(rest),
         "sweep" => cmd_sweep(rest),
+        "bench" => cmd_bench(rest),
         "report" => cmd_report(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -84,14 +116,22 @@ fn main() -> ExitCode {
 #[derive(Debug)]
 struct Options {
     case: String,
-    seed_start: u64,
-    seed_end: u64,
+    range: (u64, u64),
+    /// Whether `--seeds` was given explicitly (a corpus replay rejects it).
+    range_set: bool,
+    shard: Option<(u64, u64)>,
+    corpus_load: Option<String>,
+    corpus_save: Option<String>,
     seed: Option<u64>,
     jobs: usize,
-    scenario: ScenarioConfig,
-    model_check: bool,
+    profile: GenProfile,
+    /// Tri-state so each subcommand picks its own default (`sweep`: on,
+    /// `bench`: off).
+    model_check: Option<bool>,
     time: bool,
     broken: bool,
+    repeat: usize,
+    cold: bool,
     save: Option<String>,
 }
 
@@ -99,14 +139,19 @@ impl Default for Options {
     fn default() -> Self {
         Options {
             case: "all".into(),
-            seed_start: 0,
-            seed_end: 100,
+            range: (0, 100),
+            range_set: false,
+            shard: None,
+            corpus_load: None,
+            corpus_save: None,
             seed: None,
             jobs: 4,
-            scenario: ScenarioConfig::default(),
-            model_check: true,
+            profile: GenProfile::standard(),
+            model_check: None,
             time: false,
             broken: false,
+            repeat: 3,
+            cold: false,
             save: None,
         }
     }
@@ -114,6 +159,14 @@ impl Default for Options {
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
+    // Profile knob overrides are collected separately and applied on top of
+    // whichever preset `--profile` selects, so flag order never matters.
+    let mut profile_name: Option<String> = None;
+    let mut type_depth: Option<usize> = None;
+    let mut max_depth: Option<usize> = None;
+    let mut boundary_bias: Option<u32> = None;
+    let mut weights: Option<ConstructorWeights> = None;
+    let mut fuel: Option<Fuel> = None;
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| {
@@ -128,27 +181,36 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let (a, b) = spec
                     .split_once("..")
                     .ok_or_else(|| format!("--seeds expects A..B, got `{spec}`"))?;
-                opts.seed_start = a.parse().map_err(|e| format!("--seeds start: {e}"))?;
-                opts.seed_end = b.parse().map_err(|e| format!("--seeds end: {e}"))?;
-                if opts.seed_end < opts.seed_start {
-                    return Err(format!(
-                        "--seeds range `{spec}` is reversed: the end ({}) is smaller than \
-                         the start ({}); expected a half-open range A..B with A < B",
-                        opts.seed_end, opts.seed_start
-                    ));
-                }
-                if opts.seed_end == opts.seed_start {
-                    return Err(format!(
-                        "--seeds range `{spec}` is empty; expected a half-open range A..B \
-                         with A < B"
-                    ));
-                }
-                if opts.seed_end.saturating_sub(opts.seed_start) > MAX_SEEDS_PER_SWEEP {
+                let start: u64 = a.parse().map_err(|e| format!("--seeds start: {e}"))?;
+                let end: u64 = b.parse().map_err(|e| format!("--seeds end: {e}"))?;
+                SeedRange::new(start, end).map_err(|e| format!("--seeds: {e}"))?;
+                if end - start > MAX_SEEDS_PER_SWEEP {
                     return Err(format!(
                         "--seeds range `{spec}` has more than {MAX_SEEDS_PER_SWEEP} seeds"
                     ));
                 }
+                opts.range = (start, end);
+                opts.range_set = true;
             }
+            "--shard" => {
+                let spec = value("--shard")?;
+                let (k, n) = spec
+                    .split_once('/')
+                    .ok_or_else(|| format!("--shard expects K/N, got `{spec}`"))?;
+                let index: u64 = k.parse().map_err(|e| format!("--shard index: {e}"))?;
+                let of: u64 = n.parse().map_err(|e| format!("--shard count: {e}"))?;
+                if of == 0 {
+                    return Err("--shard count must be at least 1".into());
+                }
+                if index >= of {
+                    return Err(format!(
+                        "--shard index {index} is out of range for {of} shards (use 0..{of})"
+                    ));
+                }
+                opts.shard = Some((index, of));
+            }
+            "--corpus-load" => opts.corpus_load = Some(value("--corpus-load")?.to_string()),
+            "--corpus-save" => opts.corpus_save = Some(value("--corpus-save")?.to_string()),
             "--seed" => {
                 opts.seed = Some(
                     value("--seed")?
@@ -164,32 +226,120 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     return Err("--jobs must be at least 1".into());
                 }
             }
+            "--profile" => {
+                let name = value("--profile")?;
+                GenProfile::by_name(name).ok_or_else(|| {
+                    format!(
+                        "unknown profile `{name}` (expected one of: {})",
+                        GenProfile::PRESET_NAMES.join(" | ")
+                    )
+                })?;
+                profile_name = Some(name.to_string());
+            }
+            "--type-depth" => {
+                type_depth = Some(
+                    value("--type-depth")?
+                        .parse()
+                        .map_err(|e| format!("--type-depth: {e}"))?,
+                )
+            }
             "--depth" => {
-                opts.scenario.max_depth = value("--depth")?
-                    .parse()
-                    .map_err(|e| format!("--depth: {e}"))?
+                max_depth = Some(
+                    value("--depth")?
+                        .parse()
+                        .map_err(|e| format!("--depth: {e}"))?,
+                )
             }
             "--boundary-bias" => {
-                opts.scenario.boundary_bias = value("--boundary-bias")?
-                    .parse()
-                    .map_err(|e| format!("--boundary-bias: {e}"))?;
-                if opts.scenario.boundary_bias > 100 {
-                    return Err("--boundary-bias must be 0-100".into());
+                boundary_bias = Some(
+                    value("--boundary-bias")?
+                        .parse()
+                        .map_err(|e| format!("--boundary-bias: {e}"))?,
+                )
+            }
+            "--weights" => {
+                let spec = value("--weights")?;
+                let mut parts = spec.split(',');
+                let mut next = |what: &str| -> Result<u32, String> {
+                    parts
+                        .next()
+                        .ok_or_else(|| format!("--weights expects L,B,W, got `{spec}`"))?
+                        .parse::<u32>()
+                        .map_err(|e| format!("--weights {what}: {e}"))
+                };
+                let parsed = ConstructorWeights {
+                    leaf: next("leaf")?,
+                    branch: next("branch")?,
+                    wrap: next("wrap")?,
+                };
+                if parts.next().is_some() {
+                    return Err(format!("--weights expects exactly L,B,W, got `{spec}`"));
                 }
+                weights = Some(parsed);
             }
             "--fuel" => {
                 let steps: u64 = value("--fuel")?
                     .parse()
                     .map_err(|e| format!("--fuel: {e}"))?;
-                opts.scenario.fuel = Fuel::steps(steps);
+                fuel = Some(Fuel::steps(steps));
             }
-            "--no-model-check" => opts.model_check = false,
+            "--no-model-check" => opts.model_check = Some(false),
+            "--model-check" => opts.model_check = Some(true),
             "--time" => opts.time = true,
             "--broken" => opts.broken = true,
+            "--repeat" => {
+                opts.repeat = value("--repeat")?
+                    .parse()
+                    .map_err(|e| format!("--repeat: {e}"))?;
+                if opts.repeat == 0 {
+                    return Err("--repeat must be at least 1".into());
+                }
+            }
+            "--cold" => opts.cold = true,
             "--save" => opts.save = Some(value("--save")?.to_string()),
             other => return Err(format!("unknown option `{other}`; try `semint help`")),
         }
     }
+    if opts.corpus_load.is_some()
+        && (opts.shard.is_some() || opts.range_set || profile_name.is_some())
+    {
+        return Err(
+            "--corpus-load replays the corpus's own scenario set and profile; \
+             it cannot be combined with --seeds, --shard or --profile"
+                .into(),
+        );
+    }
+    let mut profile = match &profile_name {
+        Some(name) => GenProfile::by_name(name).expect("validated above"),
+        None => GenProfile::standard(),
+    };
+    let customized = type_depth.is_some()
+        || max_depth.is_some()
+        || boundary_bias.is_some()
+        || weights.is_some()
+        || fuel.is_some();
+    if let Some(d) = type_depth {
+        profile.type_depth = d;
+    }
+    if let Some(d) = max_depth {
+        profile.max_depth = d;
+    }
+    if let Some(b) = boundary_bias {
+        profile.boundary_bias = b;
+    }
+    if let Some(w) = weights {
+        profile.weights = w;
+    }
+    if let Some(f) = fuel {
+        profile.fuel = f;
+    }
+    if customized {
+        profile.name = "custom";
+    }
+    // Reject invalid knob combinations up front with the profile's own
+    // complaint — never silently clamp.
+    profile.validate()?;
+    opts.profile = profile;
     Ok(opts)
 }
 
@@ -208,15 +358,53 @@ fn selected_cases(opts: &Options) -> Result<Vec<AnyCase>, String> {
     }
 }
 
-fn sweep_config(opts: &Options) -> SweepConfig {
+/// Builds the scenario source the options describe: a corpus, a shard of
+/// the seed range, or the plain range.
+fn build_source(opts: &Options) -> Result<Box<dyn ScenarioSource>, String> {
+    if let Some(path) = &opts.corpus_load {
+        return Ok(Box::new(Corpus::load(path)?));
+    }
+    let range = SeedRange::new(opts.range.0, opts.range.1).map_err(|e| format!("--seeds: {e}"))?;
+    match opts.shard {
+        Some((index, of)) => Ok(Box::new(
+            Shard::new(range, index, of).map_err(|e| format!("--shard: {e}"))?,
+        )),
+        None => Ok(Box::new(range)),
+    }
+}
+
+/// The friendly version of the engine's sweep-size assert: the per-range
+/// check in `parse_options` cannot see the case count, so a range below
+/// `MAX_SEEDS_PER_SWEEP` can still exceed it once multiplied across cases
+/// (or a loaded corpus can simply be huge).
+fn check_sweep_size(cases: &[AnyCase], source: &dyn ScenarioSource) -> Result<(), String> {
+    let names: Vec<&str> = cases.iter().map(|c| c.name()).collect();
+    let total = source.total(&names);
+    if total > MAX_SEEDS_PER_SWEEP {
+        return Err(format!(
+            "{} supplies {total} scenarios across {} case studies, which exceeds the \
+             per-sweep limit of {MAX_SEEDS_PER_SWEEP}; narrow the range, shard it, or \
+             sweep one case at a time",
+            source.describe(),
+            cases.len()
+        ));
+    }
+    Ok(())
+}
+
+fn sweep_config(opts: &Options, model_check_default: bool) -> SweepConfig {
     SweepConfig {
-        seed_start: opts.seed_start,
-        seed_end: opts.seed_end,
         jobs: opts.jobs,
-        scenario: opts.scenario,
-        model_check: opts.model_check,
+        profile: opts.profile,
+        model_check: opts.model_check.unwrap_or(model_check_default),
         time: opts.time,
     }
+}
+
+/// The profile a sweep over `source` actually generates with (a corpus pins
+/// its own).
+fn effective_profile(source: &dyn ScenarioSource, cfg: &SweepConfig) -> GenProfile {
+    source.pinned_profile().unwrap_or(cfg.profile)
 }
 
 /// `semint run`: one scenario, spelled out.
@@ -224,12 +412,13 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
     let opts = parse_options(args)?;
     let seed = opts.seed.ok_or("`semint run` needs --seed N")?;
     let cases = selected_cases(&opts)?;
-    let cfg = sweep_config(&opts);
+    let cfg = sweep_config(&opts, true);
     let mut clean = true;
     for case in &cases {
-        let scenario = case.generate(seed, &opts.scenario);
+        let scenario = case.generate(seed, &opts.profile);
         println!("case {}", case.name());
         println!("  seed    {seed}");
+        println!("  profile {}", opts.profile);
         println!("  type    {}", scenario.ty);
         println!("  program {}", scenario.program);
         let record = run_generated(case, &scenario, &cfg);
@@ -258,11 +447,12 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
 }
 
 /// `semint check`: the conversion catalogue (Lemma 3.1) plus a model-checked
-/// seed range.
+/// scenario set.
 fn cmd_check(args: &[String]) -> Result<bool, String> {
     let opts = parse_options(args)?;
     let cases = selected_cases(&opts)?;
-    let mut cfg = sweep_config(&opts);
+    let source = build_source(&opts)?;
+    let mut cfg = sweep_config(&opts, true);
     cfg.model_check = true;
     let mut clean = true;
     for case in &cases {
@@ -275,7 +465,8 @@ fn cmd_check(args: &[String]) -> Result<bool, String> {
             }
         }
     }
-    let report = sweep_all(&cases, &cfg);
+    check_sweep_size(&cases, source.as_ref())?;
+    let report = sweep_all(&cases, source.as_ref(), &cfg);
     print!("{}", render_sweep(&report));
     Ok(clean && report.failure_count() == 0)
 }
@@ -284,11 +475,23 @@ fn cmd_check(args: &[String]) -> Result<bool, String> {
 fn cmd_sweep(args: &[String]) -> Result<bool, String> {
     let opts = parse_options(args)?;
     let cases = selected_cases(&opts)?;
-    let cfg = sweep_config(&opts);
-    let report = sweep_all(&cases, &cfg);
+    let source = build_source(&opts)?;
+    let cfg = sweep_config(&opts, true);
+    check_sweep_size(&cases, source.as_ref())?;
+    println!(
+        "sweep: {} · profile {}",
+        source.describe(),
+        effective_profile(source.as_ref(), &cfg)
+    );
+    let report = sweep_all(&cases, source.as_ref(), &cfg);
     print!("{}", render_sweep(&report));
     for case in &report.cases {
         println!("digest: {}", case.digest());
+    }
+    if let Some(path) = &opts.corpus_save {
+        let corpus = Corpus::record(&cases, source.as_ref(), cfg.profile)?;
+        corpus.save(path)?;
+        println!("corpus saved: {path} ({} scenarios)", corpus.len());
     }
     if let Some(path) = &opts.save {
         std::fs::write(path, report.to_tsv()).map_err(|e| format!("saving {path}: {e}"))?;
@@ -297,16 +500,163 @@ fn cmd_sweep(args: &[String]) -> Result<bool, String> {
     Ok(report.failure_count() == 0)
 }
 
-/// `semint report`: render a saved sweep.
-fn cmd_report(args: &[String]) -> Result<bool, String> {
-    let path = match args {
-        [] => return Err("`semint report` needs a PATH saved by `semint sweep --save`".into()),
-        [path] => path,
-        _ => return Err("`semint report` takes exactly one PATH".into()),
+/// `semint bench`: the E9/E11 timing mode — repeated timed sweeps with
+/// per-stage wall-clock totals and throughput, optionally with the glue
+/// cache bypassed (`--cold` builds every scenario's interop system from
+/// scratch, so no derivation survives between scenarios).
+fn cmd_bench(args: &[String]) -> Result<bool, String> {
+    let opts = parse_options(args)?;
+    let cases = selected_cases(&opts)?;
+    let source = build_source(&opts)?;
+    let mut cfg = sweep_config(&opts, false);
+    cfg.time = true;
+    if let Some(pinned) = source.pinned_profile() {
+        cfg.profile = pinned;
+    }
+    check_sweep_size(&cases, source.as_ref())?;
+    println!(
+        "bench: {} · profile {} · {} repeats · glue cache {} · model check {}",
+        source.describe(),
+        cfg.profile,
+        opts.repeat,
+        if opts.cold {
+            "cold per scenario"
+        } else {
+            "shared"
+        },
+        if cfg.model_check { "on" } else { "off" }
+    );
+    let mut best: Option<(u64, SweepReport)> = None;
+    let mut digests_stable = true;
+    for _rep in 0..opts.repeat {
+        let started = std::time::Instant::now();
+        let report = if opts.cold {
+            cold_sweep(&cases, source.as_ref(), &cfg, opts.broken)
+        } else {
+            sweep_all(&cases, source.as_ref(), &cfg)
+        };
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        if let Some((_, prior)) = &best {
+            let digest = |r: &SweepReport| r.cases.iter().map(|c| c.digest()).collect::<Vec<_>>();
+            if digest(prior) != digest(&report) {
+                digests_stable = false;
+            }
+        }
+        match &best {
+            Some((best_ns, _)) if *best_ns <= wall_ns => {}
+            _ => best = Some((wall_ns, report)),
+        }
+    }
+    let (wall_ns, report) = best.expect("--repeat is at least 1");
+    let scenarios = report.scenarios();
+    for case in &report.cases {
+        println!("case {}", case.case);
+        println!("  scenarios        {:>10}", case.scenarios);
+        if let Some(timings) = &case.timings {
+            println!("  stage wall-clock (best repeat)");
+            for (label, ns) in timings.stages() {
+                println!("    {label:<14} {:>10.3} ms", ns as f64 / 1_000_000.0);
+            }
+            println!(
+                "    {:<14} {:>10.3} ms",
+                "total",
+                timings.total_ns() as f64 / 1_000_000.0
+            );
+        }
+        println!(
+            "  glue cache       {:>10} hits / {} misses ({:.1}% hit rate)",
+            case.glue_hits,
+            case.glue_misses,
+            case.glue_hit_rate() * 100.0
+        );
+        println!("  failures         {:>10}", case.failures.len());
+    }
+    let wall_s = wall_ns as f64 / 1e9;
+    println!(
+        "best wall-clock: {:.3} s ({:.0} scenarios/s across {} scenarios)",
+        wall_s,
+        scenarios as f64 / wall_s.max(1e-9),
+        scenarios
+    );
+    println!(
+        "digests stable across repeats: {}",
+        if digests_stable { "yes" } else { "NO" }
+    );
+    for case in &report.cases {
+        println!("digest: {}", case.digest());
+    }
+    if let Some(path) = &opts.corpus_save {
+        let corpus = Corpus::record(&cases, source.as_ref(), cfg.profile)?;
+        corpus.save(path)?;
+        println!("corpus saved: {path} ({} scenarios)", corpus.len());
+    }
+    if let Some(path) = &opts.save {
+        std::fs::write(path, report.to_tsv()).map_err(|e| format!("saving {path}: {e}"))?;
+        println!("saved: {path}");
+    }
+    Ok(report.failure_count() == 0 && digests_stable)
+}
+
+/// A sweep in which every scenario gets a freshly built case study — and
+/// therefore a cold glue cache: nothing derived for one scenario is visible
+/// to the next.  This is the "glue cache bypassed" baseline of the E11
+/// experiment; per-sweep cache counters are meaningless here (every
+/// scenario has its own cache) and reported as zero.
+fn cold_sweep(
+    cases: &[AnyCase],
+    source: &dyn ScenarioSource,
+    cfg: &SweepConfig,
+    broken: bool,
+) -> SweepReport {
+    let tasks: Vec<(&str, u64)> = cases
+        .iter()
+        .flat_map(|case| {
+            source
+                .seeds(case.name())
+                .into_iter()
+                .map(move |seed| (case.name(), seed))
+        })
+        .collect();
+    let records = parallel_map(&tasks, cfg.jobs, |&(name, seed)| {
+        let fresh = AnyCase::by_name(name, broken).expect("case names come from AnyCase");
+        (name, run_scenario(&fresh, seed, cfg))
+    });
+    let mut report = SweepReport {
+        cases: cases
+            .iter()
+            .map(|c| semint_core::stats::CaseReport::new(c.name()))
+            .collect(),
     };
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let report = SweepReport::from_tsv(&text)?;
+    for (name, record) in &records {
+        if let Some(case_report) = report.cases.iter_mut().find(|c| &c.case == name) {
+            case_report.absorb(record);
+        }
+    }
+    report
+}
+
+/// `semint report`: render saved sweeps, merging when several are given
+/// (per-shard saves merge into the unsharded digests).
+fn cmd_report(args: &[String]) -> Result<bool, String> {
+    if args.is_empty() {
+        return Err(
+            "`semint report` needs at least one PATH saved by `semint sweep --save`".into(),
+        );
+    }
+    let mut merged: Option<SweepReport> = None;
+    for path in args {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let report = SweepReport::from_tsv(&text).map_err(|e| format!("{path}: {e}"))?;
+        match &mut merged {
+            None => merged = Some(report),
+            Some(acc) => acc.merge(&report),
+        }
+    }
+    let report = merged.expect("at least one path");
     print!("{}", render_sweep(&report));
+    for case in &report.cases {
+        println!("digest: {}", case.digest());
+    }
     Ok(report.failure_count() == 0)
 }
 
@@ -323,7 +673,6 @@ mod tests {
     fn reversed_seed_ranges_are_rejected_with_a_friendly_error() {
         let err = parse(&["--seeds", "50..10"]).unwrap_err();
         assert!(err.contains("reversed"), "{err}");
-        assert!(err.contains("50..10"), "{err}");
         // No panic (debug-build underflow) either way round.
         let err = parse(&["--seeds", "7..7"]).unwrap_err();
         assert!(err.contains("empty"), "{err}");
@@ -332,7 +681,7 @@ mod tests {
     #[test]
     fn well_formed_seed_ranges_parse() {
         let opts = parse(&["--seeds", "3..9"]).unwrap();
-        assert_eq!((opts.seed_start, opts.seed_end), (3, 9));
+        assert_eq!(opts.range, (3, 9));
     }
 
     #[test]
@@ -340,11 +689,108 @@ mod tests {
         assert!(!parse(&[]).unwrap().time);
         let opts = parse(&["--time"]).unwrap();
         assert!(opts.time);
-        assert!(sweep_config(&opts).time);
+        assert!(sweep_config(&opts, true).time);
     }
 
     #[test]
     fn unknown_options_are_rejected() {
         assert!(parse(&["--nope"]).unwrap_err().contains("--nope"));
+    }
+
+    #[test]
+    fn profiles_parse_and_unknown_profiles_are_rejected() {
+        let opts = parse(&["--profile", "deep"]).unwrap();
+        assert_eq!(opts.profile, GenProfile::deep());
+        let err = parse(&["--profile", "turbo"]).unwrap_err();
+        assert!(err.contains("turbo") && err.contains("deep"), "{err}");
+    }
+
+    #[test]
+    fn knob_overrides_apply_on_top_of_the_profile_in_any_flag_order() {
+        let a = parse(&["--profile", "deep", "--boundary-bias", "60"]).unwrap();
+        let b = parse(&["--boundary-bias", "60", "--profile", "deep"]).unwrap();
+        assert_eq!(a.profile, b.profile);
+        assert_eq!(a.profile.boundary_bias, 60);
+        assert_eq!(a.profile.type_depth, GenProfile::deep().type_depth);
+        assert_eq!(a.profile.name, "custom");
+    }
+
+    #[test]
+    fn invalid_profile_knobs_are_friendly_errors_not_clamps() {
+        let err = parse(&["--boundary-bias", "250"]).unwrap_err();
+        assert!(err.contains("0-100"), "{err}");
+        let err = parse(&["--fuel", "0"]).unwrap_err();
+        assert!(err.contains("fuel"), "{err}");
+        let err = parse(&["--type-depth", "0"]).unwrap_err();
+        assert!(err.contains("type depth"), "{err}");
+        let err = parse(&["--weights", "0,0,0"]).unwrap_err();
+        assert!(err.contains("weights"), "{err}");
+        let err = parse(&["--weights", "1,2"]).unwrap_err();
+        assert!(err.contains("L,B,W"), "{err}");
+    }
+
+    #[test]
+    fn shards_parse_and_validate() {
+        let opts = parse(&["--shard", "1/4"]).unwrap();
+        assert_eq!(opts.shard, Some((1, 4)));
+        assert!(parse(&["--shard", "4/4"])
+            .unwrap_err()
+            .contains("out of range"));
+        assert!(parse(&["--shard", "0/0"])
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&["--shard", "nonsense"]).unwrap_err().contains("K/N"));
+    }
+
+    #[test]
+    fn corpus_load_excludes_seeds_shard_and_profile() {
+        let err = parse(&["--corpus-load", "x.corpus", "--shard", "0/2"]).unwrap_err();
+        assert!(err.contains("corpus"), "{err}");
+        let err = parse(&["--corpus-load", "x.corpus", "--profile", "deep"]).unwrap_err();
+        assert!(err.contains("corpus"), "{err}");
+        let err = parse(&["--corpus-load", "x.corpus", "--seeds", "0..10"]).unwrap_err();
+        assert!(err.contains("corpus"), "{err}");
+        // Knob overrides without --profile are also meaningless with a
+        // corpus, but harmless: the pinned profile wins inside the engine.
+        assert!(parse(&["--corpus-load", "x.corpus"]).is_ok());
+    }
+
+    #[test]
+    fn oversized_weights_are_rejected_not_overflowed() {
+        let err = parse(&["--weights", "3000000000,3000000000,1"]).unwrap_err();
+        assert!(err.contains("at or below"), "{err}");
+    }
+
+    #[test]
+    fn sweeps_larger_than_the_engine_cap_get_a_friendly_error() {
+        // 4M seeds pass the per-range CLI check but exceed the cap once
+        // multiplied across the three case studies.
+        let cases = AnyCase::all(false);
+        let source = SeedRange::new(0, 4_000_000).unwrap();
+        let err = check_sweep_size(&cases, &source).unwrap_err();
+        assert!(err.contains("exceeds the per-sweep limit"), "{err}");
+        let small = SeedRange::new(0, 100).unwrap();
+        assert!(check_sweep_size(&cases, &small).is_ok());
+    }
+
+    #[test]
+    fn bench_flags_parse() {
+        let opts = parse(&["--repeat", "5", "--cold", "--model-check"]).unwrap();
+        assert_eq!(opts.repeat, 5);
+        assert!(opts.cold);
+        assert_eq!(opts.model_check, Some(true));
+        assert!(parse(&["--repeat", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+    }
+
+    #[test]
+    fn build_source_picks_range_or_shard() {
+        let opts = parse(&["--seeds", "0..12"]).unwrap();
+        let source = build_source(&opts).unwrap();
+        assert_eq!(source.seeds("any").len(), 12);
+        let opts = parse(&["--seeds", "0..12", "--shard", "0/3"]).unwrap();
+        let source = build_source(&opts).unwrap();
+        assert_eq!(source.seeds("any"), vec![0, 3, 6, 9]);
     }
 }

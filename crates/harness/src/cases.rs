@@ -8,7 +8,7 @@
 
 use affine_interop::harness::{AffProgram, AffSourceType, AffineCase};
 use memgc_interop::harness::{MemGcCase, MgProgram, MgSourceType};
-use semint_core::case::{CaseStudy, CheckFailure, Scenario, ScenarioConfig};
+use semint_core::case::{CaseStudy, CheckFailure, GenProfile, Scenario};
 use semint_core::stats::RunStats;
 use semint_core::Fuel;
 use sharedmem::harness::{SharedMemCase, SmProgram};
@@ -144,10 +144,10 @@ impl CaseStudy for AnyCase {
         }
     }
 
-    fn generate(&self, seed: u64, cfg: &ScenarioConfig) -> Scenario<AnyProgram, AnyTy> {
+    fn generate(&self, seed: u64, profile: &GenProfile) -> Scenario<AnyProgram, AnyTy> {
         match self {
             AnyCase::SharedMem(c) => {
-                let s = c.generate(seed, cfg);
+                let s = c.generate(seed, profile);
                 Scenario {
                     seed,
                     program: AnyProgram::SharedMem(s.program),
@@ -155,7 +155,7 @@ impl CaseStudy for AnyCase {
                 }
             }
             AnyCase::Affine(c) => {
-                let s = c.generate(seed, cfg);
+                let s = c.generate(seed, profile);
                 Scenario {
                     seed,
                     program: AnyProgram::Affine(s.program),
@@ -163,7 +163,7 @@ impl CaseStudy for AnyCase {
                 }
             }
             AnyCase::MemGc(c) => {
-                let s = c.generate(seed, cfg);
+                let s = c.generate(seed, profile);
                 Scenario {
                     seed,
                     program: AnyProgram::MemGc(s.program),
@@ -246,8 +246,15 @@ impl CaseStudy for AnyCase {
         }
     }
 
-    // boundary_count: the trait default (count `⦇` in the rendering) is
-    // exactly right for all three syntaxes.
+    fn boundary_count(&self, program: &AnyProgram) -> usize {
+        match (self, program) {
+            (AnyCase::SharedMem(c), AnyProgram::SharedMem(p)) => c.boundary_count(p),
+            (AnyCase::Affine(c), AnyProgram::Affine(p)) => c.boundary_count(p),
+            (AnyCase::MemGc(c), AnyProgram::MemGc(p)) => c.boundary_count(p),
+            // A foreign program has no boundaries *of this case study*.
+            _ => 0,
+        }
+    }
 
     fn check_conversions(&self) -> Result<(), CheckFailure> {
         match self {
@@ -281,7 +288,7 @@ mod tests {
 
     #[test]
     fn generated_any_scenarios_typecheck() {
-        let cfg = ScenarioConfig::default();
+        let cfg = GenProfile::standard();
         for case in AnyCase::all(false) {
             for seed in 0..10 {
                 let scen = case.generate(seed, &cfg);
@@ -295,7 +302,7 @@ mod tests {
     fn cross_case_programs_are_rejected() {
         let sm = AnyCase::by_name("sharedmem", false).unwrap();
         let affine = AnyCase::by_name("affine", false).unwrap();
-        let scen = affine.generate(0, &ScenarioConfig::default());
+        let scen = affine.generate(0, &GenProfile::standard());
         assert!(sm.typecheck(&scen.program).is_err());
         assert!(sm.model_check(&scen.program, &scen.ty).is_err());
     }

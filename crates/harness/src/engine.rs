@@ -9,7 +9,8 @@
 //! `--jobs` value, which the integration suite asserts.
 
 use crate::shrink::shrink_failure;
-use semint_core::case::{CaseStudy, ScenarioConfig};
+use crate::source::ScenarioSource;
+use semint_core::case::{CaseStudy, GenProfile};
 use semint_core::stats::{
     CaseReport, FailStage, FailureRecord, ScenarioRecord, StageTimings, SweepReport,
 };
@@ -17,37 +18,35 @@ use std::collections::VecDeque;
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// Configuration for one sweep.
+/// Configuration for one sweep.  *What* to sweep is no longer in here — the
+/// workload is supplied by a [`ScenarioSource`] (a seed range, a shard of
+/// one, or a persisted corpus); this struct carries only the *how*.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepConfig {
-    /// First seed (inclusive).
-    pub seed_start: u64,
-    /// Last seed (exclusive).
-    pub seed_end: u64,
     /// Worker threads; clamped to the task count and to at least 1.
     pub jobs: usize,
-    /// Per-scenario generation and fuel knobs.
-    pub scenario: ScenarioConfig,
+    /// The generation profile (superseded by the source's pinned profile,
+    /// if it has one — corpora replay the profile they were saved with).
+    pub profile: GenProfile,
     /// Whether to run the realizability-model check on every scenario (the
     /// expensive stage; `run`-only sweeps skip it).
     pub model_check: bool,
     /// Whether to collect per-stage wall-clock totals (`semint sweep
-    /// --time`).  Timing adds a dedicated compile stage — normally folded
-    /// into the run stage — so stage totals are attributable; the recompile
-    /// inside the run stage is cheap because glue derivation is cached.
-    /// The extra stage's cache lookups are counted like any other, so glue
-    /// hit/miss figures from a timed sweep are slightly higher than from an
-    /// untimed sweep of the same seeds — compare like with like.
+    /// --time` and `semint bench`).  Timing adds a dedicated compile stage
+    /// — normally folded into the run stage — so stage totals are
+    /// attributable; the recompile inside the run stage is cheap because
+    /// glue derivation is cached.  The extra stage's cache lookups are
+    /// counted like any other, so glue hit/miss figures from a timed sweep
+    /// are slightly higher than from an untimed sweep of the same seeds —
+    /// compare like with like.
     pub time: bool,
 }
 
 impl Default for SweepConfig {
     fn default() -> Self {
         SweepConfig {
-            seed_start: 0,
-            seed_end: 100,
             jobs: 4,
-            scenario: ScenarioConfig::default(),
+            profile: GenProfile::standard(),
             model_check: true,
             time: false,
         }
@@ -55,9 +54,13 @@ impl Default for SweepConfig {
 }
 
 impl SweepConfig {
-    /// The number of seeds in the range.
-    pub fn seed_count(&self) -> u64 {
-        self.seed_end.saturating_sub(self.seed_start)
+    /// The configuration a sweep over `source` actually runs with: the
+    /// source's pinned profile wins over the configured one.
+    fn resolved_for(&self, source: &(impl ScenarioSource + ?Sized)) -> SweepConfig {
+        match source.pinned_profile() {
+            Some(profile) => SweepConfig { profile, ..*self },
+            None => *self,
+        }
     }
 }
 
@@ -144,7 +147,7 @@ fn staged<R>(enabled: bool, slot: &mut u64, f: impl FnOnce() -> R) -> R {
 pub fn run_scenario<C: CaseStudy>(case: &C, seed: u64, cfg: &SweepConfig) -> ScenarioRecord {
     let mut generate_ns = 0;
     let scenario = staged(cfg.time, &mut generate_ns, || {
-        case.generate(seed, &cfg.scenario)
+        case.generate(seed, &cfg.profile)
     });
     let mut record = run_generated(case, &scenario, cfg);
     if let Some(timings) = &mut record.timings {
@@ -225,7 +228,7 @@ pub fn run_generated<C: CaseStudy>(
     // internally; an `Err` here is a compilation failure (runtime outcomes,
     // including failing ones, come back as a report).
     let ran = staged(cfg.time, &mut timings.run_ns, || {
-        case.run(&scenario.program, cfg.scenario.fuel)
+        case.run(&scenario.program, cfg.profile.fuel)
     });
     match ran {
         Ok(report) => {
@@ -235,7 +238,7 @@ pub fn run_generated<C: CaseStudy>(
                 let (shrunk, steps) = shrink_failure(case, &scenario.program, |p| {
                     case.typecheck(p).is_ok()
                         && case
-                            .run(p, cfg.scenario.fuel)
+                            .run(p, cfg.profile.fuel)
                             .map(|r| !case.stats(&r).outcome.is_safe())
                             .unwrap_or(false)
                 });
@@ -280,12 +283,12 @@ pub fn run_generated<C: CaseStudy>(
     finish(record, timings)
 }
 
-fn check_range(cfg: &SweepConfig) {
+fn check_size(source: &(impl ScenarioSource + ?Sized), case_names: &[&str]) {
+    let total = source.total(case_names);
     assert!(
-        cfg.seed_count() <= MAX_SEEDS_PER_SWEEP,
-        "seed range {}..{} exceeds MAX_SEEDS_PER_SWEEP ({MAX_SEEDS_PER_SWEEP})",
-        cfg.seed_start,
-        cfg.seed_end,
+        total <= MAX_SEEDS_PER_SWEEP,
+        "{} supplies {total} scenarios, exceeding MAX_SEEDS_PER_SWEEP ({MAX_SEEDS_PER_SWEEP})",
+        source.describe(),
     );
 }
 
@@ -303,12 +306,18 @@ fn record_glue_stats<C: CaseStudy>(
     }
 }
 
-/// Sweeps one case study over the configured seed range.
-pub fn sweep_case<C: CaseStudy + Sync>(case: &C, cfg: &SweepConfig) -> CaseReport {
-    check_range(cfg);
+/// Sweeps one case study over the scenarios a [`ScenarioSource`] supplies
+/// for it.
+pub fn sweep_case<C, S>(case: &C, source: &S, cfg: &SweepConfig) -> CaseReport
+where
+    C: CaseStudy + Sync,
+    S: ScenarioSource + ?Sized,
+{
+    check_size(source, &[case.name()]);
+    let cfg = cfg.resolved_for(source);
     let glue_before = case.glue_cache_stats();
-    let seeds: Vec<u64> = (cfg.seed_start..cfg.seed_end).collect();
-    let records = parallel_map(&seeds, cfg.jobs, |&seed| run_scenario(case, seed, cfg));
+    let seeds = source.seeds(case.name());
+    let records = parallel_map(&seeds, cfg.jobs, |&seed| run_scenario(case, seed, &cfg));
     let mut report = CaseReport::new(case.name());
     for record in &records {
         report.absorb(record);
@@ -325,16 +334,27 @@ pub fn sweep_case<C: CaseStudy + Sync>(case: &C, cfg: &SweepConfig) -> CaseRepor
 /// (conversion schemes share their cache across clones), so compound glue is
 /// derived once per type pair per sweep; the per-case hit/miss deltas land in
 /// [`CaseReport::glue_hits`] / [`CaseReport::glue_misses`].
-pub fn sweep_all<C: CaseStudy + Sync>(cases: &[C], cfg: &SweepConfig) -> SweepReport {
-    check_range(cfg);
+pub fn sweep_all<C, S>(cases: &[C], source: &S, cfg: &SweepConfig) -> SweepReport
+where
+    C: CaseStudy + Sync,
+    S: ScenarioSource + ?Sized,
+{
+    let case_names: Vec<&str> = cases.iter().map(|c| c.name()).collect();
+    check_size(source, &case_names);
+    let cfg = cfg.resolved_for(source);
     let glue_before: Vec<_> = cases.iter().map(|case| case.glue_cache_stats()).collect();
     let tasks: Vec<(usize, u64)> = cases
         .iter()
         .enumerate()
-        .flat_map(|(idx, _)| (cfg.seed_start..cfg.seed_end).map(move |seed| (idx, seed)))
+        .flat_map(|(idx, case)| {
+            source
+                .seeds(case.name())
+                .into_iter()
+                .map(move |seed| (idx, seed))
+        })
         .collect();
     let records = parallel_map(&tasks, cfg.jobs, |&(idx, seed)| {
-        (idx, run_scenario(&cases[idx], seed, cfg))
+        (idx, run_scenario(&cases[idx], seed, &cfg))
     });
     let mut reports: Vec<CaseReport> = cases
         .iter()

@@ -8,6 +8,11 @@
 //! [`CaseStudy`] trait in `semint-core`.  This crate supplies everything
 //! generic on top of that trait:
 //!
+//! * [`source`] — the [`source::ScenarioSource`] abstraction over *where a
+//!   sweep's workload comes from*: a seed range, a deterministic k-of-n
+//!   [`source::Shard`] of one (sweeps compose across processes), or a
+//!   persisted, replayable [`source::Corpus`] with its generation profile
+//!   pinned;
 //! * [`engine`] — a parallel batch runner with deterministic per-task seed
 //!   splitting and a work-stealing thread pool (std threads + mutex deques,
 //!   no external dependencies), producing the shared
@@ -18,18 +23,20 @@
 //!   case studies into one task type so a single pool can interleave all of
 //!   them;
 //! * [`report`] — plain-text rendering of sweep reports for the `semint`
-//!   CLI binary shipped by this crate (`run`, `check`, `sweep`, `report`
-//!   subcommands).
+//!   CLI binary shipped by this crate (`run`, `check`, `sweep`, `bench`,
+//!   `report` subcommands).
 //!
 //! ## Example
 //!
 //! ```
 //! use semint_harness::cases::AnyCase;
 //! use semint_harness::engine::{sweep_all, SweepConfig};
+//! use semint_harness::source::SeedRange;
 //!
 //! let cases = AnyCase::all(false);
-//! let cfg = SweepConfig { seed_start: 0, seed_end: 16, jobs: 2, ..SweepConfig::default() };
-//! let report = sweep_all(&cases, &cfg);
+//! let source = SeedRange::new(0, 16).unwrap();
+//! let cfg = SweepConfig { jobs: 2, ..SweepConfig::default() };
+//! let report = sweep_all(&cases, &source, &cfg);
 //! assert_eq!(report.scenarios(), 48); // 16 seeds × 3 case studies
 //! assert_eq!(report.failure_count(), 0);
 //! ```
@@ -41,8 +48,10 @@ pub mod cases;
 pub mod engine;
 pub mod report;
 pub mod shrink;
+pub mod source;
 
 pub use cases::AnyCase;
 pub use engine::{sweep_all, sweep_case, SweepConfig};
-pub use semint_core::case::{CaseStudy, CheckFailure, Scenario, ScenarioConfig};
+pub use semint_core::case::{CaseStudy, CheckFailure, GenProfile, Scenario};
 pub use semint_core::stats::{CaseReport, SweepReport};
+pub use source::{Corpus, ScenarioSource, SeedRange, Shard};

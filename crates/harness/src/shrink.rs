@@ -75,7 +75,7 @@ pub fn shrink_failure<C: CaseStudy>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use semint_core::case::{CheckFailure, Scenario, ScenarioConfig};
+    use semint_core::case::{CheckFailure, GenProfile, Scenario};
     use semint_core::stats::{OutcomeClass, RunStats};
     use semint_core::Fuel;
 
@@ -104,7 +104,7 @@ mod tests {
         fn name(&self) -> &'static str {
             "toy"
         }
-        fn generate(&self, seed: u64, _cfg: &ScenarioConfig) -> Scenario<Depth, Depth> {
+        fn generate(&self, seed: u64, _profile: &GenProfile) -> Scenario<Depth, Depth> {
             Scenario {
                 seed,
                 program: Depth(seed as usize),
@@ -126,6 +126,9 @@ mod tests {
                 steps: 0,
             }
         }
+        fn boundary_count(&self, _p: &Depth) -> usize {
+            0
+        }
         fn model_check(&self, p: &Depth, _ty: &Depth) -> Result<(), CheckFailure> {
             if p.0 >= self.threshold {
                 Err(CheckFailure {
@@ -143,9 +146,6 @@ mod tests {
             } else {
                 vec![Depth(p.0 - 1)]
             }
-        }
-        fn boundary_count(&self, _p: &Depth) -> usize {
-            0
         }
     }
 

@@ -15,21 +15,39 @@ use crate::convert::MemGcConversions;
 use crate::syntax::{L3Expr, L3Type, PolyExpr, PolyType};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use semint_core::case::{ConstructorClass, ConstructorWeights, GenProfile};
 
 /// Tuning knobs for the §5 generator.
 #[derive(Debug, Clone, Copy)]
 pub struct MemGcGenConfig {
     /// Maximum expression depth.
     pub max_depth: usize,
+    /// Maximum goal-type depth.
+    pub type_depth: usize,
     /// Probability (0–100) of crossing a boundary when a conversion exists.
     pub boundary_bias: u32,
+    /// Constructor-class weights for goal-type generation.
+    pub weights: ConstructorWeights,
 }
 
 impl Default for MemGcGenConfig {
     fn default() -> Self {
         MemGcGenConfig {
             max_depth: 4,
+            type_depth: 2,
             boundary_bias: 35,
+            weights: ConstructorWeights::STANDARD,
+        }
+    }
+}
+
+impl From<&GenProfile> for MemGcGenConfig {
+    fn from(profile: &GenProfile) -> Self {
+        MemGcGenConfig {
+            max_depth: profile.max_depth,
+            type_depth: profile.type_depth,
+            boundary_bias: profile.boundary_bias,
+            weights: profile.weights,
         }
     }
 }
@@ -66,7 +84,9 @@ impl MemGcProgramGen {
         format!("{hint}{n}")
     }
 
-    /// Generates a random monomorphic MiniML type of bounded size.
+    /// Generates a random monomorphic MiniML type of bounded size, drawing
+    /// constructor classes from the configured weights so branch-heavy
+    /// profiles reach their full type-depth budget.
     pub fn gen_ml_type(&mut self, depth: usize) -> PolyType {
         if depth == 0 {
             return match self.rng.gen_range(0..3) {
@@ -75,14 +95,26 @@ impl MemGcProgramGen {
                 _ => PolyType::foreign(L3Type::Bool),
             };
         }
-        match self.rng.gen_range(0..7) {
-            0 => PolyType::Unit,
-            1 | 2 => PolyType::Int,
-            3 => PolyType::prod(self.gen_ml_type(depth - 1), self.gen_ml_type(depth - 1)),
-            4 => PolyType::sum(self.gen_ml_type(depth - 1), self.gen_ml_type(depth - 1)),
-            5 => PolyType::fun(self.gen_ml_type(depth - 1), self.gen_ml_type(depth - 1)),
-            _ => PolyType::ref_(self.gen_ml_type(depth - 1)),
+        match self.pick_class() {
+            ConstructorClass::Leaf => {
+                if self.rng.gen_bool(0.5) {
+                    PolyType::Unit
+                } else {
+                    PolyType::Int
+                }
+            }
+            ConstructorClass::Branch => match self.rng.gen_range(0..3) {
+                0 => PolyType::prod(self.gen_ml_type(depth - 1), self.gen_ml_type(depth - 1)),
+                1 => PolyType::sum(self.gen_ml_type(depth - 1), self.gen_ml_type(depth - 1)),
+                _ => PolyType::fun(self.gen_ml_type(depth - 1), self.gen_ml_type(depth - 1)),
+            },
+            ConstructorClass::Wrap => PolyType::ref_(self.gen_ml_type(depth - 1)),
         }
+    }
+
+    /// A MiniML goal type at the configured type depth.
+    pub fn gen_goal_ml_type(&mut self) -> PolyType {
+        self.gen_ml_type(self.config.type_depth)
     }
 
     /// Generates a random L3 type of bounded size (goal types stay in the
@@ -95,13 +127,30 @@ impl MemGcProgramGen {
                 L3Type::Unit
             };
         }
-        match self.rng.gen_range(0..6) {
-            0 => L3Type::Unit,
-            1 | 2 => L3Type::Bool,
-            3 => L3Type::tensor(self.gen_l3_type(depth - 1), self.gen_l3_type(depth - 1)),
-            4 => L3Type::bang(self.gen_l3_type(depth - 1)),
-            _ => L3Type::ref_like(self.gen_l3_type(depth - 1)),
+        match self.pick_class() {
+            ConstructorClass::Leaf => {
+                if self.rng.gen_bool(0.5) {
+                    L3Type::Bool
+                } else {
+                    L3Type::Unit
+                }
+            }
+            ConstructorClass::Branch => {
+                L3Type::tensor(self.gen_l3_type(depth - 1), self.gen_l3_type(depth - 1))
+            }
+            ConstructorClass::Wrap => {
+                if self.rng.gen_bool(0.5) {
+                    L3Type::bang(self.gen_l3_type(depth - 1))
+                } else {
+                    L3Type::ref_like(self.gen_l3_type(depth - 1))
+                }
+            }
         }
+    }
+
+    fn pick_class(&mut self) -> ConstructorClass {
+        let total = self.config.weights.total().max(1);
+        self.config.weights.class_for(self.rng.gen_range(0..total))
     }
 
     /// Generates a closed, well-typed MiniML expression of type `ty`.
@@ -397,11 +446,45 @@ mod tests {
         }
     }
 
+    fn ml_type_depth(ty: &PolyType) -> usize {
+        match ty {
+            PolyType::Unit | PolyType::Int | PolyType::Var(_) => 0,
+            PolyType::Prod(a, b) | PolyType::Sum(a, b) | PolyType::Fun(a, b) => {
+                1 + ml_type_depth(a).max(ml_type_depth(b))
+            }
+            PolyType::Ref(a) | PolyType::Forall(_, a) => 1 + ml_type_depth(a),
+            PolyType::Foreign(_) => 0,
+        }
+    }
+
+    #[test]
+    fn deep_profile_types_reach_depth_four_and_programs_typecheck() {
+        use semint_core::case::GenProfile;
+        let sys = MemGcMultiLang::new();
+        let cfg = MemGcGenConfig::from(&GenProfile::deep());
+        let mut max_depth_seen = 0;
+        for seed in 0..40 {
+            let mut gen = MemGcProgramGen::with_config(seed, cfg);
+            let ty = gen.gen_goal_ml_type();
+            max_depth_seen = max_depth_seen.max(ml_type_depth(&ty));
+            let e = gen.gen_ml(&ty);
+            let checked = sys
+                .typecheck_ml(&e)
+                .unwrap_or_else(|err| panic!("seed {seed}: {e} does not typecheck: {err}"));
+            assert_eq!(checked, ty, "seed {seed}");
+        }
+        assert!(
+            max_depth_seen >= 4,
+            "deep profile never generated a depth-4 goal type (max {max_depth_seen})"
+        );
+    }
+
     #[test]
     fn boundary_bias_zero_generates_single_language_programs() {
         let cfg = MemGcGenConfig {
             max_depth: 4,
             boundary_bias: 0,
+            ..MemGcGenConfig::default()
         };
         for seed in 0..20 {
             let mut gen = MemGcProgramGen::with_config(seed, cfg);

@@ -6,7 +6,7 @@ use crate::model::MemGcModelChecker;
 use crate::multilang::MemGcMultiLang;
 use crate::syntax::{L3Expr, L3Type, PolyExpr, PolyType};
 use lcvm::{Expr, RunResult};
-use semint_core::case::{CaseStudy, CheckFailure, Scenario, ScenarioConfig};
+use semint_core::case::{CaseStudy, CheckFailure, GenProfile, Scenario};
 use semint_core::stats::{OutcomeClass, RunStats};
 use semint_core::{Fuel, GlueCacheStats};
 
@@ -130,15 +130,11 @@ impl CaseStudy for MemGcCase {
         "memgc"
     }
 
-    fn generate(&self, seed: u64, cfg: &ScenarioConfig) -> Scenario<MgProgram, MgSourceType> {
-        let gen_cfg = MemGcGenConfig {
-            max_depth: cfg.max_depth,
-            boundary_bias: cfg.boundary_bias,
-        };
-        let mut gen = MemGcProgramGen::with_config(seed, gen_cfg);
+    fn generate(&self, seed: u64, profile: &GenProfile) -> Scenario<MgProgram, MgSourceType> {
+        let mut gen = MemGcProgramGen::with_config(seed, MemGcGenConfig::from(profile));
         // Every fourth scenario is L3-hosted.
         if seed % 4 == 3 {
-            let ty = gen.gen_l3_type(2);
+            let ty = gen.gen_l3_type(profile.type_depth);
             let program = gen.gen_l3(&ty);
             Scenario {
                 seed,
@@ -146,7 +142,7 @@ impl CaseStudy for MemGcCase {
                 ty: MgSourceType::L3(ty),
             }
         } else {
-            let ty = gen.gen_ml_type(2);
+            let ty = gen.gen_goal_ml_type();
             let program = gen.gen_ml(&ty);
             Scenario {
                 seed,
@@ -224,6 +220,13 @@ impl CaseStudy for MemGcCase {
         out
     }
 
+    fn boundary_count(&self, program: &MgProgram) -> usize {
+        match program {
+            MgProgram::Ml(e) => e.boundary_count(),
+            MgProgram::L3(e) => e.boundary_count(),
+        }
+    }
+
     fn check_conversions(&self) -> Result<(), CheckFailure> {
         // §5's executable conversion check is transfer soundness for the
         // in-place `gcmov` move at representative payload types.
@@ -260,7 +263,7 @@ mod tests {
     #[test]
     fn scenarios_typecheck_at_their_claimed_type() {
         let case = MemGcCase::standard();
-        let cfg = ScenarioConfig::default();
+        let cfg = GenProfile::standard();
         for seed in 0..40 {
             let scen = case.generate(seed, &cfg);
             let checked = case
@@ -273,7 +276,7 @@ mod tests {
     #[test]
     fn model_check_accepts_sound_scenarios() {
         let case = MemGcCase::standard();
-        let cfg = ScenarioConfig::default();
+        let cfg = GenProfile::standard();
         for seed in 0..12 {
             let scen = case.generate(seed, &cfg);
             case.model_check(&scen.program, &scen.ty)
@@ -284,7 +287,7 @@ mod tests {
     #[test]
     fn broken_glue_is_refuted_for_some_seed() {
         let case = MemGcCase::broken();
-        let cfg = ScenarioConfig::default();
+        let cfg = GenProfile::standard();
         let refuted = (0..60).any(|seed| {
             let scen = case.generate(seed, &cfg);
             case.model_check(&scen.program, &scen.ty).is_err()

@@ -494,6 +494,61 @@ impl L3Expr {
     }
 }
 
+impl PolyExpr {
+    /// Number of syntactic language boundaries `⦇·⦈`, counted structurally
+    /// (one tree walk, no rendering) across both embedded languages.
+    pub fn boundary_count(&self) -> usize {
+        match self {
+            PolyExpr::Unit | PolyExpr::Int(_) | PolyExpr::Var(_) => 0,
+            PolyExpr::Fst(e)
+            | PolyExpr::Snd(e)
+            | PolyExpr::Inl(e, _)
+            | PolyExpr::Inr(e, _)
+            | PolyExpr::Lam(_, _, e)
+            | PolyExpr::TyLam(_, e)
+            | PolyExpr::TyApp(e, _)
+            | PolyExpr::Ref(e)
+            | PolyExpr::Deref(e) => e.boundary_count(),
+            PolyExpr::Pair(a, b)
+            | PolyExpr::App(a, b)
+            | PolyExpr::Assign(a, b)
+            | PolyExpr::Add(a, b) => a.boundary_count() + b.boundary_count(),
+            PolyExpr::Match(s, _, l, _, r) => {
+                s.boundary_count() + l.boundary_count() + r.boundary_count()
+            }
+            PolyExpr::Boundary(e, _) => 1 + e.boundary_count(),
+        }
+    }
+}
+
+impl L3Expr {
+    /// Number of syntactic language boundaries `⦇·⦈`, counted structurally
+    /// (one tree walk, no rendering) across both embedded languages.
+    pub fn boundary_count(&self) -> usize {
+        match self {
+            L3Expr::Unit | L3Expr::Bool(_) | L3Expr::Var(_) | L3Expr::UVar(_) => 0,
+            L3Expr::Lam(_, _, e)
+            | L3Expr::Bang(e)
+            | L3Expr::Dupl(e)
+            | L3Expr::Drop(e)
+            | L3Expr::New(e)
+            | L3Expr::Free(e)
+            | L3Expr::LocLam(_, e)
+            | L3Expr::LocApp(e, _)
+            | L3Expr::Pack(_, e, _) => e.boundary_count(),
+            L3Expr::App(a, b)
+            | L3Expr::Pair(a, b)
+            | L3Expr::LetPair(_, _, a, b)
+            | L3Expr::LetUnit(a, b)
+            | L3Expr::LetBang(_, a, b)
+            | L3Expr::Unpack(_, _, a, b) => a.boundary_count() + b.boundary_count(),
+            L3Expr::If(c, t, e) => c.boundary_count() + t.boundary_count() + e.boundary_count(),
+            L3Expr::Swap(a, b, c) => a.boundary_count() + b.boundary_count() + c.boundary_count(),
+            L3Expr::Boundary(e, _) => 1 + e.boundary_count(),
+        }
+    }
+}
+
 impl fmt::Display for PolyExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -237,6 +237,29 @@ impl HlExpr {
             HlExpr::Boundary(e, _) => 1 + e.size(),
         }
     }
+
+    /// Number of syntactic language boundaries `⦇·⦈`, counted structurally
+    /// (one tree walk, no rendering) across both embedded languages.
+    pub fn boundary_count(&self) -> usize {
+        match self {
+            HlExpr::Unit | HlExpr::Bool(_) | HlExpr::Var(_) => 0,
+            HlExpr::Inl(e, _)
+            | HlExpr::Inr(e, _)
+            | HlExpr::Fst(e)
+            | HlExpr::Snd(e)
+            | HlExpr::Ref(e)
+            | HlExpr::Deref(e)
+            | HlExpr::Lam(_, _, e) => e.boundary_count(),
+            HlExpr::Pair(a, b) | HlExpr::App(a, b) | HlExpr::Assign(a, b) => {
+                a.boundary_count() + b.boundary_count()
+            }
+            HlExpr::If(a, b, c) => a.boundary_count() + b.boundary_count() + c.boundary_count(),
+            HlExpr::Match(s, _, l, _, r) => {
+                s.boundary_count() + l.boundary_count() + r.boundary_count()
+            }
+            HlExpr::Boundary(e, _) => 1 + e.boundary_count(),
+        }
+    }
 }
 
 /// RefLL expressions (Fig. 1).
@@ -344,6 +367,22 @@ impl LlExpr {
             LlExpr::Boundary(e, _) => 1 + e.size(),
         }
     }
+
+    /// Number of syntactic language boundaries `⦇·⦈`, counted structurally
+    /// (one tree walk, no rendering) across both embedded languages.
+    pub fn boundary_count(&self) -> usize {
+        match self {
+            LlExpr::Int(_) | LlExpr::Var(_) => 0,
+            LlExpr::Array(es, _) => es.iter().map(LlExpr::boundary_count).sum(),
+            LlExpr::Index(a, b) | LlExpr::App(a, b) | LlExpr::Add(a, b) | LlExpr::Assign(a, b) => {
+                a.boundary_count() + b.boundary_count()
+            }
+            LlExpr::Lam(_, _, b) => b.boundary_count(),
+            LlExpr::If0(a, b, c) => a.boundary_count() + b.boundary_count() + c.boundary_count(),
+            LlExpr::Ref(e) | LlExpr::Deref(e) => e.boundary_count(),
+            LlExpr::Boundary(e, _) => 1 + e.boundary_count(),
+        }
+    }
 }
 
 impl fmt::Display for HlExpr {
@@ -423,6 +462,12 @@ mod tests {
         let outer = HlExpr::boundary(inner, HlType::Bool);
         assert_eq!(outer.size(), 5);
         assert!(outer.to_string().contains("⦇"));
+        // The structural counter agrees with the rendered half-brackets.
+        assert_eq!(outer.boundary_count(), 2);
+        assert_eq!(
+            outer.boundary_count(),
+            outer.to_string().matches('⦇').count()
+        );
     }
 
     #[test]

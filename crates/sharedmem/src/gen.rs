@@ -11,21 +11,40 @@ use crate::convert::SharedMemConversions;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use reflang::syntax::{HlExpr, HlType, LlExpr, LlType};
+use semint_core::case::{ConstructorClass, ConstructorWeights, GenProfile};
 
 /// Tuning knobs for the generator.
 #[derive(Debug, Clone, Copy)]
 pub struct GenConfig {
     /// Maximum expression depth.
     pub max_depth: usize,
+    /// Maximum goal-type depth (used by [`ProgramGen::gen_hl_type`] /
+    /// [`ProgramGen::gen_ll_type`] callers that follow the config).
+    pub type_depth: usize,
     /// Probability (0–100) of inserting a boundary when one is possible.
     pub boundary_bias: u32,
+    /// Constructor-class weights for goal-type generation.
+    pub weights: ConstructorWeights,
 }
 
 impl Default for GenConfig {
     fn default() -> Self {
         GenConfig {
             max_depth: 5,
+            type_depth: 2,
             boundary_bias: 35,
+            weights: ConstructorWeights::STANDARD,
+        }
+    }
+}
+
+impl From<&GenProfile> for GenConfig {
+    fn from(profile: &GenProfile) -> Self {
+        GenConfig {
+            max_depth: profile.max_depth,
+            type_depth: profile.type_depth,
+            boundary_bias: profile.boundary_bias,
+            weights: profile.weights,
         }
     }
 }
@@ -65,7 +84,10 @@ impl ProgramGen {
     }
 
     /// Generates a random RefHL type of bounded size (used to vary the goal
-    /// type itself in property tests).
+    /// type itself in property tests and by [`ProgramGen::gen_goal_hl_type`]
+    /// at the configured type depth).  Constructor classes are drawn from
+    /// the configured [`ConstructorWeights`], so branch-heavy profiles
+    /// recurse most of the time and reach their full depth budget.
     pub fn gen_hl_type(&mut self, depth: usize) -> HlType {
         if depth == 0 {
             return if self.rng.gen_bool(0.5) {
@@ -74,14 +96,44 @@ impl ProgramGen {
                 HlType::Unit
             };
         }
-        match self.rng.gen_range(0..6) {
-            0 => HlType::Bool,
-            1 => HlType::Unit,
-            2 => HlType::sum(self.gen_hl_type(depth - 1), self.gen_hl_type(depth - 1)),
-            3 => HlType::prod(self.gen_hl_type(depth - 1), self.gen_hl_type(depth - 1)),
-            4 => HlType::fun(self.gen_hl_type(depth - 1), self.gen_hl_type(depth - 1)),
-            _ => HlType::ref_(self.gen_hl_type(depth - 1)),
+        match self.pick_class() {
+            ConstructorClass::Leaf => {
+                if self.rng.gen_bool(0.5) {
+                    HlType::Bool
+                } else {
+                    HlType::Unit
+                }
+            }
+            ConstructorClass::Branch => match self.rng.gen_range(0..3) {
+                0 => HlType::sum(self.gen_hl_type(depth - 1), self.gen_hl_type(depth - 1)),
+                1 => HlType::prod(self.gen_hl_type(depth - 1), self.gen_hl_type(depth - 1)),
+                _ => HlType::fun(self.gen_hl_type(depth - 1), self.gen_hl_type(depth - 1)),
+            },
+            ConstructorClass::Wrap => HlType::ref_(self.gen_hl_type(depth - 1)),
         }
+    }
+
+    /// A goal type at the configured type depth.
+    pub fn gen_goal_hl_type(&mut self) -> HlType {
+        self.gen_hl_type(self.config.type_depth)
+    }
+
+    /// Generates a random RefLL goal type of bounded size (deep arrays and
+    /// shared references for the RefLL-hosted scenarios).
+    pub fn gen_ll_type(&mut self, depth: usize) -> LlType {
+        if depth == 0 {
+            return LlType::Int;
+        }
+        match self.pick_class() {
+            ConstructorClass::Leaf => LlType::Int,
+            ConstructorClass::Branch => LlType::array(self.gen_ll_type(depth - 1)),
+            ConstructorClass::Wrap => LlType::ref_(self.gen_ll_type(depth - 1)),
+        }
+    }
+
+    fn pick_class(&mut self) -> ConstructorClass {
+        let total = self.config.weights.total().max(1);
+        self.config.weights.class_for(self.rng.gen_range(0..total))
     }
 
     fn boundary_here(&mut self) -> bool {
@@ -229,19 +281,13 @@ impl ProgramGen {
     }
 
     /// Picks a RefLL type convertible with `ty`, if the rule set has one.
+    /// The candidate is built structurally (recursing into products, sums
+    /// and references) so boundaries appear under *deep* compound types,
+    /// not just at the depth-≤-2 pairs the original generator handled; the
+    /// final `derive` call remains the source of truth.
     fn convertible_ll_for(&mut self, ty: &HlType) -> Option<LlType> {
-        let candidates: Vec<LlType> = match ty {
-            HlType::Bool | HlType::Unit => vec![LlType::Int],
-            HlType::Ref(inner) => match inner.as_ref() {
-                HlType::Bool => vec![LlType::ref_(LlType::Int)],
-                _ => vec![],
-            },
-            HlType::Sum(_, _) | HlType::Prod(_, _) => vec![LlType::array(LlType::Int)],
-            _ => vec![],
-        };
-        candidates
-            .into_iter()
-            .find(|ll| self.conversions.derive(ty, ll).is_some())
+        let candidate = ll_candidate_for(ty)?;
+        self.conversions.derive(ty, &candidate).map(|_| candidate)
     }
 
     /// Picks a RefHL type convertible with `ty`, if the rule set has one.
@@ -254,18 +300,73 @@ impl ProgramGen {
                     vec![HlType::Unit, HlType::Bool]
                 }
             }
-            LlType::Ref(inner) if **inner == LlType::Int => vec![HlType::ref_(HlType::Bool)],
-            LlType::Array(inner) if **inner == LlType::Int => {
-                vec![
-                    HlType::sum(HlType::Bool, HlType::Bool),
-                    HlType::prod(HlType::Bool, HlType::Bool),
-                ]
-            }
+            // Pointer sharing needs no-op payload glue, so the payload
+            // candidate chain bottoms out at `bool ∼ int`.
+            LlType::Ref(inner) => match hl_ref_payload_for(inner) {
+                Some(payload) => vec![HlType::ref_(payload)],
+                None => vec![],
+            },
+            LlType::Array(inner) => match inner.as_ref() {
+                LlType::Int => {
+                    let sum = HlType::sum(HlType::Bool, HlType::Bool);
+                    let prod = HlType::prod(HlType::Bool, HlType::Unit);
+                    if self.rng.gen_bool(0.5) {
+                        vec![sum, prod]
+                    } else {
+                        vec![prod, sum]
+                    }
+                }
+                // Deep arrays become nested products whose components all
+                // convert to the element type.
+                elem => match self.convertible_hl_for(elem) {
+                    Some(c) => vec![HlType::prod(c.clone(), c)],
+                    None => vec![],
+                },
+            },
             _ => vec![],
         };
         candidates
             .into_iter()
             .find(|hl| self.conversions.derive(hl, ty).is_some())
+    }
+}
+
+/// The structural RefLL candidate for a RefHL type: `bool`/`unit` go to
+/// `int`, sums of int-convertible arms go to `[int]`, products go to an
+/// array of their (shared) component candidate, and reference chains pass
+/// the pointer when the payload glue is a no-op.
+fn ll_candidate_for(ty: &HlType) -> Option<LlType> {
+    match ty {
+        HlType::Bool | HlType::Unit => Some(LlType::Int),
+        HlType::Ref(inner) => ll_ref_payload_for(inner).map(LlType::ref_),
+        HlType::Sum(_, _) => Some(LlType::array(LlType::Int)),
+        HlType::Prod(t1, t2) => {
+            let c1 = ll_candidate_for(t1)?;
+            let c2 = ll_candidate_for(t2)?;
+            (c1 == c2).then(|| LlType::array(c1))
+        }
+        HlType::Fun(_, _) => None,
+    }
+}
+
+/// The RefLL payload for a shared reference: only no-op glue chains
+/// (`bool ∼ int` under any number of `ref`s) qualify under the paper's
+/// pointer-sharing strategy.
+fn ll_ref_payload_for(ty: &HlType) -> Option<LlType> {
+    match ty {
+        HlType::Bool => Some(LlType::Int),
+        HlType::Ref(inner) => ll_ref_payload_for(inner).map(LlType::ref_),
+        _ => None,
+    }
+}
+
+/// The RefHL payload candidate for a RefLL reference, mirroring
+/// [`ll_ref_payload_for`].
+fn hl_ref_payload_for(ty: &LlType) -> Option<HlType> {
+    match ty {
+        LlType::Int => Some(HlType::Bool),
+        LlType::Ref(inner) => hl_ref_payload_for(inner).map(HlType::ref_),
+        _ => None,
     }
 }
 
@@ -313,11 +414,64 @@ mod tests {
         let cfg = GenConfig {
             max_depth: 4,
             boundary_bias: 0,
+            ..GenConfig::default()
         };
         for seed in 0..20 {
             let mut gen = ProgramGen::with_config(seed, cfg);
             let e = gen.gen_hl(&HlType::Bool);
             assert!(!format!("{e}").contains('⦇'), "no boundaries expected: {e}");
         }
+    }
+
+    fn hl_type_depth(ty: &HlType) -> usize {
+        match ty {
+            HlType::Bool | HlType::Unit => 0,
+            HlType::Sum(a, b) | HlType::Prod(a, b) | HlType::Fun(a, b) => {
+                1 + hl_type_depth(a).max(hl_type_depth(b))
+            }
+            HlType::Ref(a) => 1 + hl_type_depth(a),
+        }
+    }
+
+    #[test]
+    fn deep_profile_types_reach_depth_four_and_programs_typecheck() {
+        use semint_core::case::GenProfile;
+        let ml = MultiLang::new(SharedMemConversions::standard());
+        let cfg = GenConfig::from(&GenProfile::deep());
+        let mut max_depth_seen = 0;
+        for seed in 0..40 {
+            let mut gen = ProgramGen::with_config(seed, cfg);
+            let ty = gen.gen_goal_hl_type();
+            max_depth_seen = max_depth_seen.max(hl_type_depth(&ty));
+            let e = gen.gen_hl(&ty);
+            let checked = ml
+                .typecheck_hl(&e)
+                .unwrap_or_else(|err| panic!("seed {seed}: {e} does not typecheck: {err}"));
+            assert_eq!(checked, ty, "seed {seed}");
+        }
+        assert!(
+            max_depth_seen >= 4,
+            "deep profile never generated a depth-4 goal type (max {max_depth_seen})"
+        );
+    }
+
+    #[test]
+    fn deep_compound_types_still_get_boundaries() {
+        // A depth-3 all-products type converts to nested int arrays, so the
+        // recursive candidate construction must find glue for it.
+        let ty = HlType::prod(
+            HlType::prod(HlType::Bool, HlType::Bool),
+            HlType::prod(HlType::Bool, HlType::Bool),
+        );
+        let cfg = GenConfig {
+            boundary_bias: 100,
+            ..GenConfig::default()
+        };
+        let mut gen = ProgramGen::with_config(11, cfg);
+        let e = gen.gen_hl(&ty);
+        assert!(
+            format!("{e}").contains('⦇'),
+            "bias 100 over a convertible deep type must cross a boundary: {e}"
+        );
     }
 }

@@ -6,7 +6,7 @@ use crate::gen::{GenConfig, ProgramGen};
 use crate::model::{ModelChecker, SemType, World};
 use crate::multilang::{MultiLang, SourceType};
 use reflang::syntax::{HlExpr, HlType, LlExpr, LlType};
-use semint_core::case::{CaseStudy, CheckFailure, Scenario, ScenarioConfig};
+use semint_core::case::{CaseStudy, CheckFailure, GenProfile, Scenario};
 use semint_core::stats::{OutcomeClass, RunStats};
 use semint_core::{Fuel, GlueCacheStats, Outcome};
 use stacklang::{Heap, Program, RunResult};
@@ -130,23 +130,20 @@ impl CaseStudy for SharedMemCase {
         "sharedmem"
     }
 
-    fn generate(&self, seed: u64, cfg: &ScenarioConfig) -> Scenario<SmProgram, SourceType> {
-        let gen_cfg = GenConfig {
-            max_depth: cfg.max_depth,
-            boundary_bias: cfg.boundary_bias,
-        };
-        let mut gen = ProgramGen::with_config(seed, gen_cfg);
+    fn generate(&self, seed: u64, profile: &GenProfile) -> Scenario<SmProgram, SourceType> {
+        let mut gen = ProgramGen::with_config(seed, GenConfig::from(profile));
         // Every fourth scenario is RefLL-hosted so both directions of the
         // boundary get swept.
         if seed % 4 == 3 {
-            let program = gen.gen_ll(&LlType::Int);
+            let ty = gen.gen_ll_type(profile.type_depth);
+            let program = gen.gen_ll(&ty);
             Scenario {
                 seed,
                 program: SmProgram::Ll(program),
-                ty: SourceType::Ll(LlType::Int),
+                ty: SourceType::Ll(ty),
             }
         } else {
-            let ty = gen.gen_hl_type(2);
+            let ty = gen.gen_goal_hl_type();
             let program = gen.gen_hl(&ty);
             Scenario {
                 seed,
@@ -232,6 +229,13 @@ impl CaseStudy for SharedMemCase {
         out
     }
 
+    fn boundary_count(&self, program: &SmProgram) -> usize {
+        match program {
+            SmProgram::Hl(e) => e.boundary_count(),
+            SmProgram::Ll(e) => e.boundary_count(),
+        }
+    }
+
     fn check_conversions(&self) -> Result<(), CheckFailure> {
         let hl_types = [
             HlType::Bool,
@@ -288,7 +292,7 @@ mod tests {
     #[test]
     fn scenarios_typecheck_at_their_claimed_type() {
         let case = SharedMemCase::standard();
-        let cfg = ScenarioConfig::default();
+        let cfg = GenProfile::standard();
         for seed in 0..40 {
             let scen = case.generate(seed, &cfg);
             let checked = case
@@ -312,7 +316,7 @@ mod tests {
     #[test]
     fn model_check_accepts_sound_scenarios() {
         let case = SharedMemCase::standard();
-        let cfg = ScenarioConfig::default();
+        let cfg = GenProfile::standard();
         for seed in 0..12 {
             let scen = case.generate(seed, &cfg);
             case.model_check(&scen.program, &scen.ty)

@@ -27,18 +27,27 @@
 //! ```
 //! use semint::harness::cases::AnyCase;
 //! use semint::harness::engine::{sweep_all, SweepConfig};
+//! use semint::harness::source::SeedRange;
 //!
 //! let report = sweep_all(
 //!     &AnyCase::all(false),
-//!     &SweepConfig { seed_start: 0, seed_end: 8, jobs: 2, ..SweepConfig::default() },
+//!     &SeedRange::new(0, 8).unwrap(),
+//!     &SweepConfig { jobs: 2, ..SweepConfig::default() },
 //! );
 //! assert_eq!(report.failure_count(), 0);
 //! ```
 //!
-//! The same engine backs the `semint` binary:
+//! Workloads are supplied by a [`harness::source::ScenarioSource`] — a seed
+//! range, a deterministic k-of-n shard of one, or a persisted corpus — and
+//! shaped by a [`core::case::GenProfile`] (presets `smoke`, `default`,
+//! `deep`, `boundary-heavy`).  The same engine backs the `semint` binary:
 //!
 //! ```text
 //! semint sweep --seeds 0..200 --jobs 4          # parallel sweep, aggregate report
+//! semint sweep --profile deep                   # deep source types (glue on the hot path)
+//! semint sweep --seeds 0..200 --shard 0/2       # half the range; digests merge via report
+//! semint sweep --corpus-save pop.corpus         # persist + replay scenario populations
+//! semint bench --profile deep --repeat 3        # per-stage timing mode (E9/E11)
 //! semint check --case sharedmem --seeds 0..50   # Lemma 3.1 catalogue + model checks
 //! semint run --case memgc --seed 7              # one scenario, verbosely
 //! semint sweep --seeds 0..50 --broken           # sabotaged rule → shrunk counterexamples

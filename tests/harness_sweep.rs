@@ -7,13 +7,16 @@
 use semint::harness::cases::AnyCase;
 use semint::harness::engine::{run_scenario, sweep_all, sweep_case, SweepConfig};
 use semint::harness::report::render_sweep;
+use semint::harness::source::SeedRange;
 use semint::harness::CaseStudy;
 use semint_core::stats::{FailStage, SweepReport};
 
+fn fixed_source() -> SeedRange {
+    SeedRange::new(0, 60).expect("well-formed")
+}
+
 fn fixed_config(jobs: usize) -> SweepConfig {
     SweepConfig {
-        seed_start: 0,
-        seed_end: 60,
         jobs,
         ..SweepConfig::default()
     }
@@ -21,7 +24,7 @@ fn fixed_config(jobs: usize) -> SweepConfig {
 
 #[test]
 fn fixed_seed_sweep_covers_all_cases_with_zero_failures() {
-    let report = sweep_all(&AnyCase::all(false), &fixed_config(4));
+    let report = sweep_all(&AnyCase::all(false), &fixed_source(), &fixed_config(4));
     assert_eq!(report.cases.len(), 3);
     let names: Vec<&str> = report.cases.iter().map(|c| c.case.as_str()).collect();
     assert_eq!(names, ["sharedmem", "affine", "memgc"]);
@@ -56,7 +59,7 @@ fn fixed_seed_sweep_covers_all_cases_with_zero_failures() {
 #[test]
 fn sweep_is_deterministic_across_runs_and_thread_counts() {
     let digests = |jobs: usize| -> Vec<String> {
-        sweep_all(&AnyCase::all(false), &fixed_config(jobs))
+        sweep_all(&AnyCase::all(false), &fixed_source(), &fixed_config(jobs))
             .cases
             .iter()
             .map(|c| c.digest())
@@ -70,9 +73,9 @@ fn sweep_is_deterministic_across_runs_and_thread_counts() {
 
 #[test]
 fn single_case_sweep_agrees_with_the_combined_sweep() {
-    let combined = sweep_all(&AnyCase::all(false), &fixed_config(3));
+    let combined = sweep_all(&AnyCase::all(false), &fixed_source(), &fixed_config(3));
     for case in AnyCase::all(false) {
-        let solo = sweep_case(&case, &fixed_config(2));
+        let solo = sweep_case(&case, &fixed_source(), &fixed_config(2));
         let from_combined = combined
             .cases
             .iter()
@@ -84,7 +87,7 @@ fn single_case_sweep_agrees_with_the_combined_sweep() {
 
 #[test]
 fn broken_conversion_is_reported_with_a_shrunk_counterexample() {
-    let report = sweep_all(&AnyCase::all(true), &fixed_config(4));
+    let report = sweep_all(&AnyCase::all(true), &fixed_source(), &fixed_config(4));
     let sharedmem = &report.cases[0];
     assert!(
         !sharedmem.failures.is_empty(),
@@ -117,7 +120,7 @@ fn broken_conversion_is_reported_with_a_shrunk_counterexample() {
 #[test]
 fn sweeps_reuse_glue_through_the_shared_cache() {
     let cases = AnyCase::all(false);
-    let report = sweep_all(&cases, &fixed_config(4));
+    let report = sweep_all(&cases, &fixed_source(), &fixed_config(4));
     for case in &report.cases {
         assert!(
             case.glue_hits > 0,
@@ -143,7 +146,7 @@ fn sweeps_reuse_glue_through_the_shared_cache() {
     }
     // A second sweep over the same cases re-uses the warm cache: no new
     // derivations at all.
-    let again = sweep_all(&cases, &fixed_config(4));
+    let again = sweep_all(&cases, &fixed_source(), &fixed_config(4));
     for case in &again.cases {
         assert_eq!(
             case.glue_misses, 0,
@@ -166,14 +169,14 @@ fn timed_sweep_reports_per_stage_wall_clock() {
         time: true,
         ..fixed_config(2)
     };
-    let report = sweep_all(&AnyCase::all(false), &cfg);
+    let report = sweep_all(&AnyCase::all(false), &fixed_source(), &cfg);
     for case in &report.cases {
         let timings = case.timings.expect("--time collects stage totals");
         assert!(timings.run_ns > 0, "{}", case.case);
         assert!(timings.total_ns() >= timings.run_ns, "{}", case.case);
     }
     // Timed and untimed sweeps agree on everything the digest covers.
-    let untimed = sweep_all(&AnyCase::all(false), &fixed_config(2));
+    let untimed = sweep_all(&AnyCase::all(false), &fixed_source(), &fixed_config(2));
     let digests = |r: &SweepReport| r.cases.iter().map(|c| c.digest()).collect::<Vec<_>>();
     assert_eq!(digests(&report), digests(&untimed));
 }
