@@ -1,6 +1,7 @@
 //! The [`CaseStudy`] instance for case study 2 (affine ⊸ unrestricted
 //! interoperability), consumed by the `semint-harness` engine.
 
+use crate::compile::CompileOutput;
 use crate::gen::{AffineGenConfig, AffineProgramGen};
 use crate::model::{AffineModelChecker, AffineSemType};
 use crate::multilang::AffineMultiLang;
@@ -107,6 +108,7 @@ impl CaseStudy for AffineCase {
     type Program = AffProgram;
     type Ty = AffSourceType;
     type Report = RunResult;
+    type Compiled = CompileOutput;
 
     fn name(&self) -> &'static str {
         "affine"
@@ -138,17 +140,12 @@ impl CaseStudy for AffineCase {
         self.system.typecheck(program).map_err(|e| e.to_string())
     }
 
-    fn compile(&self, program: &AffProgram) -> Result<(), String> {
-        self.system
-            .compile(program)
-            .map(drop)
-            .map_err(|e| e.to_string())
+    fn compile(&self, program: &AffProgram) -> Result<CompileOutput, String> {
+        self.system.compile_only(program).map_err(|e| e.to_string())
     }
 
-    fn run(&self, program: &AffProgram, fuel: Fuel) -> Result<RunResult, String> {
-        self.system
-            .run_with_fuel(program, fuel)
-            .map_err(|e| e.to_string())
+    fn execute(&self, compiled: CompileOutput, fuel: Fuel) -> RunResult {
+        self.system.execute_with_fuel(compiled, fuel)
     }
 
     fn stats(&self, report: &RunResult) -> RunStats {
@@ -158,13 +155,12 @@ impl CaseStudy for AffineCase {
         }
     }
 
-    fn model_check(&self, program: &AffProgram, ty: &AffSourceType) -> Result<(), CheckFailure> {
-        let compiled = self.system.compile(program).map_err(|e| CheckFailure {
-            claim: "compilation".into(),
-            witness: program.to_string(),
-            reason: e.to_string(),
-        })?;
-
+    fn model_check_compiled(
+        &self,
+        program: &AffProgram,
+        ty: &AffSourceType,
+        compiled: &CompileOutput,
+    ) -> Result<(), CheckFailure> {
         let checker = AffineModelChecker::new();
         // Safety under the standard *and* the augmented semantics, plus
         // erasure agreement (the §4 analogue of type safety).

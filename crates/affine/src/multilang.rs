@@ -156,7 +156,21 @@ impl AffineMultiLang {
 
     /// Type checks and compiles a closed multi-language program.
     pub fn compile(&self, program: &AffProgram) -> Result<CompileOutput, AffineMultiLangError> {
-        Ok(self.pipeline.compile(program)?.artifact)
+        Ok(self.pipeline.check_and_compile(program)?.artifact)
+    }
+
+    /// Compiles a program already known to type check, skipping the
+    /// pipeline's typecheck stage (the sweep engine re-checks the
+    /// generator's type claim once up front).
+    pub fn compile_only(&self, program: &AffProgram) -> Result<CompileOutput, CompileError> {
+        self.pipeline.system().compile(program)
+    }
+
+    /// Runs an already-compiled program under an explicit fuel budget and
+    /// the *standard* semantics, consuming the artifact (no clone — the
+    /// compile-once flow).
+    pub fn execute_with_fuel(&self, compiled: CompileOutput, fuel: Fuel) -> RunResult {
+        self.pipeline.execute_with_fuel(compiled, fuel)
     }
 
     /// Type checks and compiles a closed MiniML program.

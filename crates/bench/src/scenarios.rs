@@ -80,6 +80,16 @@ pub fn deep_sweep_timed(seed_count: u64, jobs: usize) -> SweepReport {
     sweep_with(seed_count, jobs, false, true, deep_profile())
 }
 
+/// A timed, model-checked sweep over the `deep` profile — the E12 workload
+/// (`semint bench --profile deep --model-check`).  Before PR 4 this was the
+/// worst case for redundant early stages (the model check recompiled every
+/// scenario on top of the run stage's internal compile); with the
+/// artifact-threaded pipeline each scenario is typechecked once and
+/// compiled once however many stages consume it.
+pub fn deep_sweep_checked(seed_count: u64, jobs: usize) -> SweepReport {
+    sweep_with(seed_count, jobs, true, true, deep_profile())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +143,21 @@ mod tests {
                 "{} derived no glue at all",
                 case.case
             );
+        }
+    }
+
+    #[test]
+    fn checked_deep_sweep_is_clean_and_times_every_stage() {
+        let report = deep_sweep_checked(10, 2);
+        assert_eq!(report.failure_count(), 0);
+        // Digest parity with the unchecked sweep of the same seeds: the
+        // model-check stage must not perturb results.
+        let unchecked = deep_sweep_timed(10, 2);
+        for (case, other) in report.cases.iter().zip(&unchecked.cases) {
+            let timings = case.timings.expect("timed sweep records timings");
+            assert!(timings.model_check_ns > 0, "{}", case.case);
+            assert!(timings.compile_ns > 0, "{}", case.case);
+            assert_eq!(case.digest(), other.digest());
         }
     }
 }

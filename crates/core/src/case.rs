@@ -319,6 +319,11 @@ pub trait CaseStudy {
     /// The full, case-study-specific result of one run (machine outcome plus
     /// whatever the pair's machine exposes: heaps, stacks, guard counts).
     type Report: Send + 'static;
+    /// The compiled target artifact of one program — the first-class object
+    /// the sweep engine threads through timing, execution and model checking
+    /// so each scenario is compiled exactly once no matter how many stages
+    /// consume it.
+    type Compiled: Send + 'static;
 
     /// A short stable name (`sharedmem`, `affine`, `memgc`).
     fn name(&self) -> &'static str;
@@ -330,12 +335,29 @@ pub trait CaseStudy {
     /// Type checks a program, returning its type.
     fn typecheck(&self, program: &Self::Program) -> Result<Self::Ty, String>;
 
-    /// Compiles a program to its target language, discarding the output
-    /// (compilation failures are what the engine cares about).
-    fn compile(&self, program: &Self::Program) -> Result<(), String>;
+    /// Compiles a program to its target language, returning the artifact.
+    ///
+    /// Callers must hand in a type-correct program (the engine re-checks the
+    /// generator's claim through [`CaseStudy::typecheck`] first); this stage
+    /// performs **no** typecheck of its own, which is what lets the engine
+    /// guarantee one typecheck and one compile per scenario.
+    fn compile(&self, program: &Self::Program) -> Result<Self::Compiled, String>;
 
-    /// Compiles and runs a program under the given step budget.
-    fn run(&self, program: &Self::Program, fuel: Fuel) -> Result<Self::Report, String>;
+    /// Runs an already-compiled artifact under the given step budget.
+    ///
+    /// The artifact is taken by value so the compile-once-execute-once sweep
+    /// path never copies a compiled program; callers that also want to model
+    /// check borrow the artifact through
+    /// [`CaseStudy::model_check_compiled`] *before* executing it.
+    fn execute(&self, compiled: Self::Compiled, fuel: Fuel) -> Self::Report;
+
+    /// Compiles and runs a program under the given step budget — the
+    /// one-shot convenience over [`CaseStudy::compile`] +
+    /// [`CaseStudy::execute`], used by shrink re-checks (which compile their
+    /// own, smaller programs) and ad-hoc callers.
+    fn run(&self, program: &Self::Program, fuel: Fuel) -> Result<Self::Report, String> {
+        Ok(self.execute(self.compile(program)?, fuel))
+    }
 
     /// Projects a case-study-specific report into the shared statistics
     /// vocabulary.
@@ -343,8 +365,26 @@ pub trait CaseStudy {
 
     /// Checks the program against the case study's realizability model at
     /// the claimed type (type safety and, where the model supports it,
-    /// membership in the expression relation).
-    fn model_check(&self, program: &Self::Program, ty: &Self::Ty) -> Result<(), CheckFailure>;
+    /// membership in the expression relation), borrowing an artifact the
+    /// caller already built — the model-check stage never recompiles.
+    fn model_check_compiled(
+        &self,
+        program: &Self::Program,
+        ty: &Self::Ty,
+        compiled: &Self::Compiled,
+    ) -> Result<(), CheckFailure>;
+
+    /// Compile-and-model-check convenience over
+    /// [`CaseStudy::model_check_compiled`], used by shrink re-checks (which
+    /// compile their own, smaller programs) and ad-hoc callers.
+    fn model_check(&self, program: &Self::Program, ty: &Self::Ty) -> Result<(), CheckFailure> {
+        let compiled = self.compile(program).map_err(|reason| CheckFailure {
+            claim: "compilation".into(),
+            witness: program.to_string(),
+            reason,
+        })?;
+        self.model_check_compiled(program, ty, &compiled)
+    }
 
     /// Candidate one-step shrinks of `program`: structurally smaller
     /// programs (typically immediate subterms) that may reproduce a failure.

@@ -136,8 +136,12 @@ impl<S: InteropSystem> InteropPipeline<S> {
         self.system.typecheck(program)
     }
 
-    /// Stages 1–2: type check, then compile with glue.
-    pub fn compile(
+    /// Stages 1–2: type check, then compile with glue — the artifact-first
+    /// entry point.  Callers keep the returned [`CompiledProgram`] and feed
+    /// its artifact to [`InteropPipeline::execute_with_fuel`] (or borrow it
+    /// for inspection/model checking) instead of re-running the early stages
+    /// per consumer.
+    pub fn check_and_compile(
         &self,
         program: &S::Program,
     ) -> PipelineResult<CompiledProgram<S::Ty, S::Artifact>, S> {
@@ -157,11 +161,20 @@ impl<S: InteropSystem> InteropPipeline<S> {
         self.run_with_fuel(program, self.fuel)
     }
 
-    /// Stages 1–3 under an explicit fuel budget (what the sweep engine uses,
-    /// so per-scenario budgets need not clone the system).
+    /// Stages 1–3 under an explicit fuel budget (for per-program budgets
+    /// without cloning the system).  One-shot callers only; anything that
+    /// runs *and* inspects the same program should
+    /// [`InteropPipeline::check_and_compile`] once and execute the kept
+    /// artifact.
     pub fn run_with_fuel(&self, program: &S::Program, fuel: Fuel) -> PipelineResult<S::Exec, S> {
-        let compiled = self.compile(program)?;
-        Ok(self.system.execute(compiled.artifact, fuel))
+        let compiled = self.check_and_compile(program)?;
+        Ok(self.execute_with_fuel(compiled.artifact, fuel))
+    }
+
+    /// Stage 3 alone: runs an owned artifact under an explicit fuel budget
+    /// without copying it — the execution half of the compile-once flow.
+    pub fn execute_with_fuel(&self, artifact: S::Artifact, fuel: Fuel) -> S::Exec {
+        self.system.execute(artifact, fuel)
     }
 
     /// Runs an already-compiled artifact under the pipeline's fuel, keeping
@@ -214,7 +227,7 @@ mod tests {
     #[test]
     fn pipeline_sequences_the_stages() {
         let p = InteropPipeline::new(Toy).with_fuel(Fuel::steps(7));
-        let compiled = p.compile(&4).unwrap();
+        let compiled = p.check_and_compile(&4).unwrap();
         assert_eq!(compiled.ty, "nat");
         assert_eq!(compiled.artifact, 8);
         let (out, fuel) = p.run(&4).unwrap();
@@ -225,13 +238,26 @@ mod tests {
     }
 
     #[test]
+    fn kept_artifacts_execute_without_recompiling() {
+        let p = InteropPipeline::new(Toy).with_fuel(Fuel::steps(9));
+        let kept = p.check_and_compile(&6).unwrap();
+        assert_eq!(kept.ty, "nat");
+        assert_eq!(kept.artifact, 12);
+        // The artifact is consumed by value and runs under the explicit
+        // budget — no clone, no second typecheck/compile.
+        let (out, fuel) = p.execute_with_fuel(kept.artifact, Fuel::steps(2));
+        assert_eq!(out, 12);
+        assert_eq!(fuel, Fuel::steps(2));
+    }
+
+    #[test]
     fn stage_errors_keep_their_stage() {
         let p = InteropPipeline::new(Toy);
         match p.run(&-3) {
             Err(PipelineError::Type(e)) => assert!(e.contains("negative")),
             other => panic!("expected a type error, got {other:?}"),
         }
-        match p.compile(&5) {
+        match p.check_and_compile(&5) {
             Err(PipelineError::Compile(e)) => assert!(e.contains("odd")),
             other => panic!("expected a compile error, got {other:?}"),
         }

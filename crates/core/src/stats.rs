@@ -72,9 +72,10 @@ pub struct StageTimings {
     pub generate_ns: u64,
     /// Type checking (including boundary convertibility queries).
     pub typecheck_ns: u64,
-    /// Compilation with glue emission.
+    /// Compilation with glue emission (each scenario compiles exactly once;
+    /// the artifact is then shared by the model-check and run stages).
     pub compile_ns: u64,
-    /// Target-machine execution (includes the runner's internal compile).
+    /// Target-machine execution of the already-compiled artifact.
     pub run_ns: u64,
     /// Realizability-model checking.
     pub model_check_ns: u64,

@@ -23,6 +23,7 @@ use semint_harness::cases::AnyCase;
 use semint_harness::engine::{
     parallel_map, run_generated, run_scenario, sweep_all, SweepConfig, MAX_SEEDS_PER_SWEEP,
 };
+use semint_harness::json::{looks_like_bench_json, parse_bench_json, render_bench_json, BenchMeta};
 use semint_harness::report::render_sweep;
 use semint_harness::source::{Corpus, ScenarioSource, SeedRange, Shard};
 use std::process::ExitCode;
@@ -31,17 +32,19 @@ const USAGE: &str = "\
 semint — unified scenario engine for the PLDI 2022 interoperability case studies
 
 USAGE:
-    semint run   [--case NAME] --seed N [options]     run one scenario, verbosely
+    semint run   [--case NAME] --seed N [options]     run one scenario, verbosely, with per-stage
+                                                      wall-clock (where does this seed spend time?)
     semint check [--case NAME] [--seeds A..B] [options]
                                                       Lemma 3.1 catalogue + model-check a seed range
     semint sweep [--case NAME] [--seeds A..B] [--jobs J] [--save PATH] [options]
                                                       parallel sweep with aggregate statistics
-    semint bench [--case NAME] [--seeds A..B] [--repeat R] [--cold] [options]
+    semint bench [--case NAME] [--seeds A..B] [--repeat R] [--cold] [--json PATH] [options]
                                                       timed sweep: per-stage wall-clock totals and
                                                       throughput (model check off unless --model-check)
     semint report PATH...                             render (and, for several PATHs, merge) reports
-                                                      saved by `sweep --save`; sharded sweeps merge
-                                                      into the digests of the unsharded sweep
+                                                      saved by `sweep --save` or `bench --json`;
+                                                      sharded sweeps merge into the digests of the
+                                                      unsharded sweep
     semint help                                       this text
 
 SCENARIO SUPPLY:
@@ -73,6 +76,9 @@ OPTIONS:
                      (generate/typecheck/compile/run/model-check)
     --repeat R       bench repeats, best-of-R is reported    (default: 3)
     --cold           bench with a cold glue cache per scenario (cache bypassed)
+    --json PATH      save the bench result (per-stage totals, throughput,
+                     digests) as machine-readable JSON; `semint report PATH`
+                     reads it back
     --broken         sabotage a conversion rule per case study; failing
                      scenarios are reported with shrunk counterexamples
     --save PATH      save the sweep report as TSV
@@ -133,6 +139,7 @@ struct Options {
     repeat: usize,
     cold: bool,
     save: Option<String>,
+    json: Option<String>,
 }
 
 impl Default for Options {
@@ -153,6 +160,7 @@ impl Default for Options {
             repeat: 3,
             cold: false,
             save: None,
+            json: None,
         }
     }
 }
@@ -297,6 +305,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--cold" => opts.cold = true,
             "--save" => opts.save = Some(value("--save")?.to_string()),
+            "--json" => opts.json = Some(value("--json")?.to_string()),
             other => return Err(format!("unknown option `{other}`; try `semint help`")),
         }
     }
@@ -407,12 +416,17 @@ fn effective_profile(source: &dyn ScenarioSource, cfg: &SweepConfig) -> GenProfi
     source.pinned_profile().unwrap_or(cfg.profile)
 }
 
-/// `semint run`: one scenario, spelled out.
+/// `semint run`: one scenario, spelled out — always with per-stage
+/// wall-clock, so a single-seed investigation shows where the time goes
+/// without a full `semint bench`.
 fn cmd_run(args: &[String]) -> Result<bool, String> {
     let opts = parse_options(args)?;
     let seed = opts.seed.ok_or("`semint run` needs --seed N")?;
     let cases = selected_cases(&opts)?;
-    let cfg = sweep_config(&opts, true);
+    let cfg = SweepConfig {
+        time: true,
+        ..sweep_config(&opts, true)
+    };
     let mut clean = true;
     for case in &cases {
         let scenario = case.generate(seed, &opts.profile);
@@ -427,9 +441,15 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
         }
         println!("  boundaries {}", record.boundaries);
         if let Some(timings) = &record.timings {
+            println!("  stage wall-clock");
             for (label, ns) in timings.stages() {
-                println!("  {label:<11} {:.3} ms", ns as f64 / 1_000_000.0);
+                println!("    {label:<11} {:.3} ms", ns as f64 / 1_000_000.0);
             }
+            println!(
+                "    {:<11} {:.3} ms",
+                "total",
+                timings.total_ns() as f64 / 1_000_000.0
+            );
         }
         match &record.failure {
             None => println!("  verdict OK"),
@@ -594,6 +614,20 @@ fn cmd_bench(args: &[String]) -> Result<bool, String> {
         std::fs::write(path, report.to_tsv()).map_err(|e| format!("saving {path}: {e}"))?;
         println!("saved: {path}");
     }
+    if let Some(path) = &opts.json {
+        let meta = BenchMeta {
+            profile: cfg.profile.name.to_string(),
+            repeat: opts.repeat,
+            jobs: cfg.jobs,
+            model_check: cfg.model_check,
+            cold: opts.cold,
+            wall_ns,
+            digests_stable,
+        };
+        std::fs::write(path, render_bench_json(&meta, &report))
+            .map_err(|e| format!("saving {path}: {e}"))?;
+        println!("json saved: {path}");
+    }
     Ok(report.failure_count() == 0 && digests_stable)
 }
 
@@ -636,17 +670,39 @@ fn cold_sweep(
 }
 
 /// `semint report`: render saved sweeps, merging when several are given
-/// (per-shard saves merge into the unsharded digests).
+/// (per-shard saves merge into the unsharded digests).  Accepts both the
+/// TSV format of `sweep --save` and the JSON format of `bench --json`.
 fn cmd_report(args: &[String]) -> Result<bool, String> {
     if args.is_empty() {
-        return Err(
-            "`semint report` needs at least one PATH saved by `semint sweep --save`".into(),
-        );
+        return Err("`semint report` needs at least one PATH saved by \
+                    `semint sweep --save` or `semint bench --json`"
+            .into());
     }
     let mut merged: Option<SweepReport> = None;
     for path in args {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        let report = SweepReport::from_tsv(&text).map_err(|e| format!("{path}: {e}"))?;
+        let report = if looks_like_bench_json(&text) {
+            let (meta, report) = parse_bench_json(&text).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "bench: profile {} · {} repeats · jobs {} · model check {} · glue cache {} · \
+                 best wall-clock {:.3} s ({:.0} scenarios/s) · digests stable: {}",
+                meta.profile,
+                meta.repeat,
+                meta.jobs,
+                if meta.model_check { "on" } else { "off" },
+                if meta.cold {
+                    "cold per scenario"
+                } else {
+                    "shared"
+                },
+                meta.wall_ns as f64 / 1e9,
+                meta.throughput_per_s(report.scenarios()),
+                if meta.digests_stable { "yes" } else { "NO" }
+            );
+            report
+        } else {
+            SweepReport::from_tsv(&text).map_err(|e| format!("{path}: {e}"))?
+        };
         match &mut merged {
             None => merged = Some(report),
             Some(acc) => acc.merge(&report),
@@ -782,6 +838,13 @@ mod tests {
         assert!(parse(&["--repeat", "0"])
             .unwrap_err()
             .contains("at least 1"));
+    }
+
+    #[test]
+    fn json_flag_parses_and_needs_a_path() {
+        let opts = parse(&["--json", "bench.json"]).unwrap();
+        assert_eq!(opts.json.as_deref(), Some("bench.json"));
+        assert!(parse(&["--json"]).unwrap_err().contains("--json"));
     }
 
     #[test]

@@ -66,6 +66,19 @@ pub enum AnyReport {
     Lcvm(lcvm::RunResult),
 }
 
+/// A compiled artifact of any case study — the first-class object the sweep
+/// engine threads from the compile stage through model checking into
+/// execution, so each scenario is compiled exactly once.
+#[derive(Debug, Clone)]
+pub enum AnyCompiled {
+    /// A StackLang program (case study 1).
+    SharedMem(stacklang::Program),
+    /// An LCVM compile output with its static-binder report (case study 2).
+    Affine(affine_interop::compile::CompileOutput),
+    /// An LCVM expression (case study 3).
+    MemGc(lcvm::Expr),
+}
+
 /// One of the three case studies, selected at runtime.
 #[derive(Debug, Clone)]
 pub enum AnyCase {
@@ -135,6 +148,7 @@ impl CaseStudy for AnyCase {
     type Program = AnyProgram;
     type Ty = AnyTy;
     type Report = AnyReport;
+    type Compiled = AnyCompiled;
 
     fn name(&self) -> &'static str {
         match self {
@@ -184,23 +198,28 @@ impl CaseStudy for AnyCase {
         }
     }
 
-    fn compile(&self, program: &AnyProgram) -> Result<(), String> {
+    fn compile(&self, program: &AnyProgram) -> Result<AnyCompiled, String> {
         match (self, program) {
-            (AnyCase::SharedMem(c), AnyProgram::SharedMem(p)) => c.compile(p),
-            (AnyCase::Affine(c), AnyProgram::Affine(p)) => c.compile(p),
-            (AnyCase::MemGc(c), AnyProgram::MemGc(p)) => c.compile(p),
+            (AnyCase::SharedMem(c), AnyProgram::SharedMem(p)) => {
+                c.compile(p).map(AnyCompiled::SharedMem)
+            }
+            (AnyCase::Affine(c), AnyProgram::Affine(p)) => c.compile(p).map(AnyCompiled::Affine),
+            (AnyCase::MemGc(c), AnyProgram::MemGc(p)) => c.compile(p).map(AnyCompiled::MemGc),
             _ => mismatch(self),
         }
     }
 
-    fn run(&self, program: &AnyProgram, fuel: Fuel) -> Result<AnyReport, String> {
-        match (self, program) {
-            (AnyCase::SharedMem(c), AnyProgram::SharedMem(p)) => {
-                c.run(p, fuel).map(AnyReport::StackLang)
+    fn execute(&self, compiled: AnyCompiled, fuel: Fuel) -> AnyReport {
+        match (self, compiled) {
+            (AnyCase::SharedMem(c), AnyCompiled::SharedMem(a)) => {
+                AnyReport::StackLang(c.execute(a, fuel))
             }
-            (AnyCase::Affine(c), AnyProgram::Affine(p)) => c.run(p, fuel).map(AnyReport::Lcvm),
-            (AnyCase::MemGc(c), AnyProgram::MemGc(p)) => c.run(p, fuel).map(AnyReport::Lcvm),
-            _ => mismatch(self),
+            (AnyCase::Affine(c), AnyCompiled::Affine(a)) => AnyReport::Lcvm(c.execute(a, fuel)),
+            (AnyCase::MemGc(c), AnyCompiled::MemGc(a)) => AnyReport::Lcvm(c.execute(a, fuel)),
+            // A mismatched artifact cannot be produced through this trait;
+            // the engine always pairs a case's own artifact with its
+            // execute call.
+            _ => unreachable!("artifact does not belong to case study `{}`", self.name()),
         }
     }
 
@@ -215,18 +234,33 @@ impl CaseStudy for AnyCase {
         }
     }
 
-    fn model_check(&self, program: &AnyProgram, ty: &AnyTy) -> Result<(), CheckFailure> {
+    fn model_check_compiled(
+        &self,
+        program: &AnyProgram,
+        ty: &AnyTy,
+        compiled: &AnyCompiled,
+    ) -> Result<(), CheckFailure> {
         let bug = |case: &AnyCase| CheckFailure {
             claim: "driver invariant".into(),
             witness: program.to_string(),
             reason: format!("program does not belong to case study `{}`", case.name()),
         };
-        match (self, program, ty) {
-            (AnyCase::SharedMem(c), AnyProgram::SharedMem(p), AnyTy::SharedMem(t)) => {
-                c.model_check(p, t)
+        match (self, program, ty, compiled) {
+            (
+                AnyCase::SharedMem(c),
+                AnyProgram::SharedMem(p),
+                AnyTy::SharedMem(t),
+                AnyCompiled::SharedMem(a),
+            ) => c.model_check_compiled(p, t, a),
+            (
+                AnyCase::Affine(c),
+                AnyProgram::Affine(p),
+                AnyTy::Affine(t),
+                AnyCompiled::Affine(a),
+            ) => c.model_check_compiled(p, t, a),
+            (AnyCase::MemGc(c), AnyProgram::MemGc(p), AnyTy::MemGc(t), AnyCompiled::MemGc(a)) => {
+                c.model_check_compiled(p, t, a)
             }
-            (AnyCase::Affine(c), AnyProgram::Affine(p), AnyTy::Affine(t)) => c.model_check(p, t),
-            (AnyCase::MemGc(c), AnyProgram::MemGc(p), AnyTy::MemGc(t)) => c.model_check(p, t),
             _ => Err(bug(self)),
         }
     }

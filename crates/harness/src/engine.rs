@@ -32,13 +32,12 @@ pub struct SweepConfig {
     /// expensive stage; `run`-only sweeps skip it).
     pub model_check: bool,
     /// Whether to collect per-stage wall-clock totals (`semint sweep
-    /// --time` and `semint bench`).  Timing adds a dedicated compile stage
-    /// — normally folded into the run stage — so stage totals are
-    /// attributable; the recompile inside the run stage is cheap because
-    /// glue derivation is cached.  The extra stage's cache lookups are
-    /// counted like any other, so glue hit/miss figures from a timed sweep
-    /// are slightly higher than from an untimed sweep of the same seeds —
-    /// compare like with like.
+    /// --time`, `semint bench`, and `semint run`).  Timing changes
+    /// *measurement only*: every scenario is typechecked once and compiled
+    /// once whether or not the stopwatch is on — the compiled artifact is
+    /// threaded from the compile stage through model checking into
+    /// execution — so timed and untimed sweeps of the same seeds agree on
+    /// digests and on glue-cache hit/miss figures alike.
     pub time: bool,
 }
 
@@ -158,6 +157,12 @@ pub fn run_scenario<C: CaseStudy>(case: &C, seed: u64, cfg: &SweepConfig) -> Sce
 
 /// Runs the full pipeline on an already-generated scenario (callers that
 /// want to display the program first generate once and reuse it here).
+///
+/// The pipeline is artifact-threaded: the scenario is typechecked **once**
+/// and compiled **once**, and the resulting [`CaseStudy::Compiled`] artifact
+/// is borrowed by the model-check stage and then consumed by execution —
+/// no stage recompiles, no stage clones.  Only shrink re-checks (which
+/// examine different, smaller programs) compile again.
 pub fn run_generated<C: CaseStudy>(
     case: &C,
     scenario: &semint_core::case::Scenario<C::Program, C::Ty>,
@@ -191,7 +196,8 @@ pub fn run_generated<C: CaseStudy>(
         record
     };
 
-    // 1. The generator's type claim must re-check.
+    // 1. The generator's type claim must re-check — the only typecheck the
+    // scenario will ever get.
     let checked = staged(cfg.time, &mut timings.typecheck_ns, || {
         case.typecheck(&scenario.program)
     });
@@ -210,75 +216,73 @@ pub fn run_generated<C: CaseStudy>(
         }
     }
 
-    // 2. A dedicated compile stage, only when timing is collected (without
-    // `--time` the compile inside `CaseStudy::run` covers it, and a separate
-    // stage would only repeat the work; with `--time` the repeat is cheap
-    // because glue derivation is memoized).
-    if cfg.time {
-        let compiled = staged(true, &mut timings.compile_ns, || {
-            case.compile(&scenario.program)
-        });
-        if let Err(err) = compiled {
-            record.failure = Some(plain_failure(FailStage::Compile, err));
-            return finish(record, timings);
-        }
-    }
-
-    // 2+3. Compile and run under the budget.  `CaseStudy::run` compiles
-    // internally; an `Err` here is a compilation failure (runtime outcomes,
-    // including failing ones, come back as a report).
-    let ran = staged(cfg.time, &mut timings.run_ns, || {
-        case.run(&scenario.program, cfg.profile.fuel)
+    // 2. Compile exactly once; every downstream stage consumes this one
+    // artifact (shrink re-checks, which examine *different*, smaller
+    // programs, compile their own).
+    let compiled = staged(cfg.time, &mut timings.compile_ns, || {
+        case.compile(&scenario.program)
     });
-    match ran {
-        Ok(report) => {
-            let stats = case.stats(&report);
-            record.stats = Some(stats);
-            if !stats.outcome.is_safe() {
-                let (shrunk, steps) = shrink_failure(case, &scenario.program, |p| {
-                    case.typecheck(p).is_ok()
-                        && case
-                            .run(p, cfg.profile.fuel)
-                            .map(|r| !case.stats(&r).outcome.is_safe())
-                            .unwrap_or(false)
-                });
-                record.failure = Some(FailureRecord {
-                    seed,
-                    stage: FailStage::Run,
-                    reason: format!("unsafe outcome {}", stats.outcome),
-                    witness: rendered.clone(),
-                    shrunk: shrunk.to_string(),
-                    shrink_steps: steps,
-                });
-                return finish(record, timings);
-            }
-        }
+    let compiled = match compiled {
+        Ok(compiled) => compiled,
         Err(err) => {
             record.failure = Some(plain_failure(FailStage::Compile, err));
             return finish(record, timings);
         }
+    };
+
+    // 3. Model check *borrows* the artifact before execution consumes it
+    // (execution takes the artifact by value so nothing is cloned on the
+    // hot path).  The verdict is deferred until after the run: an unsafe
+    // run outcome still takes precedence over a model-check rejection,
+    // exactly as when the stages ran in pipeline order.
+    let model_verdict = if cfg.model_check {
+        staged(cfg.time, &mut timings.model_check_ns, || {
+            case.model_check_compiled(&scenario.program, &scenario.ty, &compiled)
+        })
+    } else {
+        Ok(())
+    };
+
+    // 4. Execute the artifact under the budget — no recompile, no clone.
+    let report = staged(cfg.time, &mut timings.run_ns, || {
+        case.execute(compiled, cfg.profile.fuel)
+    });
+    let stats = case.stats(&report);
+    record.stats = Some(stats);
+    if !stats.outcome.is_safe() {
+        let (shrunk, steps) = shrink_failure(case, &scenario.program, |p| {
+            case.typecheck(p).is_ok()
+                && case
+                    .run(p, cfg.profile.fuel)
+                    .map(|r| !case.stats(&r).outcome.is_safe())
+                    .unwrap_or(false)
+        });
+        record.failure = Some(FailureRecord {
+            seed,
+            stage: FailStage::Run,
+            reason: format!("unsafe outcome {}", stats.outcome),
+            witness: rendered.clone(),
+            shrunk: shrunk.to_string(),
+            shrink_steps: steps,
+        });
+        return finish(record, timings);
     }
 
-    // 4. Model check, shrinking any counterexample.
-    if cfg.model_check {
-        let checked = staged(cfg.time, &mut timings.model_check_ns, || {
-            case.model_check(&scenario.program, &scenario.ty)
+    // 5. The deferred model-check verdict, shrinking any counterexample.
+    if let Err(check) = model_verdict {
+        let (shrunk, steps) = shrink_failure(case, &scenario.program, |p| {
+            case.typecheck(p)
+                .map(|ty| case.model_check(p, &ty).is_err())
+                .unwrap_or(false)
         });
-        if let Err(check) = checked {
-            let (shrunk, steps) = shrink_failure(case, &scenario.program, |p| {
-                case.typecheck(p)
-                    .map(|ty| case.model_check(p, &ty).is_err())
-                    .unwrap_or(false)
-            });
-            record.failure = Some(FailureRecord {
-                seed,
-                stage: FailStage::ModelCheck,
-                reason: check.to_string(),
-                witness: rendered,
-                shrunk: shrunk.to_string(),
-                shrink_steps: steps,
-            });
-        }
+        record.failure = Some(FailureRecord {
+            seed,
+            stage: FailStage::ModelCheck,
+            reason: check.to_string(),
+            witness: rendered,
+            shrunk: shrunk.to_string(),
+            shrink_steps: steps,
+        });
     }
     finish(record, timings)
 }

@@ -24,7 +24,10 @@
 //!   them;
 //! * [`report`] — plain-text rendering of sweep reports for the `semint`
 //!   CLI binary shipped by this crate (`run`, `check`, `sweep`, `bench`,
-//!   `report` subcommands).
+//!   `report` subcommands);
+//! * [`json`] — the hand-rolled machine-readable bench format behind
+//!   `semint bench --json PATH` (and `semint report`'s ability to read it
+//!   back), for tracking per-stage performance across commits.
 //!
 //! ## Example
 //!
@@ -46,11 +49,12 @@
 
 pub mod cases;
 pub mod engine;
+pub mod json;
 pub mod report;
 pub mod shrink;
 pub mod source;
 
-pub use cases::AnyCase;
+pub use cases::{AnyCase, AnyCompiled};
 pub use engine::{sweep_all, sweep_case, SweepConfig};
 pub use semint_core::case::{CaseStudy, CheckFailure, GenProfile, Scenario};
 pub use semint_core::stats::{CaseReport, SweepReport};

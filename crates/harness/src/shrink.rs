@@ -100,6 +100,7 @@ mod tests {
         type Program = Depth;
         type Ty = Depth;
         type Report = ();
+        type Compiled = ();
 
         fn name(&self) -> &'static str {
             "toy"
@@ -117,9 +118,7 @@ mod tests {
         fn compile(&self, _p: &Depth) -> Result<(), String> {
             Ok(())
         }
-        fn run(&self, _p: &Depth, _fuel: Fuel) -> Result<(), String> {
-            Ok(())
-        }
+        fn execute(&self, _compiled: (), _fuel: Fuel) {}
         fn stats(&self, _r: &()) -> RunStats {
             RunStats {
                 outcome: OutcomeClass::Value,
@@ -129,7 +128,12 @@ mod tests {
         fn boundary_count(&self, _p: &Depth) -> usize {
             0
         }
-        fn model_check(&self, p: &Depth, _ty: &Depth) -> Result<(), CheckFailure> {
+        fn model_check_compiled(
+            &self,
+            p: &Depth,
+            _ty: &Depth,
+            _compiled: &(),
+        ) -> Result<(), CheckFailure> {
             if p.0 >= self.threshold {
                 Err(CheckFailure {
                     claim: "toy".into(),

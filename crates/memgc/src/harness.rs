@@ -125,6 +125,7 @@ impl CaseStudy for MemGcCase {
     type Program = MgProgram;
     type Ty = MgSourceType;
     type Report = RunResult;
+    type Compiled = Expr;
 
     fn name(&self) -> &'static str {
         "memgc"
@@ -156,17 +157,12 @@ impl CaseStudy for MemGcCase {
         self.system.typecheck(program).map_err(|e| e.to_string())
     }
 
-    fn compile(&self, program: &MgProgram) -> Result<(), String> {
-        self.system
-            .compile(program)
-            .map(drop)
-            .map_err(|e| e.to_string())
+    fn compile(&self, program: &MgProgram) -> Result<Expr, String> {
+        self.system.compile_only(program).map_err(|e| e.to_string())
     }
 
-    fn run(&self, program: &MgProgram, fuel: Fuel) -> Result<RunResult, String> {
-        self.system
-            .run_with_fuel(program, fuel)
-            .map_err(|e| e.to_string())
+    fn execute(&self, compiled: Expr, fuel: Fuel) -> RunResult {
+        self.system.execute_with_fuel(compiled, fuel)
     }
 
     fn stats(&self, report: &RunResult) -> RunStats {
@@ -183,23 +179,25 @@ impl CaseStudy for MemGcCase {
         }
     }
 
-    fn model_check(&self, program: &MgProgram, _ty: &MgSourceType) -> Result<(), CheckFailure> {
-        let compiled: Expr = self.system.compile(program).map_err(|e| CheckFailure {
-            claim: "compilation".into(),
-            witness: program.to_string(),
-            reason: e.to_string(),
-        })?;
-
-        // The broken glue projects every result as if it were a pair.
-        let checked = if self.broken {
-            Expr::fst(compiled)
+    fn model_check_compiled(
+        &self,
+        program: &MgProgram,
+        _ty: &MgSourceType,
+        compiled: &Expr,
+    ) -> Result<(), CheckFailure> {
+        // The broken glue projects every result as if it were a pair (the
+        // only mode that needs its own copy of the borrowed artifact).
+        let broken_wrap;
+        let checked: &Expr = if self.broken {
+            broken_wrap = Expr::fst(compiled.clone());
+            &broken_wrap
         } else {
             compiled
         };
 
         let checker = MemGcModelChecker::new();
         checker
-            .check_type_safety(&checked)
+            .check_type_safety(checked)
             .map_err(|ce| CheckFailure {
                 claim: if self.broken {
                     format!("deliberately broken glue: {}", ce.claim)

@@ -125,6 +125,7 @@ impl CaseStudy for SharedMemCase {
     type Program = SmProgram;
     type Ty = SourceType;
     type Report = RunResult;
+    type Compiled = Program;
 
     fn name(&self) -> &'static str {
         "sharedmem"
@@ -157,17 +158,12 @@ impl CaseStudy for SharedMemCase {
         self.system.typecheck(program).map_err(|e| e.to_string())
     }
 
-    fn compile(&self, program: &SmProgram) -> Result<(), String> {
-        self.system
-            .compile(program)
-            .map(drop)
-            .map_err(|e| e.to_string())
+    fn compile(&self, program: &SmProgram) -> Result<Program, String> {
+        self.system.compile_only(program).map_err(|e| e.to_string())
     }
 
-    fn run(&self, program: &SmProgram, fuel: Fuel) -> Result<RunResult, String> {
-        self.system
-            .run_with_fuel(program, fuel)
-            .map_err(|e| e.to_string())
+    fn execute(&self, compiled: Program, fuel: Fuel) -> RunResult {
+        self.system.execute_with_fuel(compiled, fuel)
     }
 
     fn stats(&self, report: &RunResult) -> RunStats {
@@ -182,20 +178,15 @@ impl CaseStudy for SharedMemCase {
         }
     }
 
-    fn model_check(&self, program: &SmProgram, ty: &SourceType) -> Result<(), CheckFailure> {
-        let compiled: Program = self
-            .system
-            .compile(program)
-            .map_err(|e| CheckFailure {
-                claim: "compilation".into(),
-                witness: program.to_string(),
-                reason: e.to_string(),
-            })?
-            .program;
-
+    fn model_check_compiled(
+        &self,
+        program: &SmProgram,
+        ty: &SourceType,
+        compiled: &Program,
+    ) -> Result<(), CheckFailure> {
         // Theorems 3.3/3.4: no dynamic type errors.
         self.checker
-            .check_type_safety(&compiled, Fuel::steps(200_000))
+            .check_type_safety(compiled, Fuel::steps(200_000))
             .map_err(|ce| CheckFailure {
                 claim: ce.claim,
                 witness: program.to_string(),
@@ -207,10 +198,7 @@ impl CaseStudy for SharedMemCase {
         // at [int], which is where the sabotage surfaces).
         let sem_ty = self.claimed_sem_type(ty);
         let world = World::new(20_000);
-        if !self
-            .checker
-            .expr_in(&world, Heap::new(), &compiled, &sem_ty)
-        {
+        if !self.checker.expr_in(&world, Heap::new(), compiled, &sem_ty) {
             return Err(CheckFailure {
                 claim: format!("compiled program ∈ E⟦{sem_ty}⟧"),
                 witness: program.to_string(),

@@ -164,11 +164,25 @@ impl MultiLang {
 
     /// Type checks and compiles a closed multi-language program.
     pub fn compile(&self, program: &SmProgram) -> Result<Compiled, MultiLangError> {
-        let compiled = self.pipeline.compile(program)?;
+        let compiled = self.pipeline.check_and_compile(program)?;
         Ok(Compiled {
             ty: compiled.ty,
             program: compiled.artifact,
         })
+    }
+
+    /// Compiles a program already known to type check, skipping the
+    /// pipeline's typecheck stage.  This is the sweep engine's entry: it
+    /// re-checks the generator's type claim once up front, so its compile
+    /// stage must not pay for a second typecheck.
+    pub fn compile_only(&self, program: &SmProgram) -> Result<Program, MissingConversion> {
+        self.pipeline.system().compile(program)
+    }
+
+    /// Runs an already-compiled StackLang program under an explicit fuel
+    /// budget, consuming the artifact (no clone — the compile-once flow).
+    pub fn execute_with_fuel(&self, program: Program, fuel: Fuel) -> RunResult {
+        self.pipeline.execute_with_fuel(program, fuel)
     }
 
     /// Type checks and compiles a closed RefHL program.

@@ -20,9 +20,11 @@
 //! ## The `CaseStudy` abstraction and the `semint` CLI
 //!
 //! Each case-study crate implements [`core::case::CaseStudy`] (associated
-//! `Program`/`Ty`/`Report` types; `generate`, `typecheck`, `compile`, `run`,
-//! `model_check`), and the [`harness`] engine drives any implementation —
-//! including all three at once, interleaved on one thread pool:
+//! `Program`/`Ty`/`Report`/`Compiled` types; `generate`, `typecheck`,
+//! `compile`, `execute`, `model_check_compiled`), and the [`harness`] engine
+//! drives any implementation — including all three at once, interleaved on
+//! one thread pool — typechecking and compiling each scenario exactly once
+//! and threading the compiled artifact through every consuming stage:
 //!
 //! ```
 //! use semint::harness::cases::AnyCase;
