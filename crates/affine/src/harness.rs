@@ -148,6 +148,10 @@ impl CaseStudy for AffineCase {
         self.system.execute_with_fuel(compiled, fuel)
     }
 
+    fn execute_batch(&self, batch: Vec<CompileOutput>, fuel: Fuel) -> Vec<RunResult> {
+        self.system.execute_batch_with_fuel(batch, fuel)
+    }
+
     fn stats(&self, report: &RunResult) -> RunStats {
         RunStats {
             outcome: halt_class(report),

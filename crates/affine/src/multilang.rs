@@ -106,6 +106,14 @@ impl InteropSystem for AffineSystem {
     fn execute(&self, artifact: CompileOutput, fuel: Fuel) -> RunResult {
         Machine::run_expr(artifact.expr, fuel)
     }
+
+    /// Drives the whole batch through **one** LCVM machine under the
+    /// *standard* semantics, reset in place between programs (the
+    /// continuation stack's grown buffer survives as an allocation, never
+    /// as state), instead of constructing a machine per artifact.
+    fn execute_batch(&self, artifacts: Vec<CompileOutput>, fuel: Fuel) -> Vec<RunResult> {
+        Machine::run_batch(artifacts.into_iter().map(|artifact| artifact.expr), fuel)
+    }
 }
 
 /// The §4 multi-language system: MiniML + Affi + the Fig. 9 conversions over
@@ -171,6 +179,18 @@ impl AffineMultiLang {
     /// compile-once flow).
     pub fn execute_with_fuel(&self, compiled: CompileOutput, fuel: Fuel) -> RunResult {
         self.pipeline.execute_with_fuel(compiled, fuel)
+    }
+
+    /// Runs a batch of already-compiled programs under one fuel budget and
+    /// the *standard* semantics through a single reused machine (see
+    /// [`InteropSystem::execute_batch`] on [`AffineSystem`]), returning
+    /// results in input order.
+    pub fn execute_batch_with_fuel(
+        &self,
+        compiled: Vec<CompileOutput>,
+        fuel: Fuel,
+    ) -> Vec<RunResult> {
+        self.pipeline.execute_batch(compiled, fuel)
     }
 
     /// Type checks and compiles a closed MiniML program.

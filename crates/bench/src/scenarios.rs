@@ -57,6 +57,7 @@ fn sweep_with(
         profile,
         model_check,
         time,
+        ..SweepConfig::default()
     };
     sweep_all(&cases, &source, &cfg)
 }

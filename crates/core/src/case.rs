@@ -351,10 +351,29 @@ pub trait CaseStudy {
     /// [`CaseStudy::model_check_compiled`] *before* executing it.
     fn execute(&self, compiled: Self::Compiled, fuel: Fuel) -> Self::Report;
 
+    /// Runs a whole batch of already-compiled artifacts under the given
+    /// step budget (the same budget for each), returning one report per
+    /// artifact **in input order**.
+    ///
+    /// The default simply executes one artifact at a time; case studies
+    /// whose target machine supports in-place reuse override this to drive
+    /// the entire batch through **one** machine instance (reset between
+    /// programs), amortising machine setup across the batch.  Overrides
+    /// must be observationally equivalent to the default — same reports,
+    /// same order — which is what lets the sweep engine batch freely
+    /// without perturbing digests.
+    fn execute_batch(&self, batch: Vec<Self::Compiled>, fuel: Fuel) -> Vec<Self::Report> {
+        batch
+            .into_iter()
+            .map(|compiled| self.execute(compiled, fuel))
+            .collect()
+    }
+
     /// Compiles and runs a program under the given step budget — the
     /// one-shot convenience over [`CaseStudy::compile`] +
-    /// [`CaseStudy::execute`], used by shrink re-checks (which compile their
-    /// own, smaller programs) and ad-hoc callers.
+    /// [`CaseStudy::execute`] for ad-hoc callers.  The sweep engine never
+    /// calls this: scenarios and shrink candidates alike go through the
+    /// explicit compile → execute artifact path.
     fn run(&self, program: &Self::Program, fuel: Fuel) -> Result<Self::Report, String> {
         Ok(self.execute(self.compile(program)?, fuel))
     }
@@ -375,8 +394,10 @@ pub trait CaseStudy {
     ) -> Result<(), CheckFailure>;
 
     /// Compile-and-model-check convenience over
-    /// [`CaseStudy::model_check_compiled`], used by shrink re-checks (which
-    /// compile their own, smaller programs) and ad-hoc callers.
+    /// [`CaseStudy::model_check_compiled`] for ad-hoc callers.  The sweep
+    /// engine's shrink re-checks compile each candidate themselves and call
+    /// [`CaseStudy::model_check_compiled`] directly, so the compile-once
+    /// invariant holds there too.
     fn model_check(&self, program: &Self::Program, ty: &Self::Ty) -> Result<(), CheckFailure> {
         let compiled = self.compile(program).map_err(|reason| CheckFailure {
             claim: "compilation".into(),

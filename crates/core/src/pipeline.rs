@@ -54,6 +54,20 @@ pub trait InteropSystem {
     /// never copies a compiled program; callers that want to re-run a kept
     /// artifact clone explicitly (see [`InteropPipeline::execute`]).
     fn execute(&self, artifact: Self::Artifact, fuel: Fuel) -> Self::Exec;
+
+    /// Runs a whole batch of compiled artifacts under the same `fuel`
+    /// budget, returning one result per artifact **in input order**.
+    ///
+    /// The default executes one artifact at a time.  Systems whose target
+    /// machine is resettable override this to reuse **one** machine for the
+    /// entire batch (clear-in-place between programs), amortising machine
+    /// setup; overrides must be observationally equivalent to the default.
+    fn execute_batch(&self, artifacts: Vec<Self::Artifact>, fuel: Fuel) -> Vec<Self::Exec> {
+        artifacts
+            .into_iter()
+            .map(|artifact| self.execute(artifact, fuel))
+            .collect()
+    }
 }
 
 /// The one error shape shared by every case study's pipeline, generic over
@@ -177,6 +191,14 @@ impl<S: InteropSystem> InteropPipeline<S> {
         self.system.execute(artifact, fuel)
     }
 
+    /// Stage 3 over a whole batch: runs the owned artifacts under one fuel
+    /// budget (the same for each), in input order, letting the system reuse
+    /// a single machine across the batch when it supports doing so (see
+    /// [`InteropSystem::execute_batch`]).
+    pub fn execute_batch(&self, artifacts: Vec<S::Artifact>, fuel: Fuel) -> Vec<S::Exec> {
+        self.system.execute_batch(artifacts, fuel)
+    }
+
     /// Runs an already-compiled artifact under the pipeline's fuel, keeping
     /// the artifact (one clone — the price of re-runnability).
     pub fn execute(&self, artifact: &S::Artifact) -> S::Exec
@@ -248,6 +270,20 @@ mod tests {
         let (out, fuel) = p.execute_with_fuel(kept.artifact, Fuel::steps(2));
         assert_eq!(out, 12);
         assert_eq!(fuel, Fuel::steps(2));
+    }
+
+    #[test]
+    fn batch_execution_preserves_order_and_matches_one_at_a_time() {
+        let p = InteropPipeline::new(Toy).with_fuel(Fuel::steps(5));
+        let artifacts: Vec<i64> = vec![8, 2, 12, 4];
+        let one_at_a_time: Vec<_> = artifacts
+            .iter()
+            .map(|&a| p.execute_with_fuel(a, Fuel::steps(5)))
+            .collect();
+        let batched = p.execute_batch(artifacts, Fuel::steps(5));
+        assert_eq!(batched, one_at_a_time);
+        assert_eq!(batched[2], (12, Fuel::steps(5)));
+        assert!(p.execute_batch(Vec::new(), Fuel::steps(5)).is_empty());
     }
 
     #[test]

@@ -70,6 +70,11 @@ OPTIONS:
     --case NAME      sharedmem | affine | memgc | all        (default: all)
     --seed N         single seed (run only)
     --jobs J         worker threads                          (default: 4)
+    --batch N        compiled artifacts executed per reused machine
+                     (default: 1 = one machine per scenario); batching
+                     amortises machine setup and never changes digests
+                     (--cold benches rebuild everything per scenario, so
+                     they run and record batch 1)
     --no-model-check skip the realizability-model stage (sweep only)
     --model-check    force the realizability-model stage (bench only; off there by default)
     --time           collect per-stage wall-clock totals
@@ -130,6 +135,7 @@ struct Options {
     corpus_save: Option<String>,
     seed: Option<u64>,
     jobs: usize,
+    batch: usize,
     profile: GenProfile,
     /// Tri-state so each subcommand picks its own default (`sweep`: on,
     /// `bench`: off).
@@ -153,6 +159,7 @@ impl Default for Options {
             corpus_save: None,
             seed: None,
             jobs: 4,
+            batch: 1,
             profile: GenProfile::standard(),
             model_check: None,
             time: false,
@@ -232,6 +239,18 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| format!("--jobs: {e}"))?;
                 if opts.jobs == 0 {
                     return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--batch" => {
+                opts.batch = value("--batch")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?;
+                // Rejected, never clamped — the same policy as the
+                // generation-profile knobs.
+                if opts.batch == 0 {
+                    return Err(
+                        "--batch must be at least 1 (a zero-scenario batch can run nothing)".into(),
+                    );
                 }
             }
             "--profile" => {
@@ -407,6 +426,7 @@ fn sweep_config(opts: &Options, model_check_default: bool) -> SweepConfig {
         profile: opts.profile,
         model_check: opts.model_check.unwrap_or(model_check_default),
         time: opts.time,
+        batch: opts.batch,
     }
 }
 
@@ -530,12 +550,18 @@ fn cmd_bench(args: &[String]) -> Result<bool, String> {
     let source = build_source(&opts)?;
     let mut cfg = sweep_config(&opts, false);
     cfg.time = true;
+    // A cold bench rebuilds everything per scenario (machines included),
+    // so it runs — and is recorded as — one artifact per machine,
+    // whatever `--batch` was given.
+    if opts.cold {
+        cfg.batch = 1;
+    }
     if let Some(pinned) = source.pinned_profile() {
         cfg.profile = pinned;
     }
     check_sweep_size(&cases, source.as_ref())?;
     println!(
-        "bench: {} · profile {} · {} repeats · glue cache {} · model check {}",
+        "bench: {} · profile {} · {} repeats · glue cache {} · model check {} · batch {}",
         source.describe(),
         cfg.profile,
         opts.repeat,
@@ -544,7 +570,8 @@ fn cmd_bench(args: &[String]) -> Result<bool, String> {
         } else {
             "shared"
         },
-        if cfg.model_check { "on" } else { "off" }
+        if cfg.model_check { "on" } else { "off" },
+        cfg.batch
     );
     let mut best: Option<(u64, SweepReport)> = None;
     let mut digests_stable = true;
@@ -619,6 +646,7 @@ fn cmd_bench(args: &[String]) -> Result<bool, String> {
             profile: cfg.profile.name.to_string(),
             repeat: opts.repeat,
             jobs: cfg.jobs,
+            batch: cfg.batch,
             model_check: cfg.model_check,
             cold: opts.cold,
             wall_ns,
@@ -635,7 +663,9 @@ fn cmd_bench(args: &[String]) -> Result<bool, String> {
 /// therefore a cold glue cache: nothing derived for one scenario is visible
 /// to the next.  This is the "glue cache bypassed" baseline of the E11
 /// experiment; per-sweep cache counters are meaningless here (every
-/// scenario has its own cache) and reported as zero.
+/// scenario has its own cache) and reported as zero.  `--batch` is ignored
+/// on this path for the same reason: a cold run rebuilds everything per
+/// scenario, machines included, so there is nothing to amortise.
 fn cold_sweep(
     cases: &[AnyCase],
     source: &dyn ScenarioSource,
@@ -684,11 +714,13 @@ fn cmd_report(args: &[String]) -> Result<bool, String> {
         let report = if looks_like_bench_json(&text) {
             let (meta, report) = parse_bench_json(&text).map_err(|e| format!("{path}: {e}"))?;
             println!(
-                "bench: profile {} · {} repeats · jobs {} · model check {} · glue cache {} · \
-                 best wall-clock {:.3} s ({:.0} scenarios/s) · digests stable: {}",
+                "bench: profile {} · {} repeats · jobs {} · batch {} · model check {} · \
+                 glue cache {} · best wall-clock {:.3} s ({:.0} scenarios/s) · \
+                 digests stable: {}",
                 meta.profile,
                 meta.repeat,
                 meta.jobs,
+                meta.batch,
                 if meta.model_check { "on" } else { "off" },
                 if meta.cold {
                     "cold per scenario"
@@ -751,6 +783,19 @@ mod tests {
     #[test]
     fn unknown_options_are_rejected() {
         assert!(parse(&["--nope"]).unwrap_err().contains("--nope"));
+    }
+
+    #[test]
+    fn batch_sizes_parse_and_zero_is_rejected_not_clamped() {
+        assert_eq!(parse(&[]).unwrap().batch, 1, "default is one per machine");
+        let opts = parse(&["--batch", "8"]).unwrap();
+        assert_eq!(opts.batch, 8);
+        assert_eq!(sweep_config(&opts, true).batch, 8);
+        let err = parse(&["--batch", "0"]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse(&["--batch", "many"]).unwrap_err();
+        assert!(err.contains("--batch"), "{err}");
+        assert!(parse(&["--batch"]).unwrap_err().contains("--batch"));
     }
 
     #[test]

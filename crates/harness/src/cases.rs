@@ -223,6 +223,56 @@ impl CaseStudy for AnyCase {
         }
     }
 
+    fn execute_batch(&self, batch: Vec<AnyCompiled>, fuel: Fuel) -> Vec<AnyReport> {
+        // Unwrap the erased artifacts into the case study's own type so its
+        // batched runner (one reused machine for the whole batch) does the
+        // driving; mismatched artifacts cannot be produced through this
+        // trait, exactly as in `execute`.
+        let foreign =
+            || -> ! { unreachable!("artifact does not belong to case study `{}`", self.name()) };
+        match self {
+            AnyCase::SharedMem(c) => {
+                let artifacts = batch
+                    .into_iter()
+                    .map(|compiled| match compiled {
+                        AnyCompiled::SharedMem(a) => a,
+                        _ => foreign(),
+                    })
+                    .collect();
+                c.execute_batch(artifacts, fuel)
+                    .into_iter()
+                    .map(AnyReport::StackLang)
+                    .collect()
+            }
+            AnyCase::Affine(c) => {
+                let artifacts = batch
+                    .into_iter()
+                    .map(|compiled| match compiled {
+                        AnyCompiled::Affine(a) => a,
+                        _ => foreign(),
+                    })
+                    .collect();
+                c.execute_batch(artifacts, fuel)
+                    .into_iter()
+                    .map(AnyReport::Lcvm)
+                    .collect()
+            }
+            AnyCase::MemGc(c) => {
+                let artifacts = batch
+                    .into_iter()
+                    .map(|compiled| match compiled {
+                        AnyCompiled::MemGc(a) => a,
+                        _ => foreign(),
+                    })
+                    .collect();
+                c.execute_batch(artifacts, fuel)
+                    .into_iter()
+                    .map(AnyReport::Lcvm)
+                    .collect()
+            }
+        }
+    }
+
     fn stats(&self, report: &AnyReport) -> RunStats {
         match (self, report) {
             (AnyCase::SharedMem(c), AnyReport::StackLang(r)) => c.stats(r),

@@ -1,16 +1,26 @@
 //! The parallel batch runner.
 //!
-//! A sweep turns a seed range into one task per (case study, seed) pair and
-//! drains the tasks through a **work-stealing pool**: every worker owns a
-//! deque, pops from its own front, and steals from the backs of the others
-//! when it runs dry.  Scheduling never influences results — each task's
-//! generator is seeded purely by its sweep seed, and records are re-ordered
-//! by task index before aggregation — so a sweep is deterministic for any
-//! `--jobs` value, which the integration suite asserts.
+//! A sweep groups each case study's seeds into contiguous **batches** of
+//! [`SweepConfig::batch`] scenarios (default 1), turns each batch into one
+//! task, and drains the tasks through a **work-stealing pool**: every worker
+//! owns a deque, pops from its own front, and steals from the backs of the
+//! others when it runs dry.  Within a task, every scenario is generated,
+//! typechecked, compiled and model-checked individually — exactly as in a
+//! per-scenario sweep — and then the whole batch of compiled artifacts is
+//! executed through [`CaseStudy::execute_batch`], which the case studies
+//! implement with **one** reused machine (reset in place between programs)
+//! so machine setup is amortised across the batch.
+//!
+//! Neither scheduling nor batching influences results: each task's
+//! generator is seeded purely by its sweep seed, batches preserve per-seed
+//! order, batched machines are reset to an observationally fresh state, and
+//! records are re-ordered by task index before aggregation — so a sweep is
+//! deterministic (digest-identical) for any `--jobs` *and* any `--batch`
+//! value, which the integration suite asserts.
 
 use crate::shrink::shrink_failure;
 use crate::source::ScenarioSource;
-use semint_core::case::{CaseStudy, GenProfile};
+use semint_core::case::{CaseStudy, CheckFailure, GenProfile, Scenario};
 use semint_core::stats::{
     CaseReport, FailStage, FailureRecord, ScenarioRecord, StageTimings, SweepReport,
 };
@@ -39,6 +49,13 @@ pub struct SweepConfig {
     /// execution — so timed and untimed sweeps of the same seeds agree on
     /// digests and on glue-cache hit/miss figures alike.
     pub time: bool,
+    /// How many same-case compiled artifacts are executed per reused
+    /// machine (`--batch N`; must be at least 1).  `1` executes every
+    /// scenario on its own machine; larger batches drive contiguous seed
+    /// groups through one machine via [`CaseStudy::execute_batch`].
+    /// Batching changes *amortisation only*: per-seed report order and all
+    /// digests are identical for every batch size.
+    pub batch: usize,
 }
 
 impl Default for SweepConfig {
@@ -48,6 +65,7 @@ impl Default for SweepConfig {
             profile: GenProfile::standard(),
             model_check: true,
             time: false,
+            batch: 1,
         }
     }
 }
@@ -142,32 +160,42 @@ fn staged<R>(enabled: bool, slot: &mut u64, f: impl FnOnce() -> R) -> R {
     }
 }
 
-/// Runs the full pipeline for one seed of one case study.
-pub fn run_scenario<C: CaseStudy>(case: &C, seed: u64, cfg: &SweepConfig) -> ScenarioRecord {
-    let mut generate_ns = 0;
-    let scenario = staged(cfg.time, &mut generate_ns, || {
-        case.generate(seed, &cfg.profile)
-    });
-    let mut record = run_generated(case, &scenario, cfg);
-    if let Some(timings) = &mut record.timings {
-        timings.generate_ns = generate_ns;
+/// The product of the pre-execution pipeline stages for one scenario:
+/// everything the engine needs to finish the record once a machine report
+/// is available (the execution itself is left to the caller, so a batch of
+/// prepared scenarios can run through one reused machine).
+struct Prepared<C: CaseStudy> {
+    /// The record so far; `failure` is set when a pre-run stage rejected
+    /// the scenario, in which case `ready` is `None`.
+    record: ScenarioRecord,
+    /// Per-stage wall-clock so far (`generate_ns` is stamped in by the
+    /// caller, which owns the generation).
+    timings: StageTimings,
+    /// The compiled artifact and the deferred model-check verdict, when
+    /// every pre-run stage passed.
+    ready: Option<(C::Compiled, Result<(), CheckFailure>)>,
+}
+
+/// Stamps the collected timings into the record when the sweep is timed.
+fn seal(mut record: ScenarioRecord, timings: StageTimings, time: bool) -> ScenarioRecord {
+    if time {
+        record.timings = Some(timings);
     }
     record
 }
 
-/// Runs the full pipeline on an already-generated scenario (callers that
-/// want to display the program first generate once and reuse it here).
+/// Runs the pre-execution pipeline stages on a generated scenario: the one
+/// typecheck, the one compile, and the model check *borrowing* the artifact
+/// (execution consumes it later, so nothing is cloned on the hot path).
 ///
-/// The pipeline is artifact-threaded: the scenario is typechecked **once**
-/// and compiled **once**, and the resulting [`CaseStudy::Compiled`] artifact
-/// is borrowed by the model-check stage and then consumed by execution —
-/// no stage recompiles, no stage clones.  Only shrink re-checks (which
-/// examine different, smaller programs) compile again.
-pub fn run_generated<C: CaseStudy>(
+/// The model-check verdict is deferred until after the run: an unsafe run
+/// outcome still takes precedence over a model-check rejection, exactly as
+/// when the stages ran in pipeline order.
+fn prepare_generated<C: CaseStudy>(
     case: &C,
-    scenario: &semint_core::case::Scenario<C::Program, C::Ty>,
+    scenario: &Scenario<C::Program, C::Ty>,
     cfg: &SweepConfig,
-) -> ScenarioRecord {
+) -> Prepared<C> {
     let seed = scenario.seed;
     let rendered = scenario.program.to_string();
     let mut timings = StageTimings::default();
@@ -188,13 +216,6 @@ pub fn run_generated<C: CaseStudy>(
         shrunk: rendered.clone(),
         shrink_steps: 0,
     };
-    let time = cfg.time;
-    let finish = move |mut record: ScenarioRecord, timings: StageTimings| {
-        if time {
-            record.timings = Some(timings);
-        }
-        record
-    };
 
     // 1. The generator's type claim must re-check — the only typecheck the
     // scenario will ever get.
@@ -208,17 +229,25 @@ pub fn run_generated<C: CaseStudy>(
                 FailStage::Typecheck,
                 format!("claimed {}, checked {}", scenario.ty, checked),
             ));
-            return finish(record, timings);
+            return Prepared {
+                record,
+                timings,
+                ready: None,
+            };
         }
         Err(err) => {
             record.failure = Some(plain_failure(FailStage::Typecheck, err));
-            return finish(record, timings);
+            return Prepared {
+                record,
+                timings,
+                ready: None,
+            };
         }
     }
 
     // 2. Compile exactly once; every downstream stage consumes this one
     // artifact (shrink re-checks, which examine *different*, smaller
-    // programs, compile their own).
+    // programs, compile their own — also exactly once per candidate).
     let compiled = staged(cfg.time, &mut timings.compile_ns, || {
         case.compile(&scenario.program)
     });
@@ -226,15 +255,16 @@ pub fn run_generated<C: CaseStudy>(
         Ok(compiled) => compiled,
         Err(err) => {
             record.failure = Some(plain_failure(FailStage::Compile, err));
-            return finish(record, timings);
+            return Prepared {
+                record,
+                timings,
+                ready: None,
+            };
         }
     };
 
-    // 3. Model check *borrows* the artifact before execution consumes it
-    // (execution takes the artifact by value so nothing is cloned on the
-    // hot path).  The verdict is deferred until after the run: an unsafe
-    // run outcome still takes precedence over a model-check rejection,
-    // exactly as when the stages ran in pipeline order.
+    // 3. Model check borrows the artifact; the verdict is held until after
+    // execution.
     let model_verdict = if cfg.model_check {
         staged(cfg.time, &mut timings.model_check_ns, || {
             case.model_check_compiled(&scenario.program, &scenario.ty, &compiled)
@@ -243,48 +273,205 @@ pub fn run_generated<C: CaseStudy>(
         Ok(())
     };
 
-    // 4. Execute the artifact under the budget — no recompile, no clone.
-    let report = staged(cfg.time, &mut timings.run_ns, || {
-        case.execute(compiled, cfg.profile.fuel)
-    });
+    Prepared {
+        record,
+        timings,
+        ready: Some((compiled, model_verdict)),
+    }
+}
+
+/// Folds a machine report into a prepared scenario's record: run-stage
+/// statistics, the unsafe-outcome check, and the deferred model-check
+/// verdict, shrinking any counterexample.
+fn finish_executed<C: CaseStudy>(
+    case: &C,
+    scenario: &Scenario<C::Program, C::Ty>,
+    mut record: ScenarioRecord,
+    timings: StageTimings,
+    model_verdict: Result<(), CheckFailure>,
+    report: C::Report,
+    cfg: &SweepConfig,
+) -> ScenarioRecord {
     let stats = case.stats(&report);
     record.stats = Some(stats);
     if !stats.outcome.is_safe() {
+        // Shrink candidates are *different* programs, so each takes its own
+        // trip through the artifact pipeline: typecheck once, compile once,
+        // execute that artifact — never the compile-their-own `run`
+        // convenience, so the compile-once invariant holds here too.
         let (shrunk, steps) = shrink_failure(case, &scenario.program, |p| {
             case.typecheck(p).is_ok()
                 && case
-                    .run(p, cfg.profile.fuel)
-                    .map(|r| !case.stats(&r).outcome.is_safe())
+                    .compile(p)
+                    .map(|compiled| {
+                        !case
+                            .stats(&case.execute(compiled, cfg.profile.fuel))
+                            .outcome
+                            .is_safe()
+                    })
                     .unwrap_or(false)
         });
         record.failure = Some(FailureRecord {
-            seed,
+            seed: scenario.seed,
             stage: FailStage::Run,
             reason: format!("unsafe outcome {}", stats.outcome),
-            witness: rendered.clone(),
+            witness: scenario.program.to_string(),
             shrunk: shrunk.to_string(),
             shrink_steps: steps,
         });
-        return finish(record, timings);
+        return seal(record, timings, cfg.time);
     }
 
-    // 5. The deferred model-check verdict, shrinking any counterexample.
+    // The deferred model-check verdict, shrinking any counterexample with
+    // the same one-compile-per-candidate discipline (the verdict is taken
+    // on the borrowed artifact).  A candidate that typechecks but fails to
+    // compile still counts as failing — the semantics the compile-their-own
+    // `model_check` default always had (a compile error *is* a refutation
+    // of the model claim), preserved so shrunk witnesses are unchanged.
     if let Err(check) = model_verdict {
         let (shrunk, steps) = shrink_failure(case, &scenario.program, |p| {
             case.typecheck(p)
-                .map(|ty| case.model_check(p, &ty).is_err())
+                .map(|ty| match case.compile(p) {
+                    Ok(compiled) => case.model_check_compiled(p, &ty, &compiled).is_err(),
+                    Err(_) => true,
+                })
                 .unwrap_or(false)
         });
         record.failure = Some(FailureRecord {
-            seed,
+            seed: scenario.seed,
             stage: FailStage::ModelCheck,
             reason: check.to_string(),
-            witness: rendered,
+            witness: scenario.program.to_string(),
             shrunk: shrunk.to_string(),
             shrink_steps: steps,
         });
     }
-    finish(record, timings)
+    seal(record, timings, cfg.time)
+}
+
+/// Runs the full pipeline for one seed of one case study.
+pub fn run_scenario<C: CaseStudy>(case: &C, seed: u64, cfg: &SweepConfig) -> ScenarioRecord {
+    let mut generate_ns = 0;
+    let scenario = staged(cfg.time, &mut generate_ns, || {
+        case.generate(seed, &cfg.profile)
+    });
+    let mut record = run_generated(case, &scenario, cfg);
+    if let Some(timings) = &mut record.timings {
+        timings.generate_ns = generate_ns;
+    }
+    record
+}
+
+/// Runs the full pipeline on an already-generated scenario (callers that
+/// want to display the program first generate once and reuse it here).
+///
+/// The pipeline is artifact-threaded: the scenario is typechecked **once**
+/// and compiled **once**, and the resulting [`CaseStudy::Compiled`] artifact
+/// is borrowed by the model-check stage and then consumed by execution —
+/// no stage recompiles, no stage clones.  Only shrink re-checks (which
+/// examine different, smaller programs) compile again, once per candidate.
+pub fn run_generated<C: CaseStudy>(
+    case: &C,
+    scenario: &Scenario<C::Program, C::Ty>,
+    cfg: &SweepConfig,
+) -> ScenarioRecord {
+    let mut prepared = prepare_generated(case, scenario, cfg);
+    match prepared.ready.take() {
+        None => seal(prepared.record, prepared.timings, cfg.time),
+        Some((compiled, verdict)) => {
+            let mut timings = prepared.timings;
+            let report = staged(cfg.time, &mut timings.run_ns, || {
+                case.execute(compiled, cfg.profile.fuel)
+            });
+            finish_executed(
+                case,
+                scenario,
+                prepared.record,
+                timings,
+                verdict,
+                report,
+                cfg,
+            )
+        }
+    }
+}
+
+/// Runs the full pipeline for a contiguous group of seeds of one case
+/// study, executing the group's compiled artifacts as **one batch** through
+/// [`CaseStudy::execute_batch`] (one reused machine in the case-study
+/// overrides).
+///
+/// Every pre-run stage — generate, typecheck, compile, the borrowed model
+/// check — runs per scenario exactly as in [`run_scenario`], and records
+/// come back in seed order with per-scenario statistics split back out, so
+/// the result is digest-identical to running the seeds one at a time; only
+/// machine setup is amortised.  The batch's run wall-clock cannot be
+/// observed per scenario (the whole batch executes in one call), so when
+/// the sweep is timed it is attributed evenly across the batch's executed
+/// scenarios (remainder to the earliest), keeping the per-case run-stage
+/// total exact.
+pub fn run_batch<C: CaseStudy>(case: &C, seeds: &[u64], cfg: &SweepConfig) -> Vec<ScenarioRecord> {
+    let mut scenarios = Vec::with_capacity(seeds.len());
+    let mut prepared: Vec<Prepared<C>> = Vec::with_capacity(seeds.len());
+    for &seed in seeds {
+        let mut generate_ns = 0;
+        let scenario = staged(cfg.time, &mut generate_ns, || {
+            case.generate(seed, &cfg.profile)
+        });
+        let mut p = prepare_generated(case, &scenario, cfg);
+        p.timings.generate_ns = generate_ns;
+        scenarios.push(scenario);
+        prepared.push(p);
+    }
+
+    // Collect the executable artifacts in seed order and run them as one
+    // batch; scenarios that failed a pre-run stage simply take no part.
+    let mut ready_indices = Vec::with_capacity(prepared.len());
+    let mut verdicts = Vec::with_capacity(prepared.len());
+    let mut artifacts = Vec::with_capacity(prepared.len());
+    for (idx, p) in prepared.iter_mut().enumerate() {
+        if let Some((compiled, verdict)) = p.ready.take() {
+            ready_indices.push(idx);
+            verdicts.push(verdict);
+            artifacts.push(compiled);
+        }
+    }
+    let mut batch_run_ns = 0;
+    let reports = staged(cfg.time, &mut batch_run_ns, || {
+        case.execute_batch(artifacts, cfg.profile.fuel)
+    });
+    assert_eq!(
+        reports.len(),
+        ready_indices.len(),
+        "execute_batch must return one report per artifact"
+    );
+
+    // An even share of the amortised run time per executed scenario; the
+    // first `batch_run_ns % n` scenarios absorb the remainder, so the
+    // shares sum back to the measured batch wall-clock exactly.
+    let n = reports.len() as u64;
+    let shares: Vec<u64> = (0..reports.len() as u64)
+        .map(|i| batch_run_ns / n + u64::from(i < batch_run_ns % n))
+        .collect();
+
+    let mut executed = ready_indices
+        .into_iter()
+        .zip(verdicts.into_iter().zip(reports.into_iter().zip(shares)))
+        .peekable();
+    prepared
+        .into_iter()
+        .zip(&scenarios)
+        .enumerate()
+        .map(|(idx, (p, scenario))| match executed.peek() {
+            Some((ready_idx, _)) if *ready_idx == idx => {
+                let (_, (verdict, (report, run_ns))) = executed.next().expect("peeked entry");
+                let mut timings = p.timings;
+                timings.run_ns = run_ns;
+                finish_executed(case, scenario, p.record, timings, verdict, report, cfg)
+            }
+            _ => seal(p.record, p.timings, cfg.time),
+        })
+        .collect()
 }
 
 fn check_size(source: &(impl ScenarioSource + ?Sized), case_names: &[&str]) {
@@ -293,6 +480,16 @@ fn check_size(source: &(impl ScenarioSource + ?Sized), case_names: &[&str]) {
         total <= MAX_SEEDS_PER_SWEEP,
         "{} supplies {total} scenarios, exceeding MAX_SEEDS_PER_SWEEP ({MAX_SEEDS_PER_SWEEP})",
         source.describe(),
+    );
+}
+
+/// Batch sizes are validated, never clamped — the same policy as
+/// [`GenProfile::validate`]; the CLI turns `--batch 0` into a usage error
+/// before a sweep configuration is ever built.
+fn check_batch(cfg: &SweepConfig) {
+    assert!(
+        cfg.batch >= 1,
+        "batch size must be at least 1 (a zero-scenario batch can run nothing)"
     );
 }
 
@@ -311,7 +508,8 @@ fn record_glue_stats<C: CaseStudy>(
 }
 
 /// Sweeps one case study over the scenarios a [`ScenarioSource`] supplies
-/// for it.
+/// for it, scheduling contiguous [`SweepConfig::batch`]-sized seed groups
+/// as the pool's tasks.
 pub fn sweep_case<C, S>(case: &C, source: &S, cfg: &SweepConfig) -> CaseReport
 where
     C: CaseStudy + Sync,
@@ -319,20 +517,24 @@ where
 {
     check_size(source, &[case.name()]);
     let cfg = cfg.resolved_for(source);
+    check_batch(&cfg);
     let glue_before = case.glue_cache_stats();
     let seeds = source.seeds(case.name());
-    let records = parallel_map(&seeds, cfg.jobs, |&seed| run_scenario(case, seed, &cfg));
+    let batches: Vec<&[u64]> = seeds.chunks(cfg.batch).collect();
+    let records = parallel_map(&batches, cfg.jobs, |batch| run_batch(case, batch, &cfg));
     let mut report = CaseReport::new(case.name());
-    for record in &records {
+    for record in records.iter().flatten() {
         report.absorb(record);
     }
     record_glue_stats(case, glue_before, &mut report);
     report
 }
 
-/// Sweeps several case studies through **one shared pool**: all (case, seed)
-/// tasks are interleaved, so the three case studies genuinely run in
-/// parallel rather than back to back.
+/// Sweeps several case studies through **one shared pool**: all
+/// (case, batch) tasks are interleaved, so the three case studies genuinely
+/// run in parallel rather than back to back.  Batches never mix case
+/// studies — each groups contiguous seeds of one case, so its artifacts all
+/// fit the one machine that executes them.
 ///
 /// Every worker consults the same per-case [`semint_core::GlueCache`]
 /// (conversion schemes share their cache across clones), so compound glue is
@@ -346,26 +548,26 @@ where
     let case_names: Vec<&str> = cases.iter().map(|c| c.name()).collect();
     check_size(source, &case_names);
     let cfg = cfg.resolved_for(source);
+    check_batch(&cfg);
     let glue_before: Vec<_> = cases.iter().map(|case| case.glue_cache_stats()).collect();
-    let tasks: Vec<(usize, u64)> = cases
+    let per_case_seeds: Vec<Vec<u64>> =
+        cases.iter().map(|case| source.seeds(case.name())).collect();
+    let tasks: Vec<(usize, &[u64])> = per_case_seeds
         .iter()
         .enumerate()
-        .flat_map(|(idx, case)| {
-            source
-                .seeds(case.name())
-                .into_iter()
-                .map(move |seed| (idx, seed))
-        })
+        .flat_map(|(idx, seeds)| seeds.chunks(cfg.batch).map(move |batch| (idx, batch)))
         .collect();
-    let records = parallel_map(&tasks, cfg.jobs, |&(idx, seed)| {
-        (idx, run_scenario(&cases[idx], seed, &cfg))
+    let records = parallel_map(&tasks, cfg.jobs, |&(idx, batch)| {
+        (idx, run_batch(&cases[idx], batch, &cfg))
     });
     let mut reports: Vec<CaseReport> = cases
         .iter()
         .map(|case| CaseReport::new(case.name()))
         .collect();
-    for (idx, record) in &records {
-        reports[*idx].absorb(record);
+    for (idx, batch_records) in &records {
+        for record in batch_records {
+            reports[*idx].absorb(record);
+        }
     }
     for ((case, report), before) in cases.iter().zip(&mut reports).zip(glue_before) {
         record_glue_stats(case, before, report);
@@ -402,5 +604,56 @@ mod tests {
         assert!(parallel_map(&empty, 8, |&x| x).is_empty());
         let one = vec![9u64];
         assert_eq!(parallel_map(&one, 64, |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn run_batch_records_match_per_scenario_records() {
+        let case = crate::cases::AnyCase::by_name("memgc", false).expect("known case");
+        let cfg = SweepConfig {
+            jobs: 1,
+            ..SweepConfig::default()
+        };
+        let seeds: Vec<u64> = (0..12).collect();
+        let batched = run_batch(&case, &seeds, &cfg);
+        assert_eq!(batched.len(), seeds.len());
+        for (record, &seed) in batched.iter().zip(&seeds) {
+            let single = run_scenario(&case, seed, &cfg);
+            assert_eq!(record.seed, single.seed, "per-seed order is preserved");
+            assert_eq!(record.stats, single.stats, "seed {seed}");
+            assert_eq!(record.boundaries, single.boundaries, "seed {seed}");
+            assert_eq!(record.program_chars, single.program_chars, "seed {seed}");
+            assert_eq!(
+                record.failure.is_some(),
+                single.failure.is_some(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn timed_batches_stamp_timings_into_every_record() {
+        let case = crate::cases::AnyCase::by_name("sharedmem", false).expect("known case");
+        let cfg = SweepConfig {
+            jobs: 1,
+            time: true,
+            batch: 4,
+            ..SweepConfig::default()
+        };
+        let seeds: Vec<u64> = (0..7).collect();
+        let records = run_batch(&case, &seeds, &cfg);
+        assert_eq!(records.len(), 7);
+        assert!(records.iter().all(|r| r.timings.is_some()));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be at least 1")]
+    fn zero_batch_sweeps_are_rejected() {
+        let case = crate::cases::AnyCase::by_name("memgc", false).expect("known case");
+        let source = crate::source::SeedRange::new(0, 4).expect("non-empty");
+        let cfg = SweepConfig {
+            batch: 0,
+            ..SweepConfig::default()
+        };
+        let _ = sweep_case(&case, &source, &cfg);
     }
 }

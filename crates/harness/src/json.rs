@@ -23,6 +23,9 @@ pub struct BenchMeta {
     pub repeat: usize,
     /// Worker threads.
     pub jobs: usize,
+    /// Compiled artifacts executed per reused machine (`--batch N`; 1 means
+    /// one machine per scenario).
+    pub batch: usize,
     /// Whether the realizability-model stage ran.
     pub model_check: bool,
     /// Whether the glue cache was bypassed (`--cold`).
@@ -68,6 +71,7 @@ pub fn render_bench_json(meta: &BenchMeta, report: &SweepReport) -> String {
     let _ = writeln!(out, "  \"profile\": \"{}\",", escape_json(&meta.profile));
     let _ = writeln!(out, "  \"repeat\": {},", meta.repeat);
     let _ = writeln!(out, "  \"jobs\": {},", meta.jobs);
+    let _ = writeln!(out, "  \"batch\": {},", meta.batch);
     let _ = writeln!(out, "  \"model_check\": {},", meta.model_check);
     let _ = writeln!(out, "  \"cold\": {},", meta.cold);
     let _ = writeln!(out, "  \"wall_ns\": {},", meta.wall_ns);
@@ -357,6 +361,12 @@ pub fn parse_bench_json(text: &str) -> Result<(BenchMeta, SweepReport), String> 
         profile: doc.require("profile")?.as_str("profile")?.to_string(),
         repeat: doc.require("repeat")?.as_u64("repeat")? as usize,
         jobs: doc.require("jobs")?.as_u64("jobs")? as usize,
+        // Documents written before batched execution carry no batch size;
+        // they ran one scenario per machine.
+        batch: match doc.get("batch") {
+            Some(value) => value.as_u64("batch")? as usize,
+            None => 1,
+        },
         model_check: doc.require("model_check")?.as_bool("model_check")?,
         cold: doc.require("cold")?.as_bool("cold")?,
         wall_ns: doc.require("wall_ns")?.as_u64("wall_ns")?,
@@ -463,6 +473,7 @@ mod tests {
             profile: "deep".into(),
             repeat: 3,
             jobs: 2,
+            batch: 8,
             model_check: true,
             cold: false,
             wall_ns: 250_000_000,
@@ -478,6 +489,7 @@ mod tests {
         assert!(looks_like_bench_json(&text));
         let (parsed_meta, parsed) = parse_bench_json(&text).expect("round trip");
         assert_eq!(parsed_meta, meta);
+        assert_eq!(parsed_meta.batch, 8);
         assert_eq!(parsed.cases.len(), 1);
         assert_eq!(parsed.cases[0].digest(), report.cases[0].digest());
         assert_eq!(parsed.cases[0].timings, report.cases[0].timings);
@@ -510,6 +522,15 @@ mod tests {
         assert!(parse_bench_json(&format!("{text} garbage"))
             .unwrap_err()
             .contains("trailing"));
+    }
+
+    #[test]
+    fn documents_without_a_batch_size_default_to_one_per_machine() {
+        let text = render_bench_json(&sample_meta(), &sample_report());
+        let legacy = text.replace("  \"batch\": 8,\n", "");
+        assert_ne!(text, legacy, "the sample must contain the batch field");
+        let (meta, _) = parse_bench_json(&legacy).expect("legacy documents still parse");
+        assert_eq!(meta.batch, 1);
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //! * [`engine`] — a parallel batch runner with deterministic per-task seed
 //!   splitting and a work-stealing thread pool (std threads + mutex deques,
 //!   no external dependencies), producing the shared
-//!   [`CaseReport`] aggregates;
+//!   [`CaseReport`] aggregates; tasks are contiguous `--batch N` groups of
+//!   same-case scenarios whose compiled artifacts execute through **one**
+//!   reused machine ([`CaseStudy::execute_batch`]), digest-identically to
+//!   per-scenario execution;
 //! * [`shrink`] — greedy structural counterexample shrinking for scenarios
 //!   that fail type safety or model checking;
 //! * [`cases`] — the [`cases::AnyCase`] dispatcher that erases the three

@@ -113,6 +113,19 @@ impl Heap {
         Heap::default()
     }
 
+    /// Clears the heap in place — no live cells, fresh location counter,
+    /// zeroed statistics — retaining the free list's buffer for callers
+    /// that reset a heap they keep holding.  (A reused machine's heap moves
+    /// into each run's [`crate::RunResult`], so there this mostly re-arms
+    /// an already-empty heap.)  A reset heap is indistinguishable from
+    /// [`Heap::new`].
+    pub fn reset(&mut self) {
+        self.slots.clear();
+        self.free_list.clear();
+        self.next = 0;
+        self.stats = HeapStats::default();
+    }
+
     fn next_loc(&mut self) -> Loc {
         if let Some(l) = self.free_list.pop() {
             self.stats.reused += 1;
@@ -368,6 +381,23 @@ mod tests {
         assert!(h.contains(inner), "reachable through a root's value");
         assert!(h.contains(from_manual), "reachable through a manual cell");
         assert!(!h.contains(unreachable));
+    }
+
+    #[test]
+    fn reset_heaps_are_indistinguishable_from_fresh_ones() {
+        let mut h = Heap::new();
+        let g = h.alloc_gc(Value::Int(1));
+        let m = h.alloc_manual(Value::Int(2));
+        h.free(m).unwrap();
+        h.collect([g]);
+        h.reset();
+        assert_eq!(h, Heap::new(), "reset state equals a fresh heap");
+        // Allocation after reset restarts at ℓ0 with zeroed statistics, as
+        // on a fresh heap — no stale free-list entry is handed out.
+        let l = h.alloc_gc(Value::Int(9));
+        assert_eq!(l, Loc(0));
+        assert_eq!(h.stats().reused, 0);
+        assert_eq!(h.stats().gc_allocs, 1);
     }
 
     #[test]

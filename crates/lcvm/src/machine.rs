@@ -168,6 +168,27 @@ impl Machine {
         }
     }
 
+    /// Rearms the machine to evaluate `expr` from the empty configuration,
+    /// clearing the heap, environment, continuation stack and phantom state
+    /// **in place**.  The continuation stack's buffer keeps the capacity its
+    /// previous runs grew — the retained allocation a batch of compiled
+    /// artifacts shares by reusing one machine (each run's final *heap*
+    /// moves into its [`RunResult`], so heaps start over; see
+    /// [`Machine::run_mut`]).  The static [`MachineConfig`] is retained.
+    ///
+    /// A reset machine is observationally identical to
+    /// [`Machine::with_config`] on the same expression and configuration —
+    /// same halt, same final heap, same step count — which the unit tests
+    /// below and the `batched_execution` integration suite assert.
+    pub fn reset(&mut self, expr: Expr) {
+        self.heap.reset();
+        self.kont.clear();
+        self.control = Control::Eval(expr, Env::empty());
+        self.phantom = PhantomState::new();
+        self.steps = 0;
+        self.halted = None;
+    }
+
     /// The heap (useful mid-run in tests).
     pub fn heap(&self) -> &Heap {
         &self.heap
@@ -518,40 +539,61 @@ impl Machine {
     }
 
     /// Runs the machine until it halts or the fuel is exhausted.
-    pub fn run(mut self, mut fuel: Fuel) -> RunResult {
+    pub fn run(mut self, fuel: Fuel) -> RunResult {
+        self.run_mut(fuel)
+    }
+
+    /// Like [`Machine::run`], but borrows the machine so it can be
+    /// [`Machine::reset`] and reused for the next program of a batch.  The
+    /// final heap moves into the returned [`RunResult`] (reports own their
+    /// heaps); the machine is left with an empty one, exactly as a reset
+    /// would leave it.
+    pub fn run_mut(&mut self, mut fuel: Fuel) -> RunResult {
         loop {
             if let Some(halt) = self.halted.take() {
-                return RunResult {
-                    halt,
-                    heap: self.heap,
-                    steps: self.steps,
-                    flags_consumed: self.phantom.consumed(),
-                };
+                return self.take_result(halt);
             }
             if let (Control::Return(v), true) = (&self.control, self.kont.is_empty()) {
                 let v = v.clone();
-                return RunResult {
-                    halt: Halt::Value(v),
-                    heap: self.heap,
-                    steps: self.steps,
-                    flags_consumed: self.phantom.consumed(),
-                };
+                return self.take_result(Halt::Value(v));
             }
             if !fuel.consume() {
-                return RunResult {
-                    halt: Halt::OutOfFuel,
-                    heap: self.heap,
-                    steps: self.steps,
-                    flags_consumed: self.phantom.consumed(),
-                };
+                return self.take_result(Halt::OutOfFuel);
             }
             self.step();
+        }
+    }
+
+    /// Packages the run's outcome, moving the final heap out of the machine.
+    fn take_result(&mut self, halt: Halt) -> RunResult {
+        RunResult {
+            halt,
+            heap: std::mem::take(&mut self.heap),
+            steps: self.steps,
+            flags_consumed: self.phantom.consumed(),
         }
     }
 
     /// Convenience: runs a closed expression from the empty configuration.
     pub fn run_expr(expr: Expr, fuel: Fuel) -> RunResult {
         Machine::new(expr).run(fuel)
+    }
+
+    /// Batch counterpart of [`Machine::run_expr`]: runs each closed
+    /// expression from the empty configuration on **one** reused machine
+    /// ([`Machine::reset`] between programs, so the continuation stack's
+    /// grown buffer is shared across the batch), returning results in input
+    /// order.  Observationally identical to calling [`Machine::run_expr`]
+    /// per expression.
+    pub fn run_batch(exprs: impl IntoIterator<Item = Expr>, fuel: Fuel) -> Vec<RunResult> {
+        let mut machine = Machine::new(Expr::Unit);
+        exprs
+            .into_iter()
+            .map(|expr| {
+                machine.reset(expr);
+                machine.run_mut(fuel)
+            })
+            .collect()
     }
 
     /// Convenience: runs an expression under the augmented (phantom-flag)
@@ -904,6 +946,92 @@ mod tests {
         let r2 = Machine::run_expr(e, Fuel::default());
         assert_eq!(r1.steps, r2.steps);
         assert!(r1.steps > 0);
+    }
+
+    #[test]
+    fn reset_machine_is_observationally_identical_to_a_fresh_one() {
+        // Programs exercising every piece of machine state a reset must
+        // clear: heap cells (GC'd and manual), environments, continuation
+        // frames, step counters and halt states.
+        let programs: Vec<Expr> = vec![
+            Expr::add(Expr::int(2), Expr::int(3)),
+            Expr::let_(
+                "r",
+                Expr::ref_(Expr::int(1)),
+                Expr::seq(
+                    Expr::assign(Expr::var("r"), Expr::int(42)),
+                    Expr::deref(Expr::var("r")),
+                ),
+            ),
+            Expr::let_(
+                "p",
+                Expr::alloc(Expr::int(5)),
+                Expr::seq(Expr::free(Expr::var("p")), Expr::deref(Expr::var("p"))),
+            ),
+            Expr::fst(Expr::int(3)),
+            Expr::seq(Expr::ref_(Expr::int(7)), Expr::Callgc),
+        ];
+        let mut reused = Machine::new(Expr::unit());
+        // Dirty the machine before the comparison runs so the reset has
+        // something real to clear.
+        let _ = reused.run_mut(Fuel::default());
+        for e in &programs {
+            reused.reset(e.clone());
+            let from_reset = reused.run_mut(Fuel::default());
+            let from_fresh = Machine::run_expr(e.clone(), Fuel::default());
+            assert_eq!(from_reset, from_fresh, "program {e}");
+        }
+        // Fuel exhaustion mid-run leaves no residue either.
+        let omega = Expr::app(
+            Expr::lam("x", Expr::app(Expr::var("x"), Expr::var("x"))),
+            Expr::lam("x", Expr::app(Expr::var("x"), Expr::var("x"))),
+        );
+        reused.reset(omega);
+        assert_eq!(reused.run_mut(Fuel::steps(100)).halt, Halt::OutOfFuel);
+        reused.reset(Expr::int(1));
+        assert_eq!(
+            reused.run_mut(Fuel::default()),
+            Machine::run_expr(Expr::int(1), Fuel::default())
+        );
+    }
+
+    #[test]
+    fn run_batch_matches_per_expression_runs_in_order() {
+        let exprs = vec![
+            Expr::add(Expr::int(1), Expr::int(2)),
+            Expr::fst(Expr::int(3)),
+            Expr::deref(Expr::ref_(Expr::int(9))),
+        ];
+        let singly: Vec<RunResult> = exprs
+            .iter()
+            .map(|e| Machine::run_expr(e.clone(), Fuel::default()))
+            .collect();
+        let batched = Machine::run_batch(exprs, Fuel::default());
+        assert_eq!(batched, singly);
+        assert!(Machine::run_batch(Vec::new(), Fuel::default()).is_empty());
+    }
+
+    #[test]
+    fn reset_clears_phantom_state_but_keeps_the_config() {
+        let cfg = MachineConfig {
+            phantom: Some(PhantomConfig::protecting([Var::new("a")])),
+            pinned: BTreeSet::new(),
+        };
+        let once = Expr::let_("a", Expr::int(5), Expr::add(Expr::var("a"), Expr::int(0)));
+        let twice = Expr::let_("a", Expr::int(5), Expr::add(Expr::var("a"), Expr::var("a")));
+        let mut reused = Machine::with_config(twice.clone(), cfg.clone());
+        // First run gets stuck on the double use and consumes a flag…
+        assert!(matches!(
+            reused.run_mut(Fuel::default()).halt,
+            Halt::PhantomStuck { .. }
+        ));
+        // …but a reset restores the pristine flag store while the config
+        // (which binder is protected) survives.
+        reused.reset(once.clone());
+        let from_reset = reused.run_mut(Fuel::default());
+        let from_fresh = Machine::with_config(once, cfg).run(Fuel::default());
+        assert_eq!(from_reset, from_fresh);
+        assert_eq!(from_reset.flags_consumed, 1);
     }
 
     #[test]

@@ -165,6 +165,10 @@ impl CaseStudy for MemGcCase {
         self.system.execute_with_fuel(compiled, fuel)
     }
 
+    fn execute_batch(&self, batch: Vec<Expr>, fuel: Fuel) -> Vec<RunResult> {
+        self.system.execute_batch_with_fuel(batch, fuel)
+    }
+
     fn stats(&self, report: &RunResult) -> RunStats {
         use lcvm::Halt;
         let outcome = match &report.halt {

@@ -103,6 +103,14 @@ impl InteropSystem for MemGcSystem {
     fn execute(&self, artifact: Expr, fuel: Fuel) -> RunResult {
         Machine::run_expr(artifact, fuel)
     }
+
+    /// Drives the whole batch through **one** LCVM machine, reset in place
+    /// between programs (the continuation stack's grown buffer survives as
+    /// an allocation, never as state), instead of constructing a machine
+    /// per artifact.
+    fn execute_batch(&self, artifacts: Vec<Expr>, fuel: Fuel) -> Vec<RunResult> {
+        Machine::run_batch(artifacts, fuel)
+    }
 }
 
 /// The §5 multi-language system: MiniML + L3 + the §5 conversions over
@@ -167,6 +175,14 @@ impl MemGcMultiLang {
     /// budget, consuming the artifact (no clone — the compile-once flow).
     pub fn execute_with_fuel(&self, compiled: Expr, fuel: Fuel) -> RunResult {
         self.pipeline.execute_with_fuel(compiled, fuel)
+    }
+
+    /// Runs a batch of already-compiled LCVM expressions under one fuel
+    /// budget through a single reused machine (see
+    /// [`InteropSystem::execute_batch`] on [`MemGcSystem`]), returning
+    /// results in input order.
+    pub fn execute_batch_with_fuel(&self, compiled: Vec<Expr>, fuel: Fuel) -> Vec<RunResult> {
+        self.pipeline.execute_batch(compiled, fuel)
     }
 
     /// Type checks and compiles a closed MiniML program.

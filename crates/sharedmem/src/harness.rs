@@ -166,6 +166,10 @@ impl CaseStudy for SharedMemCase {
         self.system.execute_with_fuel(compiled, fuel)
     }
 
+    fn execute_batch(&self, batch: Vec<Program>, fuel: Fuel) -> Vec<RunResult> {
+        self.system.execute_batch_with_fuel(batch, fuel)
+    }
+
     fn stats(&self, report: &RunResult) -> RunStats {
         let outcome = match &report.outcome {
             Outcome::Value(_) => OutcomeClass::Value,

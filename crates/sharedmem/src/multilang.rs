@@ -114,6 +114,14 @@ impl InteropSystem for SharedMemSystem {
     fn execute(&self, artifact: Program, fuel: Fuel) -> RunResult {
         Machine::run_program(artifact, fuel)
     }
+
+    /// Drives the whole batch through **one** StackLang machine, reset
+    /// between programs (each reset adopts the next program's buffer
+    /// zero-copy; no state survives a reset), instead of constructing a
+    /// machine per artifact.
+    fn execute_batch(&self, artifacts: Vec<Program>, fuel: Fuel) -> Vec<RunResult> {
+        Machine::run_batch(artifacts, fuel)
+    }
 }
 
 /// The §3 multi-language system: RefHL + RefLL + the Fig. 4 conversions over
@@ -183,6 +191,14 @@ impl MultiLang {
     /// budget, consuming the artifact (no clone — the compile-once flow).
     pub fn execute_with_fuel(&self, program: Program, fuel: Fuel) -> RunResult {
         self.pipeline.execute_with_fuel(program, fuel)
+    }
+
+    /// Runs a batch of already-compiled StackLang programs under one fuel
+    /// budget through a single reused machine (see
+    /// [`InteropSystem::execute_batch`] on [`SharedMemSystem`]), returning
+    /// results in input order.
+    pub fn execute_batch_with_fuel(&self, programs: Vec<Program>, fuel: Fuel) -> Vec<RunResult> {
+        self.pipeline.execute_batch(programs, fuel)
     }
 
     /// Type checks and compiles a closed RefHL program.

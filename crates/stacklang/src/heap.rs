@@ -35,6 +35,14 @@ impl Heap {
         Heap::default()
     }
 
+    /// Clears the heap in place — no live cells, fresh location counter — so
+    /// a reused machine ([`crate::Machine::reset`]) starts its next program
+    /// from a state indistinguishable from [`Heap::new`].
+    pub fn reset(&mut self) {
+        self.cells.clear();
+        self.next = 0;
+    }
+
     /// Allocates a fresh location holding `v` and returns it.
     pub fn alloc(&mut self, v: Value) -> Loc {
         let loc = Loc(self.next);
@@ -114,6 +122,17 @@ mod tests {
         let l1 = h.alloc(Value::Num(1));
         let l2 = h.alloc(Value::Num(2));
         assert_ne!(l1, l2);
+    }
+
+    #[test]
+    fn reset_heaps_are_indistinguishable_from_fresh_ones() {
+        let mut h = Heap::new();
+        h.alloc(Value::Num(1));
+        h.alloc(Value::Num(2));
+        h.reset();
+        assert_eq!(h, Heap::new(), "reset state equals a fresh heap");
+        // Allocation restarts at ℓ0, as on a fresh heap.
+        assert_eq!(h.alloc(Value::Num(3)), Loc(0));
     }
 
     #[test]

@@ -108,6 +108,30 @@ impl Machine {
         }
     }
 
+    /// Rearms the machine to run `program` on an empty stack and empty
+    /// heap, adopting the program as the new control by reversing its own
+    /// buffer — the same zero-copy move [`Machine::with_state`] performs —
+    /// so a batch of compiled artifacts shares one machine instead of
+    /// constructing one per program.  (Each run's final heap and stack move
+    /// into its [`RunResult`], so those start over; see
+    /// [`Machine::run_mut`].)
+    ///
+    /// A reset machine is observationally identical to [`Machine::new`] on
+    /// the same program — same outcome, same final heap and stack, same step
+    /// count — which the unit tests below and the `batched_execution`
+    /// integration suite assert.
+    pub fn reset(&mut self, program: Program) {
+        self.heap.reset();
+        match &mut self.stack {
+            StackState::Values(vs) => vs.clear(),
+            failed => *failed = StackState::empty(),
+        }
+        let mut control = program.0;
+        control.reverse();
+        self.control = control;
+        self.steps = 0;
+    }
+
     /// The current heap.
     pub fn heap(&self) -> &Heap {
         &self.heap
@@ -277,15 +301,19 @@ impl Machine {
 
     /// Runs the machine until it is terminal or the fuel is exhausted,
     /// consuming the machine.
-    pub fn run(mut self, mut fuel: Fuel) -> RunResult {
+    pub fn run(mut self, fuel: Fuel) -> RunResult {
+        self.run_mut(fuel)
+    }
+
+    /// Like [`Machine::run`], but borrows the machine so it can be
+    /// [`Machine::reset`] and reused for the next program of a batch.  The
+    /// final heap and stack move into the returned [`RunResult`] (results
+    /// own their final configuration); the machine is left with empty ones,
+    /// exactly as a reset would leave it.
+    pub fn run_mut(&mut self, mut fuel: Fuel) -> RunResult {
         while !self.is_terminal() {
             if !fuel.consume() {
-                return RunResult {
-                    outcome: Outcome::OutOfFuel,
-                    heap: self.heap,
-                    stack: self.stack,
-                    steps: self.steps,
-                };
+                return self.take_result(Outcome::OutOfFuel);
             }
             self.step();
         }
@@ -296,10 +324,16 @@ impl Machine {
                 None => Outcome::Fail(ErrorCode::Type),
             },
         };
+        self.take_result(outcome)
+    }
+
+    /// Packages the run's outcome, moving the final heap and stack out of
+    /// the machine.
+    fn take_result(&mut self, outcome: Outcome<Value>) -> RunResult {
         RunResult {
             outcome,
-            heap: self.heap,
-            stack: self.stack,
+            heap: std::mem::take(&mut self.heap),
+            stack: std::mem::replace(&mut self.stack, StackState::empty()),
             steps: self.steps,
         }
     }
@@ -307,6 +341,21 @@ impl Machine {
     /// Convenience: run a closed program from the empty configuration.
     pub fn run_program(program: Program, fuel: Fuel) -> RunResult {
         Machine::new(program).run(fuel)
+    }
+
+    /// Batch counterpart of [`Machine::run_program`]: runs each closed
+    /// program on **one** reused machine ([`Machine::reset`] between
+    /// programs), returning results in input order.  Observationally
+    /// identical to calling [`Machine::run_program`] per program.
+    pub fn run_batch(programs: impl IntoIterator<Item = Program>, fuel: Fuel) -> Vec<RunResult> {
+        let mut machine = Machine::new(Program::empty());
+        programs
+            .into_iter()
+            .map(|program| {
+                machine.reset(program);
+                machine.run_mut(fuel)
+            })
+            .collect()
     }
 }
 
@@ -514,6 +563,84 @@ mod tests {
     fn running_an_open_program_is_a_type_error() {
         let r = run(Program::single(Instr::push_var("x")));
         assert_eq!(r.outcome, Outcome::Fail(ErrorCode::Type));
+    }
+
+    #[test]
+    fn reset_machine_is_observationally_identical_to_a_fresh_one() {
+        // Programs exercising every piece of machine state a reset must
+        // clear: stack values, heap cells, substitution, failure states.
+        let programs: Vec<Program> = vec![
+            Program::from(vec![Instr::push_num(4), Instr::push_num(5), Instr::Add]),
+            Program::from(vec![Instr::push_num(7), Instr::Alloc, Instr::Read]),
+            Program::from(vec![
+                Instr::push_num(7),
+                Instr::Alloc,
+                dup(),
+                dup(),
+                Instr::push_num(9),
+                Instr::Write,
+                Instr::Read,
+            ]),
+            Program::from(vec![Instr::push_num(1), Instr::Fail(ErrorCode::Conv)]),
+            Program::single(Instr::lam1(
+                "x",
+                Program::from(vec![Instr::push_var("x"), Instr::push_var("x")]),
+            )),
+        ];
+        let mut reused = Machine::new(Program::empty());
+        // Dirty the machine before the comparison runs so the reset has
+        // something real to clear.
+        let _ = reused.run_mut(Fuel::default());
+        for p in &programs {
+            reused.reset(p.clone());
+            let from_reset = reused.run_mut(Fuel::default());
+            let from_fresh = Machine::run_program(p.clone(), Fuel::default());
+            assert_eq!(from_reset, from_fresh, "program {p:?}");
+        }
+        // Fuel exhaustion mid-run leaves no residue either: a half-run
+        // program does not leak stack or heap state into the next one.
+        let long: Vec<Instr> = (0..50).map(Instr::push_num).collect();
+        reused.reset(Program::from(long));
+        assert_eq!(reused.run_mut(Fuel::steps(10)).outcome, Outcome::OutOfFuel);
+        let p = Program::from(vec![Instr::push_num(1), Instr::push_num(2), Instr::Add]);
+        reused.reset(p.clone());
+        assert_eq!(
+            reused.run_mut(Fuel::default()),
+            Machine::run_program(p, Fuel::default())
+        );
+    }
+
+    #[test]
+    fn run_batch_matches_per_program_runs_in_order() {
+        let programs = vec![
+            Program::from(vec![Instr::push_num(4), Instr::push_num(5), Instr::Add]),
+            Program::single(Instr::Fail(ErrorCode::Conv)),
+            Program::from(vec![Instr::push_num(7), Instr::Alloc, Instr::Read]),
+        ];
+        let singly: Vec<RunResult> = programs
+            .iter()
+            .map(|p| Machine::run_program(p.clone(), Fuel::default()))
+            .collect();
+        let batched = Machine::run_batch(programs, Fuel::default());
+        assert_eq!(batched, singly);
+        assert!(Machine::run_batch(Vec::new(), Fuel::default()).is_empty());
+    }
+
+    #[test]
+    fn reset_recovers_from_a_failed_stack() {
+        // Step (rather than run) to terminality, so the machine still holds
+        // the `Fail` stack when the reset happens.
+        let mut reused = Machine::new(Program::single(Instr::Fail(ErrorCode::Type)));
+        while !reused.is_terminal() {
+            reused.step();
+        }
+        assert!(matches!(reused.stack(), StackState::Fail(_)));
+        let p = Program::from(vec![Instr::push_num(21), dup(), Instr::Add]);
+        reused.reset(p.clone());
+        assert_eq!(
+            reused.run_mut(Fuel::default()),
+            Machine::run_program(p, Fuel::default())
+        );
     }
 
     #[test]

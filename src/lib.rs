@@ -47,6 +47,7 @@
 //! ```text
 //! semint sweep --seeds 0..200 --jobs 4          # parallel sweep, aggregate report
 //! semint sweep --profile deep                   # deep source types (glue on the hot path)
+//! semint sweep --profile deep --batch 8         # 8 artifacts per reused machine, same digests
 //! semint sweep --seeds 0..200 --shard 0/2       # half the range; digests merge via report
 //! semint sweep --corpus-save pop.corpus         # persist + replay scenario populations
 //! semint bench --profile deep --repeat 3        # per-stage timing mode (E9/E11)

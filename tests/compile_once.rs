@@ -114,6 +114,7 @@ fn timed_model_checked_sweep_typechecks_once_and_compiles_once_per_scenario() {
             profile: GenProfile::standard(),
             model_check: true,
             time: true,
+            ..SweepConfig::default()
         };
         const SEEDS: usize = 25;
         for seed in 0..SEEDS as u64 {
@@ -136,6 +137,7 @@ fn untimed_sweep_also_compiles_exactly_once_and_skipped_model_check_stays_skippe
         profile: GenProfile::standard(),
         model_check: false,
         time: false,
+        ..SweepConfig::default()
     };
     for seed in 0..10u64 {
         let record = run_scenario(&case, seed, &cfg);
@@ -248,7 +250,7 @@ proptest! {
         for profile in GenProfile::presets() {
             for model_check in [false, true] {
                 for time in [false, true] {
-                    let cfg = SweepConfig { jobs: 2, profile, model_check, time };
+                    let cfg = SweepConfig { jobs: 2, profile, model_check, time, ..SweepConfig::default() };
                     let source = SeedRange::new(start, start + LEN).expect("non-empty");
                     for case in AnyCase::all(false) {
                         let threaded = sweep_case(&case, &source, &cfg).digest();
