@@ -156,6 +156,7 @@ impl CaseStudy for AffineCase {
         RunStats {
             outcome: halt_class(report),
             steps: report.steps,
+            counters: report.counters,
         }
     }
 

@@ -46,6 +46,7 @@ pub mod outcome;
 pub mod pipeline;
 pub mod stats;
 pub mod symbol;
+pub mod telemetry;
 pub mod world;
 
 pub use boundary::BoundaryDirection;
@@ -61,4 +62,5 @@ pub use outcome::{ErrorCode, Outcome};
 pub use pipeline::{CompiledProgram, InteropPipeline, InteropSystem, PipelineError};
 pub use stats::{CaseReport, OutcomeClass, RunStats, ScenarioRecord, StageTimings, SweepReport};
 pub use symbol::Var;
+pub use telemetry::{OpClass, VmCounters};
 pub use world::StepIndex;

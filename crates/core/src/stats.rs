@@ -8,6 +8,7 @@
 //! produce them without depending on the engine.
 
 use crate::outcome::ErrorCode;
+use crate::telemetry::VmCounters;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -60,6 +61,9 @@ pub struct RunStats {
     /// Machine steps consumed (== fuel consumed; both machines charge one
     /// fuel unit per step).
     pub steps: u64,
+    /// Deterministic VM telemetry for the run: instructions by opcode class,
+    /// allocation totals, and high-water marks.
+    pub counters: VmCounters,
 }
 
 /// Per-stage wall-clock totals for one scenario or one whole sweep, in
@@ -215,6 +219,11 @@ pub struct CaseReport {
     pub glue_hits: u64,
     /// Glue-cache misses (full structural derivations) during the sweep.
     pub glue_misses: u64,
+    /// Aggregated VM counters across all runs: counts add, high-water marks
+    /// take the per-scenario maximum (see [`VmCounters::absorb`]), so shard
+    /// merge and batch grouping reproduce the unsharded aggregate exactly.
+    /// Zero for reports read from files written before counters existed.
+    pub counters: VmCounters,
     /// Per-stage wall-clock totals, when the sweep collected timing.
     pub timings: Option<StageTimings>,
     /// Scenarios that failed some pipeline stage.
@@ -241,6 +250,7 @@ impl CaseReport {
                 .entry(stats.outcome.label())
                 .or_insert(0) += 1;
             self.total_steps += stats.steps;
+            self.counters.absorb(&stats.counters);
         }
         if let Some(failure) = &record.failure {
             self.failures.push(failure.clone());
@@ -253,9 +263,10 @@ impl CaseReport {
     }
 
     /// Merges another report over the *same* case study into this one:
-    /// every aggregate is additive, so merging the per-shard reports of a
-    /// partitioned seed range reproduces the unsharded report (and its
-    /// [`CaseReport::digest`]) exactly.
+    /// every aggregate folds associatively and commutatively (counts add,
+    /// counter high-water marks take the max), so merging the per-shard
+    /// reports of a partitioned seed range reproduces the unsharded report
+    /// — its [`CaseReport::digest`] *and* its [`VmCounters`] — exactly.
     pub fn merge(&mut self, other: &CaseReport) {
         debug_assert_eq!(self.case, other.case, "merging reports of different cases");
         self.scenarios += other.scenarios;
@@ -264,6 +275,7 @@ impl CaseReport {
         self.total_program_chars += other.total_program_chars;
         self.glue_hits += other.glue_hits;
         self.glue_misses += other.glue_misses;
+        self.counters.absorb(&other.counters);
         for (label, count) in &other.outcome_histogram {
             *self.outcome_histogram.entry(label.clone()).or_insert(0) += count;
         }
@@ -355,6 +367,9 @@ impl SweepReport {
             ));
             out.push_str(&format!("glue_hits\t{}\n", case.glue_hits));
             out.push_str(&format!("glue_misses\t{}\n", case.glue_misses));
+            for (key, value) in case.counters.fields() {
+                out.push_str(&format!("counter\t{key}\t{value}\n"));
+            }
             if let Some(timings) = &case.timings {
                 for (label, ns) in timings.stages() {
                     out.push_str(&format!("stage_ns\t{label}\t{ns}\n"));
@@ -402,6 +417,19 @@ impl SweepReport {
                         "total_program_chars" => case.total_program_chars = parse(value)?,
                         "glue_hits" => case.glue_hits = parse(value)?,
                         "glue_misses" => case.glue_misses = parse(value)?,
+                        // Counter rows are optional: files written before
+                        // telemetry existed simply leave every field zero.
+                        "counter" => {
+                            let count = fields
+                                .next()
+                                .ok_or_else(|| format!("line {}: missing count", lineno + 1))?;
+                            if !case.counters.set_field(value, parse(count)?) {
+                                return Err(format!(
+                                    "line {}: unknown counter {value:?}",
+                                    lineno + 1
+                                ));
+                            }
+                        }
                         "stage_ns" => {
                             let ns = fields.next().ok_or_else(|| {
                                 format!("line {}: missing stage time", lineno + 1)
@@ -449,7 +477,17 @@ mod tests {
             ty: "bool".into(),
             program_chars: 10,
             boundaries: 2,
-            stats: Some(RunStats { outcome, steps }),
+            stats: Some(RunStats {
+                outcome,
+                steps,
+                counters: VmCounters {
+                    instr_data: steps,
+                    heap_allocs: 1,
+                    heap_peak_live: seed + 1,
+                    stack_peak: 2,
+                    ..VmCounters::default()
+                },
+            }),
             failure: None,
             timings: None,
         }
@@ -466,6 +504,9 @@ mod tests {
         assert_eq!(r.outcome_histogram.get("value"), Some(&1));
         assert_eq!(r.outcome_histogram.get("fail-Conv"), Some(&1));
         assert!(r.is_clean());
+        assert_eq!(r.counters.instr_data, 12, "counts add across scenarios");
+        assert_eq!(r.counters.heap_allocs, 2);
+        assert_eq!(r.counters.heap_peak_live, 2, "peaks take the max");
     }
 
     #[test]
@@ -499,6 +540,19 @@ mod tests {
         assert_eq!(parsed.cases[0].glue_hits, 9);
         assert_eq!(parsed.cases[0].glue_misses, 4);
         assert_eq!(parsed.cases[0].timings, report.cases[0].timings);
+        assert_eq!(parsed.cases[0].counters, report.cases[0].counters);
+    }
+
+    #[test]
+    fn tsv_without_counter_rows_parses_to_zeroed_counters() {
+        // A file written before telemetry existed: no `counter` rows at all.
+        let legacy = "case\tsharedmem\nscenarios\t3\ntotal_steps\t7\n";
+        let parsed = SweepReport::from_tsv(legacy).unwrap();
+        assert_eq!(parsed.cases[0].scenarios, 3);
+        assert!(parsed.cases[0].counters.is_zero());
+        // Unknown counter names are still rejected, like unknown keys.
+        let bad = "case\tsharedmem\ncounter\tnope\t1\n";
+        assert!(SweepReport::from_tsv(bad).is_err());
     }
 
     #[test]
@@ -546,6 +600,10 @@ mod tests {
         merged.merge(&SweepReport { cases: vec![odd] });
         assert_eq!(merged.cases.len(), 1);
         assert_eq!(merged.cases[0].digest(), whole.digest());
+        assert_eq!(
+            merged.cases[0].counters, whole.counters,
+            "VmCounters survive shard merge exactly"
+        );
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! semint sweep --corpus-save pop.corpus             # persist the swept scenario set
 //! semint sweep --corpus-load pop.corpus             # replay it (identical digests)
 //! semint bench --profile deep --repeat 3            # E9/E11 timing mode (per-stage totals)
+//! semint sweep --trace t.jsonl --progress           # JSONL event stream + live stderr line
+//! semint profile t.jsonl                            # aggregate trace files offline
+//! semint bench-diff BENCH_6.json current.json       # digest drift / throughput regression gate
 //! semint report a.tsv b.tsv                         # merge + re-render saved reports
 //! ```
 //!
@@ -21,11 +24,15 @@ use semint_core::stats::SweepReport;
 use semint_core::Fuel;
 use semint_harness::cases::AnyCase;
 use semint_harness::engine::{
-    parallel_map, run_generated, run_scenario, sweep_all, SweepConfig, MAX_SEEDS_PER_SWEEP,
+    parallel_map, run_generated, run_scenario, sweep_all, sweep_all_observed, SweepConfig,
+    MAX_SEEDS_PER_SWEEP,
 };
 use semint_harness::json::{looks_like_bench_json, parse_bench_json, render_bench_json, BenchMeta};
+use semint_harness::profile::{absorb_trace, render_profile, TraceProfile};
 use semint_harness::report::render_sweep;
 use semint_harness::source::{Corpus, ScenarioSource, SeedRange, Shard};
+use semint_harness::trace::SweepObserver;
+use std::path::Path;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -41,6 +48,11 @@ USAGE:
     semint bench [--case NAME] [--seeds A..B] [--repeat R] [--cold] [--json PATH] [options]
                                                       timed sweep: per-stage wall-clock totals and
                                                       throughput (model check off unless --model-check)
+    semint profile TRACE...                           aggregate --trace JSONL files: per-stage totals,
+                                                      per-case opcode-class histograms, allocation
+                                                      stats, hottest seeds by steps
+    semint bench-diff BASELINE.json CURRENT.json      compare two `bench --json` files; fails on any
+                                                      digest drift or a >25% throughput regression
     semint report PATH...                             render (and, for several PATHs, merge) reports
                                                       saved by `sweep --save` or `bench --json`;
                                                       sharded sweeps merge into the digests of the
@@ -78,7 +90,15 @@ OPTIONS:
     --no-model-check skip the realizability-model stage (sweep only)
     --model-check    force the realizability-model stage (bench only; off there by default)
     --time           collect per-stage wall-clock totals
-                     (generate/typecheck/compile/run/model-check)
+                     (generate/typecheck/compile/run/model-check);
+                     deterministic VM counters are always collected
+    --trace PATH     stream one JSONL event per scenario (plus periodic
+                     sweep-progress heartbeats) to PATH from a dedicated
+                     writer thread (sweep and bench; a bench streams every
+                     repeat into the one file); implies --time; traced and
+                     untraced sweeps agree on digests and counters exactly
+    --progress       rolling stderr progress line (scenarios/s, safe-rate,
+                     glue hit-rate, ETA)
     --repeat R       bench repeats, best-of-R is reported    (default: 3)
     --cold           bench with a cold glue cache per scenario (cache bypassed)
     --json PATH      save the bench result (per-stage totals, throughput,
@@ -101,6 +121,8 @@ fn main() -> ExitCode {
         "check" => cmd_check(rest),
         "sweep" => cmd_sweep(rest),
         "bench" => cmd_bench(rest),
+        "profile" => cmd_profile(rest),
+        "bench-diff" => cmd_bench_diff(rest),
         "report" => cmd_report(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -146,6 +168,8 @@ struct Options {
     cold: bool,
     save: Option<String>,
     json: Option<String>,
+    trace: Option<String>,
+    progress: bool,
 }
 
 impl Default for Options {
@@ -168,6 +192,8 @@ impl Default for Options {
             cold: false,
             save: None,
             json: None,
+            trace: None,
+            progress: false,
         }
     }
 }
@@ -325,6 +351,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--cold" => opts.cold = true,
             "--save" => opts.save = Some(value("--save")?.to_string()),
             "--json" => opts.json = Some(value("--json")?.to_string()),
+            "--trace" => opts.trace = Some(value("--trace")?.to_string()),
+            "--progress" => opts.progress = true,
             other => return Err(format!("unknown option `{other}`; try `semint help`")),
         }
     }
@@ -436,6 +464,34 @@ fn effective_profile(source: &dyn ScenarioSource, cfg: &SweepConfig) -> GenProfi
     source.pinned_profile().unwrap_or(cfg.profile)
 }
 
+/// Builds the `--trace`/`--progress` observer when either flag was given.
+/// `passes` is how many times the whole scenario set will run (bench
+/// repeats), so the progress line's total and ETA stay honest.
+fn build_observer(
+    opts: &Options,
+    cases: &[AnyCase],
+    source: &dyn ScenarioSource,
+    passes: u64,
+) -> Result<Option<SweepObserver>, String> {
+    if opts.trace.is_none() && !opts.progress {
+        return Ok(None);
+    }
+    let names: Vec<&str> = cases.iter().map(|c| c.name()).collect();
+    let total = source.total(&names) * passes;
+    SweepObserver::new(total, opts.trace.as_deref().map(Path::new), opts.progress)
+        .map(Some)
+        .map_err(|e| format!("opening trace file: {e}"))
+}
+
+/// Settles an observer at sweep end: flushes and joins the trace writer
+/// thread, surfacing any I/O error it hit.
+fn finish_observer(observer: Option<SweepObserver>) -> Result<(), String> {
+    match observer {
+        None => Ok(()),
+        Some(observer) => observer.finish().map_err(|e| format!("writing trace: {e}")),
+    }
+}
+
 /// `semint run`: one scenario, spelled out — always with per-stage
 /// wall-clock, so a single-seed investigation shows where the time goes
 /// without a full `semint bench`.
@@ -516,14 +572,24 @@ fn cmd_sweep(args: &[String]) -> Result<bool, String> {
     let opts = parse_options(args)?;
     let cases = selected_cases(&opts)?;
     let source = build_source(&opts)?;
-    let cfg = sweep_config(&opts, true);
+    let mut cfg = sweep_config(&opts, true);
+    // A trace event carries per-stage micros, so tracing implies timing
+    // (timing never changes digests, so this is safe to force).
+    if opts.trace.is_some() {
+        cfg.time = true;
+    }
     check_sweep_size(&cases, source.as_ref())?;
     println!(
         "sweep: {} · profile {}",
         source.describe(),
         effective_profile(source.as_ref(), &cfg)
     );
-    let report = sweep_all(&cases, source.as_ref(), &cfg);
+    let observer = build_observer(&opts, &cases, source.as_ref(), 1)?;
+    let report = sweep_all_observed(&cases, source.as_ref(), &cfg, observer.as_ref());
+    finish_observer(observer)?;
+    if let Some(path) = &opts.trace {
+        println!("trace saved: {path}");
+    }
     print!("{}", render_sweep(&report));
     for case in &report.cases {
         println!("digest: {}", case.digest());
@@ -573,14 +639,21 @@ fn cmd_bench(args: &[String]) -> Result<bool, String> {
         if cfg.model_check { "on" } else { "off" },
         cfg.batch
     );
+    let observer = build_observer(&opts, &cases, source.as_ref(), opts.repeat as u64)?;
     let mut best: Option<(u64, SweepReport)> = None;
     let mut digests_stable = true;
     for _rep in 0..opts.repeat {
         let started = std::time::Instant::now();
         let report = if opts.cold {
-            cold_sweep(&cases, source.as_ref(), &cfg, opts.broken)
+            cold_sweep(
+                &cases,
+                source.as_ref(),
+                &cfg,
+                opts.broken,
+                observer.as_ref(),
+            )
         } else {
-            sweep_all(&cases, source.as_ref(), &cfg)
+            sweep_all_observed(&cases, source.as_ref(), &cfg, observer.as_ref())
         };
         let wall_ns = started.elapsed().as_nanos() as u64;
         if let Some((_, prior)) = &best {
@@ -593,6 +666,10 @@ fn cmd_bench(args: &[String]) -> Result<bool, String> {
             Some((best_ns, _)) if *best_ns <= wall_ns => {}
             _ => best = Some((wall_ns, report)),
         }
+    }
+    finish_observer(observer)?;
+    if let Some(path) = &opts.trace {
+        println!("trace saved: {path}");
     }
     let (wall_ns, report) = best.expect("--repeat is at least 1");
     let scenarios = report.scenarios();
@@ -671,6 +748,7 @@ fn cold_sweep(
     source: &dyn ScenarioSource,
     cfg: &SweepConfig,
     broken: bool,
+    observer: Option<&SweepObserver>,
 ) -> SweepReport {
     let tasks: Vec<(&str, u64)> = cases
         .iter()
@@ -683,7 +761,12 @@ fn cold_sweep(
         .collect();
     let records = parallel_map(&tasks, cfg.jobs, |&(name, seed)| {
         let fresh = AnyCase::by_name(name, broken).expect("case names come from AnyCase");
-        (name, run_scenario(&fresh, seed, cfg))
+        let record = run_scenario(&fresh, seed, cfg);
+        if let Some(observer) = observer {
+            // Per-scenario caches make the glue snapshot meaningless here.
+            observer.scenario(name, &record, None);
+        }
+        (name, record)
     });
     let mut report = SweepReport {
         cases: cases
@@ -697,6 +780,101 @@ fn cold_sweep(
         }
     }
     report
+}
+
+/// `semint profile`: offline aggregation of one or more `--trace` files.
+fn cmd_profile(args: &[String]) -> Result<bool, String> {
+    if args.is_empty() {
+        return Err(
+            "`semint profile` needs at least one TRACE file written by `sweep --trace` \
+             or `bench --trace`"
+                .into(),
+        );
+    }
+    let mut profile = TraceProfile::default();
+    for path in args {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        absorb_trace(&mut profile, &text).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if profile.scenarios == 0 && profile.heartbeats == 0 {
+        return Err("the given trace files contain no events".into());
+    }
+    print!("{}", render_profile(&profile));
+    Ok(true)
+}
+
+/// Largest tolerated `bench-diff` throughput drop relative to the baseline.
+const MAX_THROUGHPUT_REGRESSION: f64 = 0.25;
+
+/// `semint bench-diff`: the CI regression gate over two `bench --json`
+/// documents.  Fails (exit 1) on any per-case digest drift — the sweep is
+/// deterministic, so drift means behaviour changed — or when current
+/// throughput falls more than [`MAX_THROUGHPUT_REGRESSION`] below baseline.
+fn cmd_bench_diff(args: &[String]) -> Result<bool, String> {
+    let [baseline_path, current_path] = args else {
+        return Err(
+            "`semint bench-diff` needs exactly two paths: BASELINE.json CURRENT.json".into(),
+        );
+    };
+    let load = |path: &String| -> Result<(BenchMeta, SweepReport), String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        parse_bench_json(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (base_meta, base) = load(baseline_path)?;
+    let (current_meta, current) = load(current_path)?;
+    let mut clean = true;
+    for base_case in &base.cases {
+        let Some(current_case) = current.cases.iter().find(|c| c.case == base_case.case) else {
+            clean = false;
+            println!("case {}: MISSING from {current_path}", base_case.case);
+            continue;
+        };
+        if current_case.digest() != base_case.digest() {
+            clean = false;
+            println!(
+                "case {}: DIGEST DRIFT\n  baseline {}\n  current  {}",
+                base_case.case,
+                base_case.digest(),
+                current_case.digest()
+            );
+        } else if !base_case.counters.is_zero() && current_case.counters != base_case.counters {
+            // Counters are digest-grade facts too; a pre-counter baseline
+            // (all zero) is grandfathered in.
+            clean = false;
+            println!(
+                "case {}: VM COUNTER DRIFT\n  baseline {}\n  current  {}",
+                base_case.case, base_case.counters, current_case.counters
+            );
+        } else {
+            println!(
+                "case {}: digest OK ({})",
+                base_case.case,
+                base_case.digest()
+            );
+        }
+    }
+    for current_case in &current.cases {
+        if !base.cases.iter().any(|c| c.case == current_case.case) {
+            clean = false;
+            println!(
+                "case {}: not in baseline {baseline_path}",
+                current_case.case
+            );
+        }
+    }
+    let base_tp = base_meta.throughput_per_s(base.scenarios());
+    let current_tp = current_meta.throughput_per_s(current.scenarios());
+    let floor = base_tp * (1.0 - MAX_THROUGHPUT_REGRESSION);
+    println!("throughput: baseline {base_tp:.0}/s, current {current_tp:.0}/s (floor {floor:.0}/s)");
+    if current_tp < floor {
+        clean = false;
+        println!(
+            "throughput REGRESSION: more than {:.0}% below baseline",
+            MAX_THROUGHPUT_REGRESSION * 100.0
+        );
+    }
+    println!("bench-diff: {}", if clean { "OK" } else { "FAILED" });
+    Ok(clean)
 }
 
 /// `semint report`: render saved sweeps, merging when several are given
@@ -890,6 +1068,29 @@ mod tests {
         let opts = parse(&["--json", "bench.json"]).unwrap();
         assert_eq!(opts.json.as_deref(), Some("bench.json"));
         assert!(parse(&["--json"]).unwrap_err().contains("--json"));
+    }
+
+    #[test]
+    fn trace_and_progress_flags_parse() {
+        let opts = parse(&[]).unwrap();
+        assert!(opts.trace.is_none() && !opts.progress);
+        let opts = parse(&["--trace", "t.jsonl", "--progress"]).unwrap();
+        assert_eq!(opts.trace.as_deref(), Some("t.jsonl"));
+        assert!(opts.progress);
+        assert!(parse(&["--trace"]).unwrap_err().contains("--trace"));
+    }
+
+    #[test]
+    fn bench_diff_needs_exactly_two_paths() {
+        assert!(cmd_bench_diff(&[]).unwrap_err().contains("BASELINE"));
+        assert!(cmd_bench_diff(&["one.json".into()])
+            .unwrap_err()
+            .contains("exactly two"));
+    }
+
+    #[test]
+    fn profile_needs_at_least_one_trace() {
+        assert!(cmd_profile(&[]).unwrap_err().contains("TRACE"));
     }
 
     #[test]

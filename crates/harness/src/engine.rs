@@ -20,6 +20,7 @@
 
 use crate::shrink::shrink_failure;
 use crate::source::ScenarioSource;
+use crate::trace::SweepObserver;
 use semint_core::case::{CaseStudy, CheckFailure, GenProfile, Scenario};
 use semint_core::stats::{
     CaseReport, FailStage, FailureRecord, ScenarioRecord, StageTimings, SweepReport,
@@ -42,12 +43,16 @@ pub struct SweepConfig {
     /// expensive stage; `run`-only sweeps skip it).
     pub model_check: bool,
     /// Whether to collect per-stage wall-clock totals (`semint sweep
-    /// --time`, `semint bench`, and `semint run`).  Timing changes
-    /// *measurement only*: every scenario is typechecked once and compiled
-    /// once whether or not the stopwatch is on — the compiled artifact is
-    /// threaded from the compile stage through model checking into
-    /// execution — so timed and untimed sweeps of the same seeds agree on
-    /// digests and on glue-cache hit/miss figures alike.
+    /// --time`, `semint bench`, `semint run`, and any `--trace`d sweep).
+    /// Wall-clock is one of two sweep-time signals: the deterministic
+    /// [`semint_core::VmCounters`] (instructions by opcode class,
+    /// allocations, high-water marks) are collected unconditionally — they
+    /// are digest-grade facts, cheap enough to never switch off.  Timing
+    /// changes *measurement only*: every scenario is typechecked once and
+    /// compiled once whether or not the stopwatch is on — the compiled
+    /// artifact is threaded from the compile stage through model checking
+    /// into execution — so timed and untimed sweeps of the same seeds agree
+    /// on digests, counters, and glue-cache hit/miss figures alike.
     pub time: bool,
     /// How many same-case compiled artifacts are executed per reused
     /// machine (`--batch N`; must be at least 1).  `1` executes every
@@ -292,7 +297,11 @@ fn finish_executed<C: CaseStudy>(
     report: C::Report,
     cfg: &SweepConfig,
 ) -> ScenarioRecord {
-    let stats = case.stats(&report);
+    let mut stats = case.stats(&report);
+    // Boundaries are erased by compilation (glue is ordinary target code),
+    // so the machines cannot count them; the engine stamps the scenario's
+    // static boundary count, which is just as deterministic.
+    stats.counters.boundary_crossings = record.boundaries as u64;
     record.stats = Some(stats);
     if !stats.outcome.is_safe() {
         // Shrink candidates are *different* programs, so each takes its own
@@ -407,9 +416,10 @@ pub fn run_generated<C: CaseStudy>(
 /// the result is digest-identical to running the seeds one at a time; only
 /// machine setup is amortised.  The batch's run wall-clock cannot be
 /// observed per scenario (the whole batch executes in one call), so when
-/// the sweep is timed it is attributed evenly across the batch's executed
-/// scenarios (remainder to the earliest), keeping the per-case run-stage
-/// total exact.
+/// the sweep is timed it is apportioned by the machine steps each scenario
+/// consumed — a scenario that dominates the batch is charged its share of
+/// the wall-clock, not an even split — with the exact-sum share split
+/// keeping the per-case run-stage total precise.
 pub fn run_batch<C: CaseStudy>(case: &C, seeds: &[u64], cfg: &SweepConfig) -> Vec<ScenarioRecord> {
     let mut scenarios = Vec::with_capacity(seeds.len());
     let mut prepared: Vec<Prepared<C>> = Vec::with_capacity(seeds.len());
@@ -446,13 +456,16 @@ pub fn run_batch<C: CaseStudy>(case: &C, seeds: &[u64], cfg: &SweepConfig) -> Ve
         "execute_batch must return one report per artifact"
     );
 
-    // An even share of the amortised run time per executed scenario; the
-    // first `batch_run_ns % n` scenarios absorb the remainder, so the
-    // shares sum back to the measured batch wall-clock exactly.
-    let n = reports.len() as u64;
-    let shares: Vec<u64> = (0..reports.len() as u64)
-        .map(|i| batch_run_ns / n + u64::from(i < batch_run_ns % n))
-        .collect();
+    // Charge each executed scenario for the batch wall-clock in proportion
+    // to the machine steps it consumed (the semantic clock is the best
+    // deterministic proxy for where the time went); the shares sum back to
+    // the measured batch wall-clock exactly.
+    let shares: Vec<u64> = if cfg.time {
+        let steps: Vec<u64> = reports.iter().map(|r| case.stats(r).steps).collect();
+        weighted_shares(batch_run_ns, &steps)
+    } else {
+        vec![0; reports.len()]
+    };
 
     let mut executed = ready_indices
         .into_iter()
@@ -472,6 +485,37 @@ pub fn run_batch<C: CaseStudy>(case: &C, seeds: &[u64], cfg: &SweepConfig) -> Ve
             _ => seal(p.record, p.timings, cfg.time),
         })
         .collect()
+}
+
+/// Splits `total_ns` across scenarios proportionally to `weights` (machine
+/// steps consumed), handing the rounding remainder to the earliest
+/// scenarios one nanosecond at a time so the shares always sum back to
+/// `total_ns` exactly.  Falls back to an even split when every weight is
+/// zero (e.g. a batch of empty programs).
+fn weighted_shares(total_ns: u64, weights: &[u64]) -> Vec<u64> {
+    let n = weights.len() as u64;
+    if n == 0 {
+        return Vec::new();
+    }
+    let total_weight: u64 = weights.iter().sum();
+    if total_weight == 0 {
+        return (0..n)
+            .map(|i| total_ns / n + u64::from(i < total_ns % n))
+            .collect();
+    }
+    let mut shares: Vec<u64> = weights
+        .iter()
+        .map(|&w| ((total_ns as u128 * w as u128) / total_weight as u128) as u64)
+        .collect();
+    let mut remainder = total_ns - shares.iter().sum::<u64>();
+    for share in shares.iter_mut() {
+        if remainder == 0 {
+            break;
+        }
+        *share += 1;
+        remainder -= 1;
+    }
+    shares
 }
 
 fn check_size(source: &(impl ScenarioSource + ?Sized), case_names: &[&str]) {
@@ -515,13 +559,38 @@ where
     C: CaseStudy + Sync,
     S: ScenarioSource + ?Sized,
 {
+    sweep_case_observed(case, source, cfg, None)
+}
+
+/// [`sweep_case`] with an optional [`SweepObserver`]: each worker reports
+/// every finished scenario as it completes (trace events, progress ticks).
+/// Observation is strictly one-way — the returned report is identical to an
+/// unobserved sweep's, digests and counters alike.
+pub fn sweep_case_observed<C, S>(
+    case: &C,
+    source: &S,
+    cfg: &SweepConfig,
+    observer: Option<&SweepObserver>,
+) -> CaseReport
+where
+    C: CaseStudy + Sync,
+    S: ScenarioSource + ?Sized,
+{
     check_size(source, &[case.name()]);
     let cfg = cfg.resolved_for(source);
     check_batch(&cfg);
     let glue_before = case.glue_cache_stats();
     let seeds = source.seeds(case.name());
     let batches: Vec<&[u64]> = seeds.chunks(cfg.batch).collect();
-    let records = parallel_map(&batches, cfg.jobs, |batch| run_batch(case, batch, &cfg));
+    let records = parallel_map(&batches, cfg.jobs, |batch| {
+        let records = run_batch(case, batch, &cfg);
+        if let Some(observer) = observer {
+            for record in &records {
+                observer.scenario(case.name(), record, case.glue_cache_stats());
+            }
+        }
+        records
+    });
     let mut report = CaseReport::new(case.name());
     for record in records.iter().flatten() {
         report.absorb(record);
@@ -545,6 +614,22 @@ where
     C: CaseStudy + Sync,
     S: ScenarioSource + ?Sized,
 {
+    sweep_all_observed(cases, source, cfg, None)
+}
+
+/// [`sweep_all`] with an optional [`SweepObserver`] (see
+/// [`sweep_case_observed`]); the observer sees the interleaved completion
+/// order across all cases, the report is unchanged by observation.
+pub fn sweep_all_observed<C, S>(
+    cases: &[C],
+    source: &S,
+    cfg: &SweepConfig,
+    observer: Option<&SweepObserver>,
+) -> SweepReport
+where
+    C: CaseStudy + Sync,
+    S: ScenarioSource + ?Sized,
+{
     let case_names: Vec<&str> = cases.iter().map(|c| c.name()).collect();
     check_size(source, &case_names);
     let cfg = cfg.resolved_for(source);
@@ -558,7 +643,13 @@ where
         .flat_map(|(idx, seeds)| seeds.chunks(cfg.batch).map(move |batch| (idx, batch)))
         .collect();
     let records = parallel_map(&tasks, cfg.jobs, |&(idx, batch)| {
-        (idx, run_batch(&cases[idx], batch, &cfg))
+        let records = run_batch(&cases[idx], batch, &cfg);
+        if let Some(observer) = observer {
+            for record in &records {
+                observer.scenario(cases[idx].name(), record, cases[idx].glue_cache_stats());
+            }
+        }
+        (idx, records)
     });
     let mut reports: Vec<CaseReport> = cases
         .iter()
@@ -643,6 +734,22 @@ mod tests {
         let records = run_batch(&case, &seeds, &cfg);
         assert_eq!(records.len(), 7);
         assert!(records.iter().all(|r| r.timings.is_some()));
+    }
+
+    #[test]
+    fn weighted_shares_sum_exactly_and_follow_the_weights() {
+        let shares = weighted_shares(1_000_003, &[10, 0, 30, 60]);
+        assert_eq!(shares.iter().sum::<u64>(), 1_000_003);
+        assert!(
+            shares[1] <= 1,
+            "a zero-step scenario gets at most a rounding nanosecond"
+        );
+        assert!(shares[3] > shares[2] && shares[2] > shares[0]);
+        // All-zero weights fall back to an even split that still sums back.
+        let even = weighted_shares(10, &[0, 0, 0]);
+        assert_eq!(even.iter().sum::<u64>(), 10);
+        assert!(even.iter().all(|&s| s == 3 || s == 4));
+        assert!(weighted_shares(42, &[]).is_empty());
     }
 
     #[test]

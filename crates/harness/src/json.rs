@@ -43,7 +43,7 @@ impl BenchMeta {
     }
 }
 
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -100,6 +100,14 @@ pub fn render_bench_json(meta: &BenchMeta, report: &SweepReport) -> String {
         );
         let _ = writeln!(out, "      \"glue_hits\": {},", case.glue_hits);
         let _ = writeln!(out, "      \"glue_misses\": {},", case.glue_misses);
+        out.push_str("      \"counters\": {");
+        for (i, (key, value)) in case.counters.fields().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{key}\": {value}");
+        }
+        out.push_str("},\n");
         let _ = writeln!(out, "      \"failures\": {},", case.failures.len());
         out.push_str("      \"outcomes\": {");
         for (i, (label, count)) in case.outcome_histogram.iter().enumerate() {
@@ -135,9 +143,10 @@ pub fn render_bench_json(meta: &BenchMeta, report: &SweepReport) -> String {
 // (objects, arrays, strings, numbers, booleans), with friendly errors.
 
 /// A parsed JSON value.  Numbers keep their source text so integer fields
-/// round-trip without a float detour.
+/// round-trip without a float detour.  Shared with the trace-profile reader
+/// (`semint profile` parses JSONL lines with the same machinery).
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub(crate) enum Json {
     /// An object, in source order.
     Object(Vec<(String, Json)>),
     /// An array.
@@ -153,18 +162,18 @@ enum Json {
 }
 
 impl Json {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+    pub(crate) fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
         match self {
             Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    fn require<'a>(&'a self, key: &str) -> Result<&'a Json, String> {
+    pub(crate) fn require<'a>(&'a self, key: &str) -> Result<&'a Json, String> {
         self.get(key).ok_or_else(|| format!("missing key {key:?}"))
     }
 
-    fn as_u64(&self, what: &str) -> Result<u64, String> {
+    pub(crate) fn as_u64(&self, what: &str) -> Result<u64, String> {
         match self {
             Json::Num(text) => text
                 .parse::<u64>()
@@ -173,14 +182,14 @@ impl Json {
         }
     }
 
-    fn as_bool(&self, what: &str) -> Result<bool, String> {
+    pub(crate) fn as_bool(&self, what: &str) -> Result<bool, String> {
         match self {
             Json::Bool(b) => Ok(*b),
             other => Err(format!("{what}: expected a boolean, got {other:?}")),
         }
     }
 
-    fn as_str(&self, what: &str) -> Result<&str, String> {
+    pub(crate) fn as_str(&self, what: &str) -> Result<&str, String> {
         match self {
             Json::Str(s) => Ok(s),
             other => Err(format!("{what}: expected a string, got {other:?}")),
@@ -188,12 +197,12 @@ impl Json {
     }
 }
 
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     chars: std::iter::Peekable<std::str::Chars<'a>>,
 }
 
 impl<'a> Reader<'a> {
-    fn new(text: &'a str) -> Self {
+    pub(crate) fn new(text: &'a str) -> Self {
         Reader {
             chars: text.chars().peekable(),
         }
@@ -214,12 +223,12 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn peek_after_ws(&mut self) -> Option<char> {
+    pub(crate) fn peek_after_ws(&mut self) -> Option<char> {
         self.skip_ws();
         self.chars.peek().copied()
     }
 
-    fn value(&mut self) -> Result<Json, String> {
+    pub(crate) fn value(&mut self) -> Result<Json, String> {
         match self.peek_after_ws() {
             Some('{') => self.object(),
             Some('[') => self.array(),
@@ -388,6 +397,15 @@ pub fn parse_bench_json(text: &str) -> Result<(BenchMeta, SweepReport), String> 
             .as_u64("total_program_chars")?;
         case.glue_hits = entry.require("glue_hits")?.as_u64("glue_hits")?;
         case.glue_misses = entry.require("glue_misses")?.as_u64("glue_misses")?;
+        // Documents written before VM telemetry carry no counters object;
+        // their counters stay zero.
+        if let Some(Json::Object(counters)) = entry.get("counters") {
+            for (key, value) in counters {
+                if !case.counters.set_field(key, value.as_u64(key)?) {
+                    return Err(format!("\"counters\": unknown counter {key:?}"));
+                }
+            }
+        }
         let Json::Object(outcomes) = entry.require("outcomes")? else {
             return Err("\"outcomes\": expected an object".into());
         };
@@ -452,6 +470,16 @@ mod tests {
                         OutcomeClass::Value
                     },
                     steps: 10 + seed,
+                    counters: semint_core::VmCounters {
+                        instr_data: 6 + seed,
+                        instr_control: 2,
+                        instr_fun: 1,
+                        instr_heap: 1 + seed,
+                        boundary_crossings: 3,
+                        heap_allocs: 1 + seed,
+                        heap_peak_live: 1 + seed,
+                        stack_peak: 4,
+                    },
                 }),
                 failure: None,
                 timings: Some(StageTimings {
@@ -499,6 +527,18 @@ mod tests {
             parsed.cases[0].outcome_histogram,
             report.cases[0].outcome_histogram
         );
+        assert_eq!(parsed.cases[0].counters, report.cases[0].counters);
+    }
+
+    #[test]
+    fn documents_without_counters_default_to_zero() {
+        let text = render_bench_json(&sample_meta(), &sample_report());
+        let start = text.find("      \"counters\": {").expect("counters line");
+        let end = text[start..].find('\n').expect("line end") + start + 1;
+        let legacy = format!("{}{}", &text[..start], &text[end..]);
+        assert_ne!(text, legacy, "the sample must contain the counters field");
+        let (_, parsed) = parse_bench_json(&legacy).expect("legacy documents still parse");
+        assert!(parsed.cases[0].counters.is_zero());
     }
 
     #[test]

@@ -30,7 +30,14 @@
 //!   `report` subcommands);
 //! * [`json`] — the hand-rolled machine-readable bench format behind
 //!   `semint bench --json PATH` (and `semint report`'s ability to read it
-//!   back), for tracking per-stage performance across commits.
+//!   back), for tracking per-stage performance across commits;
+//! * [`trace`] — Tier-B telemetry: the `--trace` JSONL event stream
+//!   (dedicated writer thread behind a bounded channel) and the
+//!   `--progress` live stderr line, both strictly observational — traced
+//!   and untraced sweeps agree on digests and counters byte for byte;
+//! * [`profile`] — `semint profile`'s order-insensitive aggregation of
+//!   trace files: stage breakdowns, per-case opcode-class histograms,
+//!   allocation stats, and the hottest seeds by steps.
 //!
 //! ## Example
 //!
@@ -53,12 +60,16 @@
 pub mod cases;
 pub mod engine;
 pub mod json;
+pub mod profile;
 pub mod report;
 pub mod shrink;
 pub mod source;
+pub mod trace;
 
 pub use cases::{AnyCase, AnyCompiled};
-pub use engine::{sweep_all, sweep_case, SweepConfig};
+pub use engine::{sweep_all, sweep_all_observed, sweep_case, sweep_case_observed, SweepConfig};
+pub use profile::{render_profile, TraceProfile};
 pub use semint_core::case::{CaseStudy, CheckFailure, GenProfile, Scenario};
 pub use semint_core::stats::{CaseReport, SweepReport};
 pub use source::{Corpus, ScenarioSource, SeedRange, Shard};
+pub use trace::SweepObserver;

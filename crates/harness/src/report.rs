@@ -1,4 +1,10 @@
 //! Plain-text rendering of sweep reports for the `semint` CLI.
+//!
+//! Two kinds of sweep-time signal land here: the optional per-stage
+//! wall-clock block (`--time`), and the always-on deterministic VM counters
+//! — instructions retired by opcode class, boundary crossings, allocation
+//! totals, high-water marks — which are digest-grade facts identical across
+//! every `--jobs`/`--batch`/shard combination.
 
 use semint_core::stats::{CaseReport, SweepReport};
 
@@ -23,6 +29,17 @@ pub fn render_case(report: &CaseReport) -> String {
         report.glue_misses,
         report.glue_hit_rate() * 100.0
     ));
+    if !report.counters.is_zero() {
+        out.push_str("  vm counters\n");
+        for (label, value) in report.counters.fields() {
+            out.push_str(&format!("    {label:<18} {value:>12}\n"));
+        }
+        out.push_str(&format!(
+            "    {:<18} {:>12}\n",
+            "total_instrs",
+            report.counters.total_instrs()
+        ));
+    }
     if let Some(timings) = &report.timings {
         out.push_str("  stage wall-clock\n");
         for (label, ns) in timings.stages() {
@@ -133,6 +150,29 @@ mod tests {
         assert!(text.contains("generate"), "{text}");
         assert!(text.contains("model-check"), "{text}");
         assert!(text.contains("total"), "{text}");
+    }
+
+    #[test]
+    fn render_includes_vm_counters_when_nonzero() {
+        let mut case = CaseReport::new("affine");
+        case.scenarios = 2;
+        case.counters = semint_core::VmCounters {
+            instr_data: 7,
+            instr_control: 2,
+            instr_fun: 3,
+            instr_heap: 1,
+            boundary_crossings: 4,
+            heap_allocs: 1,
+            heap_peak_live: 1,
+            stack_peak: 5,
+        };
+        let text = render_case(&case);
+        assert!(text.contains("vm counters"), "{text}");
+        assert!(text.contains("instr_data"), "{text}");
+        assert!(text.contains("total_instrs"), "{text}");
+        // A pre-counter report (all zero) renders no counter block.
+        let legacy = render_case(&CaseReport::new("affine"));
+        assert!(!legacy.contains("vm counters"), "{legacy}");
     }
 
     #[test]

@@ -123,6 +123,7 @@ mod tests {
             RunStats {
                 outcome: OutcomeClass::Value,
                 steps: 0,
+                counters: Default::default(),
             }
         }
         fn boundary_count(&self, _p: &Depth) -> usize {

@@ -96,6 +96,8 @@ pub struct HeapStats {
     pub collected: u64,
     /// Number of locations re-used from the free list.
     pub reused: u64,
+    /// Peak number of simultaneously live cells (GC'd + manual).
+    pub peak_live: u64,
 }
 
 /// The LCVM heap.
@@ -142,6 +144,7 @@ impl Heap {
         let l = self.next_loc();
         self.stats.gc_allocs += 1;
         self.slots.insert(l, Slot::Gc(v));
+        self.note_live();
         l
     }
 
@@ -150,7 +153,16 @@ impl Heap {
         let l = self.next_loc();
         self.stats.manual_allocs += 1;
         self.slots.insert(l, Slot::Manual(v));
+        self.note_live();
         l
+    }
+
+    /// Raises the peak-live-cells statistic to the current population.
+    fn note_live(&mut self) {
+        let live = self.slots.len() as u64;
+        if live > self.stats.peak_live {
+            self.stats.peak_live = live;
+        }
     }
 
     /// Reads the value stored at `l`.
@@ -398,6 +410,20 @@ mod tests {
         assert_eq!(l, Loc(0));
         assert_eq!(h.stats().reused, 0);
         assert_eq!(h.stats().gc_allocs, 1);
+    }
+
+    #[test]
+    fn peak_live_tracks_the_high_water_mark_not_the_current_population() {
+        let mut h = Heap::new();
+        let a = h.alloc_manual(Value::Int(1));
+        let b = h.alloc_manual(Value::Int(2));
+        h.free(a).unwrap();
+        h.free(b).unwrap();
+        assert_eq!(h.len(), 0);
+        assert_eq!(h.stats().peak_live, 2);
+        // Re-allocating one cell does not disturb the recorded peak.
+        h.alloc_gc(Value::Int(3));
+        assert_eq!(h.stats().peak_live, 2);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::heap::{Heap, Loc};
 use crate::phantom::{PhantomConfig, PhantomState};
 use crate::syntax::{Expr, PrimOp};
 use crate::value::{Env, Value};
-use semint_core::{ErrorCode, Fuel, Var};
+use semint_core::{ErrorCode, Fuel, OpClass, Var, VmCounters};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -87,6 +87,9 @@ pub struct RunResult {
     pub steps: u64,
     /// Number of phantom flags consumed (0 outside augmented mode).
     pub flags_consumed: u64,
+    /// Deterministic per-run telemetry: instructions retired by opcode
+    /// class, allocation totals, and high-water marks.
+    pub counters: VmCounters,
 }
 
 /// Static configuration of a machine.
@@ -139,6 +142,7 @@ pub struct Machine {
     config: MachineConfig,
     phantom: PhantomState,
     steps: u64,
+    counters: VmCounters,
     halted: Option<Halt>,
 }
 
@@ -164,6 +168,7 @@ impl Machine {
             config,
             phantom: PhantomState::new(),
             steps: 0,
+            counters: VmCounters::new(),
             halted: None,
         }
     }
@@ -186,6 +191,7 @@ impl Machine {
         self.control = Control::Eval(expr, Env::empty());
         self.phantom = PhantomState::new();
         self.steps = 0;
+        self.counters = VmCounters::new();
         self.halted = None;
     }
 
@@ -289,9 +295,20 @@ impl Machine {
         self.steps += 1;
         let control = std::mem::replace(&mut self.control, Control::Return(Value::Unit));
         match control {
-            Control::Eval(e, env) => self.step_eval(e, env),
-            Control::Return(v) => self.step_return(v),
+            Control::Eval(e, env) => {
+                self.counters.retire(classify_expr(&e));
+                self.step_eval(e, env);
+            }
+            Control::Return(v) => {
+                // A non-terminal return step always has a frame to consume;
+                // the retired instruction is classified by that frame.
+                if let Some(frame) = self.kont.last() {
+                    self.counters.retire(classify_frame(frame));
+                }
+                self.step_return(v);
+            }
         }
+        self.counters.note_stack_depth(self.kont.len());
     }
 
     fn step_eval(&mut self, e: Expr, env: Env) {
@@ -566,11 +583,17 @@ impl Machine {
 
     /// Packages the run's outcome, moving the final heap out of the machine.
     fn take_result(&mut self, halt: Halt) -> RunResult {
+        // Heap-derived counters must be read before the heap moves out.
+        let heap_stats = self.heap.stats();
+        let mut counters = self.counters;
+        counters.heap_allocs = heap_stats.gc_allocs + heap_stats.manual_allocs;
+        counters.heap_peak_live = heap_stats.peak_live;
         RunResult {
             halt,
             heap: std::mem::take(&mut self.heap),
             steps: self.steps,
             flags_consumed: self.phantom.consumed(),
+            counters,
         }
     }
 
@@ -607,6 +630,57 @@ impl Machine {
             },
         )
         .run(fuel)
+    }
+}
+
+/// The opcode class an eval-mode step retires under (see
+/// [`semint_core::telemetry::OpClass`] for the bucket definitions).
+fn classify_expr(e: &Expr) -> OpClass {
+    match e {
+        Expr::Unit
+        | Expr::Int(_)
+        | Expr::Loc(_)
+        | Expr::Var(_)
+        | Expr::Pair(..)
+        | Expr::Fst(_)
+        | Expr::Snd(_)
+        | Expr::Inl(_)
+        | Expr::Inr(_)
+        | Expr::Lam(..)
+        | Expr::Prim(..) => OpClass::Data,
+        Expr::If(..) | Expr::Match(..) | Expr::Fail(_) | Expr::Protect(..) => OpClass::Control,
+        Expr::Let(..) | Expr::App(..) => OpClass::Fun,
+        Expr::Ref(_)
+        | Expr::Deref(_)
+        | Expr::Assign(..)
+        | Expr::Alloc(_)
+        | Expr::Free(_)
+        | Expr::Gcmov(_)
+        | Expr::Callgc => OpClass::Heap,
+    }
+}
+
+/// The opcode class a return-mode step retires under, keyed by the frame it
+/// consumes — mirroring [`classify_expr`] on the construct that pushed it.
+fn classify_frame(f: &Frame) -> OpClass {
+    match f {
+        Frame::PairL(..)
+        | Frame::PairR(_)
+        | Frame::Fst
+        | Frame::Snd
+        | Frame::InlK
+        | Frame::InrK
+        | Frame::PrimL(..)
+        | Frame::PrimR(..) => OpClass::Data,
+        Frame::IfK(..) | Frame::MatchK(..) => OpClass::Control,
+        Frame::LetK(..) | Frame::AppL(..) | Frame::AppR(_) => OpClass::Fun,
+        Frame::RefK
+        | Frame::DerefK
+        | Frame::AssignL(..)
+        | Frame::AssignR(_)
+        | Frame::AllocK
+        | Frame::FreeK
+        | Frame::GcmovK => OpClass::Heap,
     }
 }
 
@@ -1032,6 +1106,41 @@ mod tests {
         let from_fresh = Machine::with_config(once, cfg).run(Fuel::default());
         assert_eq!(from_reset, from_fresh);
         assert_eq!(from_reset.flags_consumed, 1);
+    }
+
+    #[test]
+    fn counters_account_for_every_step_and_track_heap_activity() {
+        // let r = ref 1 in (r := 42; !r) — data, fun, and heap steps.
+        let e = Expr::let_(
+            "r",
+            Expr::ref_(Expr::int(1)),
+            Expr::seq(
+                Expr::assign(Expr::var("r"), Expr::int(42)),
+                Expr::deref(Expr::var("r")),
+            ),
+        );
+        let r = Machine::run_expr(e, Fuel::default());
+        let c = r.counters;
+        assert_eq!(
+            c.total_instrs(),
+            r.steps,
+            "every retired step is classified exactly once"
+        );
+        assert!(c.instr_heap > 0, "ref/assign/deref are heap steps");
+        assert!(c.instr_fun > 0, "let is a fun step");
+        assert_eq!(c.heap_allocs, 1);
+        assert_eq!(c.heap_peak_live, 1);
+        assert!(c.stack_peak > 0);
+        // Counters are digest-grade: a second identical run agrees exactly.
+        let e2 = Expr::let_(
+            "r",
+            Expr::ref_(Expr::int(1)),
+            Expr::seq(
+                Expr::assign(Expr::var("r"), Expr::int(42)),
+                Expr::deref(Expr::var("r")),
+            ),
+        );
+        assert_eq!(Machine::run_expr(e2, Fuel::default()).counters, c);
     }
 
     #[test]

@@ -180,6 +180,7 @@ impl CaseStudy for MemGcCase {
         RunStats {
             outcome,
             steps: report.steps,
+            counters: report.counters,
         }
     }
 

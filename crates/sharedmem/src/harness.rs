@@ -179,6 +179,7 @@ impl CaseStudy for SharedMemCase {
         RunStats {
             outcome,
             steps: report.steps,
+            counters: report.counters,
         }
     }
 

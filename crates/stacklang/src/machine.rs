@@ -9,7 +9,7 @@
 
 use crate::heap::Heap;
 use crate::instr::{Instr, Program, Value};
-use semint_core::{ErrorCode, Fuel, Outcome};
+use semint_core::{ErrorCode, Fuel, OpClass, Outcome, VmCounters};
 use std::fmt;
 
 /// The stack component of a configuration: either a stack of values or the
@@ -76,6 +76,9 @@ pub struct RunResult {
     pub stack: StackState,
     /// How many small steps were taken.
     pub steps: u64,
+    /// Deterministic per-run telemetry: instructions retired by opcode
+    /// class, allocation totals, and high-water marks.
+    pub counters: VmCounters,
 }
 
 /// A StackLang machine configuration `⟨H; S; P⟩`.
@@ -88,6 +91,7 @@ pub struct Machine {
     /// Remaining instructions, reversed (next instruction is the last element).
     control: Vec<Instr>,
     steps: u64,
+    counters: VmCounters,
 }
 
 impl Machine {
@@ -105,6 +109,7 @@ impl Machine {
             stack,
             control,
             steps: 0,
+            counters: VmCounters::new(),
         }
     }
 
@@ -130,6 +135,7 @@ impl Machine {
         control.reverse();
         self.control = control;
         self.steps = 0;
+        self.counters = VmCounters::new();
     }
 
     /// The current heap.
@@ -197,6 +203,7 @@ impl Machine {
             .pop()
             .expect("non-terminal machine has an instruction");
         self.steps += 1;
+        self.counters.retire(classify_instr(&instr));
         match instr {
             Instr::Push(op) => match op.resolve() {
                 Some(v) => self.push_value(v),
@@ -296,6 +303,9 @@ impl Machine {
             },
             Instr::Fail(c) => self.fail(c),
         }
+        if let StackState::Values(vs) = &self.stack {
+            self.counters.note_stack_depth(vs.len());
+        }
         StepStatus::Continue
     }
 
@@ -330,11 +340,18 @@ impl Machine {
     /// Packages the run's outcome, moving the final heap and stack out of
     /// the machine.
     fn take_result(&mut self, outcome: Outcome<Value>) -> RunResult {
+        // StackLang never frees or reuses locations, so the final population
+        // *is* both the allocation total and the live-cell peak; read it
+        // before the heap moves out.
+        let mut counters = self.counters;
+        counters.heap_allocs = self.heap.len() as u64;
+        counters.heap_peak_live = self.heap.len() as u64;
         RunResult {
             outcome,
             heap: std::mem::take(&mut self.heap),
             stack: std::mem::replace(&mut self.stack, StackState::empty()),
             steps: self.steps,
+            counters,
         }
     }
 
@@ -356,6 +373,17 @@ impl Machine {
                 machine.run_mut(fuel)
             })
             .collect()
+    }
+}
+
+/// The opcode class an instruction retires under (see
+/// [`semint_core::telemetry::OpClass`] for the bucket definitions).
+fn classify_instr(i: &Instr) -> OpClass {
+    match i {
+        Instr::Push(_) | Instr::Add | Instr::Less | Instr::Idx | Instr::Len => OpClass::Data,
+        Instr::If0(..) | Instr::Fail(_) => OpClass::Control,
+        Instr::Lam(..) | Instr::Call => OpClass::Fun,
+        Instr::Alloc | Instr::Read | Instr::Write => OpClass::Heap,
     }
 }
 
@@ -641,6 +669,33 @@ mod tests {
             reused.run_mut(Fuel::default()),
             Machine::run_program(p, Fuel::default())
         );
+    }
+
+    #[test]
+    fn counters_account_for_every_step_and_track_heap_activity() {
+        let p = Program::from(vec![
+            Instr::push_num(7),
+            Instr::Alloc,
+            dup(),
+            dup(),
+            Instr::push_num(9),
+            Instr::Write,
+            Instr::Read,
+        ]);
+        let r = run(p.clone());
+        let c = r.counters;
+        assert_eq!(
+            c.total_instrs(),
+            r.steps,
+            "every retired step is classified exactly once"
+        );
+        assert!(c.instr_heap >= 3, "alloc/write/read are heap steps");
+        assert!(c.instr_data > 0, "push is a data step");
+        assert_eq!(c.heap_allocs, 1);
+        assert_eq!(c.heap_peak_live, 1);
+        assert!(c.stack_peak >= 3, "dup/dup leaves three entries live");
+        // Counters are digest-grade: a second identical run agrees exactly.
+        assert_eq!(run(p).counters, c);
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Integration tests for deterministic telemetry (PR 6):
+//!
+//! * telemetry is strictly observational — a traced sweep's per-case
+//!   digests are byte-identical to an untraced sweep's, across all three
+//!   case studies and all four [`GenProfile`] presets;
+//! * the Tier-A [`VmCounters`] are digest-grade facts: byte-identical
+//!   across every `--jobs` × `--batch` combination, and they survive the
+//!   shard-merge path ([`CaseReport::merge`]) exactly;
+//! * the Tier-B JSONL trace round-trips: aggregating a sweep's `--trace`
+//!   stream through the `semint profile` machinery reproduces the sweep
+//!   report's own counter totals.
+
+use semint::core::case::GenProfile;
+use semint::core::stats::CaseReport;
+use semint::core::VmCounters;
+use semint::harness::cases::AnyCase;
+use semint::harness::engine::{sweep_all, sweep_all_observed, sweep_case, SweepConfig};
+use semint::harness::profile::{absorb_trace, render_profile, TraceProfile};
+use semint::harness::source::{SeedRange, Shard};
+use semint::harness::trace::SweepObserver;
+
+fn cfg(jobs: usize, batch: usize, profile: GenProfile) -> SweepConfig {
+    SweepConfig {
+        jobs,
+        profile,
+        model_check: true,
+        time: false,
+        batch,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry on ≡ telemetry off.
+
+/// The headline guarantee: tracing a sweep (observer attached, trace file
+/// streaming, timing forced on as `--trace` does) changes no digest, for
+/// every case study and every generation preset.
+#[test]
+fn traced_sweeps_produce_byte_identical_digests() {
+    let source = SeedRange::new(0, 24).expect("non-empty");
+    let cases = AnyCase::all(false);
+    for profile in GenProfile::presets() {
+        let plain = sweep_all(&cases, &source, &cfg(2, 4, profile));
+        let path = std::env::temp_dir().join(format!(
+            "semint-telemetry-{}-{}.jsonl",
+            std::process::id(),
+            profile.name
+        ));
+        let observer = SweepObserver::new(72, Some(&path), false).expect("trace file");
+        let traced_cfg = SweepConfig {
+            time: true, // `--trace` implies `--time`
+            ..cfg(2, 4, profile)
+        };
+        let traced = sweep_all_observed(&cases, &source, &traced_cfg, Some(&observer));
+        observer.finish().expect("trace writer");
+        let _ = std::fs::remove_file(&path);
+        for (a, b) in plain.cases.iter().zip(&traced.cases) {
+            assert_eq!(
+                a.digest(),
+                b.digest(),
+                "case {} profile {}: tracing changed the digest",
+                a.case,
+                profile.name
+            );
+            assert_eq!(
+                a.counters, b.counters,
+                "case {} profile {}: tracing changed the counters",
+                a.case, profile.name
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counter determinism across scheduling knobs.
+
+/// Counters are identical across every jobs × batch combination — the
+/// aggregation rules (counts add, peaks max) are commutative and
+/// associative, so scheduling cannot be observed.
+#[test]
+fn counters_are_identical_across_jobs_and_batch() {
+    let source = SeedRange::new(0, 30).expect("non-empty");
+    let cases = AnyCase::all(false);
+    let reference = sweep_all(&cases, &source, &cfg(1, 1, GenProfile::standard()));
+    assert!(
+        reference.cases.iter().any(|c| !c.counters.is_zero()),
+        "the reference sweep must retire instructions"
+    );
+    for jobs in [1, 4] {
+        for batch in [1, 8, 64] {
+            let swept = sweep_all(&cases, &source, &cfg(jobs, batch, GenProfile::standard()));
+            for (a, b) in reference.cases.iter().zip(&swept.cases) {
+                assert_eq!(
+                    a.counters, b.counters,
+                    "case {}: counters drifted at jobs={jobs} batch={batch}",
+                    a.case
+                );
+                assert_eq!(a.digest(), b.digest(), "case {}", a.case);
+            }
+        }
+    }
+}
+
+/// Shard reports merged through [`CaseReport::merge`] reproduce the
+/// unsharded sweep's counters exactly — including the high-water marks,
+/// which take the max rather than adding.
+#[test]
+fn counters_survive_shard_merge_exactly() {
+    let range = SeedRange::new(0, 30).expect("non-empty");
+    let cases = AnyCase::all(false);
+    let whole = sweep_all(&cases, &range, &cfg(2, 4, GenProfile::standard()));
+    let mut merged: Option<Vec<CaseReport>> = None;
+    for index in 0..3 {
+        let shard = Shard::new(range, index, 3).expect("valid shard");
+        let part = sweep_all(&cases, &shard, &cfg(2, 4, GenProfile::standard()));
+        match &mut merged {
+            None => merged = Some(part.cases),
+            Some(acc) => {
+                for (a, b) in acc.iter_mut().zip(&part.cases) {
+                    a.merge(b);
+                }
+            }
+        }
+    }
+    let merged = merged.expect("three shards");
+    for (whole_case, merged_case) in whole.cases.iter().zip(&merged) {
+        assert_eq!(
+            whole_case.counters, merged_case.counters,
+            "case {}: merge changed the counters",
+            whole_case.case
+        );
+        assert_eq!(whole_case.digest(), merged_case.digest());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace → profile round trip.
+
+/// A sweep's `--trace` stream, aggregated by the `semint profile`
+/// machinery, reproduces the sweep report's own per-case counter totals and
+/// scenario counts — the JSONL round trip loses nothing the profile needs.
+#[test]
+fn trace_round_trips_through_profile_aggregation() {
+    let source = SeedRange::new(0, 18).expect("non-empty");
+    let cases = AnyCase::all(false);
+    let path = std::env::temp_dir().join(format!(
+        "semint-telemetry-roundtrip-{}.jsonl",
+        std::process::id()
+    ));
+    let observer = SweepObserver::new(54, Some(&path), false).expect("trace file");
+    let swept_cfg = SweepConfig {
+        time: true,
+        ..cfg(4, 8, GenProfile::standard())
+    };
+    let report = sweep_all_observed(&cases, &source, &swept_cfg, Some(&observer));
+    observer.finish().expect("trace writer");
+    let text = std::fs::read_to_string(&path).expect("trace written");
+    let _ = std::fs::remove_file(&path);
+
+    let mut profile = TraceProfile::default();
+    absorb_trace(&mut profile, &text).expect("well-formed trace");
+    assert_eq!(profile.scenarios, report.scenarios());
+    assert!(profile.heartbeats >= 1, "finish emits a final heartbeat");
+    for case in &report.cases {
+        let profiled = &profile.cases[&case.case];
+        assert_eq!(
+            profiled.counters, case.counters,
+            "case {}: profile counters diverge from the sweep report",
+            case.case
+        );
+        assert_eq!(profiled.scenarios, case.scenarios, "case {}", case.case);
+        assert_eq!(profiled.steps, case.total_steps, "case {}", case.case);
+    }
+    let rendered = render_profile(&profile);
+    assert!(rendered.contains("trace profile:"), "{rendered}");
+    assert!(rendered.contains("hottest seeds"), "{rendered}");
+}
+
+// ---------------------------------------------------------------------------
+// The counters themselves are live.
+
+/// Sanity on counter content: one retired instruction per machine step
+/// (`total_instrs == total_steps` per case), and the engine stamps boundary
+/// crossings from the scenarios' static counts.
+#[test]
+fn counters_account_for_every_step_and_boundary() {
+    let source = SeedRange::new(0, 20).expect("non-empty");
+    for case in AnyCase::all(false) {
+        let report = sweep_case(&case, &source, &cfg(2, 4, GenProfile::standard()));
+        assert_eq!(
+            report.counters.total_instrs(),
+            report.total_steps,
+            "case {}: each machine step retires exactly one classified instruction",
+            report.case
+        );
+        assert_eq!(
+            report.counters.boundary_crossings, report.total_boundaries,
+            "case {}: boundary crossings come from the static per-scenario counts",
+            report.case
+        );
+    }
+}
+
+/// A report absorbed from zero-counter legacy data merges with a live one
+/// without disturbing it (absent counters behave as zero everywhere).
+#[test]
+fn legacy_zero_counters_merge_neutrally() {
+    let source = SeedRange::new(0, 10).expect("non-empty");
+    let case = AnyCase::by_name("sharedmem", false).expect("known case");
+    let live = sweep_case(&case, &source, &cfg(1, 1, GenProfile::standard()));
+    let mut merged = live.clone();
+    merged.merge(&CaseReport::new("sharedmem"));
+    assert_eq!(merged.counters, live.counters);
+    let mut from_legacy = CaseReport::new("sharedmem");
+    from_legacy.merge(&live);
+    assert_eq!(from_legacy.counters, live.counters);
+    assert_eq!(VmCounters::default(), CaseReport::new("sharedmem").counters);
+}
