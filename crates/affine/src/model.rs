@@ -421,7 +421,7 @@ fn value_to_expr(v: &Value) -> Expr {
             // Rebuild `λparam. body` under lets binding the captured free
             // variables.  Environments in checker-built values are tiny, so
             // the quadratic rebuild is irrelevant.
-            let mut expr = Expr::Lam(param.clone(), Box::new((**body).clone()));
+            let mut expr = Expr::Lam(param.clone(), body.clone());
             let mut bound: Vec<Var> = vec![param.clone()];
             for fv in body.free_vars() {
                 if bound.contains(&fv) {

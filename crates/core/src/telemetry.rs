@@ -60,6 +60,13 @@ pub struct VmCounters {
     pub boundary_crossings: u64,
     /// Heap cells allocated over the whole run (GC'd + manual).
     pub heap_allocs: u64,
+    /// Cells released over the run: manual `free`s plus cells reclaimed by
+    /// GC sweeps.  Zero for reports read from files written before the
+    /// arena heap landed.
+    pub heap_frees: u64,
+    /// Allocations served by recycling a freed slot from the heap's
+    /// free list rather than growing the arena.  Zero for legacy files.
+    pub heap_reuses: u64,
     /// Peak number of simultaneously live heap cells.
     pub heap_peak_live: u64,
     /// High-water mark of the continuation stack (LCVM) or value stack
@@ -109,6 +116,8 @@ impl VmCounters {
         self.instr_heap += other.instr_heap;
         self.boundary_crossings += other.boundary_crossings;
         self.heap_allocs += other.heap_allocs;
+        self.heap_frees += other.heap_frees;
+        self.heap_reuses += other.heap_reuses;
         self.heap_peak_live = self.heap_peak_live.max(other.heap_peak_live);
         self.stack_peak = self.stack_peak.max(other.stack_peak);
     }
@@ -123,7 +132,7 @@ impl VmCounters {
     ///
     /// The keys double as TSV row keys and JSON object keys, so writers and
     /// parsers cannot drift apart.
-    pub fn fields(&self) -> [(&'static str, u64); 8] {
+    pub fn fields(&self) -> [(&'static str, u64); 10] {
         [
             ("instr_data", self.instr_data),
             ("instr_control", self.instr_control),
@@ -131,6 +140,8 @@ impl VmCounters {
             ("instr_heap", self.instr_heap),
             ("boundary_crossings", self.boundary_crossings),
             ("heap_allocs", self.heap_allocs),
+            ("heap_frees", self.heap_frees),
+            ("heap_reuses", self.heap_reuses),
             ("heap_peak_live", self.heap_peak_live),
             ("stack_peak", self.stack_peak),
         ]
@@ -146,6 +157,8 @@ impl VmCounters {
             "instr_heap" => self.instr_heap = value,
             "boundary_crossings" => self.boundary_crossings = value,
             "heap_allocs" => self.heap_allocs = value,
+            "heap_frees" => self.heap_frees = value,
+            "heap_reuses" => self.heap_reuses = value,
             "heap_peak_live" => self.heap_peak_live = value,
             "stack_peak" => self.stack_peak = value,
             _ => return false,
@@ -159,7 +172,7 @@ impl fmt::Display for VmCounters {
         write!(
             f,
             "instrs {} (data {} / control {} / fun {} / heap {}), \
-             boundaries {}, allocs {}, peak live {}, stack peak {}",
+             boundaries {}, allocs {}, frees {}, reuses {}, peak live {}, stack peak {}",
             self.total_instrs(),
             self.instr_data,
             self.instr_control,
@@ -167,6 +180,8 @@ impl fmt::Display for VmCounters {
             self.instr_heap,
             self.boundary_crossings,
             self.heap_allocs,
+            self.heap_frees,
+            self.heap_reuses,
             self.heap_peak_live,
             self.stack_peak,
         )
@@ -185,8 +200,10 @@ mod tests {
             instr_heap: base + 3,
             boundary_crossings: base + 4,
             heap_allocs: base + 5,
-            heap_peak_live: base + 6,
-            stack_peak: base + 7,
+            heap_frees: base + 6,
+            heap_reuses: base + 7,
+            heap_peak_live: base + 8,
+            stack_peak: base + 9,
         }
     }
 
@@ -222,8 +239,10 @@ mod tests {
         assert_eq!(a.instr_data, 110);
         assert_eq!(a.boundary_crossings, 118);
         assert_eq!(a.heap_allocs, 120);
-        assert_eq!(a.heap_peak_live, 106, "peak is max, not sum");
-        assert_eq!(a.stack_peak, 107, "peak is max, not sum");
+        assert_eq!(a.heap_frees, 122, "frees add");
+        assert_eq!(a.heap_reuses, 124, "reuses add");
+        assert_eq!(a.heap_peak_live, 108, "peak is max, not sum");
+        assert_eq!(a.stack_peak, 109, "peak is max, not sum");
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! semint bench --profile deep --repeat 3            # E9/E11 timing mode (per-stage totals)
 //! semint sweep --trace t.jsonl --progress           # JSONL event stream + live stderr line
 //! semint profile t.jsonl                            # aggregate trace files offline
-//! semint bench-diff BENCH_6.json current.json       # digest drift / throughput regression gate
+//! semint bench-diff BENCH_7.json current.json       # digest drift / throughput regression gate
 //! semint report a.tsv b.tsv                         # merge + re-render saved reports
 //! ```
 //!
@@ -27,11 +27,15 @@ use semint_harness::engine::{
     parallel_map, run_generated, run_scenario, sweep_all, sweep_all_observed, SweepConfig,
     MAX_SEEDS_PER_SWEEP,
 };
-use semint_harness::json::{looks_like_bench_json, parse_bench_json, render_bench_json, BenchMeta};
+use semint_harness::json::{
+    looks_like_bench_json, parse_bench_json, parse_bench_json_with_counter_keys, render_bench_json,
+    BenchMeta,
+};
 use semint_harness::profile::{absorb_trace, render_profile, TraceProfile};
 use semint_harness::report::render_sweep;
 use semint_harness::source::{Corpus, ScenarioSource, SeedRange, Shard};
 use semint_harness::trace::SweepObserver;
+use std::collections::BTreeSet;
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -514,6 +518,11 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
         let record = run_generated(case, &scenario, &cfg);
         if let Some(stats) = &record.stats {
             println!("  outcome {} after {} steps", stats.outcome, stats.steps);
+            let c = &stats.counters;
+            println!(
+                "  heap    allocs {} · frees {} · reuses {} · peak live {}",
+                c.heap_allocs, c.heap_frees, c.heap_reuses, c.heap_peak_live
+            );
         }
         println!("  boundaries {}", record.boundaries);
         if let Some(timings) = &record.timings {
@@ -816,12 +825,12 @@ fn cmd_bench_diff(args: &[String]) -> Result<bool, String> {
             "`semint bench-diff` needs exactly two paths: BASELINE.json CURRENT.json".into(),
         );
     };
-    let load = |path: &String| -> Result<(BenchMeta, SweepReport), String> {
+    let load = |path: &String| -> Result<(BenchMeta, SweepReport, BTreeSet<String>), String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        parse_bench_json(&text).map_err(|e| format!("{path}: {e}"))
+        parse_bench_json_with_counter_keys(&text).map_err(|e| format!("{path}: {e}"))
     };
-    let (base_meta, base) = load(baseline_path)?;
-    let (current_meta, current) = load(current_path)?;
+    let (base_meta, base, base_counter_keys) = load(baseline_path)?;
+    let (current_meta, current, _) = load(current_path)?;
     let mut clean = true;
     for base_case in &base.cases {
         let Some(current_case) = current.cases.iter().find(|c| c.case == base_case.case) else {
@@ -829,6 +838,19 @@ fn cmd_bench_diff(args: &[String]) -> Result<bool, String> {
             println!("case {}: MISSING from {current_path}", base_case.case);
             continue;
         };
+        // Counters are digest-grade facts too, but only the keys the baseline
+        // document actually recorded constrain the current run: a counter
+        // introduced after the baseline was written (or a pre-counter
+        // baseline entirely) reads back as zero and is grandfathered in.
+        let counter_drift = !base_case.counters.is_zero()
+            && base_case.counters.fields().iter().any(|(key, base_value)| {
+                base_counter_keys.contains(*key)
+                    && current_case
+                        .counters
+                        .fields()
+                        .iter()
+                        .any(|(k, current_value)| k == key && current_value != base_value)
+            });
         if current_case.digest() != base_case.digest() {
             clean = false;
             println!(
@@ -837,9 +859,7 @@ fn cmd_bench_diff(args: &[String]) -> Result<bool, String> {
                 base_case.digest(),
                 current_case.digest()
             );
-        } else if !base_case.counters.is_zero() && current_case.counters != base_case.counters {
-            // Counters are digest-grade facts too; a pre-counter baseline
-            // (all zero) is grandfathered in.
+        } else if counter_drift {
             clean = false;
             println!(
                 "case {}: VM COUNTER DRIFT\n  baseline {}\n  current  {}",

@@ -355,6 +355,17 @@ impl<'a> Reader<'a> {
 /// records, like the TSV reader) and verifying the recorded per-case digest
 /// still matches the re-computed one.
 pub fn parse_bench_json(text: &str) -> Result<(BenchMeta, SweepReport), String> {
+    parse_bench_json_with_counter_keys(text).map(|(meta, report, _)| (meta, report))
+}
+
+/// Like [`parse_bench_json`], but additionally returns the set of counter
+/// keys the document actually carried.  `semint bench-diff` compares
+/// counters key by key against this set: a baseline written before a counter
+/// existed reads the counter back as zero, which must not register as drift
+/// against a current run that records it.
+pub fn parse_bench_json_with_counter_keys(
+    text: &str,
+) -> Result<(BenchMeta, SweepReport, std::collections::BTreeSet<String>), String> {
     let mut reader = Reader::new(text);
     let doc = reader.value()?;
     if let Some(trailing) = reader.peek_after_ws() {
@@ -385,6 +396,7 @@ pub fn parse_bench_json(text: &str) -> Result<(BenchMeta, SweepReport), String> 
         return Err("\"cases\": expected an array".into());
     };
     let mut report = SweepReport::default();
+    let mut counter_keys = std::collections::BTreeSet::new();
     for entry in cases {
         let mut case = CaseReport::new(entry.require("case")?.as_str("case")?);
         case.scenarios = entry.require("scenarios")?.as_u64("scenarios")?;
@@ -404,6 +416,7 @@ pub fn parse_bench_json(text: &str) -> Result<(BenchMeta, SweepReport), String> 
                 if !case.counters.set_field(key, value.as_u64(key)?) {
                     return Err(format!("\"counters\": unknown counter {key:?}"));
                 }
+                counter_keys.insert(key.clone());
             }
         }
         let Json::Object(outcomes) = entry.require("outcomes")? else {
@@ -441,7 +454,7 @@ pub fn parse_bench_json(text: &str) -> Result<(BenchMeta, SweepReport), String> 
         }
         report.cases.push(case);
     }
-    Ok((meta, report))
+    Ok((meta, report, counter_keys))
 }
 
 /// True when `text` looks like a bench JSON document rather than a TSV
@@ -477,6 +490,8 @@ mod tests {
                         instr_heap: 1 + seed,
                         boundary_crossings: 3,
                         heap_allocs: 1 + seed,
+                        heap_frees: seed,
+                        heap_reuses: seed / 2,
                         heap_peak_live: 1 + seed,
                         stack_peak: 4,
                     },
@@ -539,6 +554,23 @@ mod tests {
         assert_ne!(text, legacy, "the sample must contain the counters field");
         let (_, parsed) = parse_bench_json(&legacy).expect("legacy documents still parse");
         assert!(parsed.cases[0].counters.is_zero());
+    }
+
+    #[test]
+    fn counter_keys_reflect_what_the_document_carried() {
+        let text = render_bench_json(&sample_meta(), &sample_report());
+        let (_, _, keys) = parse_bench_json_with_counter_keys(&text).expect("parse");
+        assert!(keys.contains("heap_frees"));
+        assert!(keys.contains("instr_data"));
+        // A baseline written before a counter existed does not list it.
+        let legacy = text
+            .replace("\"heap_frees\": 10, ", "")
+            .replace("\"heap_reuses\": 4, ", "");
+        assert_ne!(text, legacy, "the sample must carry the new counters");
+        let (_, report, keys) = parse_bench_json_with_counter_keys(&legacy).expect("parse legacy");
+        assert!(!keys.contains("heap_frees"));
+        assert!(keys.contains("heap_allocs"));
+        assert_eq!(report.cases[0].counters.heap_frees, 0, "absent reads zero");
     }
 
     #[test]

@@ -193,8 +193,8 @@ pub fn render_profile(profile: &TraceProfile) -> String {
         );
         let _ = writeln!(
             out,
-            "  allocation       allocs {}  peak live {}  stack peak {}",
-            c.heap_allocs, c.heap_peak_live, c.stack_peak
+            "  allocation       allocs {}  frees {}  reuses {}  peak live {}  stack peak {}",
+            c.heap_allocs, c.heap_frees, c.heap_reuses, c.heap_peak_live, c.stack_peak
         );
         let _ = writeln!(out, "  boundaries       {}", c.boundary_crossings);
         if case.glue_hits + case.glue_misses > 0 {

@@ -293,6 +293,8 @@ mod tests {
                     instr_heap: 1,
                     boundary_crossings: 2,
                     heap_allocs: 1,
+                    heap_frees: 1,
+                    heap_reuses: 0,
                     heap_peak_live: 1,
                     stack_peak: 3,
                 },

@@ -7,13 +7,28 @@
 //! interesting, so the implementation preserves it faithfully via a free
 //! list.
 //!
+//! # Layout
+//!
+//! The heap is a `Vec`-backed **slab**: location `ℓi` is index `i`, so
+//! allocation is a pointer bump (or a free-list pop), reads and writes are
+//! direct indexing, and dangling detection is an index/occupancy check
+//! instead of a map lookup.  Freeing a manual cell vacates its slot in
+//! place and pushes the location onto the free list; the next allocation
+//! pops it (LIFO), which is exactly the re-use order the old map-based heap
+//! exhibited.  Each slot carries the **epoch** it was last written in:
+//! [`Heap::reset`] just bumps the heap's epoch and rewinds the bump pointer,
+//! so a batch-lifetime heap resets in O(1) while retaining its capacity, and
+//! slots surviving from a previous epoch read as dangling without ever being
+//! scanned.
+//!
 //! The collector is a simple mark-and-sweep over GC'd cells only; manually
 //! managed cells are never collected but are traced (a manual cell keeps the
-//! GC'd cells it points to alive).
+//! GC'd cells it points to alive).  Mark state lives in a per-heap scratch
+//! buffer (a stamp array plus a worklist) that is reused across collections,
+//! so a `callgc`-heavy run allocates no transient mark sets.
 
 use crate::value::Value;
 use semint_core::ErrorCode;
-use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A heap location `ℓ`.
@@ -100,13 +115,49 @@ pub struct HeapStats {
     pub peak_live: u64,
 }
 
+/// One slab slot: the slot last written at index `i`, tagged with the heap
+/// epoch it belongs to.  An entry is live iff its epoch matches the heap's
+/// current epoch *and* it holds a slot — vacated (freed/collected) slots
+/// keep their epoch but hold `None`.
+#[derive(Debug, Clone)]
+struct Entry {
+    epoch: u64,
+    slot: Option<Slot>,
+}
+
 /// The LCVM heap.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Equality compares the *logical* store — live cells in ascending location
+/// order, the free list, the bump pointer, and the statistics — so a reset
+/// slab with retained capacity is equal to [`Heap::new`], exactly as the old
+/// map-based heap was.
+#[derive(Debug, Clone, Default)]
 pub struct Heap {
-    slots: BTreeMap<Loc, Slot>,
+    slots: Vec<Entry>,
     free_list: Vec<Loc>,
+    /// Lowest never-allocated index of the current epoch (the bump pointer);
+    /// every live or vacated current-epoch entry sits below it.
     next: u64,
+    epoch: u64,
+    live: u64,
+    manual_live: u64,
     stats: HeapStats,
+    /// Mark scratch for [`Heap::collect`]: `mark[i] == mark_stamp` means
+    /// index `i` was marked by the collection in progress.  Reused across
+    /// collections; never compared or harvested.
+    mark: Vec<u64>,
+    mark_stamp: u64,
+    worklist: Vec<Loc>,
+}
+
+impl PartialEq for Heap {
+    fn eq(&self, other: &Heap) -> bool {
+        self.next == other.next
+            && self.free_list == other.free_list
+            && self.stats == other.stats
+            && self.live == other.live
+            && self.iter().eq(other.iter())
+    }
 }
 
 impl Heap {
@@ -116,16 +167,83 @@ impl Heap {
     }
 
     /// Clears the heap in place — no live cells, fresh location counter,
-    /// zeroed statistics — retaining the free list's buffer for callers
-    /// that reset a heap they keep holding.  (A reused machine's heap moves
-    /// into each run's [`crate::RunResult`], so there this mostly re-arms
-    /// an already-empty heap.)  A reset heap is indistinguishable from
-    /// [`Heap::new`].
+    /// zeroed statistics — in O(1): the slab's epoch is bumped and the bump
+    /// pointer rewound, so capacity (and the GC scratch buffers) survive
+    /// while every stale slot reads as dangling.  A reset heap is
+    /// indistinguishable from [`Heap::new`].
     pub fn reset(&mut self) {
-        self.slots.clear();
-        self.free_list.clear();
+        self.epoch += 1;
         self.next = 0;
+        self.live = 0;
+        self.manual_live = 0;
+        self.free_list.clear();
         self.stats = HeapStats::default();
+    }
+
+    /// Moves the logical store out into a compact standalone heap — live
+    /// cells, free list, bump pointer, statistics — and resets `self` for
+    /// the next run.  A batch-lifetime machine hands the harvested heap to
+    /// its [`crate::RunResult`] while keeping the slab (and its capacity)
+    /// for the rest of the batch; the harvested heap is `==` to the heap
+    /// the old move-out design produced.
+    pub fn harvest(&mut self) -> Heap {
+        let next = self.next as usize;
+        let mut slots = Vec::with_capacity(next);
+        for entry in self.slots.iter_mut().take(next) {
+            slots.push(Entry {
+                epoch: 0,
+                slot: if entry.epoch == self.epoch {
+                    entry.slot.take()
+                } else {
+                    None
+                },
+            });
+        }
+        let harvested = Heap {
+            slots,
+            free_list: std::mem::take(&mut self.free_list),
+            next: self.next,
+            epoch: 0,
+            live: self.live,
+            manual_live: self.manual_live,
+            stats: self.stats,
+            mark: Vec::new(),
+            mark_stamp: 0,
+            worklist: Vec::new(),
+        };
+        self.reset();
+        harvested
+    }
+
+    /// The slab index of `l` if `l` could name a current-epoch slot.
+    #[inline]
+    fn index(&self, l: Loc) -> Option<usize> {
+        let i = usize::try_from(l.0).ok()?;
+        (i < self.next as usize).then_some(i)
+    }
+
+    /// The live entry at `l`, if any.
+    #[inline]
+    fn entry(&self, l: Loc) -> Option<&Slot> {
+        let i = self.index(l)?;
+        let entry = &self.slots[i];
+        if entry.epoch == self.epoch {
+            entry.slot.as_ref()
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn entry_mut(&mut self, l: Loc) -> Option<&mut Slot> {
+        let i = self.index(l)?;
+        let epoch = self.epoch;
+        let entry = &mut self.slots[i];
+        if entry.epoch == epoch {
+            entry.slot.as_mut()
+        } else {
+            None
+        }
     }
 
     fn next_loc(&mut self) -> Loc {
@@ -139,11 +257,25 @@ impl Heap {
         }
     }
 
+    /// Stores `slot` at the (just handed out) location `l`.
+    fn place(&mut self, l: Loc, slot: Slot) {
+        let i = l.0 as usize;
+        let entry = Entry {
+            epoch: self.epoch,
+            slot: Some(slot),
+        };
+        if i == self.slots.len() {
+            self.slots.push(entry);
+        } else {
+            self.slots[i] = entry;
+        }
+    }
+
     /// Allocates a garbage-collected cell (`ref e`).
     pub fn alloc_gc(&mut self, v: Value) -> Loc {
         let l = self.next_loc();
         self.stats.gc_allocs += 1;
-        self.slots.insert(l, Slot::Gc(v));
+        self.place(l, Slot::Gc(v));
         self.note_live();
         l
     }
@@ -152,30 +284,28 @@ impl Heap {
     pub fn alloc_manual(&mut self, v: Value) -> Loc {
         let l = self.next_loc();
         self.stats.manual_allocs += 1;
-        self.slots.insert(l, Slot::Manual(v));
+        self.place(l, Slot::Manual(v));
+        self.manual_live += 1;
         self.note_live();
         l
     }
 
     /// Raises the peak-live-cells statistic to the current population.
     fn note_live(&mut self) {
-        let live = self.slots.len() as u64;
-        if live > self.stats.peak_live {
-            self.stats.peak_live = live;
+        self.live += 1;
+        if self.live > self.stats.peak_live {
+            self.stats.peak_live = self.live;
         }
     }
 
     /// Reads the value stored at `l`.
     pub fn read(&self, l: Loc) -> Result<&Value, HeapError> {
-        self.slots
-            .get(&l)
-            .map(Slot::value)
-            .ok_or(HeapError::Dangling(l))
+        self.entry(l).map(Slot::value).ok_or(HeapError::Dangling(l))
     }
 
     /// Writes `v` at `l`, preserving its management discipline.
     pub fn write(&mut self, l: Loc, v: Value) -> Result<(), HeapError> {
-        match self.slots.get_mut(&l) {
+        match self.entry_mut(l) {
             Some(Slot::Gc(slot)) | Some(Slot::Manual(slot)) => {
                 *slot = v;
                 Ok(())
@@ -185,14 +315,18 @@ impl Heap {
     }
 
     /// Frees a manually-managed cell; fails on GC'd or dangling locations.
+    /// The vacated location goes onto the free list for re-use.
     pub fn free(&mut self, l: Loc) -> Result<Value, HeapError> {
-        match self.slots.get(&l) {
+        match self.entry(l) {
             Some(Slot::Manual(_)) => {
-                let v = match self.slots.remove(&l) {
+                let i = l.0 as usize;
+                let v = match self.slots[i].slot.take() {
                     Some(Slot::Manual(v)) => v,
                     _ => unreachable!("checked above"),
                 };
                 self.free_list.push(l);
+                self.live -= 1;
+                self.manual_live -= 1;
                 self.stats.frees += 1;
                 Ok(v)
             }
@@ -204,13 +338,15 @@ impl Heap {
     /// Converts a manually-managed cell into a GC'd cell, keeping its
     /// identity and contents (`gcmov e`).
     pub fn gcmov(&mut self, l: Loc) -> Result<(), HeapError> {
-        match self.slots.get(&l) {
+        match self.entry(l) {
             Some(Slot::Manual(_)) => {
-                let v = match self.slots.remove(&l) {
+                let i = l.0 as usize;
+                let v = match self.slots[i].slot.take() {
                     Some(Slot::Manual(v)) => v,
                     _ => unreachable!("checked above"),
                 };
-                self.slots.insert(l, Slot::Gc(v));
+                self.slots[i].slot = Some(Slot::Gc(v));
+                self.manual_live -= 1;
                 self.stats.gcmovs += 1;
                 Ok(())
             }
@@ -221,27 +357,27 @@ impl Heap {
 
     /// True if `l` is currently allocated.
     pub fn contains(&self, l: Loc) -> bool {
-        self.slots.contains_key(&l)
+        self.entry(l).is_some()
     }
 
     /// The slot at `l`, if allocated (exposes whether it is GC'd or manual).
     pub fn slot(&self, l: Loc) -> Option<&Slot> {
-        self.slots.get(&l)
+        self.entry(l)
     }
 
     /// Number of live cells.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.live as usize
     }
 
     /// True when no cells are live.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.live == 0
     }
 
     /// Number of live manually-managed cells.
     pub fn manual_len(&self) -> usize {
-        self.slots.values().filter(|s| s.is_manual()).count()
+        self.manual_live as usize
     }
 
     /// Accumulated statistics.
@@ -249,9 +385,20 @@ impl Heap {
         self.stats
     }
 
-    /// Iterates over live cells.
-    pub fn iter(&self) -> impl Iterator<Item = (&Loc, &Slot)> {
-        self.slots.iter()
+    /// Iterates over live cells in ascending location order.
+    pub fn iter(&self) -> impl Iterator<Item = (Loc, &Slot)> {
+        let epoch = self.epoch;
+        self.slots
+            .iter()
+            .take(self.next as usize)
+            .enumerate()
+            .filter_map(move |(i, entry)| {
+                if entry.epoch == epoch {
+                    entry.slot.as_ref().map(|s| (Loc(i as u64), s))
+                } else {
+                    None
+                }
+            })
     }
 
     /// Runs a mark-and-sweep collection (`callgc`).
@@ -260,49 +407,69 @@ impl Heap {
     /// (environments, continuation frames, pinned locations).  Manual cells
     /// are never reclaimed, but they *are* traced: a GC'd cell referenced
     /// from a live manual cell survives.  Returns the number of reclaimed
-    /// cells; reclaimed locations go onto the free list for re-use.
+    /// cells; reclaimed locations are vacated in place and pushed onto the
+    /// free list in ascending order for re-use.
     pub fn collect(&mut self, roots: impl IntoIterator<Item = Loc>) -> usize {
         self.stats.gc_runs += 1;
-        let mut marked: BTreeSet<Loc> = BTreeSet::new();
-        let mut worklist: Vec<Loc> = roots.into_iter().collect();
+        let next = self.next as usize;
+        self.mark_stamp += 1;
+        let stamp = self.mark_stamp;
+        if self.mark.len() < next {
+            self.mark.resize(next, 0);
+        }
+        let mut worklist = std::mem::take(&mut self.worklist);
+        worklist.clear();
+        worklist.extend(roots);
         // Manual cells are unconditional roots: the machine cannot see the
         // "owned heap fragments" the §5 model threads through values, so we
         // conservatively keep everything reachable from manual memory.
-        worklist.extend(
-            self.slots
-                .iter()
-                .filter(|(_, s)| s.is_manual())
-                .map(|(l, _)| *l),
-        );
+        for (i, entry) in self.slots.iter().enumerate().take(next) {
+            if entry.epoch == self.epoch && entry.slot.as_ref().is_some_and(Slot::is_manual) {
+                worklist.push(Loc(i as u64));
+            }
+        }
         while let Some(l) = worklist.pop() {
-            if !marked.insert(l) {
+            // Out-of-slab locations (pinned sentinels, stale pointers) have
+            // no slot to trace and cannot be swept, so skipping them is the
+            // same as the old map's "marked but absent" case.
+            let Some(i) = usize::try_from(l.0).ok().filter(|i| *i < next) else {
+                continue;
+            };
+            if self.mark[i] == stamp {
                 continue;
             }
-            if let Some(slot) = self.slots.get(&l) {
-                let mut out = BTreeSet::new();
-                slot.value().collect_locs(&mut out);
-                worklist.extend(out);
+            self.mark[i] = stamp;
+            let entry = &self.slots[i];
+            if entry.epoch == self.epoch {
+                if let Some(slot) = &entry.slot {
+                    slot.value().collect_locs_into(&mut worklist);
+                }
             }
         }
-        let dead: Vec<Loc> = self
-            .slots
-            .iter()
-            .filter(|(l, s)| !s.is_manual() && !marked.contains(l))
-            .map(|(l, _)| *l)
-            .collect();
-        for l in &dead {
-            self.slots.remove(l);
-            self.free_list.push(*l);
+        worklist.clear();
+        self.worklist = worklist;
+        let mut reclaimed = 0;
+        for i in 0..next {
+            let entry = &mut self.slots[i];
+            if entry.epoch == self.epoch
+                && self.mark[i] != stamp
+                && entry.slot.as_ref().is_some_and(|s| !s.is_manual())
+            {
+                entry.slot = None;
+                self.free_list.push(Loc(i as u64));
+                self.live -= 1;
+                reclaimed += 1;
+            }
         }
-        self.stats.collected += dead.len() as u64;
-        dead.len()
+        self.stats.collected += reclaimed;
+        reclaimed as usize
     }
 }
 
 impl fmt::Display for Heap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
-        for (i, (l, s)) in self.slots.iter().enumerate() {
+        for (i, (l, s)) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -355,6 +522,19 @@ mod tests {
     }
 
     #[test]
+    fn reading_a_reused_location_sees_the_new_cell() {
+        // The paper's dangling-pointer hazard: after free + re-allocation a
+        // stale pointer to the location observes the *new* cell — location
+        // identity is all there is (Fig. 12 re-use).
+        let mut h = Heap::new();
+        let m = h.alloc_manual(Value::Int(2));
+        h.free(m).unwrap();
+        let m2 = h.alloc_gc(Value::Int(3));
+        assert_eq!(m, m2);
+        assert_eq!(h.read(m).unwrap(), &Value::Int(3));
+    }
+
+    #[test]
     fn gcmov_turns_manual_into_gc_keeping_identity() {
         let mut h = Heap::new();
         let m = h.alloc_manual(Value::Int(7));
@@ -363,6 +543,7 @@ mod tests {
         // A second gcmov (or a free) now fails: it is no longer manual.
         assert_eq!(h.gcmov(m), Err(HeapError::NotManual(m)));
         assert_eq!(h.free(m), Err(HeapError::NotManual(m)));
+        assert_eq!(h.manual_len(), 0);
     }
 
     #[test]
@@ -396,6 +577,19 @@ mod tests {
     }
 
     #[test]
+    fn collect_tolerates_out_of_slab_roots() {
+        let mut h = Heap::new();
+        let live = h.alloc_gc(Value::Int(1));
+        let dead = h.alloc_gc(Value::Int(2));
+        // Pinned sentinels (the memgc model uses Loc(u64::MAX)) and stale
+        // pointers beyond the slab are ignored, not panics.
+        let n = h.collect([live, Loc(u64::MAX), Loc(1_000)]);
+        assert_eq!(n, 1);
+        assert!(h.contains(live));
+        assert!(!h.contains(dead));
+    }
+
+    #[test]
     fn reset_heaps_are_indistinguishable_from_fresh_ones() {
         let mut h = Heap::new();
         let g = h.alloc_gc(Value::Int(1));
@@ -410,6 +604,43 @@ mod tests {
         assert_eq!(l, Loc(0));
         assert_eq!(h.stats().reused, 0);
         assert_eq!(h.stats().gc_allocs, 1);
+    }
+
+    #[test]
+    fn stale_slots_from_previous_epochs_read_as_dangling() {
+        let mut h = Heap::new();
+        h.alloc_gc(Value::Int(1));
+        let stale = h.alloc_gc(Value::Int(2));
+        h.reset();
+        // ℓ0 is re-populated this epoch; ℓ1 survives only as slab capacity.
+        let l = h.alloc_gc(Value::Int(9));
+        assert_eq!(l, Loc(0));
+        assert_eq!(h.read(stale), Err(HeapError::Dangling(stale)));
+        assert!(!h.contains(stale));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn harvest_moves_the_logical_store_and_rearms_the_slab() {
+        let mut h = Heap::new();
+        let g = h.alloc_gc(Value::Int(1));
+        let m = h.alloc_manual(Value::Int(2));
+        let f = h.alloc_manual(Value::Int(3));
+        h.free(f).unwrap();
+        let mut reference = Heap::new();
+        let rg = reference.alloc_gc(Value::Int(1));
+        let rm = reference.alloc_manual(Value::Int(2));
+        let rf = reference.alloc_manual(Value::Int(3));
+        reference.free(rf).unwrap();
+        assert_eq!((g, m), (rg, rm));
+        let harvested = h.harvest();
+        assert_eq!(harvested, reference, "harvest preserves the logical heap");
+        assert_eq!(harvested.read(g).unwrap(), &Value::Int(1));
+        assert_eq!(harvested.stats().frees, 1);
+        assert_eq!(h, Heap::new(), "the slab is re-armed, logically fresh");
+        let l = h.alloc_gc(Value::Int(9));
+        assert_eq!(l, Loc(0), "allocation restarts at ℓ0 with no stale reuse");
+        assert_eq!(h.stats().reused, 0);
     }
 
     #[test]

@@ -103,24 +103,28 @@ pub struct MachineConfig {
 }
 
 /// Continuation frames.
+///
+/// Pending expressions are held as [`Arc<Expr>`] — the same shared nodes the
+/// program AST is built from — so pushing a frame is a reference-count bump,
+/// never a copy of the subtree.
 #[derive(Debug, Clone)]
 enum Frame {
-    PairL(Expr, Env),
+    PairL(Arc<Expr>, Env),
     PairR(Value),
     Fst,
     Snd,
     InlK,
     InrK,
-    IfK(Expr, Expr, Env),
-    MatchK(Var, Expr, Var, Expr, Env),
-    LetK(Var, Expr, Env),
-    AppL(Expr, Env),
+    IfK(Arc<Expr>, Arc<Expr>, Env),
+    MatchK(Var, Arc<Expr>, Var, Arc<Expr>, Env),
+    LetK(Var, Arc<Expr>, Env),
+    AppL(Arc<Expr>, Env),
     AppR(Value),
     RefK,
     DerefK,
-    AssignL(Expr, Env),
+    AssignL(Arc<Expr>, Env),
     AssignR(Loc),
-    PrimL(PrimOp, Expr, Env),
+    PrimL(PrimOp, Arc<Expr>, Env),
     PrimR(PrimOp, Value),
     AllocK,
     FreeK,
@@ -129,7 +133,7 @@ enum Frame {
 
 #[derive(Debug, Clone)]
 enum Control {
-    Eval(Expr, Env),
+    Eval(Arc<Expr>, Env),
     Return(Value),
 }
 
@@ -163,7 +167,7 @@ impl Machine {
     pub fn with_state(heap: Heap, env: Env, expr: Expr, config: MachineConfig) -> Machine {
         Machine {
             heap,
-            control: Control::Eval(expr, env),
+            control: Control::Eval(Arc::new(expr), env),
             kont: Vec::new(),
             config,
             phantom: PhantomState::new(),
@@ -175,10 +179,11 @@ impl Machine {
 
     /// Rearms the machine to evaluate `expr` from the empty configuration,
     /// clearing the heap, environment, continuation stack and phantom state
-    /// **in place**.  The continuation stack's buffer keeps the capacity its
-    /// previous runs grew — the retained allocation a batch of compiled
-    /// artifacts shares by reusing one machine (each run's final *heap*
-    /// moves into its [`RunResult`], so heaps start over; see
+    /// **in place**.  The continuation stack's buffer and the heap slab both
+    /// keep the capacity their previous runs grew — the retained allocations
+    /// a batch of compiled artifacts shares by reusing one machine (each
+    /// run's final *heap* is harvested into its [`RunResult`], so heaps
+    /// start over logically while the slab's storage stays; see
     /// [`Machine::run_mut`]).  The static [`MachineConfig`] is retained.
     ///
     /// A reset machine is observationally identical to
@@ -188,7 +193,7 @@ impl Machine {
     pub fn reset(&mut self, expr: Expr) {
         self.heap.reset();
         self.kont.clear();
-        self.control = Control::Eval(expr, Env::empty());
+        self.control = Control::Eval(Arc::new(expr), Env::empty());
         self.phantom = PhantomState::new();
         self.steps = 0;
         self.counters = VmCounters::new();
@@ -311,12 +316,14 @@ impl Machine {
         self.counters.note_stack_depth(self.kont.len());
     }
 
-    fn step_eval(&mut self, e: Expr, env: Env) {
-        match e {
+    fn step_eval(&mut self, e: Arc<Expr>, env: Env) {
+        // Matching through the `Arc` means every child handed to a frame or
+        // the next control is a reference-count bump, never a subtree copy.
+        match &*e {
             Expr::Unit => self.control = Control::Return(Value::Unit),
-            Expr::Int(n) => self.control = Control::Return(Value::Int(n)),
-            Expr::Loc(l) => self.control = Control::Return(Value::Loc(l)),
-            Expr::Var(x) => match env.lookup(&x) {
+            Expr::Int(n) => self.control = Control::Return(Value::Int(*n)),
+            Expr::Loc(l) => self.control = Control::Return(Value::Loc(*l)),
+            Expr::Var(x) => match env.lookup(x) {
                 Some(Value::Protected(inner, f)) => {
                     // Augmented semantics: forcing a protected value consumes
                     // its phantom flag; a missing flag means the variable was
@@ -333,76 +340,84 @@ impl Machine {
                 None => self.fail(ErrorCode::Type),
             },
             Expr::Pair(e1, e2) => {
-                self.kont.push(Frame::PairL(*e2, env.clone()));
-                self.control = Control::Eval(*e1, env);
+                self.kont.push(Frame::PairL(e2.clone(), env.clone()));
+                self.control = Control::Eval(e1.clone(), env);
             }
             Expr::Fst(e1) => {
                 self.kont.push(Frame::Fst);
-                self.control = Control::Eval(*e1, env);
+                self.control = Control::Eval(e1.clone(), env);
             }
             Expr::Snd(e1) => {
                 self.kont.push(Frame::Snd);
-                self.control = Control::Eval(*e1, env);
+                self.control = Control::Eval(e1.clone(), env);
             }
             Expr::Inl(e1) => {
                 self.kont.push(Frame::InlK);
-                self.control = Control::Eval(*e1, env);
+                self.control = Control::Eval(e1.clone(), env);
             }
             Expr::Inr(e1) => {
                 self.kont.push(Frame::InrK);
-                self.control = Control::Eval(*e1, env);
+                self.control = Control::Eval(e1.clone(), env);
             }
             Expr::If(c, t, f) => {
-                self.kont.push(Frame::IfK(*t, *f, env.clone()));
-                self.control = Control::Eval(*c, env);
+                self.kont
+                    .push(Frame::IfK(t.clone(), f.clone(), env.clone()));
+                self.control = Control::Eval(c.clone(), env);
             }
             Expr::Match(s, x, l, y, r) => {
-                self.kont.push(Frame::MatchK(x, *l, y, *r, env.clone()));
-                self.control = Control::Eval(*s, env);
+                self.kont.push(Frame::MatchK(
+                    x.clone(),
+                    l.clone(),
+                    y.clone(),
+                    r.clone(),
+                    env.clone(),
+                ));
+                self.control = Control::Eval(s.clone(), env);
             }
             Expr::Let(x, bound, body) => {
-                self.kont.push(Frame::LetK(x, *body, env.clone()));
-                self.control = Control::Eval(*bound, env);
+                self.kont
+                    .push(Frame::LetK(x.clone(), body.clone(), env.clone()));
+                self.control = Control::Eval(bound.clone(), env);
             }
             Expr::Lam(x, body) => {
                 self.control = Control::Return(Value::Closure {
-                    param: x,
-                    body: Arc::new(*body),
+                    param: x.clone(),
+                    body: body.clone(),
                     env,
                 });
             }
             Expr::App(f, a) => {
-                self.kont.push(Frame::AppL(*a, env.clone()));
-                self.control = Control::Eval(*f, env);
+                self.kont.push(Frame::AppL(a.clone(), env.clone()));
+                self.control = Control::Eval(f.clone(), env);
             }
             Expr::Ref(e1) => {
                 self.kont.push(Frame::RefK);
-                self.control = Control::Eval(*e1, env);
+                self.control = Control::Eval(e1.clone(), env);
             }
             Expr::Deref(e1) => {
                 self.kont.push(Frame::DerefK);
-                self.control = Control::Eval(*e1, env);
+                self.control = Control::Eval(e1.clone(), env);
             }
             Expr::Assign(e1, e2) => {
-                self.kont.push(Frame::AssignL(*e2, env.clone()));
-                self.control = Control::Eval(*e1, env);
+                self.kont.push(Frame::AssignL(e2.clone(), env.clone()));
+                self.control = Control::Eval(e1.clone(), env);
             }
-            Expr::Fail(c) => self.fail(c),
+            Expr::Fail(c) => self.fail(*c),
             Expr::Prim(op, e1, e2) => {
-                self.kont.push(Frame::PrimL(op, *e2, env.clone()));
-                self.control = Control::Eval(*e1, env);
+                self.kont.push(Frame::PrimL(*op, e2.clone(), env.clone()));
+                self.control = Control::Eval(e1.clone(), env);
             }
             Expr::Alloc(e1) => {
                 self.kont.push(Frame::AllocK);
-                self.control = Control::Eval(*e1, env);
+                self.control = Control::Eval(e1.clone(), env);
             }
             Expr::Free(e1) => {
                 self.kont.push(Frame::FreeK);
-                self.control = Control::Eval(*e1, env);
+                self.control = Control::Eval(e1.clone(), env);
             }
             Expr::Gcmov(e1) => {
                 self.kont.push(Frame::GcmovK);
-                self.control = Control::Eval(*e1, env);
+                self.control = Control::Eval(e1.clone(), env);
             }
             Expr::Callgc => {
                 let roots = self.heap_roots();
@@ -413,14 +428,14 @@ impl Machine {
                 // Evaluating protect(e, f) consumes the flag and continues
                 // with e (paper: ⟨Φ ⊎ {f}, H, protect(e,f)⟩ ⇝ ⟨Φ, H, e⟩).
                 if self.config.phantom.is_some() {
-                    if self.phantom.consume(f) {
-                        self.control = Control::Eval(*e1, env);
+                    if self.phantom.consume(*f) {
+                        self.control = Control::Eval(e1.clone(), env);
                     } else {
-                        self.halted = Some(Halt::PhantomStuck { flag: f });
+                        self.halted = Some(Halt::PhantomStuck { flag: *f });
                     }
                 } else {
                     // Outside augmented mode protect is erased on the fly.
-                    self.control = Control::Eval(*e1, env);
+                    self.control = Control::Eval(e1.clone(), env);
                 }
             }
         }
@@ -479,7 +494,7 @@ impl Machine {
             Frame::AppR(fun) => match fun {
                 Value::Closure { param, body, env } => {
                     let env = self.bind(&env, param, v);
-                    self.control = Control::Eval((*body).clone(), env);
+                    self.control = Control::Eval(body, env);
                 }
                 _ => self.fail(ErrorCode::Type),
             },
@@ -581,16 +596,19 @@ impl Machine {
         }
     }
 
-    /// Packages the run's outcome, moving the final heap out of the machine.
+    /// Packages the run's outcome, harvesting the final heap out of the
+    /// machine's slab so the slab's capacity survives for the next run.
     fn take_result(&mut self, halt: Halt) -> RunResult {
-        // Heap-derived counters must be read before the heap moves out.
+        // Heap-derived counters must be read before the heap is harvested.
         let heap_stats = self.heap.stats();
         let mut counters = self.counters;
         counters.heap_allocs = heap_stats.gc_allocs + heap_stats.manual_allocs;
+        counters.heap_frees = heap_stats.frees + heap_stats.collected;
+        counters.heap_reuses = heap_stats.reused;
         counters.heap_peak_live = heap_stats.peak_live;
         RunResult {
             halt,
-            heap: std::mem::take(&mut self.heap),
+            heap: self.heap.harvest(),
             steps: self.steps,
             flags_consumed: self.phantom.consumed(),
             counters,
@@ -1006,7 +1024,7 @@ mod tests {
         // Directly evaluating protect(e, f) without the flag being live makes
         // the augmented machine stuck.
         let cfg = PhantomConfig::protecting([Var::new("unused")]);
-        let e = Expr::Protect(Box::new(Expr::int(1)), 999);
+        let e = Expr::Protect(Arc::new(Expr::int(1)), 999);
         let r = Machine::run_phantom(e.clone(), cfg, Fuel::default());
         assert!(matches!(r.halt, Halt::PhantomStuck { flag: 999 }));
         // Outside augmented mode, protect is erased on the fly.

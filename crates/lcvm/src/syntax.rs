@@ -9,6 +9,7 @@
 use semint_core::{ErrorCode, Var};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// Primitive binary operators over integers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -43,6 +44,11 @@ impl fmt::Display for PrimOp {
 /// Note on booleans: following the paper's compilers (Fig. 8), **0 is true**
 /// and any non-zero integer is false; `if e {e1} {e2}` takes the first branch
 /// when `e` evaluates to `0`.
+///
+/// Subexpressions are [`Arc`]-shared, so cloning an expression — which the
+/// machine does once per β-reduction when it enters a closure body — is a
+/// reference-count bump, not a deep copy.  Expressions are immutable after
+/// construction, so the sharing is unobservable.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// `()`.
@@ -54,48 +60,48 @@ pub enum Expr {
     /// A variable `x`.
     Var(Var),
     /// A pair `(e1, e2)`.
-    Pair(Box<Expr>, Box<Expr>),
+    Pair(Arc<Expr>, Arc<Expr>),
     /// `fst e`.
-    Fst(Box<Expr>),
+    Fst(Arc<Expr>),
     /// `snd e`.
-    Snd(Box<Expr>),
+    Snd(Arc<Expr>),
     /// `inl e`.
-    Inl(Box<Expr>),
+    Inl(Arc<Expr>),
     /// `inr e`.
-    Inr(Box<Expr>),
+    Inr(Arc<Expr>),
     /// `if e { e1 } { e2 }` — first branch when `e` is `0`.
-    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    If(Arc<Expr>, Arc<Expr>, Arc<Expr>),
     /// `match e x { e1 } y { e2 }` — case analysis on `inl`/`inr`.
-    Match(Box<Expr>, Var, Box<Expr>, Var, Box<Expr>),
+    Match(Arc<Expr>, Var, Arc<Expr>, Var, Arc<Expr>),
     /// `let x = e1 in e2`.
-    Let(Var, Box<Expr>, Box<Expr>),
+    Let(Var, Arc<Expr>, Arc<Expr>),
     /// `λx { e }`.
-    Lam(Var, Box<Expr>),
+    Lam(Var, Arc<Expr>),
     /// Application `e1 e2`.
-    App(Box<Expr>, Box<Expr>),
+    App(Arc<Expr>, Arc<Expr>),
     /// `ref e`: allocate a garbage-collected cell.
-    Ref(Box<Expr>),
+    Ref(Arc<Expr>),
     /// `!e`: dereference.
-    Deref(Box<Expr>),
+    Deref(Arc<Expr>),
     /// `e1 := e2`: assignment; evaluates to `()`.
-    Assign(Box<Expr>, Box<Expr>),
+    Assign(Arc<Expr>, Arc<Expr>),
     /// `fail c`: abort with a dynamic error.
     Fail(ErrorCode),
     /// Primitive operator application `e1 ⊕ e2`.
-    Prim(PrimOp, Box<Expr>, Box<Expr>),
+    Prim(PrimOp, Arc<Expr>, Arc<Expr>),
     /// `alloc e`: allocate a manually-managed cell (Fig. 12).
-    Alloc(Box<Expr>),
+    Alloc(Arc<Expr>),
     /// `free e`: deallocate a manually-managed cell (Fig. 12).
-    Free(Box<Expr>),
+    Free(Arc<Expr>),
     /// `gcmov e`: hand a manually-managed cell to the garbage collector,
     /// keeping its identity (Fig. 12).
-    Gcmov(Box<Expr>),
+    Gcmov(Arc<Expr>),
     /// `callgc`: explicitly invoke the garbage collector (Fig. 12).
     Callgc,
     /// `protect(e, f)` — **augmented semantics only** (§4): evaluating this
     /// consumes phantom flag `f`; it never appears in compiled code and its
     /// erasure is `e`.
-    Protect(Box<Expr>, crate::phantom::FlagId),
+    Protect(Arc<Expr>, crate::phantom::FlagId),
 }
 
 impl Expr {
@@ -116,17 +122,17 @@ impl Expr {
 
     /// `λx { body }`.
     pub fn lam(x: impl Into<Var>, body: Expr) -> Expr {
-        Expr::Lam(x.into(), Box::new(body))
+        Expr::Lam(x.into(), Arc::new(body))
     }
 
     /// `e1 e2`.
     pub fn app(f: Expr, a: Expr) -> Expr {
-        Expr::App(Box::new(f), Box::new(a))
+        Expr::App(Arc::new(f), Arc::new(a))
     }
 
     /// `let x = bound in body`.
     pub fn let_(x: impl Into<Var>, bound: Expr, body: Expr) -> Expr {
-        Expr::Let(x.into(), Box::new(bound), Box::new(body))
+        Expr::Let(x.into(), Arc::new(bound), Arc::new(body))
     }
 
     /// `let _ = e1 in e2` (sequencing).
@@ -136,101 +142,101 @@ impl Expr {
 
     /// `(e1, e2)`.
     pub fn pair(e1: Expr, e2: Expr) -> Expr {
-        Expr::Pair(Box::new(e1), Box::new(e2))
+        Expr::Pair(Arc::new(e1), Arc::new(e2))
     }
 
     /// `fst e`.
     pub fn fst(e: Expr) -> Expr {
-        Expr::Fst(Box::new(e))
+        Expr::Fst(Arc::new(e))
     }
 
     /// `snd e`.
     pub fn snd(e: Expr) -> Expr {
-        Expr::Snd(Box::new(e))
+        Expr::Snd(Arc::new(e))
     }
 
     /// `inl e`.
     pub fn inl(e: Expr) -> Expr {
-        Expr::Inl(Box::new(e))
+        Expr::Inl(Arc::new(e))
     }
 
     /// `inr e`.
     pub fn inr(e: Expr) -> Expr {
-        Expr::Inr(Box::new(e))
+        Expr::Inr(Arc::new(e))
     }
 
     /// `if cond { then } { els }` (0 is true).
     pub fn if_(cond: Expr, then: Expr, els: Expr) -> Expr {
-        Expr::If(Box::new(cond), Box::new(then), Box::new(els))
+        Expr::If(Arc::new(cond), Arc::new(then), Arc::new(els))
     }
 
     /// `match e x { left } y { right }`.
     pub fn match_(e: Expr, x: impl Into<Var>, left: Expr, y: impl Into<Var>, right: Expr) -> Expr {
         Expr::Match(
-            Box::new(e),
+            Arc::new(e),
             x.into(),
-            Box::new(left),
+            Arc::new(left),
             y.into(),
-            Box::new(right),
+            Arc::new(right),
         )
     }
 
     /// `ref e`.
     pub fn ref_(e: Expr) -> Expr {
-        Expr::Ref(Box::new(e))
+        Expr::Ref(Arc::new(e))
     }
 
     /// `!e`.
     pub fn deref(e: Expr) -> Expr {
-        Expr::Deref(Box::new(e))
+        Expr::Deref(Arc::new(e))
     }
 
     /// `e1 := e2`.
     pub fn assign(e1: Expr, e2: Expr) -> Expr {
-        Expr::Assign(Box::new(e1), Box::new(e2))
+        Expr::Assign(Arc::new(e1), Arc::new(e2))
     }
 
     /// `e1 + e2`.
     #[allow(clippy::should_implement_trait)]
     pub fn add(e1: Expr, e2: Expr) -> Expr {
-        Expr::Prim(PrimOp::Add, Box::new(e1), Box::new(e2))
+        Expr::Prim(PrimOp::Add, Arc::new(e1), Arc::new(e2))
     }
 
     /// `e1 - e2`.
     #[allow(clippy::should_implement_trait)]
     pub fn sub(e1: Expr, e2: Expr) -> Expr {
-        Expr::Prim(PrimOp::Sub, Box::new(e1), Box::new(e2))
+        Expr::Prim(PrimOp::Sub, Arc::new(e1), Arc::new(e2))
     }
 
     /// `e1 * e2`.
     #[allow(clippy::should_implement_trait)]
     pub fn mul(e1: Expr, e2: Expr) -> Expr {
-        Expr::Prim(PrimOp::Mul, Box::new(e1), Box::new(e2))
+        Expr::Prim(PrimOp::Mul, Arc::new(e1), Arc::new(e2))
     }
 
     /// `e1 < e2` (0 when true).
     pub fn less(e1: Expr, e2: Expr) -> Expr {
-        Expr::Prim(PrimOp::Less, Box::new(e1), Box::new(e2))
+        Expr::Prim(PrimOp::Less, Arc::new(e1), Arc::new(e2))
     }
 
     /// `e1 == e2` (0 when true).
     pub fn eq(e1: Expr, e2: Expr) -> Expr {
-        Expr::Prim(PrimOp::Eq, Box::new(e1), Box::new(e2))
+        Expr::Prim(PrimOp::Eq, Arc::new(e1), Arc::new(e2))
     }
 
     /// `alloc e`.
     pub fn alloc(e: Expr) -> Expr {
-        Expr::Alloc(Box::new(e))
+        Expr::Alloc(Arc::new(e))
     }
 
     /// `free e`.
     pub fn free(e: Expr) -> Expr {
-        Expr::Free(Box::new(e))
+        Expr::Free(Arc::new(e))
     }
 
     /// `gcmov e`.
     pub fn gcmov(e: Expr) -> Expr {
-        Expr::Gcmov(Box::new(e))
+        Expr::Gcmov(Arc::new(e))
     }
 
     /// The compiled representation of a source boolean: 0 for true, 1 for
@@ -272,45 +278,45 @@ impl Expr {
             | Expr::Fail(_)
             | Expr::Callgc => self.clone(),
             Expr::Pair(a, b) => {
-                Expr::Pair(Box::new(a.map_subexprs(f)), Box::new(b.map_subexprs(f)))
+                Expr::Pair(Arc::new(a.map_subexprs(f)), Arc::new(b.map_subexprs(f)))
             }
-            Expr::Fst(a) => Expr::Fst(Box::new(a.map_subexprs(f))),
-            Expr::Snd(a) => Expr::Snd(Box::new(a.map_subexprs(f))),
-            Expr::Inl(a) => Expr::Inl(Box::new(a.map_subexprs(f))),
-            Expr::Inr(a) => Expr::Inr(Box::new(a.map_subexprs(f))),
+            Expr::Fst(a) => Expr::Fst(Arc::new(a.map_subexprs(f))),
+            Expr::Snd(a) => Expr::Snd(Arc::new(a.map_subexprs(f))),
+            Expr::Inl(a) => Expr::Inl(Arc::new(a.map_subexprs(f))),
+            Expr::Inr(a) => Expr::Inr(Arc::new(a.map_subexprs(f))),
             Expr::If(c, t, e) => Expr::If(
-                Box::new(c.map_subexprs(f)),
-                Box::new(t.map_subexprs(f)),
-                Box::new(e.map_subexprs(f)),
+                Arc::new(c.map_subexprs(f)),
+                Arc::new(t.map_subexprs(f)),
+                Arc::new(e.map_subexprs(f)),
             ),
             Expr::Match(s, x, l, y, r) => Expr::Match(
-                Box::new(s.map_subexprs(f)),
+                Arc::new(s.map_subexprs(f)),
                 x.clone(),
-                Box::new(l.map_subexprs(f)),
+                Arc::new(l.map_subexprs(f)),
                 y.clone(),
-                Box::new(r.map_subexprs(f)),
+                Arc::new(r.map_subexprs(f)),
             ),
             Expr::Let(x, a, b) => Expr::Let(
                 x.clone(),
-                Box::new(a.map_subexprs(f)),
-                Box::new(b.map_subexprs(f)),
+                Arc::new(a.map_subexprs(f)),
+                Arc::new(b.map_subexprs(f)),
             ),
-            Expr::Lam(x, b) => Expr::Lam(x.clone(), Box::new(b.map_subexprs(f))),
-            Expr::App(a, b) => Expr::App(Box::new(a.map_subexprs(f)), Box::new(b.map_subexprs(f))),
-            Expr::Ref(a) => Expr::Ref(Box::new(a.map_subexprs(f))),
-            Expr::Deref(a) => Expr::Deref(Box::new(a.map_subexprs(f))),
+            Expr::Lam(x, b) => Expr::Lam(x.clone(), Arc::new(b.map_subexprs(f))),
+            Expr::App(a, b) => Expr::App(Arc::new(a.map_subexprs(f)), Arc::new(b.map_subexprs(f))),
+            Expr::Ref(a) => Expr::Ref(Arc::new(a.map_subexprs(f))),
+            Expr::Deref(a) => Expr::Deref(Arc::new(a.map_subexprs(f))),
             Expr::Assign(a, b) => {
-                Expr::Assign(Box::new(a.map_subexprs(f)), Box::new(b.map_subexprs(f)))
+                Expr::Assign(Arc::new(a.map_subexprs(f)), Arc::new(b.map_subexprs(f)))
             }
             Expr::Prim(op, a, b) => Expr::Prim(
                 *op,
-                Box::new(a.map_subexprs(f)),
-                Box::new(b.map_subexprs(f)),
+                Arc::new(a.map_subexprs(f)),
+                Arc::new(b.map_subexprs(f)),
             ),
-            Expr::Alloc(a) => Expr::Alloc(Box::new(a.map_subexprs(f))),
-            Expr::Free(a) => Expr::Free(Box::new(a.map_subexprs(f))),
-            Expr::Gcmov(a) => Expr::Gcmov(Box::new(a.map_subexprs(f))),
-            Expr::Protect(a, fl) => Expr::Protect(Box::new(a.map_subexprs(f)), *fl),
+            Expr::Alloc(a) => Expr::Alloc(Arc::new(a.map_subexprs(f))),
+            Expr::Free(a) => Expr::Free(Arc::new(a.map_subexprs(f))),
+            Expr::Gcmov(a) => Expr::Gcmov(Arc::new(a.map_subexprs(f))),
+            Expr::Protect(a, fl) => Expr::Protect(Arc::new(a.map_subexprs(f)), *fl),
         };
         f(&rebuilt)
     }
@@ -476,8 +482,8 @@ mod tests {
     fn erase_protect_removes_wrappers_recursively() {
         let inner = Expr::add(Expr::int(1), Expr::int(2));
         let e = Expr::Protect(
-            Box::new(Expr::pair(
-                Expr::Protect(Box::new(inner.clone()), 7),
+            Arc::new(Expr::pair(
+                Expr::Protect(Arc::new(inner.clone()), 7),
                 Expr::unit(),
             )),
             3,

@@ -97,6 +97,22 @@ impl Value {
             Value::Closure { env, .. } => env.collect_locs(acc),
         }
     }
+
+    /// Pushes every heap location reachable from this value onto `acc`, with
+    /// duplicates.  The allocation-free variant of [`Value::collect_locs`]
+    /// used on GC hot paths (the collector's own mark stamps deduplicate).
+    pub fn collect_locs_into(&self, acc: &mut Vec<Loc>) {
+        match self {
+            Value::Unit | Value::Int(_) => {}
+            Value::Loc(l) => acc.push(*l),
+            Value::Pair(a, b) => {
+                a.collect_locs_into(acc);
+                b.collect_locs_into(acc);
+            }
+            Value::Inl(v) | Value::Inr(v) | Value::Protected(v, _) => v.collect_locs_into(acc),
+            Value::Closure { env, .. } => env.collect_locs_into(acc),
+        }
+    }
 }
 
 impl fmt::Display for Value {
@@ -176,6 +192,16 @@ impl Env {
         let mut cur = self;
         while let Some(node) = &cur.0 {
             node.val.collect_locs(acc);
+            cur = &node.parent;
+        }
+    }
+
+    /// Pushes every heap location reachable from the environment onto `acc`,
+    /// with duplicates (see [`Value::collect_locs_into`]).
+    pub fn collect_locs_into(&self, acc: &mut Vec<Loc>) {
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            node.val.collect_locs_into(acc);
             cur = &node.parent;
         }
     }

@@ -19,6 +19,9 @@ enum Op {
     Gcmov(usize),
     /// Collect, rooting an arbitrary subset of previously returned locations.
     Collect(Vec<usize>),
+    /// Batch boundary: rewind the slab. Locations from before the reset must
+    /// read as dangling until their index is re-allocated.
+    Reset,
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -30,6 +33,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         any::<usize>().prop_map(Op::Free),
         any::<usize>().prop_map(Op::Gcmov),
         proptest::collection::vec(any::<usize>(), 0..4).prop_map(Op::Collect),
+        Just(Op::Reset),
     ]
 }
 
@@ -123,6 +127,14 @@ proptest! {
                     // unrooted GC cells die in the model too.
                     model.cells.retain(|l, (kind, _)| *kind == Kind::Manual || roots.contains(l));
                 }
+                Op::Reset => {
+                    heap.reset();
+                    model.cells.clear();
+                    // `locs` is deliberately kept: stale pre-reset locations
+                    // must read as dangling (the slab's epoch check) until
+                    // their index is handed out again, at which point model
+                    // and heap agree on the new cell.
+                }
                 // Index ops against an empty history are no-ops.
                 _ => {}
             }
@@ -167,5 +179,121 @@ proptest! {
             prop_assert!(locs.contains(l), "allocation should reuse freed locations first");
         }
         prop_assert_eq!(heap.stats().reused as usize, n);
+    }
+
+    #[test]
+    fn manual_frees_are_recycled_in_lifo_order(raw in proptest::collection::vec(any::<usize>(), 1..12)) {
+        // Digest stability across the slab rewrite depends on allocation
+        // returning *the same* locations the old map heap returned: the free
+        // list is a stack, so allocs recycle the most recently freed
+        // location first.
+        let mut order: Vec<usize> = Vec::new();
+        for i in raw {
+            let i = i % 12;
+            if !order.contains(&i) {
+                order.push(i);
+            }
+        }
+        let mut heap = Heap::new();
+        let locs: Vec<Loc> = (0..12).map(|i| heap.alloc_manual(Value::Int(i))).collect();
+        let freed: Vec<Loc> = order.iter().map(|i| locs[*i]).collect();
+        for l in &freed {
+            heap.free(*l).unwrap();
+        }
+        for expected in freed.iter().rev() {
+            prop_assert_eq!(heap.alloc_gc(Value::Int(0)), *expected);
+        }
+    }
+
+    #[test]
+    fn collection_releases_dead_cells_in_descending_location_order(n in 2usize..16) {
+        // A sweep pushes dead cells onto the free list in ascending location
+        // order (the old BTreeMap iteration order), so subsequent allocs pop
+        // them back in *descending* order.
+        let mut heap = Heap::new();
+        let locs: Vec<Loc> = (0..n).map(|i| heap.alloc_gc(Value::Int(i as i64))).collect();
+        heap.collect([]);
+        for expected in locs.iter().rev() {
+            prop_assert_eq!(heap.alloc_gc(Value::Int(0)), *expected);
+        }
+    }
+
+    #[test]
+    fn reset_slabs_are_observationally_fresh(
+        warmup in proptest::collection::vec(op_strategy(), 0..40),
+        replay in proptest::collection::vec(op_strategy(), 0..40),
+    ) {
+        // Run an arbitrary warm-up on one heap, reset it, and drive it and a
+        // genuinely fresh heap through the same second sequence: every
+        // observation — returned locations included, which is what batch
+        // digest stability rests on — must agree, and so must the final
+        // heaps under `PartialEq` (which ignores slab capacity).
+        let mut warmed = Heap::new();
+        let mut locs: Vec<Loc> = Vec::new();
+        for op in warmup {
+            apply(&mut warmed, &mut locs, &op);
+        }
+        warmed.reset();
+        prop_assert_eq!(&warmed, &Heap::new(), "reset state equals a fresh heap");
+
+        let mut fresh = Heap::new();
+        let mut warmed_locs: Vec<Loc> = Vec::new();
+        let mut fresh_locs: Vec<Loc> = Vec::new();
+        for op in replay {
+            let a = apply(&mut warmed, &mut warmed_locs, &op);
+            let b = apply(&mut fresh, &mut fresh_locs, &op);
+            prop_assert_eq!(a, b, "observation diverged on {:?}", op);
+        }
+        prop_assert_eq!(&warmed, &fresh);
+        prop_assert_eq!(warmed.stats(), fresh.stats());
+    }
+}
+
+/// Applies one op to `heap`, returning a comparable observation string.
+/// Shared by the reset-equivalence property so a warmed-then-reset slab and
+/// a fresh heap can be driven through identical traces.
+fn apply(heap: &mut Heap, locs: &mut Vec<Loc>, op: &Op) -> String {
+    match op {
+        Op::AllocGc(n) => {
+            let l = heap.alloc_gc(Value::Int(*n));
+            locs.push(l);
+            format!("alloc_gc -> {l:?}")
+        }
+        Op::AllocManual(n) => {
+            let l = heap.alloc_manual(Value::Int(*n));
+            locs.push(l);
+            format!("alloc_manual -> {l:?}")
+        }
+        Op::Read(i) if !locs.is_empty() => {
+            let l = locs[i % locs.len()];
+            format!("read {l:?} -> {:?}", heap.read(l))
+        }
+        Op::Write(i, n) if !locs.is_empty() => {
+            let l = locs[i % locs.len()];
+            format!("write {l:?} -> {:?}", heap.write(l, Value::Int(*n)))
+        }
+        Op::Free(i) if !locs.is_empty() => {
+            let l = locs[i % locs.len()];
+            format!("free {l:?} -> {:?}", heap.free(l))
+        }
+        Op::Gcmov(i) if !locs.is_empty() => {
+            let l = locs[i % locs.len()];
+            format!("gcmov {l:?} -> {:?}", heap.gcmov(l))
+        }
+        Op::Collect(root_idxs) => {
+            let roots: Vec<Loc> = if locs.is_empty() {
+                Vec::new()
+            } else {
+                root_idxs.iter().map(|i| locs[i % locs.len()]).collect()
+            };
+            heap.collect(roots);
+            format!("collect -> len {}", heap.len())
+        }
+        Op::Reset => {
+            heap.reset();
+            locs.clear();
+            "reset".into()
+        }
+        _ => "noop".into(),
     }
 }

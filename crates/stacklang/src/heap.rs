@@ -4,9 +4,21 @@
 //! looks a location up, and `write` performs a strong update.  Locations are
 //! never reused in this target (unlike the §5 target LCVM), which matches the
 //! ML-style reference model of case study 1.
+//!
+//! # Layout
+//!
+//! Because locations are allocated densely (`ℓ0, ℓ1, …`) and never freed,
+//! the heap is a plain `Vec<Value>` slab: `Loc(n)` is index `n`, a location
+//! is allocated iff its index is below the length, and `alloc` is a push.
+//! Reads and writes are direct indexing instead of a tree walk, and
+//! [`Heap::reset`] is a `clear` that keeps the buffer's capacity, so a
+//! machine reused across a batch ([`crate::Machine::reset`]) stops paying
+//! for heap growth after its first program.  Iteration order is ascending
+//! by location — the same order the previous `BTreeMap` representation
+//! gave — which the executable model checkers rely on when comparing heaps
+//! against heap typings.
 
 use crate::instr::Value;
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// A heap location `ℓ`.
@@ -20,13 +32,9 @@ impl fmt::Display for Loc {
 }
 
 /// The StackLang heap `H ::= {ℓ: v, …}`.
-///
-/// A `BTreeMap` keeps iteration deterministic, which the executable model
-/// checkers rely on when comparing heaps against heap typings.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Heap {
-    cells: BTreeMap<Loc, Value>,
-    next: u64,
+    cells: Vec<Value>,
 }
 
 impl Heap {
@@ -37,29 +45,32 @@ impl Heap {
 
     /// Clears the heap in place — no live cells, fresh location counter — so
     /// a reused machine ([`crate::Machine::reset`]) starts its next program
-    /// from a state indistinguishable from [`Heap::new`].
+    /// from a state indistinguishable from [`Heap::new`].  The slab's
+    /// capacity is retained.
     pub fn reset(&mut self) {
         self.cells.clear();
-        self.next = 0;
+    }
+
+    fn index(loc: Loc) -> Option<usize> {
+        usize::try_from(loc.0).ok()
     }
 
     /// Allocates a fresh location holding `v` and returns it.
     pub fn alloc(&mut self, v: Value) -> Loc {
-        let loc = Loc(self.next);
-        self.next += 1;
-        self.cells.insert(loc, v);
+        let loc = Loc(self.cells.len() as u64);
+        self.cells.push(v);
         loc
     }
 
     /// Reads the value at `loc`, if allocated.
     pub fn read(&self, loc: Loc) -> Option<&Value> {
-        self.cells.get(&loc)
+        self.cells.get(Self::index(loc)?)
     }
 
     /// Writes `v` at `loc`. Returns `false` (and leaves the heap unchanged)
     /// if the location is not allocated.
     pub fn write(&mut self, loc: Loc, v: Value) -> bool {
-        match self.cells.get_mut(&loc) {
+        match Self::index(loc).and_then(|i| self.cells.get_mut(i)) {
             Some(slot) => {
                 *slot = v;
                 true
@@ -70,7 +81,7 @@ impl Heap {
 
     /// True if `loc` is allocated.
     pub fn contains(&self, loc: Loc) -> bool {
-        self.cells.contains_key(&loc)
+        Self::index(loc).is_some_and(|i| i < self.cells.len())
     }
 
     /// Number of allocated locations.
@@ -83,16 +94,20 @@ impl Heap {
         self.cells.is_empty()
     }
 
-    /// Iterates over the allocated locations and their contents.
-    pub fn iter(&self) -> impl Iterator<Item = (&Loc, &Value)> {
-        self.cells.iter()
+    /// Iterates over the allocated locations and their contents, in
+    /// ascending location order.
+    pub fn iter(&self) -> impl Iterator<Item = (Loc, &Value)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (Loc(i as u64), v))
     }
 }
 
 impl fmt::Display for Heap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
-        for (i, (l, v)) in self.cells.iter().enumerate() {
+        for (i, (l, v)) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -141,6 +156,19 @@ mod tests {
         assert!(!h.write(Loc(42), Value::Num(0)));
         assert!(!h.contains(Loc(42)));
         assert!(h.is_empty());
+        // Out-of-range locations (e.g. from a corrupted trace) are simply
+        // unallocated, not a panic.
+        assert_eq!(h.read(Loc(u64::MAX)), None);
+    }
+
+    #[test]
+    fn iteration_is_ascending_by_location() {
+        let mut h = Heap::new();
+        h.alloc(Value::Num(10));
+        h.alloc(Value::Num(20));
+        h.alloc(Value::Num(30));
+        let locs: Vec<u64> = h.iter().map(|(l, _)| l.0).collect();
+        assert_eq!(locs, vec![0, 1, 2]);
     }
 
     #[test]

@@ -125,6 +125,44 @@ proptest! {
         prop_assert_eq!(r.outcome, Outcome::Fail(ErrorCode::Idx));
     }
 
+    /// The Vec-backed slab heap agrees with the map semantics it replaced:
+    /// locations are dense, never reused, reads/writes round-trip, and a
+    /// reset heap is observationally a fresh one.
+    #[test]
+    fn slab_heap_matches_map_semantics(
+        values in proptest::collection::vec(-100i64..100, 1..20),
+        probe in any::<u64>(),
+    ) {
+        use stacklang::heap::{Heap, Loc};
+        use std::collections::BTreeMap;
+        let mut heap = Heap::new();
+        let mut model: BTreeMap<Loc, i64> = BTreeMap::new();
+        for (i, n) in values.iter().enumerate() {
+            let l = heap.alloc(Value::Num(*n));
+            prop_assert_eq!(l, Loc(i as u64), "allocation is dense and in order");
+            prop_assert!(!model.contains_key(&l), "locations are never reused");
+            model.insert(l, *n);
+        }
+        for (l, n) in &model {
+            prop_assert_eq!(heap.read(*l), Some(&Value::Num(*n)));
+            prop_assert!(heap.write(*l, Value::Num(n + 1)));
+            prop_assert_eq!(heap.read(*l), Some(&Value::Num(n + 1)));
+        }
+        let stray = Loc(probe.max(values.len() as u64));
+        prop_assert!(!heap.contains(stray));
+        prop_assert_eq!(heap.read(stray), None);
+        prop_assert!(!heap.write(stray, Value::Num(0)));
+        prop_assert_eq!(heap.len(), model.len());
+        prop_assert_eq!(
+            heap.iter().map(|(l, _)| l).collect::<Vec<_>>(),
+            model.keys().copied().collect::<Vec<_>>(),
+            "iteration order matches the old BTreeMap order"
+        );
+        heap.reset();
+        prop_assert_eq!(&heap, &Heap::new(), "reset equals fresh");
+        prop_assert_eq!(heap.alloc(Value::Num(0)), Loc(0), "allocation restarts at l0");
+    }
+
     /// Heap operations: a write through one alias is visible through another.
     #[test]
     fn aliased_writes_are_visible(initial in -100i64..100, updated in -100i64..100) {
