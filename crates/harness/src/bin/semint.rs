@@ -15,6 +15,10 @@
 //! semint profile t.jsonl                            # aggregate trace files offline
 //! semint bench-diff BENCH_7.json current.json       # digest drift / throughput regression gate
 //! semint report a.tsv b.tsv                         # merge + re-render saved reports
+//! semint serve --workers 4 --log serve.log          # sweep-orchestration daemon (localhost TCP)
+//! semint submit --seeds 0..500 --profile deep       # queue a sweep job on the daemon
+//! semint status --job 0 --wait                      # follow it to completion, digests included
+//! semint submit --shutdown                          # drain accepted jobs, then exit
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace is offline; no clap).
@@ -32,12 +36,16 @@ use semint_harness::json::{
     BenchMeta,
 };
 use semint_harness::profile::{absorb_trace, render_profile, TraceProfile};
-use semint_harness::report::render_sweep;
+use semint_harness::report::{render_rolling, render_sweep};
+use semint_harness::serve::{
+    self, Daemon, Fault, JobSpec, JobStatus, Request, Response, ServeConfig, DEFAULT_PORT,
+};
 use semint_harness::source::{Corpus, ScenarioSource, SeedRange, Shard};
 use semint_harness::trace::SweepObserver;
 use std::collections::BTreeSet;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 semint — unified scenario engine for the PLDI 2022 interoperability case studies
@@ -61,6 +69,16 @@ USAGE:
                                                       saved by `sweep --save` or `bench --json`;
                                                       sharded sweeps merge into the digests of the
                                                       unsharded sweep
+    semint serve  [--port P] [--workers W] [options]  long-running sweep-orchestration daemon: a FIFO
+                                                      job queue whose jobs run as supervised fleets of
+                                                      `semint sweep --shard` worker processes; crashed
+                                                      or wedged workers are killed and their exact seed
+                                                      slice re-issued, and the merged digests are
+                                                      byte-identical to a one-shot sweep
+    semint submit [--port P] [--seeds A..B] [options] queue a sweep job on a running daemon
+                                                      (--shutdown drains it instead)
+    semint status [--port P] [--job N] [--wait]       job states and rolling merged digests;
+                                                      --wait follows one job to completion
     semint help                                       this text
 
 SCENARIO SUPPLY:
@@ -110,7 +128,28 @@ OPTIONS:
                      reads it back
     --broken         sabotage a conversion rule per case study; failing
                      scenarios are reported with shrunk counterexamples
-    --save PATH      save the sweep report as TSV
+    --save PATH      save the sweep report as TSV (for `status --job N`,
+                     save the job's merged report)
+
+SERVE (daemon, submit, status):
+    --port P         daemon TCP port on 127.0.0.1                (default: 7844; 0 = ephemeral)
+    --workers W      concurrent shard worker processes per job   (default: 4)
+    --queue-capacity C  bounded admission: at most C unfinished jobs (default: 16)
+    --worker-timeout-ms T  a worker with no heartbeat for T ms is wedged,
+                     killed, and its slice re-issued              (default: 30000)
+    --max-retries R  re-issues per shard before the job fails     (default: 2)
+    --log PATH       JSONL daemon log (job/shard lifecycle events)
+    --shards N       split a submitted job into N shard workers   (default: the
+                     daemon's worker count)
+    --job N          restrict `status` to job N
+    --wait           poll `status --job N` until the job is done or failed
+    --shutdown       `submit --shutdown` drains the daemon: accepted jobs
+                     finish, new ones are refused, then it exits
+    --die-after N    (sweep; testing) abort the process mid-sweep after N
+                     scenarios — a deterministic injected crash
+    --fault-shard K / --fault-after N
+                     (submit; testing) sabotage shard K's first attempt with
+                     --die-after N, forcing a supervised re-issue
 
 EXIT STATUS: 0 on success, 1 if any scenario or conversion check failed, 2 on usage errors.";
 
@@ -128,11 +167,14 @@ fn main() -> ExitCode {
         "profile" => cmd_profile(rest),
         "bench-diff" => cmd_bench_diff(rest),
         "report" => cmd_report(rest),
+        "serve" => cmd_serve(rest),
+        "submit" => cmd_submit(rest),
+        "status" => cmd_status(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
         }
-        other => Err(format!("unknown command `{other}`; try `semint help`")),
+        other => Err(unknown_command(other)),
     };
     match result {
         Ok(clean) => {
@@ -146,6 +188,57 @@ fn main() -> ExitCode {
             eprintln!("error: {message}");
             ExitCode::from(2)
         }
+    }
+}
+
+/// Every subcommand the dispatcher knows, for the unknown-command hint.
+const COMMANDS: [&str; 11] = [
+    "run",
+    "check",
+    "sweep",
+    "bench",
+    "profile",
+    "bench-diff",
+    "report",
+    "serve",
+    "submit",
+    "status",
+    "help",
+];
+
+/// Plain Levenshtein edit distance, small enough to hand-roll (the CLI is
+/// dependency-free) and only ever run on two short command words.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let substitute = prev[j] + usize::from(ca != cb);
+            row.push(substitute.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// The unknown-command error, with a "did you mean" hint when some known
+/// subcommand is plausibly what the user typed.
+fn unknown_command(given: &str) -> String {
+    let closest = COMMANDS
+        .iter()
+        .map(|cmd| (edit_distance(given, cmd), *cmd))
+        .min()
+        .expect("COMMANDS is nonempty");
+    // A hint beyond half the word's length would be noise, not help.
+    if closest.0 * 2 <= given.chars().count() {
+        format!(
+            "unknown command `{given}`; did you mean `{}`? (try `semint help`)",
+            closest.1
+        )
+    } else {
+        format!("unknown command `{given}`; try `semint help`")
     }
 }
 
@@ -174,6 +267,22 @@ struct Options {
     json: Option<String>,
     trace: Option<String>,
     progress: bool,
+    // serve / submit / status
+    port: u16,
+    workers: usize,
+    queue_capacity: usize,
+    worker_timeout_ms: u64,
+    max_retries: u64,
+    log: Option<String>,
+    shards: u64,
+    job: Option<u64>,
+    wait: bool,
+    shutdown: bool,
+    fault_shard: Option<u64>,
+    fault_after: Option<u64>,
+    /// `--die-after N` fault injection (sweep): abort the process after N
+    /// scenarios, for supervision tests.
+    die_after: Option<u64>,
 }
 
 impl Default for Options {
@@ -198,6 +307,19 @@ impl Default for Options {
             json: None,
             trace: None,
             progress: false,
+            port: DEFAULT_PORT,
+            workers: 4,
+            queue_capacity: 16,
+            worker_timeout_ms: 30_000,
+            max_retries: 2,
+            log: None,
+            shards: 0,
+            job: None,
+            wait: false,
+            shutdown: false,
+            fault_shard: None,
+            fault_after: None,
+            die_after: None,
         }
     }
 }
@@ -357,6 +479,74 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--json" => opts.json = Some(value("--json")?.to_string()),
             "--trace" => opts.trace = Some(value("--trace")?.to_string()),
             "--progress" => opts.progress = true,
+            "--port" => {
+                opts.port = value("--port")?
+                    .parse()
+                    .map_err(|e| format!("--port: {e}"))?;
+            }
+            "--workers" => {
+                opts.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                if opts.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--queue-capacity" => {
+                opts.queue_capacity = value("--queue-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--queue-capacity: {e}"))?;
+                if opts.queue_capacity == 0 {
+                    return Err("--queue-capacity must be at least 1".into());
+                }
+            }
+            "--worker-timeout-ms" => {
+                opts.worker_timeout_ms = value("--worker-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--worker-timeout-ms: {e}"))?;
+                if opts.worker_timeout_ms == 0 {
+                    return Err("--worker-timeout-ms must be at least 1".into());
+                }
+            }
+            "--max-retries" => {
+                opts.max_retries = value("--max-retries")?
+                    .parse()
+                    .map_err(|e| format!("--max-retries: {e}"))?;
+            }
+            "--log" => opts.log = Some(value("--log")?.to_string()),
+            "--shards" => {
+                opts.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--job" => {
+                opts.job = Some(value("--job")?.parse().map_err(|e| format!("--job: {e}"))?);
+            }
+            "--wait" => opts.wait = true,
+            "--shutdown" => opts.shutdown = true,
+            "--fault-shard" => {
+                opts.fault_shard = Some(
+                    value("--fault-shard")?
+                        .parse()
+                        .map_err(|e| format!("--fault-shard: {e}"))?,
+                );
+            }
+            "--fault-after" => {
+                opts.fault_after = Some(
+                    value("--fault-after")?
+                        .parse()
+                        .map_err(|e| format!("--fault-after: {e}"))?,
+                );
+            }
+            "--die-after" => {
+                let n: u64 = value("--die-after")?
+                    .parse()
+                    .map_err(|e| format!("--die-after: {e}"))?;
+                if n == 0 {
+                    return Err("--die-after must be at least 1 scenario".into());
+                }
+                opts.die_after = Some(n);
+            }
             other => return Err(format!("unknown option `{other}`; try `semint help`")),
         }
     }
@@ -477,13 +667,13 @@ fn build_observer(
     source: &dyn ScenarioSource,
     passes: u64,
 ) -> Result<Option<SweepObserver>, String> {
-    if opts.trace.is_none() && !opts.progress {
+    if opts.trace.is_none() && !opts.progress && opts.die_after.is_none() {
         return Ok(None);
     }
     let names: Vec<&str> = cases.iter().map(|c| c.name()).collect();
     let total = source.total(&names) * passes;
     SweepObserver::new(total, opts.trace.as_deref().map(Path::new), opts.progress)
-        .map(Some)
+        .map(|observer| Some(observer.with_fault(opts.die_after)))
         .map_err(|e| format!("opening trace file: {e}"))
 }
 
@@ -946,6 +1136,183 @@ fn cmd_report(args: &[String]) -> Result<bool, String> {
     Ok(report.failure_count() == 0)
 }
 
+/// `semint serve`: the foreground sweep-orchestration daemon.  Runs until a
+/// client sends `semint submit --shutdown`, then drains the queue and exits.
+fn cmd_serve(args: &[String]) -> Result<bool, String> {
+    let opts = parse_options(args)?;
+    let worker_binary = std::env::current_exe()
+        .map_err(|e| format!("cannot locate the semint binary to spawn workers: {e}"))?;
+    let cfg = ServeConfig {
+        port: opts.port,
+        workers: opts.workers,
+        queue_capacity: opts.queue_capacity,
+        heartbeat_timeout: Duration::from_millis(opts.worker_timeout_ms),
+        max_retries: opts.max_retries,
+        worker_binary,
+        log_path: opts.log.as_ref().map(PathBuf::from),
+        echo: true,
+    };
+    let daemon = Daemon::spawn(cfg)?;
+    let port = daemon.port();
+    println!(
+        "semint serve: listening on 127.0.0.1:{port} · {} workers · queue capacity {} · \
+         worker timeout {} ms · {} retries per shard",
+        opts.workers, opts.queue_capacity, opts.worker_timeout_ms, opts.max_retries
+    );
+    println!("submit jobs:   semint submit --port {port} --seeds A..B [--profile NAME]");
+    println!("watch them:    semint status --port {port} [--job N --wait]");
+    println!("drain + exit:  semint submit --port {port} --shutdown");
+    daemon.join();
+    println!("semint serve: drained, exiting");
+    Ok(true)
+}
+
+/// The daemon address the serve-client subcommands talk to.
+fn daemon_addr(opts: &Options) -> String {
+    format!("127.0.0.1:{}", opts.port)
+}
+
+/// `semint submit`: queue one sweep job on a running daemon (or, with
+/// `--shutdown`, drain it).
+fn cmd_submit(args: &[String]) -> Result<bool, String> {
+    let opts = parse_options(args)?;
+    let addr = daemon_addr(&opts);
+    if opts.shutdown {
+        return match serve::call(&addr, &Request::Shutdown)? {
+            Response::Ok => {
+                println!("daemon at {addr} is draining: accepted jobs finish, then it exits");
+                Ok(true)
+            }
+            Response::Error(e) => Err(e),
+            other => Err(format!("unexpected response: {other:?}")),
+        };
+    }
+    // Everything a worker cannot faithfully reconstruct from the wire is
+    // rejected here rather than silently dropped.
+    if opts.profile.name == "custom" {
+        return Err(
+            "serve jobs pin preset profiles (smoke | default | deep | boundary-heavy); \
+             knob overrides like --type-depth do not travel over the wire"
+                .into(),
+        );
+    }
+    if opts.shard.is_some() {
+        return Err("the daemon shards jobs itself; use --shards N instead of --shard K/N".into());
+    }
+    if opts.corpus_load.is_some() || opts.corpus_save.is_some() {
+        return Err("corpus replay/persistence is not supported for serve jobs".into());
+    }
+    if opts.broken {
+        return Err("--broken is not supported for serve jobs".into());
+    }
+    let fault = match (opts.fault_shard, opts.fault_after) {
+        (None, None) => None,
+        (Some(shard), Some(after)) => Some(Fault { shard, after }),
+        _ => return Err("--fault-shard and --fault-after must be given together".into()),
+    };
+    let spec = JobSpec {
+        seeds: opts.range,
+        profile: opts.profile.name.to_string(),
+        case: opts.case.clone(),
+        shards: opts.shards,
+        jobs: opts.jobs,
+        batch: opts.batch,
+        model_check: opts.model_check.unwrap_or(true),
+        fault,
+    };
+    match serve::call(&addr, &Request::Submit(spec))? {
+        Response::Submitted { job } => {
+            println!("job {job} queued at {addr} (follow it: semint status --port {} --job {job} --wait)", opts.port);
+            Ok(true)
+        }
+        Response::Error(e) => Err(e),
+        other => Err(format!("unexpected response: {other:?}")),
+    }
+}
+
+/// Renders one job's status snapshot: the one-line summary always, plus the
+/// full rolling/final report when this job was singled out with `--job`.
+fn print_job_status(status: &JobStatus, detailed: bool) -> Result<(), String> {
+    let mut line = format!(
+        "job {}: {} · shards {}/{} · {} scenarios · {} failures",
+        status.id,
+        status.state,
+        status.shards_done,
+        status.shards_total,
+        status.scenarios,
+        status.failures
+    );
+    if status.retries > 0 {
+        line.push_str(&format!(" · {} shard re-issues", status.retries));
+    }
+    println!("{line}");
+    if let Some(error) = &status.error {
+        println!("  error: {error}");
+    }
+    if !detailed {
+        return Ok(());
+    }
+    let report = SweepReport::from_tsv(&status.report_tsv)
+        .map_err(|e| format!("job {}: daemon sent an unreadable report: {e}", status.id))?;
+    if status.state == "done" {
+        print!("{}", render_sweep(&report));
+        for digest in &status.digests {
+            println!("digest: {digest}");
+        }
+    } else {
+        print!(
+            "{}",
+            render_rolling(&report, status.shards_done, status.shards_total)
+        );
+    }
+    Ok(())
+}
+
+/// `semint status`: job states and rolling merged digests; `--wait` polls
+/// one job to completion.
+fn cmd_status(args: &[String]) -> Result<bool, String> {
+    let opts = parse_options(args)?;
+    let addr = daemon_addr(&opts);
+    if opts.wait && opts.job.is_none() {
+        return Err("--wait follows one job; give --job N".into());
+    }
+    loop {
+        let (draining, jobs) = match serve::call(&addr, &Request::Status { job: opts.job })? {
+            Response::Status { draining, jobs } => (draining, jobs),
+            Response::Error(e) => return Err(e),
+            other => return Err(format!("unexpected response: {other:?}")),
+        };
+        let settled = jobs
+            .iter()
+            .all(|job| matches!(job.state.as_str(), "done" | "failed"));
+        if opts.wait && !settled {
+            std::thread::sleep(Duration::from_millis(200));
+            continue;
+        }
+        if draining {
+            println!("daemon at {addr} is draining");
+        }
+        if jobs.is_empty() {
+            println!("no jobs at {addr}");
+        }
+        for job in &jobs {
+            print_job_status(job, opts.job.is_some())?;
+        }
+        if let Some(path) = &opts.save {
+            let job = opts
+                .job
+                .and_then(|_| jobs.first())
+                .ok_or("--save writes one job's merged report; give --job N")?;
+            std::fs::write(path, &job.report_tsv).map_err(|e| format!("saving {path}: {e}"))?;
+            println!("saved: {path}");
+        }
+        let clean = jobs
+            .iter()
+            .all(|job| job.state != "failed" && job.failures == 0);
+        return Ok(clean);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1111,6 +1478,110 @@ mod tests {
     #[test]
     fn profile_needs_at_least_one_trace() {
         assert!(cmd_profile(&[]).unwrap_err().contains("TRACE"));
+    }
+
+    #[test]
+    fn serve_flags_parse_with_documented_defaults() {
+        let opts = parse(&[]).unwrap();
+        assert_eq!(opts.port, DEFAULT_PORT);
+        assert_eq!(opts.workers, 4);
+        assert_eq!(opts.queue_capacity, 16);
+        assert_eq!(opts.worker_timeout_ms, 30_000);
+        assert_eq!(opts.max_retries, 2);
+        assert_eq!(opts.shards, 0, "0 = one shard per daemon worker");
+        assert!(opts.job.is_none() && !opts.wait && !opts.shutdown);
+        let opts = parse(&[
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--queue-capacity",
+            "3",
+            "--worker-timeout-ms",
+            "5000",
+            "--max-retries",
+            "1",
+            "--log",
+            "serve.log",
+            "--shards",
+            "6",
+            "--job",
+            "4",
+            "--wait",
+            "--shutdown",
+        ])
+        .unwrap();
+        assert_eq!(opts.port, 0);
+        assert_eq!(opts.workers, 2);
+        assert_eq!(opts.queue_capacity, 3);
+        assert_eq!(opts.worker_timeout_ms, 5000);
+        assert_eq!(opts.max_retries, 1);
+        assert_eq!(opts.log.as_deref(), Some("serve.log"));
+        assert_eq!(opts.shards, 6);
+        assert_eq!(opts.job, Some(4));
+        assert!(opts.wait && opts.shutdown);
+        assert!(parse(&["--workers", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&["--queue-capacity", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&["--worker-timeout-ms", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+    }
+
+    #[test]
+    fn fault_injection_flags_parse_and_zero_die_after_is_rejected() {
+        let opts = parse(&["--fault-shard", "1", "--fault-after", "5"]).unwrap();
+        assert_eq!(opts.fault_shard, Some(1));
+        assert_eq!(opts.fault_after, Some(5));
+        let opts = parse(&["--die-after", "3"]).unwrap();
+        assert_eq!(opts.die_after, Some(3));
+        assert!(parse(&["--die-after", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+    }
+
+    #[test]
+    fn unknown_commands_suggest_the_closest_subcommand() {
+        let hint = unknown_command("swep");
+        assert!(hint.contains("did you mean `sweep`?"), "{hint}");
+        let hint = unknown_command("stauts");
+        assert!(hint.contains("did you mean `status`?"), "{hint}");
+        let hint = unknown_command("benchdiff");
+        assert!(hint.contains("did you mean `bench-diff`?"), "{hint}");
+        // Gibberish gets the plain error, not a far-fetched hint.
+        let hint = unknown_command("xyzzyqwert");
+        assert!(!hint.contains("did you mean"), "{hint}");
+        assert!(hint.contains("semint help"), "{hint}");
+    }
+
+    #[test]
+    fn edit_distance_is_the_usual_levenshtein() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("swep", "sweep"), 1);
+    }
+
+    #[test]
+    fn wait_requires_a_job_and_submit_rejects_unwireable_options() {
+        let err = cmd_status(&["--wait".into(), "--port".into(), "1".into()]).unwrap_err();
+        assert!(err.contains("--job"), "{err}");
+        // Validation happens before any connection attempt, so these fail
+        // fast even with no daemon listening.
+        let err = cmd_submit(&["--type-depth".into(), "5".into()]).unwrap_err();
+        assert!(err.contains("preset"), "{err}");
+        let err = cmd_submit(&["--shard".into(), "0/2".into()]).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+        let err = cmd_submit(&["--corpus-load".into(), "x.corpus".into()]).unwrap_err();
+        assert!(err.contains("corpus"), "{err}");
+        let err = cmd_submit(&["--broken".into()]).unwrap_err();
+        assert!(err.contains("--broken"), "{err}");
+        let err = cmd_submit(&["--fault-shard".into(), "1".into()]).unwrap_err();
+        assert!(err.contains("together"), "{err}");
     }
 
     #[test]

@@ -13,6 +13,29 @@ use semint_core::stats::{CaseReport, FailStage, FailureRecord, StageTimings, Swe
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+/// The current version of every JSON document this crate writes: the bench
+/// format here and the `semint serve` wire protocol both stamp their
+/// documents with `"version": FORMAT_VERSION` so the one format can evolve.
+/// Parsers tolerate an *absent* field (the v1 documents written before the
+/// field existed) and reject versions newer than they understand.
+pub const FORMAT_VERSION: u64 = 2;
+
+/// Reads the shared `version` field of a parsed document: absent means v1,
+/// anything above [`FORMAT_VERSION`] is from a newer writer and rejected.
+pub(crate) fn document_version(doc: &Json) -> Result<u64, String> {
+    let version = match doc.get("version") {
+        None => 1,
+        Some(value) => value.as_u64("version")?,
+    };
+    if version > FORMAT_VERSION {
+        return Err(format!(
+            "document version {version} is newer than this binary understands \
+             (up to {FORMAT_VERSION}); upgrade semint"
+        ));
+    }
+    Ok(version)
+}
+
 /// The sweep-independent facts of one bench invocation, carried alongside
 /// the per-case aggregates in the JSON document.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,6 +91,7 @@ pub fn render_bench_json(meta: &BenchMeta, report: &SweepReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"semint_bench\": 1,");
+    let _ = writeln!(out, "  \"version\": {FORMAT_VERSION},");
     let _ = writeln!(out, "  \"profile\": \"{}\",", escape_json(&meta.profile));
     let _ = writeln!(out, "  \"repeat\": {},", meta.repeat);
     let _ = writeln!(out, "  \"jobs\": {},", meta.jobs);
@@ -199,24 +223,50 @@ impl Json {
 
 pub(crate) struct Reader<'a> {
     chars: std::iter::Peekable<std::str::Chars<'a>>,
+    /// 1-based line of the next unconsumed character.
+    line: usize,
+    /// 1-based column of the next unconsumed character.
+    column: usize,
 }
 
 impl<'a> Reader<'a> {
     pub(crate) fn new(text: &'a str) -> Self {
         Reader {
             chars: text.chars().peekable(),
+            line: 1,
+            column: 1,
         }
+    }
+
+    /// Consumes one character, keeping the line/column cursor current so
+    /// parse errors can say where they happened.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        match c {
+            Some('\n') => {
+                self.line += 1;
+                self.column = 1;
+            }
+            Some(_) => self.column += 1,
+            None => {}
+        }
+        c
+    }
+
+    /// The reader's current position, for error context.
+    pub(crate) fn position(&self) -> String {
+        format!("line {}, column {}", self.line, self.column)
     }
 
     fn skip_ws(&mut self) {
         while matches!(self.chars.peek(), Some(' ' | '\t' | '\n' | '\r')) {
-            self.chars.next();
+            self.bump();
         }
     }
 
     fn expect(&mut self, wanted: char) -> Result<(), String> {
         self.skip_ws();
-        match self.chars.next() {
+        match self.bump() {
             Some(c) if c == wanted => Ok(()),
             Some(c) => Err(format!("expected {wanted:?}, found {c:?}")),
             None => Err(format!("expected {wanted:?}, found end of input")),
@@ -244,7 +294,7 @@ impl<'a> Reader<'a> {
 
     fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
         for wanted in word.chars() {
-            match self.chars.next() {
+            match self.bump() {
                 Some(c) if c == wanted => {}
                 other => return Err(format!("malformed literal `{word}` (at {other:?})")),
             }
@@ -257,7 +307,7 @@ impl<'a> Reader<'a> {
         while let Some(&c) = self.chars.peek() {
             if c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' || c.is_ascii_digit() {
                 text.push(c);
-                self.chars.next();
+                self.bump();
             } else {
                 break;
             }
@@ -272,10 +322,10 @@ impl<'a> Reader<'a> {
         self.expect('"')?;
         let mut out = String::new();
         loop {
-            match self.chars.next() {
+            match self.bump() {
                 None => return Err("unterminated string".into()),
                 Some('"') => return Ok(out),
-                Some('\\') => match self.chars.next() {
+                Some('\\') => match self.bump() {
                     Some('"') => out.push('"'),
                     Some('\\') => out.push('\\'),
                     Some('/') => out.push('/'),
@@ -305,7 +355,7 @@ impl<'a> Reader<'a> {
         self.expect('{')?;
         let mut fields = Vec::new();
         if self.peek_after_ws() == Some('}') {
-            self.chars.next();
+            self.bump();
             return Ok(Json::Object(fields));
         }
         loop {
@@ -316,10 +366,10 @@ impl<'a> Reader<'a> {
             fields.push((key, value));
             match self.peek_after_ws() {
                 Some(',') => {
-                    self.chars.next();
+                    self.bump();
                 }
                 Some('}') => {
-                    self.chars.next();
+                    self.bump();
                     return Ok(Json::Object(fields));
                 }
                 other => return Err(format!("expected ',' or '}}' in object, found {other:?}")),
@@ -331,17 +381,17 @@ impl<'a> Reader<'a> {
         self.expect('[')?;
         let mut items = Vec::new();
         if self.peek_after_ws() == Some(']') {
-            self.chars.next();
+            self.bump();
             return Ok(Json::Array(items));
         }
         loop {
             items.push(self.value()?);
             match self.peek_after_ws() {
                 Some(',') => {
-                    self.chars.next();
+                    self.bump();
                 }
                 Some(']') => {
-                    self.chars.next();
+                    self.bump();
                     return Ok(Json::Array(items));
                 }
                 other => return Err(format!("expected ',' or ']' in array, found {other:?}")),
@@ -367,9 +417,15 @@ pub fn parse_bench_json_with_counter_keys(
     text: &str,
 ) -> Result<(BenchMeta, SweepReport, std::collections::BTreeSet<String>), String> {
     let mut reader = Reader::new(text);
-    let doc = reader.value()?;
+    let doc = match reader.value() {
+        Ok(doc) => doc,
+        Err(e) => return Err(format!("{} ({e})", reader.position())),
+    };
     if let Some(trailing) = reader.peek_after_ws() {
-        return Err(format!("trailing content after document: {trailing:?}"));
+        return Err(format!(
+            "{}: trailing content after document: {trailing:?}",
+            reader.position()
+        ));
     }
     doc.require("semint_bench")?
         .as_u64("semint_bench")
@@ -377,6 +433,7 @@ pub fn parse_bench_json_with_counter_keys(
             1 => Ok(()),
             other => Err(format!("unsupported semint_bench version {other}")),
         })?;
+    document_version(&doc)?;
     let meta = BenchMeta {
         profile: doc.require("profile")?.as_str("profile")?.to_string(),
         repeat: doc.require("repeat")?.as_u64("repeat")? as usize,
@@ -594,6 +651,28 @@ mod tests {
         assert!(parse_bench_json(&format!("{text} garbage"))
             .unwrap_err()
             .contains("trailing"));
+    }
+
+    #[test]
+    fn version_field_round_trips_and_future_versions_are_rejected() {
+        let text = render_bench_json(&sample_meta(), &sample_report());
+        assert!(text.contains(&format!("\"version\": {FORMAT_VERSION}")));
+        // Absent version = a v1 document written before the field existed.
+        let legacy = text.replace(&format!("  \"version\": {FORMAT_VERSION},\n"), "");
+        assert_ne!(text, legacy, "the sample must carry the version field");
+        assert!(parse_bench_json(&legacy).is_ok());
+        // A newer writer's document is rejected with an upgrade hint.
+        let future = text.replace(&format!("\"version\": {FORMAT_VERSION}"), "\"version\": 99");
+        let err = parse_bench_json(&future).unwrap_err();
+        assert!(err.contains("newer"), "{err}");
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_column_context() {
+        let err = parse_bench_json("{\n  \"semint_bench\": 1,\n  oops\n}").unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+        let err = parse_bench_json("{\"semint_bench\": 1, }").unwrap_err();
+        assert!(err.contains("column"), "{err}");
     }
 
     #[test]

@@ -37,7 +37,13 @@
 //!   and untraced sweeps agree on digests and counters byte for byte;
 //! * [`profile`] — `semint profile`'s order-insensitive aggregation of
 //!   trace files: stage breakdowns, per-case opcode-class histograms,
-//!   allocation stats, and the hottest seeds by steps.
+//!   allocation stats, and the hottest seeds by steps;
+//! * [`serve`] — the `semint serve` daemon: a bounded FIFO queue of sweep
+//!   jobs, a supervisor that drives each job as a fleet of `semint sweep
+//!   --shard` child processes (re-issuing the exact slice of any worker
+//!   that crashes or wedges), and a rolling merge whose final digests are
+//!   byte-identical to a one-shot sweep; the wire protocol is hand-rolled
+//!   line-JSON over localhost TCP.
 //!
 //! ## Example
 //!
@@ -62,6 +68,7 @@ pub mod engine;
 pub mod json;
 pub mod profile;
 pub mod report;
+pub mod serve;
 pub mod shrink;
 pub mod source;
 pub mod trace;
@@ -71,5 +78,6 @@ pub use engine::{sweep_all, sweep_all_observed, sweep_case, sweep_case_observed,
 pub use profile::{render_profile, TraceProfile};
 pub use semint_core::case::{CaseStudy, CheckFailure, GenProfile, Scenario};
 pub use semint_core::stats::{CaseReport, SweepReport};
+pub use serve::{Daemon, ServeConfig};
 pub use source::{Corpus, ScenarioSource, SeedRange, Shard};
 pub use trace::SweepObserver;

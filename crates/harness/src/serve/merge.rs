@@ -1,0 +1,118 @@
+//! Live digest merge: folds per-shard sweep reports into one rolling
+//! aggregate as workers finish, instead of waiting for the whole fleet.
+//!
+//! The heavy lifting was done in PR 3: every [`semint_core::stats::CaseReport`]
+//! aggregate folds associatively and commutatively, so k-of-n shard reports
+//! merge into the digests — and [`semint_core::VmCounters`] — of the
+//! unsharded sweep, byte for byte, in *any* arrival order.  [`RollingMerge`]
+//! adds the bookkeeping a long-running daemon needs on top: how many shards
+//! have landed, whether the job is complete, and a snapshot of the
+//! digests-so-far for `semint status`.
+
+use semint_core::stats::SweepReport;
+
+/// A job's rolling merged report: shard results are absorbed as they
+/// arrive, and the digests converge on the one-shot sweep's the moment the
+/// last shard lands.
+#[derive(Debug, Clone)]
+pub struct RollingMerge {
+    shards_total: u64,
+    shards_done: u64,
+    report: SweepReport,
+}
+
+impl RollingMerge {
+    /// An empty merge expecting `shards_total` shard reports.
+    pub fn new(shards_total: u64) -> RollingMerge {
+        RollingMerge {
+            shards_total,
+            shards_done: 0,
+            report: SweepReport::default(),
+        }
+    }
+
+    /// Folds one completed shard's report into the rolling aggregate.
+    /// Arrival order never matters: merge is associative and commutative
+    /// across shards of one partition.
+    pub fn absorb_shard(&mut self, shard: &SweepReport) {
+        self.report.merge(shard);
+        self.shards_done += 1;
+    }
+
+    /// Shards merged so far.
+    pub fn shards_done(&self) -> u64 {
+        self.shards_done
+    }
+
+    /// Shards the job was split into.
+    pub fn shards_total(&self) -> u64 {
+        self.shards_total
+    }
+
+    /// True once every shard has been merged.
+    pub fn is_complete(&self) -> bool {
+        self.shards_done == self.shards_total
+    }
+
+    /// The merged-so-far report.
+    pub fn report(&self) -> &SweepReport {
+        &self.report
+    }
+
+    /// The per-case digests of the merged-so-far report.
+    pub fn digests(&self) -> Vec<String> {
+        self.report.cases.iter().map(|c| c.digest()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases::AnyCase;
+    use crate::engine::{sweep_all, SweepConfig};
+    use crate::source::{SeedRange, Shard};
+
+    /// The daemon-side property behind the whole subsystem: shard reports
+    /// absorbed one by one — in any order — reproduce the unsharded sweep's
+    /// digests and counters exactly.
+    #[test]
+    fn rolling_shard_merge_matches_the_one_shot_sweep() {
+        let cases = AnyCase::all(false);
+        let cfg = SweepConfig {
+            jobs: 2,
+            model_check: false,
+            ..SweepConfig::default()
+        };
+        let range = SeedRange::new(0, 21).unwrap();
+        let whole = sweep_all(&cases, &range, &cfg);
+        for order in [[0u64, 1, 2], [2, 0, 1], [1, 2, 0]] {
+            let mut rolling = RollingMerge::new(3);
+            assert!(!rolling.is_complete());
+            for index in order {
+                let shard = Shard::new(range, index, 3).unwrap();
+                rolling.absorb_shard(&sweep_all(&cases, &shard, &cfg));
+            }
+            assert!(rolling.is_complete());
+            assert_eq!(rolling.shards_done(), 3);
+            assert_eq!(
+                rolling.digests(),
+                whole.cases.iter().map(|c| c.digest()).collect::<Vec<_>>(),
+                "digests must converge on the unsharded sweep (order {order:?})"
+            );
+            for (merged, direct) in rolling.report().cases.iter().zip(&whole.cases) {
+                assert_eq!(
+                    merged.counters, direct.counters,
+                    "VmCounters must survive the rolling merge exactly"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_merge_reports_no_digests() {
+        let rolling = RollingMerge::new(2);
+        assert_eq!(rolling.digests(), Vec::<String>::new());
+        assert_eq!(rolling.shards_total(), 2);
+        assert!(!rolling.is_complete());
+    }
+}

@@ -1,0 +1,302 @@
+//! `semint serve` — a long-running sweep-orchestration daemon.
+//!
+//! One-shot `semint sweep` re-pays process startup and leaves supervision
+//! to the shell.  The serve subsystem turns the existing sharded sweep
+//! machinery into a service: a daemon owns a bounded FIFO [`queue`] of
+//! sweep jobs, and for each job its [`supervisor`] spawns N shard workers
+//! as `semint sweep --shard i/N --save` child processes, streams their
+//! saved reports back, and [`merge`]s them live into rolling per-case
+//! digests a client can watch with `semint status`.  The [`protocol`] is
+//! hand-rolled line-JSON over localhost TCP — the workspace is offline and
+//! dependency-free, so there is no serde, no tokio, no HTTP; just
+//! `std::net` and the crate's own JSON reader.
+//!
+//! The deterministic foundation makes supervision *safe*: shards are exact
+//! k-of-n seed slices and the merge is order-insensitive, so a worker that
+//! crashes or wedges can be killed and its slice re-issued, and the final
+//! merged digests are still byte-identical to a one-shot `semint sweep`
+//! over the same range.  Failure is handled, never hidden: a shard that
+//! exhausts its retry budget fails the whole job with a reason, and the
+//! completeness check refuses to mark a job done unless every seed of
+//! every case is accounted for.
+
+pub mod merge;
+pub mod protocol;
+pub mod queue;
+pub mod supervisor;
+
+pub use merge::RollingMerge;
+pub use protocol::{
+    call, parse_request, parse_response, render_request, render_response, JobStatus, Request,
+    Response, DEFAULT_PORT,
+};
+pub use queue::{Fault, JobQueue, JobSpec, JobState};
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::trace::ServeLog;
+
+/// Everything a daemon needs to run: where to listen, how big the fleet
+/// and queue are, how supervision behaves, and which binary to spawn as
+/// shard workers (normally the daemon's own executable).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// TCP port on 127.0.0.1 (0 picks an ephemeral port).
+    pub port: u16,
+    /// Worker slots per job: how many shard processes run concurrently.
+    pub workers: usize,
+    /// Bounded admission: at most this many unfinished jobs.
+    pub queue_capacity: usize,
+    /// A worker with no stderr heartbeat for this long is wedged.
+    pub heartbeat_timeout: Duration,
+    /// Re-issues per shard before the job is abandoned.
+    pub max_retries: u64,
+    /// The `semint` binary to spawn as workers.
+    pub worker_binary: PathBuf,
+    /// Where to write the JSONL daemon log (None = no log file).
+    pub log_path: Option<PathBuf>,
+    /// Mirror log events to stdout (the foreground `semint serve` mode).
+    pub echo: bool,
+}
+
+impl ServeConfig {
+    /// A config with the documented CLI defaults, spawning `worker_binary`.
+    pub fn new(worker_binary: PathBuf) -> ServeConfig {
+        ServeConfig {
+            port: DEFAULT_PORT,
+            workers: 4,
+            queue_capacity: 16,
+            heartbeat_timeout: Duration::from_millis(30_000),
+            max_retries: 2,
+            worker_binary,
+            log_path: None,
+            echo: false,
+        }
+    }
+}
+
+/// A running daemon: accept loop + scheduler thread, joined on shutdown.
+pub struct Daemon {
+    port: u16,
+    accept: Option<JoinHandle<()>>,
+    scheduler: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+}
+
+/// State shared between the accept loop and the scheduler.
+struct Shared {
+    queue: Mutex<JobQueue>,
+    log: ServeLog,
+    cfg: ServeConfig,
+    workdir: PathBuf,
+}
+
+impl Daemon {
+    /// Binds the listener, creates the scratch directory for shard reports,
+    /// and starts the accept and scheduler threads.  Returns once the
+    /// daemon is reachable; [`Daemon::join`] blocks until a shutdown
+    /// request has drained the queue.
+    pub fn spawn(cfg: ServeConfig) -> Result<Daemon, String> {
+        let listener = TcpListener::bind(("127.0.0.1", cfg.port))
+            .map_err(|e| format!("cannot bind 127.0.0.1:{}: {e}", cfg.port))?;
+        let port = listener
+            .local_addr()
+            .map_err(|e| format!("cannot read the bound address: {e}"))?
+            .port();
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot set the listener nonblocking: {e}"))?;
+        let workdir =
+            std::env::temp_dir().join(format!("semint-serve-{}-{port}", std::process::id()));
+        std::fs::create_dir_all(&workdir)
+            .map_err(|e| format!("cannot create {}: {e}", workdir.display()))?;
+        let log = ServeLog::new(cfg.log_path.as_deref(), cfg.echo)
+            .map_err(|e| format!("cannot open the daemon log: {e}"))?;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(JobQueue::new(cfg.queue_capacity, cfg.workers)),
+            log,
+            cfg,
+            workdir,
+        });
+        shared.log.event(
+            "daemon-start",
+            None,
+            &[
+                ("port", port.to_string()),
+                ("workers", shared.cfg.workers.to_string()),
+                ("queue_capacity", shared.cfg.queue_capacity.to_string()),
+            ],
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || accept_loop(listener, &shared, &stop))
+        };
+        let scheduler = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || scheduler_loop(&shared, &stop))
+        };
+        Ok(Daemon {
+            port,
+            accept: Some(accept),
+            scheduler: Some(scheduler),
+            stop,
+        })
+    }
+
+    /// The port the daemon actually listens on (resolves `port: 0`).
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Blocks until the daemon has drained and exited (a client must send
+    /// a shutdown request — the daemon runs until told to stop).
+    pub fn join(mut self) {
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+        // The scheduler set the stop flag on drain; the accept loop sees it
+        // within one poll interval.
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        // A dropped (not joined) daemon still stops its threads instead of
+        // leaking them — tests that panic mid-run rely on this.
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// How often the nonblocking accept loop and the scheduler re-check for
+/// work or the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>, stop: &Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let shared = Arc::clone(shared);
+                // One detached thread per connection: the protocol is one
+                // request line, one response line, close — nothing lingers.
+                thread::spawn(move || serve_connection(stream, &shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut line = String::new();
+    if BufReader::new(stream).read_line(&mut line).is_err() {
+        return;
+    }
+    let response = match parse_request(line.trim_end()) {
+        Err(e) => Response::Error(format!("bad request: {e}")),
+        Ok(request) => handle_request(request, shared),
+    };
+    let _ = writer.write_all(format!("{}\n", render_response(&response)).as_bytes());
+    let _ = writer.flush();
+}
+
+fn handle_request(request: Request, shared: &Shared) -> Response {
+    match request {
+        Request::Ping => Response::Ok,
+        Request::Submit(spec) => {
+            let mut queue = shared.queue.lock().expect("job queue poisoned");
+            match queue.submit(spec) {
+                Ok(job) => {
+                    shared.log.event(
+                        "job-queued",
+                        Some(job),
+                        &[("pending", queue.snapshot().len().to_string())],
+                    );
+                    Response::Submitted { job }
+                }
+                Err(e) => Response::Error(e),
+            }
+        }
+        Request::Status { job } => {
+            let queue = shared.queue.lock().expect("job queue poisoned");
+            let draining = queue.draining();
+            let jobs = match job {
+                None => queue.snapshot(),
+                Some(id) => match queue.job(id) {
+                    Some(job) => vec![job.status()],
+                    None => return Response::Error(format!("no job {id}")),
+                },
+            };
+            Response::Status { draining, jobs }
+        }
+        Request::Shutdown => {
+            let mut queue = shared.queue.lock().expect("job queue poisoned");
+            queue.drain();
+            shared.log.event("drain", None, &[]);
+            Response::Ok
+        }
+    }
+}
+
+fn scheduler_loop(shared: &Arc<Shared>, stop: &Arc<AtomicBool>) {
+    loop {
+        // An externally set stop flag (a dropped daemon) wins over queued
+        // work; a clean shutdown drains the queue first.
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let next = {
+            let mut queue = shared.queue.lock().expect("job queue poisoned");
+            if queue.is_drained() {
+                break;
+            }
+            queue.take_next()
+        };
+        match next {
+            None => {
+                thread::sleep(POLL_INTERVAL);
+            }
+            Some(job_id) => {
+                let result = supervisor::run_job(
+                    &shared.cfg,
+                    &shared.workdir,
+                    &shared.queue,
+                    &shared.log,
+                    job_id,
+                );
+                shared
+                    .queue
+                    .lock()
+                    .expect("job queue poisoned")
+                    .finish_active(result);
+            }
+        }
+    }
+    shared.log.event("daemon-exit", None, &[]);
+    let _ = std::fs::remove_dir_all(&shared.workdir);
+    stop.store(true, Ordering::SeqCst);
+}

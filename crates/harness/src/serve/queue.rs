@@ -1,0 +1,407 @@
+//! The daemon's bounded FIFO job queue.
+//!
+//! `semint serve` runs **one job at a time** — parallelism lives *inside* a
+//! job, as the fleet of shard workers the supervisor drives — so the queue
+//! is a plain FIFO with bounded admission: a [`JobQueue`] holds at most
+//! `capacity` unfinished jobs, and `submit` is rejected (backpressure, not
+//! blocking) once the daemon is that far behind.  Every accepted job carries
+//! its own [`RollingMerge`], so `semint status` can show digests-so-far
+//! while shards are still landing.
+
+use std::collections::VecDeque;
+
+use semint_core::case::GenProfile;
+
+use super::merge::RollingMerge;
+use super::protocol::JobStatus;
+use crate::cases::AnyCase;
+use crate::engine::MAX_SEEDS_PER_SWEEP;
+use crate::source::{SeedRange, Shard};
+
+/// An injected fault for crash-recovery testing: shard `shard`'s *first*
+/// attempt is spawned with `--die-after after`, so the worker aborts
+/// mid-sweep and the supervisor must re-issue the slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Which shard index dies (0-based).
+    pub shard: u64,
+    /// After how many completed scenarios it dies.
+    pub after: u64,
+}
+
+/// One sweep request as submitted over the wire: a seed range, a *preset*
+/// profile name (customised knobs don't serialise; the wire protocol pins
+/// presets so worker processes rebuild the identical profile by name), and
+/// the fan-out/execution shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Seed range `[start, end)`.
+    pub seeds: (u64, u64),
+    /// Preset profile name (`smoke` / `default` / `deep` / `boundary-heavy`).
+    pub profile: String,
+    /// Case study name, or `all`.
+    pub case: String,
+    /// How many shard workers to split the range across; 0 means "one per
+    /// daemon worker slot", resolved at submit time.
+    pub shards: u64,
+    /// `--jobs` threads inside each worker.
+    pub jobs: usize,
+    /// `--batch` size inside each worker.
+    pub batch: usize,
+    /// Whether workers run the realizability-model stage.
+    pub model_check: bool,
+    /// Optional injected crash, for supervision tests.
+    pub fault: Option<Fault>,
+}
+
+impl JobSpec {
+    /// Validates the spec against everything a worker would reject, so bad
+    /// submissions fail at the daemon's front door instead of as a dead
+    /// child process.  `workers` resolves `shards == 0`; on success the
+    /// returned spec carries the resolved shard count.
+    pub fn validated(mut self, workers: usize) -> Result<JobSpec, String> {
+        let range = SeedRange::new(self.seeds.0, self.seeds.1)?;
+        if range.count() > MAX_SEEDS_PER_SWEEP {
+            return Err(format!(
+                "seed range {} holds {} seeds, exceeding the per-sweep cap of {MAX_SEEDS_PER_SWEEP}",
+                range.spec(),
+                range.count()
+            ));
+        }
+        if GenProfile::by_name(&self.profile).is_none() {
+            return Err(format!(
+                "profile {:?} is not a preset (expected one of: {}); \
+                 serve jobs pin preset profiles so workers rebuild them by name",
+                self.profile,
+                GenProfile::PRESET_NAMES.join(" | ")
+            ));
+        }
+        if self.case != "all" && AnyCase::by_name(&self.case, false).is_none() {
+            return Err(format!("unknown case {:?}", self.case));
+        }
+        if self.jobs == 0 {
+            return Err("jobs must be at least 1".into());
+        }
+        if self.batch == 0 {
+            return Err("batch must be at least 1".into());
+        }
+        if self.shards == 0 {
+            self.shards = workers.max(1) as u64;
+        }
+        // Shard::new is the single source of truth for shard validity.
+        Shard::new(range, 0, self.shards)?;
+        if let Some(fault) = self.fault {
+            if fault.shard >= self.shards {
+                return Err(format!(
+                    "fault shard {} is out of range (job has {} shards)",
+                    fault.shard, self.shards
+                ));
+            }
+            if fault.after == 0 {
+                return Err("fault after must be at least 1 scenario".into());
+            }
+        }
+        Ok(self)
+    }
+
+    /// The seed range this job sweeps.
+    pub fn range(&self) -> SeedRange {
+        SeedRange::new(self.seeds.0, self.seeds.1).expect("validated at submit")
+    }
+}
+
+/// Where a job is in its life cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for its turn.
+    Queued,
+    /// The supervisor is driving its shard fleet right now.
+    Running,
+    /// Every shard merged; digests are final.
+    Done,
+    /// Gave up (a shard exhausted its retries, or results were incomplete).
+    Failed(String),
+}
+
+impl JobState {
+    /// The wire label for this state.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed(_) => "failed",
+        }
+    }
+}
+
+/// One accepted job: its spec, life-cycle state, rolling merge, and how
+/// many shard re-issues its fleet has needed so far.
+#[derive(Debug)]
+pub struct Job {
+    /// Daemon-assigned id (dense, starting at 0).
+    pub id: u64,
+    /// The validated spec (shards resolved).
+    pub spec: JobSpec,
+    /// Current life-cycle state.
+    pub state: JobState,
+    /// Digests-so-far.
+    pub merge: RollingMerge,
+    /// Total shard attempts beyond the first, across the whole job.
+    pub retries: u64,
+}
+
+impl Job {
+    /// The job's externally visible snapshot, as `semint status` shows it.
+    pub fn status(&self) -> JobStatus {
+        JobStatus {
+            id: self.id,
+            state: self.state.label().to_string(),
+            error: match &self.state {
+                JobState::Failed(e) => Some(e.clone()),
+                _ => None,
+            },
+            shards_done: self.merge.shards_done(),
+            shards_total: self.merge.shards_total(),
+            retries: self.retries,
+            scenarios: self.merge.report().scenarios(),
+            failures: self.merge.report().failure_count() as u64,
+            digests: self.merge.digests(),
+            report_tsv: self.merge.report().to_tsv(),
+        }
+    }
+}
+
+/// The daemon's job table: a bounded FIFO of unfinished jobs plus the
+/// finished ones (kept so `status` can report completed digests until
+/// shutdown).
+#[derive(Debug)]
+pub struct JobQueue {
+    capacity: usize,
+    workers: usize,
+    jobs: Vec<Job>,
+    pending: VecDeque<u64>,
+    active: Option<u64>,
+    draining: bool,
+}
+
+impl JobQueue {
+    /// An empty queue admitting at most `capacity` unfinished jobs, with
+    /// `workers` worker slots (resolves `shards: 0` at submit).
+    pub fn new(capacity: usize, workers: usize) -> JobQueue {
+        JobQueue {
+            capacity: capacity.max(1),
+            workers: workers.max(1),
+            jobs: Vec::new(),
+            pending: VecDeque::new(),
+            active: None,
+            draining: false,
+        }
+    }
+
+    /// How many jobs are accepted but not yet finished.
+    fn unfinished(&self) -> usize {
+        self.pending.len() + usize::from(self.active.is_some())
+    }
+
+    /// Admits a job, or rejects it: invalid specs and a full queue both
+    /// bounce at the front door (backpressure is an error the client sees,
+    /// never an unbounded buffer).
+    pub fn submit(&mut self, spec: JobSpec) -> Result<u64, String> {
+        if self.draining {
+            return Err("daemon is draining; new jobs are not accepted".into());
+        }
+        if self.unfinished() >= self.capacity {
+            return Err(format!(
+                "queue is full ({} of {} jobs unfinished); retry after a job completes",
+                self.unfinished(),
+                self.capacity
+            ));
+        }
+        let spec = spec.validated(self.workers)?;
+        let id = self.jobs.len() as u64;
+        let merge = RollingMerge::new(spec.shards);
+        self.jobs.push(Job {
+            id,
+            spec,
+            state: JobState::Queued,
+            merge,
+            retries: 0,
+        });
+        self.pending.push_back(id);
+        Ok(id)
+    }
+
+    /// Claims the next job for the supervisor (FIFO, one at a time).
+    pub fn take_next(&mut self) -> Option<u64> {
+        if self.active.is_some() {
+            return None;
+        }
+        let id = self.pending.pop_front()?;
+        self.jobs[id as usize].state = JobState::Running;
+        self.active = Some(id);
+        Some(id)
+    }
+
+    /// Marks the active job finished.
+    pub fn finish_active(&mut self, result: Result<(), String>) {
+        if let Some(id) = self.active.take() {
+            self.jobs[id as usize].state = match result {
+                Ok(()) => JobState::Done,
+                Err(e) => JobState::Failed(e),
+            };
+        }
+    }
+
+    /// Stops admitting jobs; already-accepted ones still run to completion.
+    pub fn drain(&mut self) {
+        self.draining = true;
+    }
+
+    /// Whether the daemon has begun draining.
+    pub fn draining(&self) -> bool {
+        self.draining
+    }
+
+    /// True when draining and every accepted job has finished — the daemon
+    /// can exit.
+    pub fn is_drained(&self) -> bool {
+        self.draining && self.unfinished() == 0
+    }
+
+    /// Immutable access to one job.
+    pub fn job(&self, id: u64) -> Option<&Job> {
+        self.jobs.get(id as usize)
+    }
+
+    /// Mutable access to one job (the supervisor merges shard reports and
+    /// bumps retry counts through this).
+    pub fn job_mut(&mut self, id: u64) -> Option<&mut Job> {
+        self.jobs.get_mut(id as usize)
+    }
+
+    /// Snapshots of every job, oldest first.
+    pub fn snapshot(&self) -> Vec<JobStatus> {
+        self.jobs.iter().map(Job::status).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            seeds: (0, 40),
+            profile: "default".into(),
+            case: "all".into(),
+            shards: 0,
+            jobs: 1,
+            batch: 1,
+            model_check: false,
+            fault: None,
+        }
+    }
+
+    #[test]
+    fn fifo_order_one_active_job_and_bounded_admission() {
+        let mut queue = JobQueue::new(2, 3);
+        let a = queue.submit(spec()).expect("first job fits");
+        let b = queue.submit(spec()).expect("second job fits");
+        let err = queue.submit(spec()).expect_err("third job bounces");
+        assert!(err.contains("full"), "{err}");
+        assert_eq!(queue.take_next(), Some(a));
+        assert_eq!(queue.take_next(), None, "one job at a time");
+        // shards: 0 resolved to the worker count at submit.
+        assert_eq!(queue.job(a).unwrap().spec.shards, 3);
+        queue.finish_active(Ok(()));
+        assert_eq!(queue.job(a).unwrap().state, JobState::Done);
+        assert_eq!(queue.take_next(), Some(b));
+        queue.finish_active(Err("boom".into()));
+        assert_eq!(queue.job(b).unwrap().state.label(), "failed");
+        // Finished jobs free capacity.
+        queue.submit(spec()).expect("capacity is back");
+    }
+
+    #[test]
+    fn drain_refuses_new_jobs_but_finishes_accepted_ones() {
+        let mut queue = JobQueue::new(4, 2);
+        queue.submit(spec()).unwrap();
+        queue.drain();
+        assert!(queue.draining());
+        assert!(!queue.is_drained(), "the accepted job still has to run");
+        let err = queue.submit(spec()).expect_err("draining refuses jobs");
+        assert!(err.contains("draining"), "{err}");
+        let id = queue.take_next().expect("accepted job still runs");
+        queue.finish_active(Ok(()));
+        assert!(queue.is_drained());
+        assert_eq!(queue.job(id).unwrap().state, JobState::Done);
+    }
+
+    #[test]
+    fn invalid_specs_bounce_at_submit() {
+        let mut queue = JobQueue::new(4, 2);
+        let cases: Vec<(JobSpec, &str)> = vec![
+            (
+                JobSpec {
+                    seeds: (9, 3),
+                    ..spec()
+                },
+                "seed",
+            ),
+            (
+                JobSpec {
+                    profile: "custom".into(),
+                    ..spec()
+                },
+                "preset",
+            ),
+            (
+                JobSpec {
+                    case: "nope".into(),
+                    ..spec()
+                },
+                "case",
+            ),
+            (JobSpec { jobs: 0, ..spec() }, "jobs"),
+            (JobSpec { batch: 0, ..spec() }, "batch"),
+            (
+                JobSpec {
+                    shards: 2,
+                    fault: Some(Fault { shard: 2, after: 1 }),
+                    ..spec()
+                },
+                "fault shard",
+            ),
+            (
+                JobSpec {
+                    fault: Some(Fault { shard: 0, after: 0 }),
+                    ..spec()
+                },
+                "at least 1",
+            ),
+        ];
+        for (bad, needle) in cases {
+            let err = queue.submit(bad.clone()).expect_err("must bounce");
+            assert!(err.contains(needle), "{bad:?} → {err}");
+        }
+        assert_eq!(queue.snapshot().len(), 0, "nothing was admitted");
+    }
+
+    #[test]
+    fn job_status_snapshots_carry_the_rolling_merge() {
+        let mut queue = JobQueue::new(4, 2);
+        let id = queue
+            .submit(JobSpec {
+                shards: 3,
+                ..spec()
+            })
+            .unwrap();
+        let status = &queue.snapshot()[id as usize];
+        assert_eq!(status.state, "queued");
+        assert_eq!(status.shards_total, 3);
+        assert_eq!(status.shards_done, 0);
+        assert_eq!(status.scenarios, 0);
+        assert!(status.digests.is_empty());
+    }
+}

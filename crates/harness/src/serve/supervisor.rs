@@ -1,0 +1,461 @@
+//! The shard-fleet supervisor: drives one job's worth of `semint sweep`
+//! child processes and keeps the job correct when they die.
+//!
+//! Each shard of a job runs as a separate `semint sweep --shard k/n --save`
+//! process.  Supervision is the point of the subsystem: a worker that
+//! *crashes* (nonzero exit, unreadable report) or *wedges* (no stderr
+//! heartbeat within the configured timeout — workers run with `--progress`,
+//! whose rolling line doubles as a liveness signal) is killed and its exact
+//! seed slice re-issued, up to a retry budget.  Because shards are
+//! deterministic slices and the merge is order-insensitive, a re-issued
+//! shard reproduces precisely the results the dead worker would have
+//! produced, so the final digests are byte-identical to a one-shot sweep no
+//! matter how many workers died along the way.
+//!
+//! Workers deliberately run *without* `--trace`/`--time`: stage wall-clock
+//! is nondeterministic and would pollute the saved TSV; the merged report
+//! carries only digest-grade facts.
+
+use std::collections::VecDeque;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+use semint_core::stats::SweepReport;
+
+use super::queue::{JobQueue, JobSpec};
+use super::ServeConfig;
+use crate::cases::AnyCase;
+use crate::trace::ServeLog;
+
+/// One unit of fleet work: shard `index` of the job, on its
+/// `attempt`-th try (0 = first issue, >0 = re-issue after a death).
+#[derive(Debug, Clone, Copy)]
+struct ShardTask {
+    index: u64,
+    attempt: u64,
+}
+
+/// A live worker process and the supervision state attached to it.
+struct Worker {
+    task: ShardTask,
+    child: Child,
+    /// Last time the worker's stderr produced bytes (the `--progress` line).
+    heartbeat: Arc<Mutex<Instant>>,
+    /// Rolling tail of the worker's stderr, for failure diagnostics.
+    tail: Arc<Mutex<String>>,
+    out_path: PathBuf,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl Worker {
+    /// Kills the child (best effort), reaps it, and joins the stderr reader.
+    fn kill_and_reap(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+        let _ = std::fs::remove_file(&self.out_path);
+    }
+
+    /// The stderr tail, flattened for a one-line log message.
+    fn stderr_tail(&self) -> String {
+        let tail = self.tail.lock().expect("stderr tail poisoned").clone();
+        tail.replace(['\r', '\n'], " ").trim().to_string()
+    }
+}
+
+/// Builds the exact `semint sweep` invocation for one shard attempt.  The
+/// worker re-derives its slice from `--seeds`/`--shard`, so a re-issued
+/// attempt is the *same* deterministic work, not an approximation.
+fn worker_command(
+    cfg: &ServeConfig,
+    workdir: &Path,
+    job_id: u64,
+    spec: &JobSpec,
+    task: ShardTask,
+) -> (Command, PathBuf) {
+    let out_path = workdir.join(format!(
+        "job{job_id}-shard{}-attempt{}.tsv",
+        task.index, task.attempt
+    ));
+    let mut cmd = Command::new(&cfg.worker_binary);
+    cmd.arg("sweep")
+        .arg("--seeds")
+        .arg(spec.range().spec())
+        .arg("--shard")
+        .arg(format!("{}/{}", task.index, spec.shards))
+        .arg("--profile")
+        .arg(&spec.profile)
+        .arg("--jobs")
+        .arg(spec.jobs.to_string())
+        .arg("--batch")
+        .arg(spec.batch.to_string())
+        .arg("--save")
+        .arg(&out_path)
+        // The progress line is the heartbeat.  NOT --trace: tracing implies
+        // --time and timings are nondeterministic.
+        .arg("--progress");
+    if !spec.model_check {
+        cmd.arg("--no-model-check");
+    }
+    if spec.case != "all" {
+        cmd.arg("--case").arg(&spec.case);
+    }
+    if let Some(fault) = spec.fault {
+        // Only the first attempt is sabotaged: the re-issue must succeed,
+        // which is exactly what the crash-recovery test asserts.
+        if task.attempt == 0 && fault.shard == task.index {
+            cmd.arg("--die-after").arg(fault.after.to_string());
+        }
+    }
+    cmd.stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped());
+    (cmd, out_path)
+}
+
+fn spawn_worker(
+    cfg: &ServeConfig,
+    workdir: &Path,
+    job_id: u64,
+    spec: &JobSpec,
+    task: ShardTask,
+    log: &ServeLog,
+) -> Result<Worker, String> {
+    let (mut cmd, out_path) = worker_command(cfg, workdir, job_id, spec, task);
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| format!("cannot spawn worker {}: {e}", cfg.worker_binary.display()))?;
+    let stderr = child.stderr.take().expect("stderr was piped");
+    let heartbeat = Arc::new(Mutex::new(Instant::now()));
+    let tail = Arc::new(Mutex::new(String::new()));
+    let beat = Arc::clone(&heartbeat);
+    let tail_sink = Arc::clone(&tail);
+    let reader = thread::spawn(move || {
+        let mut stderr = stderr;
+        let mut buf = [0u8; 512];
+        loop {
+            match stderr.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    *beat.lock().expect("heartbeat poisoned") = Instant::now();
+                    let mut tail = tail_sink.lock().expect("stderr tail poisoned");
+                    tail.push_str(&String::from_utf8_lossy(&buf[..n]));
+                    if tail.chars().count() > 500 {
+                        let keep: String = tail
+                            .chars()
+                            .rev()
+                            .take(500)
+                            .collect::<Vec<_>>()
+                            .iter()
+                            .rev()
+                            .collect();
+                        *tail = keep;
+                    }
+                }
+            }
+        }
+    });
+    log.event(
+        "shard-start",
+        Some(job_id),
+        &[
+            ("shard", format!("{}/{}", task.index, spec.shards)),
+            ("attempt", task.attempt.to_string()),
+        ],
+    );
+    Ok(Worker {
+        task,
+        child,
+        heartbeat,
+        tail,
+        out_path,
+        reader: Some(reader),
+    })
+}
+
+/// Why a worker's attempt did not produce a mergeable report.
+enum Death {
+    /// Nonzero exit; carries the stderr tail for diagnostics.
+    Crashed(ExitStatus, String),
+    Wedged,
+    BadReport(String),
+}
+
+impl Death {
+    fn describe(&self, timeout_ms: u64) -> String {
+        match self {
+            Death::Crashed(status, tail) => {
+                let how = match status.code() {
+                    Some(code) => format!("crashed (exit code {code})"),
+                    None => "crashed (killed by signal)".into(),
+                };
+                if tail.is_empty() {
+                    how
+                } else {
+                    format!("{how}; stderr tail: {tail}")
+                }
+            }
+            Death::Wedged => format!("wedged (no heartbeat for {timeout_ms} ms)"),
+            Death::BadReport(e) => format!("produced an unreadable report ({e})"),
+        }
+    }
+}
+
+/// Runs one job's shard fleet to completion.  Returns `Ok(())` once every
+/// shard has been merged (possibly after re-issues), or the reason the job
+/// had to be abandoned.
+pub fn run_job(
+    cfg: &ServeConfig,
+    workdir: &Path,
+    queue: &Mutex<JobQueue>,
+    log: &ServeLog,
+    job_id: u64,
+) -> Result<(), String> {
+    let spec = {
+        let queue = queue.lock().expect("job queue poisoned");
+        queue
+            .job(job_id)
+            .ok_or_else(|| format!("job {job_id} vanished from the queue"))?
+            .spec
+            .clone()
+    };
+    log.event(
+        "job-start",
+        Some(job_id),
+        &[
+            ("seeds", spec.range().spec()),
+            ("profile", spec.profile.clone()),
+            ("case", spec.case.clone()),
+            ("shards", spec.shards.to_string()),
+        ],
+    );
+    let mut pending: VecDeque<ShardTask> = (0..spec.shards)
+        .map(|index| ShardTask { index, attempt: 0 })
+        .collect();
+    let mut running: Vec<Worker> = Vec::new();
+    let timeout_ms = cfg.heartbeat_timeout.as_millis() as u64;
+    let mut abandon: Option<String> = None;
+
+    'fleet: while abandon.is_none() && (!pending.is_empty() || !running.is_empty()) {
+        // Fill free worker slots, re-issues first (they sit at the front).
+        while running.len() < cfg.workers.max(1) {
+            let Some(task) = pending.pop_front() else {
+                break;
+            };
+            match spawn_worker(cfg, workdir, job_id, &spec, task, log) {
+                Ok(worker) => running.push(worker),
+                Err(e) => {
+                    abandon = Some(e);
+                    break 'fleet;
+                }
+            }
+        }
+        // Poll the fleet: reap exits, detect wedges.
+        let mut index = 0;
+        while index < running.len() {
+            let exited = match running[index].child.try_wait() {
+                Ok(status) => status,
+                Err(e) => {
+                    abandon = Some(format!("cannot poll a worker: {e}"));
+                    break 'fleet;
+                }
+            };
+            if let Some(status) = exited {
+                let worker = running.swap_remove(index);
+                match settle_exit(worker, status, queue, log, job_id, &spec) {
+                    Ok(()) => {}
+                    Err((task, death)) => {
+                        if let Some(reason) = reissue_or_abandon(
+                            task,
+                            death,
+                            &mut pending,
+                            queue,
+                            log,
+                            job_id,
+                            cfg,
+                            &spec,
+                            timeout_ms,
+                        ) {
+                            abandon = Some(reason);
+                            break 'fleet;
+                        }
+                    }
+                }
+                continue;
+            }
+            let stale = {
+                let beat = running[index].heartbeat.lock().expect("heartbeat poisoned");
+                beat.elapsed() > cfg.heartbeat_timeout
+            };
+            if stale {
+                let worker = running.swap_remove(index);
+                let task = worker.task;
+                worker.kill_and_reap();
+                if let Some(reason) = reissue_or_abandon(
+                    task,
+                    Death::Wedged,
+                    &mut pending,
+                    queue,
+                    log,
+                    job_id,
+                    cfg,
+                    &spec,
+                    timeout_ms,
+                ) {
+                    abandon = Some(reason);
+                    break 'fleet;
+                }
+                continue;
+            }
+            index += 1;
+        }
+        thread::sleep(std::time::Duration::from_millis(10));
+    }
+    // Whatever is still running is now pointless (job failed) or already
+    // done (loop exited cleanly with an empty fleet).
+    for worker in running {
+        worker.kill_and_reap();
+    }
+    if let Some(reason) = abandon {
+        log.event("job-failed", Some(job_id), &[("reason", reason.clone())]);
+        return Err(reason);
+    }
+    // Completeness check: the merged report must account for every seed of
+    // every case before the job may call itself done.
+    let case_count = if spec.case == "all" {
+        AnyCase::all(false).len() as u64
+    } else {
+        1
+    };
+    let expected = spec.range().count() * case_count;
+    let queue = queue.lock().expect("job queue poisoned");
+    let job = queue
+        .job(job_id)
+        .ok_or_else(|| format!("job {job_id} vanished from the queue"))?;
+    if !job.merge.is_complete() {
+        return Err(format!(
+            "fleet drained with only {}/{} shards merged",
+            job.merge.shards_done(),
+            job.merge.shards_total()
+        ));
+    }
+    let merged = job.merge.report().scenarios();
+    if merged != expected {
+        return Err(format!(
+            "merged report holds {merged} scenarios but the job spans {expected}"
+        ));
+    }
+    log.event(
+        "job-done",
+        Some(job_id),
+        &[
+            ("scenarios", merged.to_string()),
+            ("retries", job.retries.to_string()),
+            ("digests", job.merge.digests().join(" ")),
+        ],
+    );
+    Ok(())
+}
+
+/// Handles a worker that exited on its own: merge its report, or classify
+/// the death for re-issue.
+fn settle_exit(
+    mut worker: Worker,
+    status: ExitStatus,
+    queue: &Mutex<JobQueue>,
+    log: &ServeLog,
+    job_id: u64,
+    spec: &JobSpec,
+) -> Result<(), (ShardTask, Death)> {
+    if let Some(reader) = worker.reader.take() {
+        let _ = reader.join();
+    }
+    // Exit 0 = clean, 1 = sweep completed but found failures — both write
+    // the report, and failures must flow into the merge.  Anything else
+    // (2 = usage, 42 = injected fault, signals) is a crash.
+    if !matches!(status.code(), Some(0 | 1)) {
+        let tail = worker.stderr_tail();
+        let _ = std::fs::remove_file(&worker.out_path);
+        return Err((worker.task, Death::Crashed(status, tail)));
+    }
+    let report = std::fs::read_to_string(&worker.out_path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| SweepReport::from_tsv(&text));
+    let _ = std::fs::remove_file(&worker.out_path);
+    let report = match report {
+        Ok(report) => report,
+        Err(e) => return Err((worker.task, Death::BadReport(e))),
+    };
+    let mut queue = queue.lock().expect("job queue poisoned");
+    let job = queue.job_mut(job_id).expect("running job exists");
+    job.merge.absorb_shard(&report);
+    log.event(
+        "shard-done",
+        Some(job_id),
+        &[
+            ("shard", format!("{}/{}", worker.task.index, spec.shards)),
+            ("attempt", worker.task.attempt.to_string()),
+            (
+                "merged",
+                format!("{}/{}", job.merge.shards_done(), job.merge.shards_total()),
+            ),
+        ],
+    );
+    Ok(())
+}
+
+/// Re-issues a dead worker's slice, or — once the retry budget is spent —
+/// returns the reason the job must be abandoned.
+#[allow(clippy::too_many_arguments)]
+fn reissue_or_abandon(
+    task: ShardTask,
+    death: Death,
+    pending: &mut VecDeque<ShardTask>,
+    queue: &Mutex<JobQueue>,
+    log: &ServeLog,
+    job_id: u64,
+    cfg: &ServeConfig,
+    spec: &JobSpec,
+    timeout_ms: u64,
+) -> Option<String> {
+    let what = format!(
+        "shard {}/{} attempt {} {}",
+        task.index,
+        spec.shards,
+        task.attempt,
+        death.describe(timeout_ms)
+    );
+    if task.attempt >= cfg.max_retries {
+        return Some(format!(
+            "{what}; retry budget ({}) exhausted",
+            cfg.max_retries
+        ));
+    }
+    {
+        let mut queue = queue.lock().expect("job queue poisoned");
+        if let Some(job) = queue.job_mut(job_id) {
+            job.retries += 1;
+        }
+    }
+    log.event(
+        "shard-retry",
+        Some(job_id),
+        &[
+            ("shard", format!("{}/{}", task.index, spec.shards)),
+            ("attempt", task.attempt.to_string()),
+            ("reason", what),
+        ],
+    );
+    // Front of the queue: the missing slice is the job's critical path.
+    pending.push_front(ShardTask {
+        index: task.index,
+        attempt: task.attempt + 1,
+    });
+    None
+}

@@ -84,6 +84,13 @@ impl SeedRange {
     pub fn count(&self) -> u64 {
         self.end - self.start
     }
+
+    /// The `A..B` spec string the CLI's `--seeds` flag accepts — the round
+    /// trip `SeedRange::new` ∘ parse ∘ `spec` is the identity, which is how
+    /// `semint serve` hands a job's range to its shard workers.
+    pub fn spec(&self) -> String {
+        format!("{}..{}", self.start, self.end)
+    }
 }
 
 impl ScenarioSource for SeedRange {
@@ -138,6 +145,22 @@ impl Shard {
     /// Total number of shards in the partition.
     pub fn of(&self) -> u64 {
         self.of
+    }
+
+    /// The `K/N` spec string the CLI's `--shard` flag accepts.  Because the
+    /// partition is a pure function of `(range, index, of)`, re-issuing this
+    /// spec to a fresh process reproduces the dead worker's seed slice
+    /// exactly — the property `semint serve`'s crash recovery rests on.
+    pub fn spec(&self) -> String {
+        format!("{}/{}", self.index, self.of)
+    }
+
+    /// Number of seeds in this shard's slice.
+    pub fn seed_count(&self) -> u64 {
+        let total = self.range.count();
+        let whole = total / self.of;
+        let rem = total % self.of;
+        whole + u64::from(self.index < rem)
     }
 }
 
@@ -424,6 +447,27 @@ mod tests {
         }
         combined.sort_unstable();
         assert_eq!(combined, range.seeds("any"), "shards must cover the range");
+    }
+
+    #[test]
+    fn spec_strings_round_trip_and_seed_counts_match() {
+        let range = SeedRange::new(3, 20).unwrap();
+        assert_eq!(range.spec(), "3..20");
+        let spec = range.spec();
+        let (a, b) = spec.split_once("..").unwrap();
+        let reparsed = SeedRange::new(a.parse().unwrap(), b.parse().unwrap()).unwrap();
+        assert_eq!(reparsed, range);
+        for of in 1..6u64 {
+            for index in 0..of {
+                let shard = Shard::new(range, index, of).unwrap();
+                assert_eq!(shard.spec(), format!("{index}/{of}"));
+                assert_eq!(
+                    shard.seed_count(),
+                    shard.seeds("any").len() as u64,
+                    "closed-form count agrees with the enumerated slice"
+                );
+            }
+        }
     }
 
     #[test]

@@ -43,6 +43,13 @@ pub const HEARTBEAT_EVERY: u64 = 64;
 /// The `--progress` stderr line redraws at most this often.
 const PROGRESS_MIN_INTERVAL_US: u64 = 100_000;
 
+/// Exit code of a process killed by `--die-after` fault injection, chosen to
+/// collide with nothing the CLI returns itself (0/1/2).  `semint serve`'s
+/// supervisor treats it like any other crash — that is the point: the flag
+/// exists so supervision tests can kill a shard worker mid-sweep
+/// deterministically.
+pub const FAULT_EXIT_CODE: i32 = 42;
+
 /// Shared observation sink for one sweep: counts scenarios as workers
 /// finish them, streams JSONL events to the trace writer thread, and
 /// renders the rolling progress line.  `Sync` — one instance is shared by
@@ -56,6 +63,9 @@ pub struct SweepObserver {
     trace: Option<TraceWriter>,
     progress: bool,
     last_render_us: AtomicU64,
+    /// `--die-after N` fault injection: abort the whole process with
+    /// [`FAULT_EXIT_CODE`] once this many scenarios have finished.
+    die_after: Option<u64>,
 }
 
 struct TraceWriter {
@@ -98,7 +108,17 @@ impl SweepObserver {
             trace,
             progress,
             last_render_us: AtomicU64::new(0),
+            die_after: None,
         })
+    }
+
+    /// Arms `--die-after N` fault injection: the process aborts with
+    /// [`FAULT_EXIT_CODE`] the moment the `n`-th scenario finishes, leaving
+    /// any `--save` file unwritten — from a supervisor's point of view, a
+    /// genuine mid-sweep crash.  `None` disarms (the default).
+    pub fn with_fault(mut self, die_after: Option<u64>) -> SweepObserver {
+        self.die_after = die_after;
+        self
     }
 
     /// Records one finished scenario.  `glue` is the case's *cumulative*
@@ -106,6 +126,10 @@ impl SweepObserver {
     /// concurrent workers may interleave between execution and snapshot).
     pub fn scenario(&self, case: &str, record: &ScenarioRecord, glue: Option<GlueCacheStats>) {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.die_after == Some(done) {
+            eprintln!("[fault] --die-after {done}: aborting mid-sweep (injected crash)");
+            std::process::exit(FAULT_EXIT_CODE);
+        }
         if record.failure.is_none() {
             self.safe.fetch_add(1, Ordering::Relaxed);
         }
@@ -271,6 +295,82 @@ pub fn scenario_line(case: &str, record: &ScenarioRecord, glue: Option<&GlueCach
     line
 }
 
+/// Renders one `semint serve` lifecycle event as a single JSONL line, the
+/// same one-event-per-line idiom as the sweep trace: `{"event":"shard-start",
+/// "t_ms":12,"job":0,"shard":"1/4","attempt":"0"}`.  `detail` pairs are
+/// emitted in order as string fields.
+pub fn serve_event_line(
+    event: &str,
+    t_ms: u64,
+    job: Option<u64>,
+    detail: &[(&str, String)],
+) -> String {
+    let mut line = String::with_capacity(128);
+    let _ = write!(
+        line,
+        "{{\"event\":\"{}\",\"t_ms\":{t_ms}",
+        escape_json(event)
+    );
+    if let Some(job) = job {
+        let _ = write!(line, ",\"job\":{job}");
+    }
+    for (key, value) in detail {
+        let _ = write!(line, ",\"{}\":\"{}\"", escape_json(key), escape_json(value));
+    }
+    line.push_str("}\n");
+    line
+}
+
+/// The daemon's structured activity stream: one JSONL event per lifecycle
+/// transition (job queued, shard started, shard crashed, slice re-issued,
+/// job done…), flushed per event so `tail -f` and the CI artifact both see
+/// a live log.  With `echo` on, every event is mirrored to stdout in a
+/// human-readable form — the interactive face of `semint serve`.
+pub struct ServeLog {
+    file: Option<Mutex<BufWriter<File>>>,
+    echo: bool,
+    started: Instant,
+}
+
+impl ServeLog {
+    /// Opens the log (truncating `path` when given).  `echo` mirrors events
+    /// to stdout.
+    pub fn new(path: Option<&Path>, echo: bool) -> io::Result<ServeLog> {
+        let file = match path {
+            None => None,
+            Some(path) => Some(Mutex::new(BufWriter::new(File::create(path)?))),
+        };
+        Ok(ServeLog {
+            file,
+            echo,
+            started: Instant::now(),
+        })
+    }
+
+    /// Records one event.  Logging is observational: I/O errors are
+    /// swallowed so a full disk never takes the daemon down.
+    pub fn event(&self, event: &str, job: Option<u64>, detail: &[(&str, String)]) {
+        let t_ms = self.started.elapsed().as_millis() as u64;
+        if let Some(file) = &self.file {
+            let line = serve_event_line(event, t_ms, job, detail);
+            let mut out = file.lock().expect("serve log poisoned");
+            let _ = out.write_all(line.as_bytes());
+            let _ = out.flush();
+        }
+        if self.echo {
+            let mut human = String::new();
+            if let Some(job) = job {
+                let _ = write!(human, "job {job}: ");
+            }
+            human.push_str(event);
+            for (key, value) in detail {
+                let _ = write!(human, " {key}={value}");
+            }
+            println!("[serve] {human}");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,6 +447,42 @@ mod tests {
         assert!(line.contains("\"safe\":false"));
         assert!(line.contains("\"fail_stage\":\"typecheck\""));
         assert!(!line.contains("stage_us"));
+    }
+
+    #[test]
+    fn serve_event_lines_are_single_json_lines() {
+        let line = serve_event_line(
+            "shard-retry",
+            37,
+            Some(4),
+            &[("shard", "1/4".into()), ("attempt", "1".into())],
+        );
+        assert_eq!(line.matches('\n').count(), 1, "one event per line");
+        assert!(line.contains("\"event\":\"shard-retry\""));
+        assert!(line.contains("\"t_ms\":37"));
+        assert!(line.contains("\"job\":4"));
+        assert!(line.contains("\"shard\":\"1/4\""));
+        let bare = serve_event_line("drained", 1, None, &[]);
+        assert!(!bare.contains("\"job\""));
+    }
+
+    #[test]
+    fn serve_log_writes_flushed_jsonl_events() {
+        let path = std::env::temp_dir().join(format!(
+            "semint-serve-log-test-{}.jsonl",
+            std::process::id()
+        ));
+        let log = ServeLog::new(Some(&path), false).expect("log file");
+        log.event("job-queued", Some(0), &[("seeds", "0..10".into())]);
+        log.event("job-done", Some(0), &[]);
+        // Flushed per event: readable before the log is dropped.
+        let text = std::fs::read_to_string(&path).expect("log written");
+        drop(log);
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].contains("\"event\":\"job-queued\""));
+        assert!(lines[1].contains("\"event\":\"job-done\""));
     }
 
     #[test]
