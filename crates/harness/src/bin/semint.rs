@@ -16,9 +16,12 @@
 //! semint bench-diff BENCH_7.json current.json       # digest drift / throughput regression gate
 //! semint report a.tsv b.tsv                         # merge + re-render saved reports
 //! semint serve --workers 4 --log serve.log          # sweep-orchestration daemon (localhost TCP)
+//! semint serve --state-dir state                    # crash-safe daemon: journal + checkpoints
+//! semint serve --state-dir state --resume           # replay the journal, finish interrupted jobs
 //! semint submit --seeds 0..500 --profile deep       # queue a sweep job on the daemon
 //! semint status --job 0 --wait                      # follow it to completion, digests included
 //! semint submit --shutdown                          # drain accepted jobs, then exit
+//! semint chaos --seed 7 --rounds 2                  # deterministic kill-and-resume drill
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace is offline; no clap).
@@ -38,7 +41,8 @@ use semint_harness::json::{
 use semint_harness::profile::{absorb_trace, render_profile, TraceProfile};
 use semint_harness::report::{render_rolling, render_sweep};
 use semint_harness::serve::{
-    self, Daemon, Fault, JobSpec, JobStatus, Request, Response, ServeConfig, DEFAULT_PORT,
+    self, ChaosConfig, Daemon, FaultKind, FaultPlan, JobSpec, JobStatus, Request, Response,
+    ServeConfig, DEFAULT_PORT,
 };
 use semint_harness::source::{Corpus, ScenarioSource, SeedRange, Shard};
 use semint_harness::trace::SweepObserver;
@@ -77,8 +81,16 @@ USAGE:
                                                       byte-identical to a one-shot sweep
     semint submit [--port P] [--seeds A..B] [options] queue a sweep job on a running daemon
                                                       (--shutdown drains it instead)
-    semint status [--port P] [--job N] [--wait]       job states and rolling merged digests;
+    semint status [--port P] [--job N] [--wait]       job states and rolling merged digests; with no
+                                                      --job, every known job is listed (including
+                                                      journal-recovered jobs after --resume);
                                                       --wait follows one job to completion
+    semint chaos  [--seed S] [--rounds N] [options]   deterministic crash drill: per round, derive a
+                                                      fault schedule from the seed, run a faulted job
+                                                      on a real daemon, SIGKILL the daemon mid-job,
+                                                      restart it with --resume, and assert the merged
+                                                      digests and VM counters are byte-identical to an
+                                                      uninterrupted one-shot sweep
     semint help                                       this text
 
 SCENARIO SUPPLY:
@@ -139,17 +151,33 @@ SERVE (daemon, submit, status):
                      killed, and its slice re-issued              (default: 30000)
     --max-retries R  re-issues per shard before the job fails     (default: 2)
     --log PATH       JSONL daemon log (job/shard lifecycle events)
+    --state-dir DIR  durable state: an fsync'd JSONL job journal plus
+                     checkpointed shard reports live here; with it the daemon
+                     survives its own death (see --resume)
+    --resume         replay the state dir's journal at startup: digest-verified
+                     checkpoints are adopted as merged shards, interrupted jobs
+                     are re-enqueued, and only unaccounted shards re-run
     --shards N       split a submitted job into N shard workers   (default: the
                      daemon's worker count)
     --job N          restrict `status` to job N
     --wait           poll `status --job N` until the job is done or failed
     --shutdown       `submit --shutdown` drains the daemon: accepted jobs
                      finish, new ones are refused, then it exits
-    --die-after N    (sweep; testing) abort the process mid-sweep after N
-                     scenarios — a deterministic injected crash
+    --rounds N       (chaos) kill-and-resume rounds to run        (default: 1)
+
+FAULT INJECTION (testing):
+    --die-after N    (sweep) abort the process mid-sweep after N scenarios —
+                     a deterministic injected crash
+    --wedge-after N  (sweep) go silent mid-sweep after N scenarios without
+                     exiting — only the heartbeat timeout catches it
+    --corrupt-save MODE  (sweep) sabotage the --save report after writing it:
+                     `garbage` replaces it wholesale, `truncate` cuts it
+                     mid-line so it cannot parse
     --fault-shard K / --fault-after N
-                     (submit; testing) sabotage shard K's first attempt with
-                     --die-after N, forcing a supervised re-issue
+                     (submit) sabotage shard K's first attempt after N
+                     scenarios, forcing a supervised re-issue
+    --fault-kind KIND  crash | wedge | corrupt-report | truncate-report —
+                     how the sabotaged shard misbehaves       (default: crash)
 
 EXIT STATUS: 0 on success, 1 if any scenario or conversion check failed, 2 on usage errors.";
 
@@ -170,6 +198,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(rest),
         "submit" => cmd_submit(rest),
         "status" => cmd_status(rest),
+        "chaos" => cmd_chaos(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -192,7 +221,7 @@ fn main() -> ExitCode {
 }
 
 /// Every subcommand the dispatcher knows, for the unknown-command hint.
-const COMMANDS: [&str; 11] = [
+const COMMANDS: [&str; 12] = [
     "run",
     "check",
     "sweep",
@@ -203,6 +232,7 @@ const COMMANDS: [&str; 11] = [
     "serve",
     "submit",
     "status",
+    "chaos",
     "help",
 ];
 
@@ -267,22 +297,39 @@ struct Options {
     json: Option<String>,
     trace: Option<String>,
     progress: bool,
-    // serve / submit / status
+    // serve / submit / status / chaos
     port: u16,
     workers: usize,
     queue_capacity: usize,
-    worker_timeout_ms: u64,
+    /// Tri-state so each subcommand picks its own default (`serve`: 30000,
+    /// `chaos`: 5000 — drills want wedges detected fast).
+    worker_timeout_ms: Option<u64>,
     max_retries: u64,
     log: Option<String>,
+    /// `--state-dir DIR`: where the daemon's journal and shard checkpoints
+    /// live (chaos uses it as the root for per-round state dirs).
+    state_dir: Option<String>,
+    /// `--resume`: replay the state dir's journal at startup.
+    resume: bool,
     shards: u64,
     job: Option<u64>,
     wait: bool,
     shutdown: bool,
+    /// `--rounds N`: how many kill-and-resume rounds `chaos` runs.
+    rounds: u64,
     fault_shard: Option<u64>,
     fault_after: Option<u64>,
+    /// `--fault-kind`: how the sabotaged shard misbehaves (submit).
+    fault_kind: Option<FaultKind>,
     /// `--die-after N` fault injection (sweep): abort the process after N
     /// scenarios, for supervision tests.
     die_after: Option<u64>,
+    /// `--wedge-after N` fault injection (sweep): go silent — alive but
+    /// heartbeat-less — after N scenarios, for wedge-detection tests.
+    wedge_after: Option<u64>,
+    /// `--corrupt-save MODE` fault injection (sweep): sabotage the saved
+    /// report after writing it (`garbage` | `truncate`).
+    corrupt_save: Option<String>,
 }
 
 impl Default for Options {
@@ -310,16 +357,22 @@ impl Default for Options {
             port: DEFAULT_PORT,
             workers: 4,
             queue_capacity: 16,
-            worker_timeout_ms: 30_000,
+            worker_timeout_ms: None,
             max_retries: 2,
             log: None,
+            state_dir: None,
+            resume: false,
             shards: 0,
             job: None,
             wait: false,
             shutdown: false,
+            rounds: 1,
             fault_shard: None,
             fault_after: None,
+            fault_kind: None,
             die_after: None,
+            wedge_after: None,
+            corrupt_save: None,
         }
     }
 }
@@ -501,12 +554,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--worker-timeout-ms" => {
-                opts.worker_timeout_ms = value("--worker-timeout-ms")?
+                let ms: u64 = value("--worker-timeout-ms")?
                     .parse()
                     .map_err(|e| format!("--worker-timeout-ms: {e}"))?;
-                if opts.worker_timeout_ms == 0 {
+                if ms == 0 {
                     return Err("--worker-timeout-ms must be at least 1".into());
                 }
+                opts.worker_timeout_ms = Some(ms);
             }
             "--max-retries" => {
                 opts.max_retries = value("--max-retries")?
@@ -514,6 +568,16 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| format!("--max-retries: {e}"))?;
             }
             "--log" => opts.log = Some(value("--log")?.to_string()),
+            "--state-dir" => opts.state_dir = Some(value("--state-dir")?.to_string()),
+            "--resume" => opts.resume = true,
+            "--rounds" => {
+                opts.rounds = value("--rounds")?
+                    .parse()
+                    .map_err(|e| format!("--rounds: {e}"))?;
+                if opts.rounds == 0 {
+                    return Err("--rounds must be at least 1".into());
+                }
+            }
             "--shards" => {
                 opts.shards = value("--shards")?
                     .parse()
@@ -538,6 +602,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         .map_err(|e| format!("--fault-after: {e}"))?,
                 );
             }
+            "--fault-kind" => {
+                opts.fault_kind = Some(FaultKind::from_label(value("--fault-kind")?)?);
+            }
             "--die-after" => {
                 let n: u64 = value("--die-after")?
                     .parse()
@@ -546,6 +613,24 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     return Err("--die-after must be at least 1 scenario".into());
                 }
                 opts.die_after = Some(n);
+            }
+            "--wedge-after" => {
+                let n: u64 = value("--wedge-after")?
+                    .parse()
+                    .map_err(|e| format!("--wedge-after: {e}"))?;
+                if n == 0 {
+                    return Err("--wedge-after must be at least 1 scenario".into());
+                }
+                opts.wedge_after = Some(n);
+            }
+            "--corrupt-save" => {
+                let mode = value("--corrupt-save")?;
+                if !matches!(mode, "garbage" | "truncate") {
+                    return Err(format!(
+                        "--corrupt-save expects `garbage` or `truncate`, got `{mode}`"
+                    ));
+                }
+                opts.corrupt_save = Some(mode.to_string());
             }
             other => return Err(format!("unknown option `{other}`; try `semint help`")),
         }
@@ -667,13 +752,23 @@ fn build_observer(
     source: &dyn ScenarioSource,
     passes: u64,
 ) -> Result<Option<SweepObserver>, String> {
-    if opts.trace.is_none() && !opts.progress && opts.die_after.is_none() {
+    if opts.trace.is_none()
+        && !opts.progress
+        && opts.die_after.is_none()
+        && opts.wedge_after.is_none()
+    {
         return Ok(None);
     }
     let names: Vec<&str> = cases.iter().map(|c| c.name()).collect();
     let total = source.total(&names) * passes;
     SweepObserver::new(total, opts.trace.as_deref().map(Path::new), opts.progress)
-        .map(|observer| Some(observer.with_fault(opts.die_after)))
+        .map(|observer| {
+            Some(
+                observer
+                    .with_fault(opts.die_after)
+                    .with_wedge(opts.wedge_after),
+            )
+        })
         .map_err(|e| format!("opening trace file: {e}"))
 }
 
@@ -769,6 +864,9 @@ fn cmd_check(args: &[String]) -> Result<bool, String> {
 /// `semint sweep`: the parallel batch run.
 fn cmd_sweep(args: &[String]) -> Result<bool, String> {
     let opts = parse_options(args)?;
+    if opts.corrupt_save.is_some() && opts.save.is_none() {
+        return Err("--corrupt-save sabotages the --save report; give --save PATH too".into());
+    }
     let cases = selected_cases(&opts)?;
     let source = build_source(&opts)?;
     let mut cfg = sweep_config(&opts, true);
@@ -801,8 +899,34 @@ fn cmd_sweep(args: &[String]) -> Result<bool, String> {
     if let Some(path) = &opts.save {
         std::fs::write(path, report.to_tsv()).map_err(|e| format!("saving {path}: {e}"))?;
         println!("saved: {path}");
+        if let Some(mode) = &opts.corrupt_save {
+            corrupt_saved_report(path, mode)?;
+        }
     }
     Ok(report.failure_count() == 0)
+}
+
+/// `--corrupt-save` fault injection: sabotages an already-saved report so
+/// the daemon's validation (and, for checkpoints, digest verification) has
+/// something real to catch.  `garbage` replaces the report wholesale;
+/// `truncate` cuts it mid-line — a dangling key with no value — so
+/// `SweepReport::from_tsv` reliably *fails* instead of parsing a
+/// smaller-but-valid report that would slip past everything except the
+/// job-level completeness check.
+fn corrupt_saved_report(path: &str, mode: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("corrupting {path}: {e}"))?;
+    let corrupted = match mode {
+        "garbage" => "this is not a sweep report\n".to_string(),
+        _ => {
+            let lines: Vec<&str> = text.lines().collect();
+            let mut out = lines[..lines.len() / 2].join("\n");
+            out.push_str("\nscenario");
+            out
+        }
+    };
+    std::fs::write(path, corrupted).map_err(|e| format!("corrupting {path}: {e}"))?;
+    eprintln!("[fault] --corrupt-save {mode}: sabotaged the saved report at {path}");
+    Ok(())
 }
 
 /// `semint bench`: the E9/E11 timing mode — repeated timed sweeps with
@@ -1142,23 +1266,32 @@ fn cmd_serve(args: &[String]) -> Result<bool, String> {
     let opts = parse_options(args)?;
     let worker_binary = std::env::current_exe()
         .map_err(|e| format!("cannot locate the semint binary to spawn workers: {e}"))?;
+    let worker_timeout_ms = opts.worker_timeout_ms.unwrap_or(30_000);
     let cfg = ServeConfig {
         port: opts.port,
         workers: opts.workers,
         queue_capacity: opts.queue_capacity,
-        heartbeat_timeout: Duration::from_millis(opts.worker_timeout_ms),
+        heartbeat_timeout: Duration::from_millis(worker_timeout_ms),
         max_retries: opts.max_retries,
         worker_binary,
         log_path: opts.log.as_ref().map(PathBuf::from),
         echo: true,
+        state_dir: opts.state_dir.as_ref().map(PathBuf::from),
+        resume: opts.resume,
     };
     let daemon = Daemon::spawn(cfg)?;
     let port = daemon.port();
     println!(
         "semint serve: listening on 127.0.0.1:{port} · {} workers · queue capacity {} · \
          worker timeout {} ms · {} retries per shard",
-        opts.workers, opts.queue_capacity, opts.worker_timeout_ms, opts.max_retries
+        opts.workers, opts.queue_capacity, worker_timeout_ms, opts.max_retries
     );
+    if let Some(dir) = &opts.state_dir {
+        println!(
+            "durable state: {dir} (fsync'd job journal + shard checkpoints; \
+             recover with `semint serve --state-dir {dir} --resume`)"
+        );
+    }
     println!("submit jobs:   semint submit --port {port} --seeds A..B [--profile NAME]");
     println!("watch them:    semint status --port {port} [--job N --wait]");
     println!("drain + exit:  semint submit --port {port} --shutdown");
@@ -1206,8 +1339,17 @@ fn cmd_submit(args: &[String]) -> Result<bool, String> {
         return Err("--broken is not supported for serve jobs".into());
     }
     let fault = match (opts.fault_shard, opts.fault_after) {
-        (None, None) => None,
-        (Some(shard), Some(after)) => Some(Fault { shard, after }),
+        (None, None) => {
+            if opts.fault_kind.is_some() {
+                return Err("--fault-kind needs --fault-shard and --fault-after".into());
+            }
+            None
+        }
+        (Some(shard), Some(after)) => Some(FaultPlan {
+            shard,
+            after,
+            kind: opts.fault_kind.unwrap_or(FaultKind::Crash),
+        }),
         _ => return Err("--fault-shard and --fault-after must be given together".into()),
     };
     let spec = JobSpec {
@@ -1244,6 +1386,9 @@ fn print_job_status(status: &JobStatus, detailed: bool) -> Result<(), String> {
     );
     if status.retries > 0 {
         line.push_str(&format!(" · {} shard re-issues", status.retries));
+    }
+    if status.recovered {
+        line.push_str(" · recovered");
     }
     println!("{line}");
     if let Some(error) = &status.error {
@@ -1311,6 +1456,110 @@ fn cmd_status(args: &[String]) -> Result<bool, String> {
             .all(|job| job.state != "failed" && job.failures == 0);
         return Ok(clean);
     }
+}
+
+/// `semint chaos`: the deterministic kill-and-resume drill.  Every round
+/// derives a fault plan and a kill point from `--seed`, runs a faulted job
+/// on a real daemon process, SIGKILLs the daemon once the journal shows the
+/// scheduled number of checkpoints, restarts it with `--resume`, and
+/// asserts the resumed digests and VM counters are byte-identical to an
+/// uninterrupted one-shot sweep — with no checkpointed shard re-run.
+fn cmd_chaos(args: &[String]) -> Result<bool, String> {
+    let opts = parse_options(args)?;
+    // The same wire restrictions as `submit`: the drill's jobs travel over
+    // the real protocol.
+    if opts.profile.name == "custom" {
+        return Err(
+            "chaos jobs pin preset profiles (smoke | default | deep | boundary-heavy); \
+             knob overrides like --type-depth do not travel over the wire"
+                .into(),
+        );
+    }
+    if opts.shard.is_some() {
+        return Err("chaos shards its jobs itself; use --shards N instead of --shard K/N".into());
+    }
+    if opts.corpus_load.is_some() || opts.corpus_save.is_some() {
+        return Err("corpus replay/persistence is not supported for chaos jobs".into());
+    }
+    if opts.broken {
+        return Err("--broken is not supported for chaos jobs".into());
+    }
+    let binary = std::env::current_exe()
+        .map_err(|e| format!("cannot locate the semint binary to drill: {e}"))?;
+    let state_root = match &opts.state_dir {
+        Some(dir) => PathBuf::from(dir),
+        None => std::env::temp_dir().join(format!("semint-chaos-{}", std::process::id())),
+    };
+    let cfg = ChaosConfig {
+        binary,
+        seed: opts.seed.unwrap_or(0),
+        rounds: opts.rounds,
+        seeds: opts.range,
+        profile: opts.profile.name.to_string(),
+        case: opts.case.clone(),
+        shards: if opts.shards == 0 {
+            opts.workers as u64
+        } else {
+            opts.shards
+        },
+        jobs: opts.jobs,
+        workers: opts.workers,
+        batch: opts.batch,
+        // Drills inject wedges on purpose; detect them fast.
+        worker_timeout_ms: opts.worker_timeout_ms.unwrap_or(5_000),
+        state_root,
+        echo: true,
+    };
+    println!(
+        "chaos: {} rounds · seed {} · seeds {}..{} · profile {} · {} shards · state root {}",
+        cfg.rounds,
+        cfg.seed,
+        cfg.seeds.0,
+        cfg.seeds.1,
+        cfg.profile,
+        cfg.shards,
+        cfg.state_root.display()
+    );
+    let outcomes = serve::run_drills(&cfg)?;
+    let mut clean = true;
+    for outcome in &outcomes {
+        let held = outcome.invariant_holds();
+        clean = clean && held;
+        println!(
+            "round {}: {} · fault {} on shard {} after {} scenarios · killed after {} \
+             checkpoints (shards {:?} saved) · {} re-issues · digests {} · counters {} · \
+             re-run after resume {:?} · state {}",
+            outcome.round,
+            if held { "PASS" } else { "FAIL" },
+            outcome.plan.kind.label(),
+            outcome.plan.shard,
+            outcome.plan.after,
+            outcome.kill_after_saves,
+            outcome.saved_before_kill,
+            outcome.retries,
+            if outcome.digests_match {
+                "match"
+            } else {
+                "DIVERGE"
+            },
+            if outcome.counters_match {
+                "match"
+            } else {
+                "DIVERGE"
+            },
+            outcome.rerun_after_resume,
+            outcome.state_dir.display(),
+        );
+    }
+    if clean {
+        println!(
+            "chaos: all {} rounds held the crash-safety invariant",
+            outcomes.len()
+        );
+    } else {
+        println!("chaos: INVARIANT VIOLATED — post-mortems in the per-round state dirs above");
+    }
+    Ok(clean)
 }
 
 #[cfg(test)]
@@ -1486,7 +1735,10 @@ mod tests {
         assert_eq!(opts.port, DEFAULT_PORT);
         assert_eq!(opts.workers, 4);
         assert_eq!(opts.queue_capacity, 16);
-        assert_eq!(opts.worker_timeout_ms, 30_000);
+        assert_eq!(
+            opts.worker_timeout_ms, None,
+            "tri-state: serve resolves to 30000, chaos to 5000"
+        );
         assert_eq!(opts.max_retries, 2);
         assert_eq!(opts.shards, 0, "0 = one shard per daemon worker");
         assert!(opts.job.is_none() && !opts.wait && !opts.shutdown);
@@ -1514,7 +1766,7 @@ mod tests {
         assert_eq!(opts.port, 0);
         assert_eq!(opts.workers, 2);
         assert_eq!(opts.queue_capacity, 3);
-        assert_eq!(opts.worker_timeout_ms, 5000);
+        assert_eq!(opts.worker_timeout_ms, Some(5000));
         assert_eq!(opts.max_retries, 1);
         assert_eq!(opts.log.as_deref(), Some("serve.log"));
         assert_eq!(opts.shards, 6);
@@ -1536,11 +1788,69 @@ mod tests {
         let opts = parse(&["--fault-shard", "1", "--fault-after", "5"]).unwrap();
         assert_eq!(opts.fault_shard, Some(1));
         assert_eq!(opts.fault_after, Some(5));
+        assert_eq!(opts.fault_kind, None, "submit defaults the kind to crash");
         let opts = parse(&["--die-after", "3"]).unwrap();
         assert_eq!(opts.die_after, Some(3));
         assert!(parse(&["--die-after", "0"])
             .unwrap_err()
             .contains("at least 1"));
+    }
+
+    #[test]
+    fn crash_safety_flags_parse_and_validate() {
+        let opts = parse(&[]).unwrap();
+        assert!(opts.state_dir.is_none() && !opts.resume);
+        assert_eq!(opts.rounds, 1);
+        assert!(opts.fault_kind.is_none());
+        assert!(opts.wedge_after.is_none() && opts.corrupt_save.is_none());
+        let opts = parse(&[
+            "--state-dir",
+            "state",
+            "--resume",
+            "--rounds",
+            "3",
+            "--fault-kind",
+            "wedge",
+            "--wedge-after",
+            "4",
+            "--corrupt-save",
+            "truncate",
+        ])
+        .unwrap();
+        assert_eq!(opts.state_dir.as_deref(), Some("state"));
+        assert!(opts.resume);
+        assert_eq!(opts.rounds, 3);
+        assert_eq!(opts.fault_kind, Some(FaultKind::Wedge));
+        assert_eq!(opts.wedge_after, Some(4));
+        assert_eq!(opts.corrupt_save.as_deref(), Some("truncate"));
+        assert!(parse(&["--rounds", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&["--wedge-after", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+        let err = parse(&["--fault-kind", "segfault"]).unwrap_err();
+        assert!(err.contains("fault kind"), "{err}");
+        let err = parse(&["--corrupt-save", "zero-out"]).unwrap_err();
+        assert!(err.contains("garbage"), "{err}");
+    }
+
+    #[test]
+    fn submit_and_chaos_reject_unwireable_combinations_up_front() {
+        let err = cmd_submit(&["--fault-kind".into(), "wedge".into()]).unwrap_err();
+        assert!(err.contains("--fault-shard"), "{err}");
+        // Chaos validation happens before any daemon or baseline is built.
+        let err = cmd_chaos(&["--type-depth".into(), "5".into()]).unwrap_err();
+        assert!(err.contains("preset"), "{err}");
+        let err = cmd_chaos(&["--shard".into(), "0/2".into()]).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+        let err = cmd_chaos(&["--corpus-load".into(), "x.corpus".into()]).unwrap_err();
+        assert!(err.contains("corpus"), "{err}");
+        let err = cmd_chaos(&["--broken".into()]).unwrap_err();
+        assert!(err.contains("--broken"), "{err}");
+        // Sweep refuses --corrupt-save with nothing to corrupt.
+        let err = cmd_sweep(&["--corrupt-save".into(), "garbage".into()]).unwrap_err();
+        assert!(err.contains("--save"), "{err}");
     }
 
     #[test]

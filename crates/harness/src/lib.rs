@@ -43,7 +43,10 @@
 //!   --shard` child processes (re-issuing the exact slice of any worker
 //!   that crashes or wedges), and a rolling merge whose final digests are
 //!   byte-identical to a one-shot sweep; the wire protocol is hand-rolled
-//!   line-JSON over localhost TCP.
+//!   line-JSON over localhost TCP. With `--state-dir` the daemon is
+//!   crash-safe: an fsync'd job journal plus checkpointed shard reports
+//!   let `--resume` restore every job after a kill, and `semint chaos`
+//!   drills exactly that with seed-derived fault schedules.
 //!
 //! ## Example
 //!

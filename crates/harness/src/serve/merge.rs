@@ -9,15 +9,22 @@
 //! have landed, whether the job is complete, and a snapshot of the
 //! digests-so-far for `semint status`.
 
+use std::collections::BTreeSet;
+
 use semint_core::stats::SweepReport;
 
 /// A job's rolling merged report: shard results are absorbed as they
 /// arrive, and the digests converge on the one-shot sweep's the moment the
 /// last shard lands.
+///
+/// The merge tracks *which* shard indices have landed, not just how many:
+/// crash recovery replays checkpointed shards into a fresh merge, and a
+/// double-merged shard would double-count its seeds silently — so
+/// [`RollingMerge::absorb_shard`] rejects a repeated index outright.
 #[derive(Debug, Clone)]
 pub struct RollingMerge {
     shards_total: u64,
-    shards_done: u64,
+    done: BTreeSet<u64>,
     report: SweepReport,
 }
 
@@ -26,22 +33,42 @@ impl RollingMerge {
     pub fn new(shards_total: u64) -> RollingMerge {
         RollingMerge {
             shards_total,
-            shards_done: 0,
+            done: BTreeSet::new(),
             report: SweepReport::default(),
         }
     }
 
-    /// Folds one completed shard's report into the rolling aggregate.
+    /// Folds shard `index`'s completed report into the rolling aggregate.
     /// Arrival order never matters: merge is associative and commutative
-    /// across shards of one partition.
-    pub fn absorb_shard(&mut self, shard: &SweepReport) {
+    /// across shards of one partition.  Absorbing the same index twice is
+    /// an error — the caller is confusing attempts with shards.
+    pub fn absorb_shard(&mut self, index: u64, shard: &SweepReport) -> Result<(), String> {
+        if index >= self.shards_total {
+            return Err(format!(
+                "shard index {index} is out of range (merge expects {} shards)",
+                self.shards_total
+            ));
+        }
+        if !self.done.insert(index) {
+            return Err(format!("shard {index} was already merged"));
+        }
         self.report.merge(shard);
-        self.shards_done += 1;
+        Ok(())
     }
 
     /// Shards merged so far.
     pub fn shards_done(&self) -> u64 {
-        self.shards_done
+        self.done.len() as u64
+    }
+
+    /// Whether shard `index` has already been merged.
+    pub fn is_done(&self, index: u64) -> bool {
+        self.done.contains(&index)
+    }
+
+    /// The merged shard indices, ascending.
+    pub fn done_indices(&self) -> &BTreeSet<u64> {
+        &self.done
     }
 
     /// Shards the job was split into.
@@ -51,7 +78,7 @@ impl RollingMerge {
 
     /// True once every shard has been merged.
     pub fn is_complete(&self) -> bool {
-        self.shards_done == self.shards_total
+        self.shards_done() == self.shards_total
     }
 
     /// The merged-so-far report.
@@ -90,10 +117,17 @@ mod tests {
             assert!(!rolling.is_complete());
             for index in order {
                 let shard = Shard::new(range, index, 3).unwrap();
-                rolling.absorb_shard(&sweep_all(&cases, &shard, &cfg));
+                rolling
+                    .absorb_shard(index, &sweep_all(&cases, &shard, &cfg))
+                    .expect("each shard index merges once");
+                assert!(rolling.is_done(index));
             }
             assert!(rolling.is_complete());
             assert_eq!(rolling.shards_done(), 3);
+            assert_eq!(
+                rolling.done_indices().iter().copied().collect::<Vec<_>>(),
+                vec![0, 1, 2]
+            );
             assert_eq!(
                 rolling.digests(),
                 whole.cases.iter().map(|c| c.digest()).collect::<Vec<_>>(),
@@ -114,5 +148,32 @@ mod tests {
         assert_eq!(rolling.digests(), Vec::<String>::new());
         assert_eq!(rolling.shards_total(), 2);
         assert!(!rolling.is_complete());
+    }
+
+    /// The recovery-critical property: a shard index can land exactly once,
+    /// so a replayed checkpoint can never double-count its seeds.
+    #[test]
+    fn duplicate_and_out_of_range_shards_are_rejected() {
+        let cases = AnyCase::all(false);
+        let cfg = SweepConfig {
+            model_check: false,
+            ..SweepConfig::default()
+        };
+        let range = SeedRange::new(0, 6).unwrap();
+        let shard = Shard::new(range, 0, 2).unwrap();
+        let report = sweep_all(&cases, &shard, &cfg);
+        let mut rolling = RollingMerge::new(2);
+        rolling.absorb_shard(0, &report).expect("first merge");
+        let scenarios = rolling.report().scenarios();
+        let err = rolling.absorb_shard(0, &report).expect_err("duplicate");
+        assert!(err.contains("already merged"), "{err}");
+        let err = rolling.absorb_shard(2, &report).expect_err("out of range");
+        assert!(err.contains("out of range"), "{err}");
+        assert_eq!(
+            rolling.report().scenarios(),
+            scenarios,
+            "rejected merges must not touch the aggregate"
+        );
+        assert_eq!(rolling.shards_done(), 1);
     }
 }

@@ -19,26 +19,44 @@
 //! exhausts its retry budget fails the whole job with a reason, and the
 //! completeness check refuses to mark a job done unless every seed of
 //! every case is accounted for.
+//!
+//! With a `--state-dir`, the daemon also survives *its own* death: every
+//! job lifecycle transition is appended to an fsync'd JSONL [`journal`],
+//! completed shard reports are checkpointed into the state dir before they
+//! are journaled, and `semint serve --resume` replays the journal —
+//! digest-verifying every checkpoint — so an interrupted job re-runs only
+//! its unaccounted shards and still converges on the one-shot digests.
+//! The [`chaos`] drill turns that invariant into a repeatable test: a
+//! seed-derived fault schedule (worker crashes, wedges, corrupted reports)
+//! against a live daemon that is then killed mid-job and resumed.
 
+pub mod chaos;
+pub mod journal;
 pub mod merge;
 pub mod protocol;
 pub mod queue;
 pub mod supervisor;
 
+pub use chaos::{run_drills, ChaosConfig, DrillOutcome};
+pub use journal::{
+    content_digest, Journal, JournalEvent, RecoveredJob, RecoveredOutcome, RecoveredState,
+};
 pub use merge::RollingMerge;
 pub use protocol::{
     call, parse_request, parse_response, render_request, render_response, JobStatus, Request,
     Response, DEFAULT_PORT,
 };
-pub use queue::{Fault, JobQueue, JobSpec, JobState};
+pub use queue::{FaultKind, FaultPlan, JobQueue, JobSpec, JobState};
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
+
+use semint_core::stats::SweepReport;
 
 use crate::trace::ServeLog;
 
@@ -63,6 +81,11 @@ pub struct ServeConfig {
     pub log_path: Option<PathBuf>,
     /// Mirror log events to stdout (the foreground `semint serve` mode).
     pub echo: bool,
+    /// Durable state: the journal and shard checkpoints live here.
+    /// `None` keeps all job state in memory, as before.
+    pub state_dir: Option<PathBuf>,
+    /// Replay the state dir's journal at startup and adopt its jobs.
+    pub resume: bool,
 }
 
 impl ServeConfig {
@@ -77,6 +100,8 @@ impl ServeConfig {
             worker_binary,
             log_path: None,
             echo: false,
+            state_dir: None,
+            resume: false,
         }
     }
 }
@@ -95,6 +120,7 @@ struct Shared {
     log: ServeLog,
     cfg: ServeConfig,
     workdir: PathBuf,
+    journal: Option<Journal>,
 }
 
 impl Daemon {
@@ -118,11 +144,20 @@ impl Daemon {
             .map_err(|e| format!("cannot create {}: {e}", workdir.display()))?;
         let log = ServeLog::new(cfg.log_path.as_deref(), cfg.echo)
             .map_err(|e| format!("cannot open the daemon log: {e}"))?;
+        let mut queue = JobQueue::new(cfg.queue_capacity, cfg.workers);
+        let journal = match open_state(&cfg, &mut queue, &log) {
+            Ok(journal) => journal,
+            Err(e) => {
+                let _ = std::fs::remove_dir_all(&workdir);
+                return Err(e);
+            }
+        };
         let shared = Arc::new(Shared {
-            queue: Mutex::new(JobQueue::new(cfg.queue_capacity, cfg.workers)),
+            queue: Mutex::new(queue),
             log,
             cfg,
             workdir,
+            journal,
         });
         shared.log.event(
             "daemon-start",
@@ -189,6 +224,117 @@ impl Drop for Daemon {
 /// work or the stop flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
 
+/// Opens the durable state (journal + checkpoints) per the config, and on
+/// `--resume` replays the journal into `queue`.  Refuses the confusable
+/// combinations outright: `--resume` without a state dir or journal has
+/// nothing to recover, and a fresh (non-resume) start over an existing
+/// journal would shadow recoverable work.
+fn open_state(
+    cfg: &ServeConfig,
+    queue: &mut JobQueue,
+    log: &ServeLog,
+) -> Result<Option<Journal>, String> {
+    let Some(state_dir) = &cfg.state_dir else {
+        if cfg.resume {
+            return Err("--resume requires --state-dir (the journal lives there)".into());
+        }
+        return Ok(None);
+    };
+    std::fs::create_dir_all(state_dir)
+        .map_err(|e| format!("cannot create state dir {}: {e}", state_dir.display()))?;
+    let journal_path = Journal::path_in(state_dir);
+    let has_journal = std::fs::metadata(&journal_path)
+        .map(|meta| meta.len() > 0)
+        .unwrap_or(false);
+    if cfg.resume && !has_journal {
+        return Err(format!(
+            "--resume found no journal at {}",
+            journal_path.display()
+        ));
+    }
+    if !cfg.resume && has_journal {
+        return Err(format!(
+            "state dir {} already holds a journal; pass --resume to recover its jobs, \
+             or point --state-dir somewhere fresh",
+            state_dir.display()
+        ));
+    }
+    let journal = Journal::open(state_dir)?;
+    if cfg.resume {
+        let text = std::fs::read_to_string(journal.path())
+            .map_err(|e| format!("cannot read journal {}: {e}", journal.path().display()))?;
+        let recovered = journal::replay(&text)
+            .map_err(|e| format!("journal {} does not replay: {e}", journal.path().display()))?;
+        let torn = recovered.torn_lines;
+        let restored = restore_jobs(queue, state_dir, log, recovered)?;
+        log.event(
+            "daemon-resume",
+            None,
+            &[
+                ("jobs", restored.to_string()),
+                ("torn_lines", torn.to_string()),
+            ],
+        );
+        // The resume marker must be durable before the daemon touches any
+        // recovered job: replay partitions history at the *last* marker.
+        journal.append(&JournalEvent::Resumed { jobs: restored })?;
+    }
+    Ok(Some(journal))
+}
+
+/// Rebuilds the queue from a replayed journal.  Every journaled checkpoint
+/// is re-read, digest-verified, and re-parsed before it is absorbed; a
+/// checkpoint that fails any of those is logged and its shard re-issued —
+/// a completed job whose checkpoints no longer verify is demoted and
+/// re-run rather than trusted.
+fn restore_jobs(
+    queue: &mut JobQueue,
+    state_dir: &Path,
+    log: &ServeLog,
+    recovered: RecoveredState,
+) -> Result<u64, String> {
+    let mut restored = 0u64;
+    for job in recovered.jobs {
+        let mut merge = RollingMerge::new(job.spec.shards);
+        for (shard, (name, digest)) in &job.saved {
+            let verified = std::fs::read(state_dir.join(name))
+                .map_err(|e| e.to_string())
+                .and_then(|bytes| {
+                    let actual = content_digest(&bytes);
+                    if actual != *digest {
+                        return Err(format!(
+                            "content digest mismatch (journal says {digest}, file has {actual})"
+                        ));
+                    }
+                    String::from_utf8(bytes).map_err(|_| "checkpoint is not UTF-8".to_string())
+                })
+                .and_then(|text| SweepReport::from_tsv(&text))
+                .and_then(|report| merge.absorb_shard(*shard, &report));
+            if let Err(e) = verified {
+                log.event(
+                    "checkpoint-invalid",
+                    Some(job.id),
+                    &[
+                        ("shard", shard.to_string()),
+                        ("path", name.clone()),
+                        ("reason", e),
+                    ],
+                );
+            }
+        }
+        let state = match job.outcome {
+            RecoveredOutcome::Failed(reason) => JobState::Failed(reason),
+            RecoveredOutcome::Completed if merge.is_complete() => JobState::Done,
+            // Incomplete, or "completed" with unverifiable checkpoints:
+            // re-enqueue; the fleet re-runs only the missing shards.
+            _ => JobState::Queued,
+        };
+        queue.restore(job.spec, state, merge, job.retries)?;
+        restored += 1;
+    }
+    Ok(restored)
+}
+
 fn accept_loop(listener: TcpListener, shared: &Arc<Shared>, stop: &Arc<AtomicBool>) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -206,19 +352,40 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>, stop: &Arc<AtomicBoo
     }
 }
 
+/// Longest request line the daemon will buffer, in bytes (newline
+/// included).  Anything longer is rejected with an `Error` envelope —
+/// a garbage-sending client must never grow the reader unboundedly.
+pub const MAX_REQUEST_LINE: u64 = 64 * 1024;
+
+/// Reads one request line from a client, bounded by [`MAX_REQUEST_LINE`]
+/// and the socket's read timeout.  Every failure mode — oversized line,
+/// invalid UTF-8, a stalled or silent peer — comes back as an error the
+/// connection handler turns into an `Error` response.
+fn read_request_line(stream: TcpStream) -> Result<String, String> {
+    let mut buf = Vec::new();
+    BufReader::new(stream.take(MAX_REQUEST_LINE + 1))
+        .read_until(b'\n', &mut buf)
+        .map_err(|e| format!("cannot read the request line: {e}"))?;
+    if buf.len() as u64 > MAX_REQUEST_LINE {
+        return Err(format!(
+            "request line exceeds {MAX_REQUEST_LINE} bytes; one request is one line"
+        ));
+    }
+    String::from_utf8(buf).map_err(|_| "request line is not valid UTF-8".into())
+}
+
 fn serve_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
     let Ok(mut writer) = stream.try_clone() else {
         return;
     };
-    let mut line = String::new();
-    if BufReader::new(stream).read_line(&mut line).is_err() {
-        return;
-    }
-    let response = match parse_request(line.trim_end()) {
+    let response = match read_request_line(stream) {
         Err(e) => Response::Error(format!("bad request: {e}")),
-        Ok(request) => handle_request(request, shared),
+        Ok(line) => match parse_request(line.trim_end()) {
+            Err(e) => Response::Error(format!("bad request: {e}")),
+            Ok(request) => handle_request(request, shared),
+        },
     };
     let _ = writer.write_all(format!("{}\n", render_response(&response)).as_bytes());
     let _ = writer.flush();
@@ -231,6 +398,21 @@ fn handle_request(request: Request, shared: &Shared) -> Response {
             let mut queue = shared.queue.lock().expect("job queue poisoned");
             match queue.submit(spec) {
                 Ok(job) => {
+                    // The admission must be durable before the client
+                    // learns the id: an unjournaled job would silently
+                    // vanish on resume, which is worse than a refusal.
+                    if let Some(journal) = &shared.journal {
+                        let spec = queue.job(job).expect("just admitted").spec.clone();
+                        if let Err(e) = journal.append(&JournalEvent::Submitted { job, spec }) {
+                            queue.fail_job(job, format!("not journaled: {e}"));
+                            shared
+                                .log
+                                .event("journal-error", Some(job), &[("error", e.clone())]);
+                            return Response::Error(format!(
+                                "job was not admitted; the journal is unwritable: {e}"
+                            ));
+                        }
+                    }
                     shared.log.event(
                         "job-queued",
                         Some(job),
@@ -284,10 +466,28 @@ fn scheduler_loop(shared: &Arc<Shared>, stop: &Arc<AtomicBool>) {
                 let result = supervisor::run_job(
                     &shared.cfg,
                     &shared.workdir,
+                    shared.cfg.state_dir.as_deref(),
                     &shared.queue,
                     &shared.log,
+                    shared.journal.as_ref(),
                     job_id,
                 );
+                // Journal the settlement before the queue flips the state:
+                // a crash in between re-runs the job, never forgets it.
+                let settled = match &result {
+                    Ok(()) => JournalEvent::JobCompleted { job: job_id },
+                    Err(reason) => JournalEvent::JobFailed {
+                        job: job_id,
+                        reason: reason.clone(),
+                    },
+                };
+                if let Some(journal) = &shared.journal {
+                    if let Err(e) = journal.append(&settled) {
+                        shared
+                            .log
+                            .event("journal-error", Some(job_id), &[("error", e)]);
+                    }
+                }
                 shared
                     .queue
                     .lock()

@@ -14,7 +14,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use super::queue::{Fault, JobSpec};
+use super::queue::{FaultKind, FaultPlan, JobSpec};
 use crate::json::{document_version, escape_json, Json, Reader, FORMAT_VERSION};
 
 /// Default daemon port (override with `--port`; `0` picks an ephemeral one).
@@ -81,13 +81,18 @@ pub struct JobStatus {
     /// The rolling merge as a TSV report (the same format `--save` writes),
     /// so clients can reconstruct the full aggregates.
     pub report_tsv: String,
+    /// Whether the job was rebuilt from the journal by `--resume` rather
+    /// than submitted to the current daemon process.
+    pub recovered: bool,
 }
 
 fn header() -> String {
     format!("{{\"semint_serve\": 1, \"version\": {FORMAT_VERSION}")
 }
 
-fn render_spec(spec: &JobSpec) -> String {
+/// Renders a spec as one JSON object (shared with the journal's
+/// `job-submitted` entries, so both formats evolve together).
+pub(crate) fn render_spec(spec: &JobSpec) -> String {
     let mut out = format!(
         "{{\"seeds_start\": {}, \"seeds_end\": {}, \"profile\": \"{}\", \"case\": \"{}\", \
          \"shards\": {}, \"jobs\": {}, \"batch\": {}, \"model_check\": {}",
@@ -102,8 +107,10 @@ fn render_spec(spec: &JobSpec) -> String {
     );
     if let Some(fault) = spec.fault {
         out.push_str(&format!(
-            ", \"fault_shard\": {}, \"fault_after\": {}",
-            fault.shard, fault.after
+            ", \"fault_shard\": {}, \"fault_after\": {}, \"fault_kind\": \"{}\"",
+            fault.shard,
+            fault.after,
+            fault.kind.label()
         ));
     }
     out.push('}');
@@ -132,9 +139,13 @@ fn render_status(status: &JobStatus) -> String {
         out.push_str(&format!("\"{}\"", escape_json(digest)));
     }
     out.push_str(&format!(
-        "], \"report_tsv\": \"{}\"}}",
+        "], \"report_tsv\": \"{}\"",
         escape_json(&status.report_tsv)
     ));
+    if status.recovered {
+        out.push_str(", \"recovered\": true");
+    }
+    out.push('}');
     out
 }
 
@@ -210,12 +221,18 @@ fn parse_envelope(line: &str) -> Result<Json, String> {
     Ok(doc)
 }
 
-fn parse_spec(doc: &Json) -> Result<JobSpec, String> {
+/// Parses one spec object back (shared with the journal's replay).
+pub(crate) fn parse_spec(doc: &Json) -> Result<JobSpec, String> {
     let fault = match (doc.get("fault_shard"), doc.get("fault_after")) {
         (None, None) => None,
-        (Some(shard), Some(after)) => Some(Fault {
+        (Some(shard), Some(after)) => Some(FaultPlan {
             shard: shard.as_u64("fault_shard")?,
             after: after.as_u64("fault_after")?,
+            // Absent kind = a pre-FaultPlan writer; those could only crash.
+            kind: match doc.get("fault_kind") {
+                None => FaultKind::Crash,
+                Some(value) => FaultKind::from_label(value.as_str("fault_kind")?)?,
+            },
         }),
         _ => return Err("fault_shard and fault_after must be given together".into()),
     };
@@ -256,6 +273,11 @@ fn parse_status(doc: &Json) -> Result<JobStatus, String> {
         failures: doc.require("failures")?.as_u64("failures")?,
         digests,
         report_tsv: doc.require("report_tsv")?.as_str("report_tsv")?.to_string(),
+        // Absent = a pre-journal writer; nothing it reports was recovered.
+        recovered: match doc.get("recovered") {
+            None => false,
+            Some(value) => value.as_bool("recovered")?,
+        },
     })
 }
 
@@ -304,12 +326,72 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
     }
 }
 
+/// How many connect attempts [`call`] makes before giving up.
+const CALL_CONNECT_ATTEMPTS: u32 = 6;
+/// First retry delay; doubles per attempt up to [`CALL_BACKOFF_CAP`].
+const CALL_BACKOFF_START: Duration = Duration::from_millis(25);
+/// Retry delays never exceed this.
+const CALL_BACKOFF_CAP: Duration = Duration::from_millis(400);
+
+/// Deterministic jitter for attempt `attempt` against `addr`: FNV-1a over
+/// the address and the attempt index, finalized and reduced to at most half
+/// the base delay.  No clocks, no RNG — the same client retries on the same
+/// schedule every run, which keeps the chaos drill reproducible.
+fn backoff_jitter(addr: &str, attempt: u32, base: Duration) -> Duration {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in addr.bytes().chain(attempt.to_le_bytes()) {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // Murmur-style finalizer: FNV's low bits are weak and the modulus below
+    // only looks at them.
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    hash ^= hash >> 33;
+    let half_ms = (base.as_millis() as u64 / 2).max(1);
+    Duration::from_millis(hash % half_ms)
+}
+
+/// Connects to `addr`, retrying refused/reset connections with capped
+/// exponential backoff: a client racing the daemon's accept loop (`semint
+/// submit` right after `semint serve`) waits the race out instead of dying.
+/// Only *connect-phase* failures retry — once a request has been written,
+/// retrying could double-submit a job.
+fn connect_with_backoff(addr: &str) -> Result<TcpStream, String> {
+    let mut delay = CALL_BACKOFF_START;
+    let mut last_error = String::new();
+    for attempt in 0..CALL_CONNECT_ATTEMPTS {
+        if attempt > 0 {
+            std::thread::sleep(delay + backoff_jitter(addr, attempt, delay));
+            delay = (delay * 2).min(CALL_BACKOFF_CAP);
+        }
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionRefused
+                        | std::io::ErrorKind::ConnectionReset
+                        | std::io::ErrorKind::ConnectionAborted
+                ) =>
+            {
+                last_error = e.to_string();
+            }
+            Err(e) => return Err(format!("cannot reach daemon at {addr}: {e}")),
+        }
+    }
+    Err(format!(
+        "cannot reach daemon at {addr} after {CALL_CONNECT_ATTEMPTS} attempts: {last_error}"
+    ))
+}
+
 /// Sends one request to a daemon at `addr` (e.g. `127.0.0.1:7844`) and
 /// reads back its one-line response.  Both directions carry a generous
-/// timeout so a wedged daemon surfaces as an error, not a hang.
+/// timeout so a wedged daemon surfaces as an error, not a hang.  Refused
+/// connections are retried with capped, deterministically jittered backoff;
+/// request/response I/O is never retried (a re-sent submit is a new job).
 pub fn call(addr: &str, request: &Request) -> Result<Response, String> {
-    let stream =
-        TcpStream::connect(addr).map_err(|e| format!("cannot reach daemon at {addr}: {e}"))?;
+    let stream = connect_with_backoff(addr)?;
     stream
         .set_read_timeout(Some(Duration::from_secs(60)))
         .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(60))))
@@ -344,13 +426,17 @@ mod tests {
             jobs: 2,
             batch: 8,
             model_check: true,
-            fault: Some(Fault { shard: 1, after: 5 }),
+            fault: Some(FaultPlan {
+                shard: 1,
+                after: 5,
+                kind: FaultKind::Crash,
+            }),
         }
     }
 
     #[test]
     fn requests_round_trip_including_fault_and_optional_job() {
-        let requests = [
+        let mut requests = vec![
             Request::Ping,
             Request::Submit(sample_spec()),
             Request::Submit(JobSpec {
@@ -361,11 +447,36 @@ mod tests {
             Request::Status { job: Some(3) },
             Request::Shutdown,
         ];
+        // Every fault kind survives the wire.
+        for kind in FaultKind::ALL {
+            requests.push(Request::Submit(JobSpec {
+                fault: Some(FaultPlan {
+                    shard: 0,
+                    after: 2,
+                    kind,
+                }),
+                ..sample_spec()
+            }));
+        }
         for request in requests {
             let line = render_request(&request);
             assert!(!line.contains('\n'), "one line per message: {line}");
             assert_eq!(parse_request(&line).expect("round trip"), request);
         }
+    }
+
+    #[test]
+    fn a_fault_without_a_kind_reads_as_a_crash() {
+        // Pre-FaultPlan writers sent only the shard/after pair.
+        let line = render_request(&Request::Submit(sample_spec()));
+        let legacy = line.replace(", \"fault_kind\": \"crash\"", "");
+        assert_ne!(line, legacy);
+        assert_eq!(
+            parse_request(&legacy).expect("legacy fault parses"),
+            Request::Submit(sample_spec())
+        );
+        let bogus = line.replace("\"fault_kind\": \"crash\"", "\"fault_kind\": \"segfault\"");
+        assert!(parse_request(&bogus).unwrap_err().contains("fault kind"));
     }
 
     #[test]
@@ -388,6 +499,7 @@ mod tests {
                         failures: 0,
                         digests: vec!["sharedmem:abc".into(), "affine:def".into()],
                         report_tsv: "case\tsharedmem\nscenarios\t120\n".into(),
+                        recovered: true,
                     },
                     JobStatus {
                         id: 1,
@@ -400,6 +512,7 @@ mod tests {
                         failures: 2,
                         digests: vec![],
                         report_tsv: String::new(),
+                        recovered: false,
                     },
                 ],
             },
@@ -433,5 +546,61 @@ mod tests {
         let submit = render_request(&Request::Submit(sample_spec()));
         let broken = submit.replace(", \"fault_after\": 5", "");
         assert!(parse_request(&broken).unwrap_err().contains("together"));
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_and_bounded() {
+        let base = Duration::from_millis(100);
+        for attempt in 1..CALL_CONNECT_ATTEMPTS {
+            let a = backoff_jitter("127.0.0.1:7844", attempt, base);
+            assert_eq!(a, backoff_jitter("127.0.0.1:7844", attempt, base));
+            assert!(a < base / 2 + Duration::from_millis(1), "{a:?}");
+        }
+        // Different clients (addresses) jitter apart — that is the point.
+        assert_ne!(
+            backoff_jitter("127.0.0.1:7844", 1, base),
+            backoff_jitter("127.0.0.1:7845", 1, base),
+        );
+    }
+
+    #[test]
+    fn call_retries_until_a_late_listener_binds() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpListener;
+        // Reserve a port, then free it: the first connect attempts are
+        // refused, exactly like `semint submit` racing `semint serve`.
+        let port = {
+            let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let server = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            let listener = TcpListener::bind(("127.0.0.1", port)).expect("port is still free");
+            let (stream, _) = listener.accept().expect("client retried into us");
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(parse_request(line.trim_end()).unwrap(), Request::Ping);
+            let mut stream = stream;
+            stream
+                .write_all(format!("{}\n", render_response(&Response::Ok)).as_bytes())
+                .unwrap();
+        });
+        let response = call(&addr, &Request::Ping).expect("backoff outlives the bind race");
+        assert_eq!(response, Response::Ok);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn call_gives_up_with_the_attempt_count_after_capped_backoff() {
+        // Bind-then-drop: nothing will ever listen here again in this test.
+        let port = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().port()
+        };
+        let err =
+            call(&format!("127.0.0.1:{port}"), &Request::Ping).expect_err("nobody is listening");
+        assert!(err.contains("attempts"), "{err}");
     }
 }

@@ -18,15 +18,68 @@ use crate::cases::AnyCase;
 use crate::engine::MAX_SEEDS_PER_SWEEP;
 use crate::source::{SeedRange, Shard};
 
-/// An injected fault for crash-recovery testing: shard `shard`'s *first*
-/// attempt is spawned with `--die-after after`, so the worker aborts
-/// mid-sweep and the supervisor must re-issue the slice.
+/// How an injected fault sabotages its shard's first attempt.  Each kind
+/// exercises one branch of the supervisor's death classification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Fault {
-    /// Which shard index dies (0-based).
+pub enum FaultKind {
+    /// The worker aborts mid-sweep with a nonzero exit (`--die-after`).
+    Crash,
+    /// The worker goes silent without exiting (`--wedge-after`); only the
+    /// heartbeat timeout can catch it.
+    Wedge,
+    /// The worker exits cleanly but its saved report is garbage
+    /// (`--corrupt-save garbage`).
+    CorruptReport,
+    /// The worker exits cleanly but its saved report is cut mid-line
+    /// (`--corrupt-save truncate`).
+    TruncateReport,
+}
+
+impl FaultKind {
+    /// Every kind, in the order the chaos schedule cycles through them.
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::Crash,
+        FaultKind::Wedge,
+        FaultKind::CorruptReport,
+        FaultKind::TruncateReport,
+    ];
+
+    /// The wire/CLI label for this kind.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::Wedge => "wedge",
+            FaultKind::CorruptReport => "corrupt-report",
+            FaultKind::TruncateReport => "truncate-report",
+        }
+    }
+
+    /// Parses a wire/CLI label back into a kind.
+    pub fn from_label(label: &str) -> Result<FaultKind, String> {
+        FaultKind::ALL
+            .into_iter()
+            .find(|kind| kind.label() == label)
+            .ok_or_else(|| {
+                let known: Vec<&str> = FaultKind::ALL.iter().map(|k| k.label()).collect();
+                format!(
+                    "unknown fault kind {label:?} (expected one of: {})",
+                    known.join(" | ")
+                )
+            })
+    }
+}
+
+/// An injected fault for crash-recovery testing: shard `shard`'s *first*
+/// attempt is sabotaged per `kind` once `after` scenarios have finished,
+/// so the supervisor must classify the death and re-issue the slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Which shard index is sabotaged (0-based).
     pub shard: u64,
-    /// After how many completed scenarios it dies.
+    /// After how many completed scenarios the fault fires.
     pub after: u64,
+    /// How the shard misbehaves.
+    pub kind: FaultKind,
 }
 
 /// One sweep request as submitted over the wire: a seed range, a *preset*
@@ -50,8 +103,8 @@ pub struct JobSpec {
     pub batch: usize,
     /// Whether workers run the realizability-model stage.
     pub model_check: bool,
-    /// Optional injected crash, for supervision tests.
-    pub fault: Option<Fault>,
+    /// Optional injected fault, for supervision tests and the chaos drill.
+    pub fault: Option<FaultPlan>,
 }
 
 impl JobSpec {
@@ -149,6 +202,9 @@ pub struct Job {
     pub merge: RollingMerge,
     /// Total shard attempts beyond the first, across the whole job.
     pub retries: u64,
+    /// Whether this job was rebuilt from the journal by `--resume` rather
+    /// than submitted to this daemon process.
+    pub recovered: bool,
 }
 
 impl Job {
@@ -168,6 +224,7 @@ impl Job {
             failures: self.merge.report().failure_count() as u64,
             digests: self.merge.digests(),
             report_tsv: self.merge.report().to_tsv(),
+            recovered: self.recovered,
         }
     }
 }
@@ -227,9 +284,57 @@ impl JobQueue {
             state: JobState::Queued,
             merge,
             retries: 0,
+            recovered: false,
         });
         self.pending.push_back(id);
         Ok(id)
+    }
+
+    /// Re-admits a journal-recovered job during `--resume`, preserving its
+    /// pre-crash merge progress and retry count.  Restores bypass the
+    /// capacity check — they were admitted once already — but must arrive
+    /// in id order, before the daemon starts scheduling: a restore can
+    /// never displace live work.
+    pub fn restore(
+        &mut self,
+        spec: JobSpec,
+        state: JobState,
+        merge: RollingMerge,
+        retries: u64,
+    ) -> Result<u64, String> {
+        if self.active.is_some() {
+            return Err("cannot restore jobs while one is running".into());
+        }
+        if state == JobState::Running {
+            return Err("a recovered job is never mid-run; restore it as queued".into());
+        }
+        let id = self.jobs.len() as u64;
+        let queued = state == JobState::Queued;
+        self.jobs.push(Job {
+            id,
+            spec,
+            state,
+            merge,
+            retries,
+            recovered: true,
+        });
+        if queued {
+            self.pending.push_back(id);
+        }
+        Ok(id)
+    }
+
+    /// Fails a not-yet-finished job outright (used when its `job-submitted`
+    /// journal entry could not be made durable: an unjournaled job would
+    /// silently vanish on resume, so it must not run).
+    pub fn fail_job(&mut self, id: u64, reason: String) {
+        self.pending.retain(|&pending| pending != id);
+        if self.active == Some(id) {
+            self.active = None;
+        }
+        if let Some(job) = self.jobs.get_mut(id as usize) {
+            job.state = JobState::Failed(reason);
+        }
     }
 
     /// Claims the next job for the supervisor (FIFO, one at a time).
@@ -368,14 +473,22 @@ mod tests {
             (
                 JobSpec {
                     shards: 2,
-                    fault: Some(Fault { shard: 2, after: 1 }),
+                    fault: Some(FaultPlan {
+                        shard: 2,
+                        after: 1,
+                        kind: FaultKind::Crash,
+                    }),
                     ..spec()
                 },
                 "fault shard",
             ),
             (
                 JobSpec {
-                    fault: Some(Fault { shard: 0, after: 0 }),
+                    fault: Some(FaultPlan {
+                        shard: 0,
+                        after: 0,
+                        kind: FaultKind::Wedge,
+                    }),
                     ..spec()
                 },
                 "at least 1",
@@ -403,5 +516,61 @@ mod tests {
         assert_eq!(status.shards_done, 0);
         assert_eq!(status.scenarios, 0);
         assert!(status.digests.is_empty());
+        assert!(!status.recovered, "a live submit is not a recovery");
+    }
+
+    #[test]
+    fn fault_kind_labels_round_trip_and_bad_labels_bounce() {
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::from_label(kind.label()), Ok(kind));
+        }
+        let err = FaultKind::from_label("segfault").expect_err("unknown kind");
+        assert!(err.contains("crash | wedge"), "{err}");
+    }
+
+    #[test]
+    fn restore_preserves_progress_and_marks_jobs_recovered() {
+        let mut queue = JobQueue::new(1, 2);
+        let validated = spec().validated(2).unwrap();
+        // Capacity 1 is no obstacle: restores re-admit what was already
+        // admitted before the crash.
+        let a = queue
+            .restore(validated.clone(), JobState::Queued, RollingMerge::new(2), 1)
+            .expect("queued job restores");
+        let b = queue
+            .restore(validated.clone(), JobState::Done, RollingMerge::new(2), 0)
+            .expect("settled job restores");
+        assert_eq!((a, b), (0, 1));
+        let snapshot = queue.snapshot();
+        assert!(snapshot.iter().all(|s| s.recovered));
+        assert_eq!(snapshot[0].retries, 1, "pre-crash retries survive");
+        assert_eq!(snapshot[1].state, "done");
+        // Only the queued restore is scheduled; the settled one is history.
+        assert_eq!(queue.take_next(), Some(a));
+        assert_eq!(queue.take_next(), None);
+        let err = queue
+            .restore(validated.clone(), JobState::Queued, RollingMerge::new(2), 0)
+            .expect_err("restores must precede scheduling");
+        assert!(err.contains("running"), "{err}");
+        queue.finish_active(Ok(()));
+        let err = queue
+            .restore(validated, JobState::Running, RollingMerge::new(2), 0)
+            .expect_err("running is not a restorable state");
+        assert!(err.contains("queued"), "{err}");
+    }
+
+    #[test]
+    fn fail_job_unschedules_and_records_the_reason() {
+        let mut queue = JobQueue::new(4, 2);
+        let id = queue.submit(spec()).unwrap();
+        queue.fail_job(id, "journal append failed".into());
+        assert_eq!(queue.take_next(), None, "failed jobs never run");
+        let status = &queue.snapshot()[id as usize];
+        assert_eq!(status.state, "failed");
+        assert_eq!(status.error.as_deref(), Some("journal append failed"));
+        // The failed job no longer counts against capacity.
+        for _ in 0..4 {
+            queue.submit(spec()).expect("capacity is free again");
+        }
     }
 }

@@ -12,12 +12,20 @@
 //! produced, so the final digests are byte-identical to a one-shot sweep no
 //! matter how many workers died along the way.
 //!
+//! With a `--state-dir`, the fleet is also *crash-safe against the daemon
+//! itself*: every validated shard report is checkpointed (written and
+//! fsync'd) into the state dir **before** its `shard-saved` event is
+//! journaled, and only then absorbed into the in-memory merge — the
+//! write-ahead discipline that lets `--resume` trust a journaled
+//! checkpoint.  Shards the journal already accounts for are skipped
+//! outright: a resumed job re-runs only its unaccounted slices.
+//!
 //! Workers deliberately run *without* `--trace`/`--time`: stage wall-clock
 //! is nondeterministic and would pollute the saved TSV; the merged report
 //! carries only digest-grade facts.
 
 use std::collections::VecDeque;
-use std::io::Read;
+use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, ExitStatus, Stdio};
 use std::sync::{Arc, Mutex};
@@ -26,7 +34,8 @@ use std::time::Instant;
 
 use semint_core::stats::SweepReport;
 
-use super::queue::{JobQueue, JobSpec};
+use super::journal::{checkpoint_name, content_digest, Journal, JournalEvent};
+use super::queue::{FaultKind, JobQueue, JobSpec};
 use super::ServeConfig;
 use crate::cases::AnyCase;
 use crate::trace::ServeLog;
@@ -69,116 +78,6 @@ impl Worker {
     }
 }
 
-/// Builds the exact `semint sweep` invocation for one shard attempt.  The
-/// worker re-derives its slice from `--seeds`/`--shard`, so a re-issued
-/// attempt is the *same* deterministic work, not an approximation.
-fn worker_command(
-    cfg: &ServeConfig,
-    workdir: &Path,
-    job_id: u64,
-    spec: &JobSpec,
-    task: ShardTask,
-) -> (Command, PathBuf) {
-    let out_path = workdir.join(format!(
-        "job{job_id}-shard{}-attempt{}.tsv",
-        task.index, task.attempt
-    ));
-    let mut cmd = Command::new(&cfg.worker_binary);
-    cmd.arg("sweep")
-        .arg("--seeds")
-        .arg(spec.range().spec())
-        .arg("--shard")
-        .arg(format!("{}/{}", task.index, spec.shards))
-        .arg("--profile")
-        .arg(&spec.profile)
-        .arg("--jobs")
-        .arg(spec.jobs.to_string())
-        .arg("--batch")
-        .arg(spec.batch.to_string())
-        .arg("--save")
-        .arg(&out_path)
-        // The progress line is the heartbeat.  NOT --trace: tracing implies
-        // --time and timings are nondeterministic.
-        .arg("--progress");
-    if !spec.model_check {
-        cmd.arg("--no-model-check");
-    }
-    if spec.case != "all" {
-        cmd.arg("--case").arg(&spec.case);
-    }
-    if let Some(fault) = spec.fault {
-        // Only the first attempt is sabotaged: the re-issue must succeed,
-        // which is exactly what the crash-recovery test asserts.
-        if task.attempt == 0 && fault.shard == task.index {
-            cmd.arg("--die-after").arg(fault.after.to_string());
-        }
-    }
-    cmd.stdin(Stdio::null())
-        .stdout(Stdio::null())
-        .stderr(Stdio::piped());
-    (cmd, out_path)
-}
-
-fn spawn_worker(
-    cfg: &ServeConfig,
-    workdir: &Path,
-    job_id: u64,
-    spec: &JobSpec,
-    task: ShardTask,
-    log: &ServeLog,
-) -> Result<Worker, String> {
-    let (mut cmd, out_path) = worker_command(cfg, workdir, job_id, spec, task);
-    let mut child = cmd
-        .spawn()
-        .map_err(|e| format!("cannot spawn worker {}: {e}", cfg.worker_binary.display()))?;
-    let stderr = child.stderr.take().expect("stderr was piped");
-    let heartbeat = Arc::new(Mutex::new(Instant::now()));
-    let tail = Arc::new(Mutex::new(String::new()));
-    let beat = Arc::clone(&heartbeat);
-    let tail_sink = Arc::clone(&tail);
-    let reader = thread::spawn(move || {
-        let mut stderr = stderr;
-        let mut buf = [0u8; 512];
-        loop {
-            match stderr.read(&mut buf) {
-                Ok(0) | Err(_) => break,
-                Ok(n) => {
-                    *beat.lock().expect("heartbeat poisoned") = Instant::now();
-                    let mut tail = tail_sink.lock().expect("stderr tail poisoned");
-                    tail.push_str(&String::from_utf8_lossy(&buf[..n]));
-                    if tail.chars().count() > 500 {
-                        let keep: String = tail
-                            .chars()
-                            .rev()
-                            .take(500)
-                            .collect::<Vec<_>>()
-                            .iter()
-                            .rev()
-                            .collect();
-                        *tail = keep;
-                    }
-                }
-            }
-        }
-    });
-    log.event(
-        "shard-start",
-        Some(job_id),
-        &[
-            ("shard", format!("{}/{}", task.index, spec.shards)),
-            ("attempt", task.attempt.to_string()),
-        ],
-    );
-    Ok(Worker {
-        task,
-        child,
-        heartbeat,
-        tail,
-        out_path,
-        reader: Some(reader),
-    })
-}
-
 /// Why a worker's attempt did not produce a mergeable report.
 enum Death {
     /// Nonzero exit; carries the stderr tail for diagnostics.
@@ -207,255 +106,452 @@ impl Death {
     }
 }
 
+/// Everything one job's fleet needs: immutable context threaded through
+/// spawn/settle/re-issue instead of a nine-argument parameter list.
+struct Fleet<'a> {
+    cfg: &'a ServeConfig,
+    workdir: &'a Path,
+    state_dir: Option<&'a Path>,
+    queue: &'a Mutex<JobQueue>,
+    log: &'a ServeLog,
+    journal: Option<&'a Journal>,
+    job_id: u64,
+    spec: JobSpec,
+    timeout_ms: u64,
+}
+
 /// Runs one job's shard fleet to completion.  Returns `Ok(())` once every
 /// shard has been merged (possibly after re-issues), or the reason the job
-/// had to be abandoned.
+/// had to be abandoned.  Shards the job's merge already holds — replayed
+/// checkpoints from `--resume` — are never re-issued.
 pub fn run_job(
     cfg: &ServeConfig,
     workdir: &Path,
+    state_dir: Option<&Path>,
     queue: &Mutex<JobQueue>,
     log: &ServeLog,
+    journal: Option<&Journal>,
     job_id: u64,
 ) -> Result<(), String> {
-    let spec = {
+    let (spec, already_done) = {
         let queue = queue.lock().expect("job queue poisoned");
-        queue
+        let job = queue
             .job(job_id)
-            .ok_or_else(|| format!("job {job_id} vanished from the queue"))?
-            .spec
-            .clone()
+            .ok_or_else(|| format!("job {job_id} vanished from the queue"))?;
+        (job.spec.clone(), job.merge.done_indices().clone())
     };
-    log.event(
-        "job-start",
-        Some(job_id),
-        &[
-            ("seeds", spec.range().spec()),
-            ("profile", spec.profile.clone()),
-            ("case", spec.case.clone()),
-            ("shards", spec.shards.to_string()),
-        ],
-    );
-    let mut pending: VecDeque<ShardTask> = (0..spec.shards)
-        .map(|index| ShardTask { index, attempt: 0 })
-        .collect();
-    let mut running: Vec<Worker> = Vec::new();
-    let timeout_ms = cfg.heartbeat_timeout.as_millis() as u64;
-    let mut abandon: Option<String> = None;
+    let fleet = Fleet {
+        cfg,
+        workdir,
+        state_dir,
+        queue,
+        log,
+        journal,
+        job_id,
+        spec,
+        timeout_ms: cfg.heartbeat_timeout.as_millis() as u64,
+    };
+    fleet.run(already_done)
+}
 
-    'fleet: while abandon.is_none() && (!pending.is_empty() || !running.is_empty()) {
-        // Fill free worker slots, re-issues first (they sit at the front).
-        while running.len() < cfg.workers.max(1) {
-            let Some(task) = pending.pop_front() else {
-                break;
-            };
-            match spawn_worker(cfg, workdir, job_id, &spec, task, log) {
-                Ok(worker) => running.push(worker),
-                Err(e) => {
-                    abandon = Some(e);
-                    break 'fleet;
+impl Fleet<'_> {
+    /// Journals one event, best effort: losing a journal entry costs a
+    /// redundant (idempotent) shard re-run on resume, which is the right
+    /// trade against failing a healthy job over a transient disk error.
+    fn journal_event(&self, event: &JournalEvent) {
+        if let Some(journal) = self.journal {
+            if let Err(e) = journal.append(event) {
+                self.log
+                    .event("journal-error", Some(self.job_id), &[("error", e)]);
+            }
+        }
+    }
+
+    fn run(&self, already_done: std::collections::BTreeSet<u64>) -> Result<(), String> {
+        self.log.event(
+            "job-start",
+            Some(self.job_id),
+            &[
+                ("seeds", self.spec.range().spec()),
+                ("profile", self.spec.profile.clone()),
+                ("case", self.spec.case.clone()),
+                ("shards", self.spec.shards.to_string()),
+            ],
+        );
+        if !already_done.is_empty() {
+            self.log.event(
+                "shards-skipped",
+                Some(self.job_id),
+                &[(
+                    "recovered",
+                    already_done
+                        .iter()
+                        .map(|i| i.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                )],
+            );
+        }
+        let mut pending: VecDeque<ShardTask> = (0..self.spec.shards)
+            .filter(|index| !already_done.contains(index))
+            .map(|index| ShardTask { index, attempt: 0 })
+            .collect();
+        let mut running: Vec<Worker> = Vec::new();
+        let mut abandon: Option<String> = None;
+
+        'fleet: while abandon.is_none() && (!pending.is_empty() || !running.is_empty()) {
+            // Fill free worker slots, re-issues first (they sit at the front).
+            while running.len() < self.cfg.workers.max(1) {
+                let Some(task) = pending.pop_front() else {
+                    break;
+                };
+                match self.spawn_worker(task) {
+                    Ok(worker) => running.push(worker),
+                    Err(e) => {
+                        abandon = Some(e);
+                        break 'fleet;
+                    }
+                }
+            }
+            // Poll the fleet: reap exits, detect wedges.
+            let mut index = 0;
+            while index < running.len() {
+                let exited = match running[index].child.try_wait() {
+                    Ok(status) => status,
+                    Err(e) => {
+                        abandon = Some(format!("cannot poll a worker: {e}"));
+                        break 'fleet;
+                    }
+                };
+                if let Some(status) = exited {
+                    let worker = running.swap_remove(index);
+                    match self.settle_exit(worker, status) {
+                        Ok(()) => {}
+                        Err((task, death)) => {
+                            if let Some(reason) = self.reissue_or_abandon(task, death, &mut pending)
+                            {
+                                abandon = Some(reason);
+                                break 'fleet;
+                            }
+                        }
+                    }
+                    continue;
+                }
+                let stale = {
+                    let beat = running[index].heartbeat.lock().expect("heartbeat poisoned");
+                    beat.elapsed() > self.cfg.heartbeat_timeout
+                };
+                if stale {
+                    let worker = running.swap_remove(index);
+                    let task = worker.task;
+                    worker.kill_and_reap();
+                    if let Some(reason) = self.reissue_or_abandon(task, Death::Wedged, &mut pending)
+                    {
+                        abandon = Some(reason);
+                        break 'fleet;
+                    }
+                    continue;
+                }
+                index += 1;
+            }
+            thread::sleep(std::time::Duration::from_millis(10));
+        }
+        // Whatever is still running is now pointless (job failed) or already
+        // done (loop exited cleanly with an empty fleet).
+        for worker in running {
+            worker.kill_and_reap();
+        }
+        if let Some(reason) = abandon {
+            self.log.event(
+                "job-failed",
+                Some(self.job_id),
+                &[("reason", reason.clone())],
+            );
+            return Err(reason);
+        }
+        // Completeness check: the merged report must account for every seed
+        // of every case before the job may call itself done.
+        let case_count = if self.spec.case == "all" {
+            AnyCase::all(false).len() as u64
+        } else {
+            1
+        };
+        let expected = self.spec.range().count() * case_count;
+        let queue = self.queue.lock().expect("job queue poisoned");
+        let job = queue
+            .job(self.job_id)
+            .ok_or_else(|| format!("job {} vanished from the queue", self.job_id))?;
+        if !job.merge.is_complete() {
+            return Err(format!(
+                "fleet drained with only {}/{} shards merged",
+                job.merge.shards_done(),
+                job.merge.shards_total()
+            ));
+        }
+        let merged = job.merge.report().scenarios();
+        if merged != expected {
+            return Err(format!(
+                "merged report holds {merged} scenarios but the job spans {expected}"
+            ));
+        }
+        self.log.event(
+            "job-done",
+            Some(self.job_id),
+            &[
+                ("scenarios", merged.to_string()),
+                ("retries", job.retries.to_string()),
+                ("digests", job.merge.digests().join(" ")),
+            ],
+        );
+        Ok(())
+    }
+
+    /// Builds the exact `semint sweep` invocation for one shard attempt.
+    /// The worker re-derives its slice from `--seeds`/`--shard`, so a
+    /// re-issued attempt is the *same* deterministic work, not an
+    /// approximation.
+    fn worker_command(&self, task: ShardTask) -> (Command, PathBuf) {
+        let out_path = self.workdir.join(format!(
+            "job{}-shard{}-attempt{}.tsv",
+            self.job_id, task.index, task.attempt
+        ));
+        let mut cmd = Command::new(&self.cfg.worker_binary);
+        cmd.arg("sweep")
+            .arg("--seeds")
+            .arg(self.spec.range().spec())
+            .arg("--shard")
+            .arg(format!("{}/{}", task.index, self.spec.shards))
+            .arg("--profile")
+            .arg(&self.spec.profile)
+            .arg("--jobs")
+            .arg(self.spec.jobs.to_string())
+            .arg("--batch")
+            .arg(self.spec.batch.to_string())
+            .arg("--save")
+            .arg(&out_path)
+            // The progress line is the heartbeat.  NOT --trace: tracing
+            // implies --time and timings are nondeterministic.
+            .arg("--progress");
+        if !self.spec.model_check {
+            cmd.arg("--no-model-check");
+        }
+        if self.spec.case != "all" {
+            cmd.arg("--case").arg(&self.spec.case);
+        }
+        if let Some(fault) = self.spec.fault {
+            // Only the first attempt is sabotaged: the re-issue must
+            // succeed, which is exactly what the recovery tests assert.
+            if task.attempt == 0 && fault.shard == task.index {
+                let after = fault.after.to_string();
+                match fault.kind {
+                    FaultKind::Crash => {
+                        cmd.arg("--die-after").arg(after);
+                    }
+                    FaultKind::Wedge => {
+                        cmd.arg("--wedge-after").arg(after);
+                    }
+                    FaultKind::CorruptReport => {
+                        cmd.arg("--corrupt-save").arg("garbage");
+                    }
+                    FaultKind::TruncateReport => {
+                        cmd.arg("--corrupt-save").arg("truncate");
+                    }
                 }
             }
         }
-        // Poll the fleet: reap exits, detect wedges.
-        let mut index = 0;
-        while index < running.len() {
-            let exited = match running[index].child.try_wait() {
-                Ok(status) => status,
-                Err(e) => {
-                    abandon = Some(format!("cannot poll a worker: {e}"));
-                    break 'fleet;
-                }
-            };
-            if let Some(status) = exited {
-                let worker = running.swap_remove(index);
-                match settle_exit(worker, status, queue, log, job_id, &spec) {
-                    Ok(()) => {}
-                    Err((task, death)) => {
-                        if let Some(reason) = reissue_or_abandon(
-                            task,
-                            death,
-                            &mut pending,
-                            queue,
-                            log,
-                            job_id,
-                            cfg,
-                            &spec,
-                            timeout_ms,
-                        ) {
-                            abandon = Some(reason);
-                            break 'fleet;
+        cmd.stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped());
+        (cmd, out_path)
+    }
+
+    fn spawn_worker(&self, task: ShardTask) -> Result<Worker, String> {
+        let (mut cmd, out_path) = self.worker_command(task);
+        let mut child = cmd.spawn().map_err(|e| {
+            format!(
+                "cannot spawn worker {}: {e}",
+                self.cfg.worker_binary.display()
+            )
+        })?;
+        let stderr = child.stderr.take().expect("stderr was piped");
+        let heartbeat = Arc::new(Mutex::new(Instant::now()));
+        let tail = Arc::new(Mutex::new(String::new()));
+        let beat = Arc::clone(&heartbeat);
+        let tail_sink = Arc::clone(&tail);
+        let reader = thread::spawn(move || {
+            let mut stderr = stderr;
+            let mut buf = [0u8; 512];
+            loop {
+                match stderr.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        *beat.lock().expect("heartbeat poisoned") = Instant::now();
+                        let mut tail = tail_sink.lock().expect("stderr tail poisoned");
+                        tail.push_str(&String::from_utf8_lossy(&buf[..n]));
+                        if tail.chars().count() > 500 {
+                            let keep: String = tail
+                                .chars()
+                                .rev()
+                                .take(500)
+                                .collect::<Vec<_>>()
+                                .iter()
+                                .rev()
+                                .collect();
+                            *tail = keep;
                         }
                     }
                 }
-                continue;
             }
-            let stale = {
-                let beat = running[index].heartbeat.lock().expect("heartbeat poisoned");
-                beat.elapsed() > cfg.heartbeat_timeout
-            };
-            if stale {
-                let worker = running.swap_remove(index);
-                let task = worker.task;
-                worker.kill_and_reap();
-                if let Some(reason) = reissue_or_abandon(
-                    task,
-                    Death::Wedged,
-                    &mut pending,
-                    queue,
-                    log,
-                    job_id,
-                    cfg,
-                    &spec,
-                    timeout_ms,
-                ) {
-                    abandon = Some(reason);
-                    break 'fleet;
-                }
-                continue;
-            }
-            index += 1;
-        }
-        thread::sleep(std::time::Duration::from_millis(10));
+        });
+        self.log.event(
+            "shard-start",
+            Some(self.job_id),
+            &[
+                ("shard", format!("{}/{}", task.index, self.spec.shards)),
+                ("attempt", task.attempt.to_string()),
+            ],
+        );
+        self.journal_event(&JournalEvent::ShardStarted {
+            job: self.job_id,
+            shard: task.index,
+            attempt: task.attempt,
+        });
+        Ok(Worker {
+            task,
+            child,
+            heartbeat,
+            tail,
+            out_path,
+            reader: Some(reader),
+        })
     }
-    // Whatever is still running is now pointless (job failed) or already
-    // done (loop exited cleanly with an empty fleet).
-    for worker in running {
-        worker.kill_and_reap();
-    }
-    if let Some(reason) = abandon {
-        log.event("job-failed", Some(job_id), &[("reason", reason.clone())]);
-        return Err(reason);
-    }
-    // Completeness check: the merged report must account for every seed of
-    // every case before the job may call itself done.
-    let case_count = if spec.case == "all" {
-        AnyCase::all(false).len() as u64
-    } else {
-        1
-    };
-    let expected = spec.range().count() * case_count;
-    let queue = queue.lock().expect("job queue poisoned");
-    let job = queue
-        .job(job_id)
-        .ok_or_else(|| format!("job {job_id} vanished from the queue"))?;
-    if !job.merge.is_complete() {
-        return Err(format!(
-            "fleet drained with only {}/{} shards merged",
-            job.merge.shards_done(),
-            job.merge.shards_total()
-        ));
-    }
-    let merged = job.merge.report().scenarios();
-    if merged != expected {
-        return Err(format!(
-            "merged report holds {merged} scenarios but the job spans {expected}"
-        ));
-    }
-    log.event(
-        "job-done",
-        Some(job_id),
-        &[
-            ("scenarios", merged.to_string()),
-            ("retries", job.retries.to_string()),
-            ("digests", job.merge.digests().join(" ")),
-        ],
-    );
-    Ok(())
-}
 
-/// Handles a worker that exited on its own: merge its report, or classify
-/// the death for re-issue.
-fn settle_exit(
-    mut worker: Worker,
-    status: ExitStatus,
-    queue: &Mutex<JobQueue>,
-    log: &ServeLog,
-    job_id: u64,
-    spec: &JobSpec,
-) -> Result<(), (ShardTask, Death)> {
-    if let Some(reader) = worker.reader.take() {
-        let _ = reader.join();
-    }
-    // Exit 0 = clean, 1 = sweep completed but found failures — both write
-    // the report, and failures must flow into the merge.  Anything else
-    // (2 = usage, 42 = injected fault, signals) is a crash.
-    if !matches!(status.code(), Some(0 | 1)) {
-        let tail = worker.stderr_tail();
+    /// Handles a worker that exited on its own: validate its report,
+    /// checkpoint it (write-ahead: synced to the state dir and journaled
+    /// *before* the in-memory merge), or classify the death for re-issue.
+    fn settle_exit(
+        &self,
+        mut worker: Worker,
+        status: ExitStatus,
+    ) -> Result<(), (ShardTask, Death)> {
+        if let Some(reader) = worker.reader.take() {
+            let _ = reader.join();
+        }
+        let task = worker.task;
+        // Exit 0 = clean, 1 = sweep completed but found failures — both
+        // write the report, and failures must flow into the merge.
+        // Anything else (2 = usage, 42 = injected fault, signals) is a
+        // crash.
+        if !matches!(status.code(), Some(0 | 1)) {
+            let tail = worker.stderr_tail();
+            let _ = std::fs::remove_file(&worker.out_path);
+            return Err((task, Death::Crashed(status, tail)));
+        }
+        let text = match std::fs::read_to_string(&worker.out_path) {
+            Ok(text) => text,
+            Err(e) => {
+                let _ = std::fs::remove_file(&worker.out_path);
+                return Err((task, Death::BadReport(e.to_string())));
+            }
+        };
+        let report = SweepReport::from_tsv(&text);
         let _ = std::fs::remove_file(&worker.out_path);
-        return Err((worker.task, Death::Crashed(status, tail)));
+        let report = match report {
+            Ok(report) => report,
+            Err(e) => return Err((task, Death::BadReport(e))),
+        };
+        // The report parsed: checkpoint it durably before the merge sees
+        // it, so a journaled `shard-saved` always points at real bytes.
+        if let Some(state_dir) = self.state_dir {
+            let name = checkpoint_name(self.job_id, task.index);
+            if let Err(e) = write_synced(&state_dir.join(&name), text.as_bytes()) {
+                return Err((task, Death::BadReport(format!("checkpoint failed: {e}"))));
+            }
+            self.journal_event(&JournalEvent::ShardSaved {
+                job: self.job_id,
+                shard: task.index,
+                attempt: task.attempt,
+                path: name,
+                digest: content_digest(text.as_bytes()),
+            });
+        }
+        let mut queue = self.queue.lock().expect("job queue poisoned");
+        let job = queue.job_mut(self.job_id).expect("running job exists");
+        job.merge
+            .absorb_shard(task.index, &report)
+            .expect("the fleet never issues an already-merged shard");
+        self.log.event(
+            "shard-done",
+            Some(self.job_id),
+            &[
+                ("shard", format!("{}/{}", task.index, self.spec.shards)),
+                ("attempt", task.attempt.to_string()),
+                (
+                    "merged",
+                    format!("{}/{}", job.merge.shards_done(), job.merge.shards_total()),
+                ),
+            ],
+        );
+        Ok(())
     }
-    let report = std::fs::read_to_string(&worker.out_path)
-        .map_err(|e| e.to_string())
-        .and_then(|text| SweepReport::from_tsv(&text));
-    let _ = std::fs::remove_file(&worker.out_path);
-    let report = match report {
-        Ok(report) => report,
-        Err(e) => return Err((worker.task, Death::BadReport(e))),
-    };
-    let mut queue = queue.lock().expect("job queue poisoned");
-    let job = queue.job_mut(job_id).expect("running job exists");
-    job.merge.absorb_shard(&report);
-    log.event(
-        "shard-done",
-        Some(job_id),
-        &[
-            ("shard", format!("{}/{}", worker.task.index, spec.shards)),
-            ("attempt", worker.task.attempt.to_string()),
-            (
-                "merged",
-                format!("{}/{}", job.merge.shards_done(), job.merge.shards_total()),
-            ),
-        ],
-    );
-    Ok(())
+
+    /// Re-issues a dead worker's slice, or — once the retry budget is
+    /// spent — returns the reason the job must be abandoned.
+    fn reissue_or_abandon(
+        &self,
+        task: ShardTask,
+        death: Death,
+        pending: &mut VecDeque<ShardTask>,
+    ) -> Option<String> {
+        let what = format!(
+            "shard {}/{} attempt {} {}",
+            task.index,
+            self.spec.shards,
+            task.attempt,
+            death.describe(self.timeout_ms)
+        );
+        if task.attempt >= self.cfg.max_retries {
+            return Some(format!(
+                "{what}; retry budget ({}) exhausted",
+                self.cfg.max_retries
+            ));
+        }
+        {
+            let mut queue = self.queue.lock().expect("job queue poisoned");
+            if let Some(job) = queue.job_mut(self.job_id) {
+                job.retries += 1;
+            }
+        }
+        self.log.event(
+            "shard-retry",
+            Some(self.job_id),
+            &[
+                ("shard", format!("{}/{}", task.index, self.spec.shards)),
+                ("attempt", task.attempt.to_string()),
+                ("reason", what.clone()),
+            ],
+        );
+        // Journaled only on an actual re-issue: abandonment is recorded as
+        // the job's failure, so replayed retry counts match live ones.
+        self.journal_event(&JournalEvent::ShardDied {
+            job: self.job_id,
+            shard: task.index,
+            attempt: task.attempt,
+            reason: what,
+        });
+        // Front of the queue: the missing slice is the job's critical path.
+        pending.push_front(ShardTask {
+            index: task.index,
+            attempt: task.attempt + 1,
+        });
+        None
+    }
 }
 
-/// Re-issues a dead worker's slice, or — once the retry budget is spent —
-/// returns the reason the job must be abandoned.
-#[allow(clippy::too_many_arguments)]
-fn reissue_or_abandon(
-    task: ShardTask,
-    death: Death,
-    pending: &mut VecDeque<ShardTask>,
-    queue: &Mutex<JobQueue>,
-    log: &ServeLog,
-    job_id: u64,
-    cfg: &ServeConfig,
-    spec: &JobSpec,
-    timeout_ms: u64,
-) -> Option<String> {
-    let what = format!(
-        "shard {}/{} attempt {} {}",
-        task.index,
-        spec.shards,
-        task.attempt,
-        death.describe(timeout_ms)
-    );
-    if task.attempt >= cfg.max_retries {
-        return Some(format!(
-            "{what}; retry budget ({}) exhausted",
-            cfg.max_retries
-        ));
-    }
-    {
-        let mut queue = queue.lock().expect("job queue poisoned");
-        if let Some(job) = queue.job_mut(job_id) {
-            job.retries += 1;
-        }
-    }
-    log.event(
-        "shard-retry",
-        Some(job_id),
-        &[
-            ("shard", format!("{}/{}", task.index, spec.shards)),
-            ("attempt", task.attempt.to_string()),
-            ("reason", what),
-        ],
-    );
-    // Front of the queue: the missing slice is the job's critical path.
-    pending.push_front(ShardTask {
-        index: task.index,
-        attempt: task.attempt + 1,
-    });
-    None
+/// Writes `bytes` to `path` and fsyncs before returning: checkpoint files
+/// must be durable before the journal references them.
+fn write_synced(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(bytes)?;
+    file.sync_all()
 }

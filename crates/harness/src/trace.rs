@@ -25,7 +25,7 @@ use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::Mutex;
 use std::thread::JoinHandle;
@@ -66,6 +66,11 @@ pub struct SweepObserver {
     /// `--die-after N` fault injection: abort the whole process with
     /// [`FAULT_EXIT_CODE`] once this many scenarios have finished.
     die_after: Option<u64>,
+    /// `--wedge-after N` fault injection: the worker thread that finishes
+    /// the `n`-th scenario never returns, and this flag mutes all further
+    /// progress output so the process as a whole goes silent.
+    wedge_after: Option<u64>,
+    wedged: AtomicBool,
 }
 
 struct TraceWriter {
@@ -109,6 +114,8 @@ impl SweepObserver {
             progress,
             last_render_us: AtomicU64::new(0),
             die_after: None,
+            wedge_after: None,
+            wedged: AtomicBool::new(false),
         })
     }
 
@@ -121,6 +128,16 @@ impl SweepObserver {
         self
     }
 
+    /// Arms `--wedge-after N` fault injection: the worker thread that
+    /// finishes the `n`-th scenario goes silent and never returns, and all
+    /// further progress output is muted — the process keeps running but
+    /// stops heartbeating, so a supervisor's only remedy is its heartbeat
+    /// timeout.  `None` disarms (the default).
+    pub fn with_wedge(mut self, wedge_after: Option<u64>) -> SweepObserver {
+        self.wedge_after = wedge_after;
+        self
+    }
+
     /// Records one finished scenario.  `glue` is the case's *cumulative*
     /// cache snapshot at observation time (observational, not digest-grade:
     /// concurrent workers may interleave between execution and snapshot).
@@ -129,6 +146,17 @@ impl SweepObserver {
         if self.die_after == Some(done) {
             eprintln!("[fault] --die-after {done}: aborting mid-sweep (injected crash)");
             std::process::exit(FAULT_EXIT_CODE);
+        }
+        if self.wedge_after == Some(done) {
+            // One farewell beat, then total silence: other pool threads
+            // keep sweeping but the wedged flag mutes their progress, and
+            // this thread never returns — the process cannot finish, write
+            // its report, or exit.  Only a heartbeat timeout catches it.
+            eprintln!("[fault] --wedge-after {done}: worker going silent (injected wedge)");
+            self.wedged.store(true, Ordering::SeqCst);
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
         }
         if record.failure.is_none() {
             self.safe.fetch_add(1, Ordering::Relaxed);
@@ -145,7 +173,7 @@ impl SweepObserver {
                 self.emit(self.progress_line(done));
             }
         }
-        if self.progress {
+        if self.progress && !self.wedged.load(Ordering::Relaxed) {
             self.render_progress(done, false);
         }
     }

@@ -1,0 +1,490 @@
+//! Crash-recovery tests for the durable job journal and `semint serve
+//! --resume`.
+//!
+//! Two layers:
+//!
+//! * a property test that replaying **any prefix** of a valid journal —
+//!   cut on a line boundary or at an arbitrary byte, as a crash would —
+//!   yields consistent recovered state: no shard double-counted, nothing
+//!   lost except the torn tail, and monotone growth along prefixes;
+//! * integration tests where a real daemon resumes a hand-built state
+//!   dir and must converge on the uninterrupted one-shot sweep's digests,
+//!   reusing verified checkpoints and re-running corrupted ones.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use proptest::collection;
+use proptest::prelude::*;
+
+use semint_core::case::GenProfile;
+use semint_harness::cases::AnyCase;
+use semint_harness::engine::{sweep_all, SweepConfig};
+use semint_harness::serve::journal::{
+    checkpoint_name, content_digest, parse_event, render_event, replay, Journal, JournalEvent,
+};
+use semint_harness::serve::{call, Daemon, JobSpec, Request, Response, ServeConfig};
+use semint_harness::source::{SeedRange, Shard};
+
+// ---------------------------------------------------------------------------
+// Property: any prefix of a valid journal replays consistently.
+// ---------------------------------------------------------------------------
+
+/// The spec shape the property test journals (seeds/profile are irrelevant
+/// to replay structure; only the shard count matters).
+fn prop_spec(shards: u64) -> JobSpec {
+    JobSpec {
+        seeds: (0, 24),
+        profile: "default".into(),
+        case: "all".into(),
+        shards,
+        jobs: 1,
+        batch: 1,
+        model_check: false,
+        fault: None,
+    }
+}
+
+/// Decodes one opaque op into the next valid journal event, given how many
+/// jobs exist so far.  Ops that would reference a job before any submission
+/// submit instead, so every generated history is structurally valid.
+fn decode_op(op: u64, shard_counts: &[u64], submitted: &mut usize) -> Option<JournalEvent> {
+    let kind = op % 8;
+    if *submitted == 0 || (kind == 0 && *submitted < shard_counts.len()) {
+        if *submitted == shard_counts.len() {
+            return None;
+        }
+        let job = *submitted as u64;
+        *submitted += 1;
+        return Some(JournalEvent::Submitted {
+            job,
+            spec: prop_spec(shard_counts[job as usize]),
+        });
+    }
+    let job = (op / 8) % *submitted as u64;
+    let shard = (op / 64) % shard_counts[job as usize];
+    let attempt = (op / 512) % 3;
+    Some(match kind {
+        1 | 2 => JournalEvent::ShardStarted {
+            job,
+            shard,
+            attempt,
+        },
+        3 => JournalEvent::ShardSaved {
+            job,
+            shard,
+            attempt,
+            path: checkpoint_name(job, shard),
+            digest: content_digest(&op.to_le_bytes()),
+        },
+        4 => JournalEvent::ShardDied {
+            job,
+            shard,
+            attempt,
+            reason: "crashed (exit code 42)".into(),
+        },
+        5 => JournalEvent::JobCompleted { job },
+        6 => JournalEvent::JobFailed {
+            job,
+            reason: "retry budget exhausted".into(),
+        },
+        _ => JournalEvent::Resumed {
+            jobs: *submitted as u64,
+        },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A crash can leave the journal cut at any line boundary (or torn
+    /// mid-line); every such prefix must recover a consistent restriction
+    /// of the full history.
+    #[test]
+    fn replaying_any_prefix_of_a_valid_journal_is_consistent(
+        shard_counts in collection::vec(1u64..5, 1..4),
+        ops in collection::vec(any::<u64>(), 1..80),
+        cut in any::<u64>(),
+    ) {
+        let mut submitted = 0usize;
+        let events: Vec<JournalEvent> = ops
+            .iter()
+            .filter_map(|&op| decode_op(op, &shard_counts, &mut submitted))
+            .collect();
+        let lines: Vec<String> = events.iter().map(render_event).collect();
+        let text: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        let full = replay(&text).expect("the generated journal is valid");
+
+        // Line-boundary prefixes: a crash after any fsync'd append.  Each
+        // prefix must replay cleanly and be a restriction of the full state:
+        // the same jobs (a prefix of them), saved-shard sets that are
+        // subsets growing monotonically, retries never exceeding the final
+        // count, and never a shard outside the job's range (no shard is
+        // ever double-counted — `saved` is keyed by shard index — and none
+        // is lost, because prefixes only ever grow).
+        let mut prev_saved: Vec<BTreeSet<u64>> = Vec::new();
+        for k in 0..=lines.len() {
+            let prefix: String = lines[..k].iter().map(|l| format!("{l}\n")).collect();
+            let state = replay(&prefix).expect("every line prefix replays");
+            prop_assert_eq!(state.torn_lines, 0);
+            prop_assert!(state.jobs.len() <= full.jobs.len());
+            for (i, job) in state.jobs.iter().enumerate() {
+                prop_assert_eq!(job.id, i as u64);
+                prop_assert_eq!(&job.spec, &full.jobs[i].spec);
+                prop_assert!(job.retries <= full.jobs[i].retries);
+                let saved: BTreeSet<u64> = job.saved.keys().copied().collect();
+                prop_assert!(saved.iter().all(|&s| s < job.spec.shards));
+                prop_assert!(
+                    saved.is_subset(&full.jobs[i].saved.keys().copied().collect()),
+                    "prefix {k} saved shards not in the full journal: {saved:?}"
+                );
+                if let Some(earlier) = prev_saved.get(i) {
+                    prop_assert!(
+                        earlier.is_subset(&saved),
+                        "a longer prefix lost shard checkpoints: {earlier:?} vs {saved:?}"
+                    );
+                }
+            }
+            prev_saved = state
+                .jobs
+                .iter()
+                .map(|j| j.saved.keys().copied().collect())
+                .collect();
+        }
+
+        // Arbitrary byte cut: the torn-tail case.  At most one line is
+        // lost, and what remains is still a restriction of the full state.
+        let cut_at = (cut as usize) % (text.len() + 1);
+        let state = replay(&text[..cut_at]).expect("byte-cut journals replay");
+        prop_assert!(state.torn_lines <= 1, "one crash tears at most one line");
+        for (i, job) in state.jobs.iter().enumerate() {
+            prop_assert_eq!(&job.spec, &full.jobs[i].spec);
+            let saved: BTreeSet<u64> = job.saved.keys().copied().collect();
+            prop_assert!(
+                saved.is_subset(&full.jobs[i].saved.keys().copied().collect())
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integration: a real daemon resumes a hand-built state dir.
+// ---------------------------------------------------------------------------
+
+/// The seed range the resume tests sweep; the baseline must match.
+const SEEDS: (u64, u64) = (0, 30);
+
+fn test_config(state_dir: &Path, resume: bool) -> ServeConfig {
+    ServeConfig {
+        port: 0,
+        workers: 2,
+        queue_capacity: 4,
+        heartbeat_timeout: Duration::from_secs(60),
+        max_retries: 2,
+        worker_binary: PathBuf::from(env!("CARGO_BIN_EXE_semint")),
+        log_path: None,
+        echo: false,
+        state_dir: Some(state_dir.to_path_buf()),
+        resume,
+    }
+}
+
+fn job_spec(shards: u64) -> JobSpec {
+    JobSpec {
+        seeds: SEEDS,
+        profile: "default".into(),
+        case: "all".into(),
+        shards,
+        jobs: 2,
+        batch: 1,
+        model_check: false,
+        fault: None,
+    }
+}
+
+/// The uninterrupted one-shot sweep's per-case digests.
+fn baseline_digests() -> Vec<String> {
+    let cases = AnyCase::all(false);
+    let range = SeedRange::new(SEEDS.0, SEEDS.1).unwrap();
+    let cfg = SweepConfig {
+        jobs: 2,
+        profile: GenProfile::by_name("default").unwrap(),
+        model_check: false,
+        ..SweepConfig::default()
+    };
+    sweep_all(&cases, &range, &cfg)
+        .cases
+        .iter()
+        .map(|c| c.digest())
+        .collect()
+}
+
+/// Sweeps shard `index` of `of` in-process and returns its report's TSV —
+/// exactly the checkpoint a worker would have saved before the "crash".
+fn shard_checkpoint_tsv(index: u64, of: u64) -> String {
+    let cases = AnyCase::all(false);
+    let range = SeedRange::new(SEEDS.0, SEEDS.1).unwrap();
+    let shard = Shard::new(range, index, of).unwrap();
+    let cfg = SweepConfig {
+        jobs: 2,
+        profile: GenProfile::by_name("default").unwrap(),
+        model_check: false,
+        ..SweepConfig::default()
+    };
+    sweep_all(&cases, &shard, &cfg).to_tsv()
+}
+
+/// Builds a state dir describing a daemon that died mid-job: job 0
+/// submitted with `shards` shards, shard 0 checkpointed (bytes as given),
+/// shard 1 started but unaccounted.  Returns the journaled digest of the
+/// checkpoint (the digest of `journaled_bytes`, which a corruption test
+/// can make disagree with what is actually on disk).
+fn build_interrupted_state(dir: &Path, shards: u64, checkpoint: &[u8], journaled_digest: &str) {
+    std::fs::create_dir_all(dir).unwrap();
+    std::fs::write(dir.join(checkpoint_name(0, 0)), checkpoint).unwrap();
+    let mut events = vec![
+        JournalEvent::Submitted {
+            job: 0,
+            spec: job_spec(shards),
+        },
+        JournalEvent::ShardStarted {
+            job: 0,
+            shard: 0,
+            attempt: 0,
+        },
+        JournalEvent::ShardSaved {
+            job: 0,
+            shard: 0,
+            attempt: 0,
+            path: checkpoint_name(0, 0),
+            digest: journaled_digest.to_string(),
+        },
+    ];
+    if shards > 1 {
+        events.push(JournalEvent::ShardStarted {
+            job: 0,
+            shard: 1,
+            attempt: 0,
+        });
+    }
+    let text: String = events
+        .iter()
+        .map(|e| format!("{}\n", render_event(e)))
+        .collect();
+    std::fs::write(Journal::path_in(dir), text).unwrap();
+}
+
+fn wait_for_done(addr: &str, job: u64) -> semint_harness::serve::JobStatus {
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        assert!(
+            Instant::now() < deadline,
+            "job {job} did not settle within the deadline"
+        );
+        match call(addr, &Request::Status { job: Some(job) }).expect("status call") {
+            Response::Status { jobs, .. } => {
+                let status = jobs.into_iter().next().expect("requested job exists");
+                if status.state == "done" || status.state == "failed" {
+                    return status;
+                }
+            }
+            other => panic!("unexpected status response: {other:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+fn shutdown_and_join(addr: &str, daemon: Daemon) {
+    match call(addr, &Request::Shutdown).expect("shutdown call") {
+        Response::Ok => {}
+        other => panic!("unexpected shutdown response: {other:?}"),
+    }
+    daemon.join();
+}
+
+/// Parses the journal and returns the shard indices of every
+/// `shard-started` event *after* the last `daemon-resumed` marker, plus
+/// whether `job-completed` was journaled for job 0.
+fn post_resume_activity(dir: &Path) -> (BTreeSet<u64>, bool) {
+    let text = std::fs::read_to_string(Journal::path_in(dir)).expect("journal exists");
+    let events: Vec<JournalEvent> = text.lines().filter_map(|l| parse_event(l).ok()).collect();
+    let last_resume = events
+        .iter()
+        .rposition(|e| matches!(e, JournalEvent::Resumed { .. }))
+        .expect("the resumed daemon journaled its marker");
+    let started: BTreeSet<u64> = events[last_resume..]
+        .iter()
+        .filter_map(|e| match e {
+            JournalEvent::ShardStarted { shard, .. } => Some(*shard),
+            _ => None,
+        })
+        .collect();
+    let completed = events[last_resume..]
+        .iter()
+        .any(|e| matches!(e, JournalEvent::JobCompleted { job: 0 }));
+    (started, completed)
+}
+
+#[test]
+fn resume_reuses_verified_checkpoints_and_converges_on_one_shot_digests() {
+    let dir = std::env::temp_dir().join(format!("semint-resume-test-{}-ok", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let tsv = shard_checkpoint_tsv(0, 3);
+    build_interrupted_state(&dir, 3, tsv.as_bytes(), &content_digest(tsv.as_bytes()));
+
+    let daemon = Daemon::spawn(test_config(&dir, true)).expect("daemon resumes");
+    let addr = format!("127.0.0.1:{}", daemon.port());
+    let status = wait_for_done(&addr, 0);
+    assert_eq!(status.state, "done", "error: {:?}", status.error);
+    assert!(status.recovered, "the job came from the journal");
+    assert_eq!(status.shards_done, 3);
+    assert_eq!(
+        status.digests,
+        baseline_digests(),
+        "resumed digests must be byte-identical to the uninterrupted sweep"
+    );
+    shutdown_and_join(&addr, daemon);
+
+    let (started, completed) = post_resume_activity(&dir);
+    assert!(
+        !started.contains(&0),
+        "the verified shard-0 checkpoint must be reused, not re-run: {started:?}"
+    );
+    assert_eq!(
+        started,
+        BTreeSet::from([1, 2]),
+        "only the unaccounted shards are re-issued"
+    );
+    assert!(completed, "the resumed job's completion is journaled");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_rejects_a_corrupted_checkpoint_and_reruns_that_shard() {
+    let dir = std::env::temp_dir().join(format!("semint-resume-test-{}-bad", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let tsv = shard_checkpoint_tsv(0, 3);
+    // The journal records the digest of the *true* report, but the bytes on
+    // disk were damaged after the fsync — resume must notice and re-run.
+    let mut damaged = tsv.clone().into_bytes();
+    let mid = damaged.len() / 2;
+    damaged[mid] ^= 0xff;
+    build_interrupted_state(&dir, 3, &damaged, &content_digest(tsv.as_bytes()));
+
+    let daemon = Daemon::spawn(test_config(&dir, true)).expect("daemon resumes");
+    let addr = format!("127.0.0.1:{}", daemon.port());
+    let status = wait_for_done(&addr, 0);
+    assert_eq!(status.state, "done", "error: {:?}", status.error);
+    assert_eq!(
+        status.digests,
+        baseline_digests(),
+        "digests converge even when a checkpoint had to be discarded"
+    );
+    shutdown_and_join(&addr, daemon);
+
+    let (started, _) = post_resume_activity(&dir);
+    assert_eq!(
+        started,
+        BTreeSet::from([0, 1, 2]),
+        "the corrupted shard 0 is re-issued along with the unaccounted ones"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_restores_settled_jobs_and_status_lists_them_alongside_new_ones() {
+    let dir = std::env::temp_dir().join(format!("semint-resume-test-{}-done", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    // A single-shard job that fully completed before the daemon died:
+    // checkpoint on disk, completion journaled.
+    let tsv = shard_checkpoint_tsv(0, 1);
+    std::fs::write(dir.join(checkpoint_name(0, 0)), tsv.as_bytes()).unwrap();
+    let events = [
+        JournalEvent::Submitted {
+            job: 0,
+            spec: job_spec(1),
+        },
+        JournalEvent::ShardStarted {
+            job: 0,
+            shard: 0,
+            attempt: 0,
+        },
+        JournalEvent::ShardSaved {
+            job: 0,
+            shard: 0,
+            attempt: 0,
+            path: checkpoint_name(0, 0),
+            digest: content_digest(tsv.as_bytes()),
+        },
+        JournalEvent::JobCompleted { job: 0 },
+    ];
+    let text: String = events
+        .iter()
+        .map(|e| format!("{}\n", render_event(e)))
+        .collect();
+    std::fs::write(Journal::path_in(&dir), text).unwrap();
+
+    let daemon = Daemon::spawn(test_config(&dir, true)).expect("daemon resumes");
+    let addr = format!("127.0.0.1:{}", daemon.port());
+    // The settled job is immediately done — no worker ever runs.
+    let status = wait_for_done(&addr, 0);
+    assert_eq!(status.state, "done");
+    assert!(status.recovered);
+    assert_eq!(status.digests, baseline_digests());
+
+    // A fresh submit gets the next dense id, and a bare status request
+    // lists both the recovered job and the live one.
+    let job = match call(&addr, &Request::Submit(job_spec(2))).expect("submit") {
+        Response::Submitted { job } => job,
+        other => panic!("unexpected submit response: {other:?}"),
+    };
+    assert_eq!(job, 1, "ids stay dense across the resume");
+    match call(&addr, &Request::Status { job: None }).expect("status") {
+        Response::Status { jobs, .. } => {
+            assert_eq!(jobs.len(), 2, "status lists recovered and new jobs");
+            assert!(jobs[0].recovered);
+            assert!(!jobs[1].recovered);
+        }
+        other => panic!("unexpected status response: {other:?}"),
+    }
+    let _ = wait_for_done(&addr, 1);
+    shutdown_and_join(&addr, daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Asserts a config refuses to spawn and returns the refusal.
+fn spawn_err(cfg: ServeConfig, what: &str) -> String {
+    match Daemon::spawn(cfg) {
+        Err(e) => e,
+        Ok(_daemon) => panic!("{what}: the daemon spawned when it should have refused"),
+    }
+}
+
+#[test]
+fn confusable_state_dir_combinations_refuse_to_spawn() {
+    let dir = std::env::temp_dir().join(format!("semint-resume-test-{}-cfg", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --resume without --state-dir: nowhere to read a journal from.
+    let cfg = ServeConfig {
+        state_dir: None,
+        ..test_config(&dir, true)
+    };
+    let err = spawn_err(cfg, "resume without a state dir");
+    assert!(err.contains("--state-dir"), "{err}");
+
+    // --resume over a dir with no journal: nothing to recover.
+    std::fs::create_dir_all(&dir).unwrap();
+    let err = spawn_err(test_config(&dir, true), "no journal to resume");
+    assert!(err.contains("no journal"), "{err}");
+
+    // A fresh (non-resume) start over an existing journal would shadow
+    // recoverable work: refused, with the fix spelled out.
+    let tsv = shard_checkpoint_tsv(0, 3);
+    build_interrupted_state(&dir, 3, tsv.as_bytes(), &content_digest(tsv.as_bytes()));
+    let err = spawn_err(test_config(&dir, false), "journal present, no --resume");
+    assert!(err.contains("--resume"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

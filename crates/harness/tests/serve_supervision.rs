@@ -14,7 +14,8 @@ use semint_core::stats::SweepReport;
 use semint_harness::cases::AnyCase;
 use semint_harness::engine::{sweep_all, SweepConfig};
 use semint_harness::serve::{
-    call, Daemon, Fault, JobSpec, JobStatus, Request, Response, ServeConfig,
+    call, Daemon, FaultKind, FaultPlan, JobSpec, JobStatus, Request, Response, ServeConfig,
+    MAX_REQUEST_LINE,
 };
 use semint_harness::source::SeedRange;
 
@@ -33,10 +34,12 @@ fn test_config() -> ServeConfig {
         worker_binary: PathBuf::from(env!("CARGO_BIN_EXE_semint")),
         log_path: None,
         echo: false,
+        state_dir: None,
+        resume: false,
     }
 }
 
-fn job_spec(fault: Option<Fault>) -> JobSpec {
+fn job_spec(fault: Option<FaultPlan>) -> JobSpec {
     JobSpec {
         seeds: SEEDS,
         profile: "default".into(),
@@ -156,7 +159,14 @@ fn killed_worker_slice_is_reissued_and_digests_still_converge() {
     let addr = format!("127.0.0.1:{}", daemon.port());
     // Shard 1's first attempt aborts mid-sweep after 3 scenarios, leaving
     // no report — a genuine crash from the supervisor's point of view.
-    let job = submit(&addr, job_spec(Some(Fault { shard: 1, after: 3 })));
+    let job = submit(
+        &addr,
+        job_spec(Some(FaultPlan {
+            shard: 1,
+            after: 3,
+            kind: FaultKind::Crash,
+        })),
+    );
     let status = wait_for_job(&addr, job);
     assert_eq!(status.state, "done", "error: {:?}", status.error);
     assert!(
@@ -225,4 +235,61 @@ fn full_queue_applies_backpressure_and_drain_refuses_new_jobs() {
         log.contains(&expected.join(" ")),
         "job-done must record the one-shot sweep's digests\n{log}"
     );
+}
+
+/// Sends raw bytes to the daemon and returns whatever single line it answers
+/// with (empty if it just hangs up), exactly like a hostile client would.
+fn raw_exchange(addr: &str, payload: &[u8]) -> String {
+    use std::io::{BufRead, BufReader, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    stream.write_all(payload).expect("write payload");
+    // Half-close so a daemon waiting for the newline sees EOF instead of
+    // blocking forever on a line that never terminates.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut line = String::new();
+    let _ = BufReader::new(stream).read_line(&mut line);
+    line
+}
+
+#[test]
+fn garbage_and_oversized_request_lines_bounce_without_killing_the_daemon() {
+    let daemon = Daemon::spawn(test_config()).expect("daemon spawns");
+    let addr = format!("127.0.0.1:{}", daemon.port());
+
+    // A request line past the cap is refused with an Error envelope instead
+    // of being buffered without bound.
+    let oversized = vec![b'x'; MAX_REQUEST_LINE as usize + 64];
+    let reply = raw_exchange(&addr, &oversized);
+    assert!(
+        reply.contains("\"error\"") && reply.contains("request line"),
+        "oversized line must be refused explicitly, got: {reply:?}"
+    );
+
+    // Invalid UTF-8 with a proper newline is malformed, not fatal.
+    let reply = raw_exchange(&addr, b"\xff\xfe{not json}\n");
+    assert!(
+        reply.contains("\"error\""),
+        "malformed bytes must get an Error envelope, got: {reply:?}"
+    );
+
+    // Valid JSON that is not a request is also just an error.
+    let reply = raw_exchange(&addr, b"{\"cmd\": \"frobnicate\"}\n");
+    assert!(
+        reply.contains("\"error\""),
+        "unknown request must get an Error envelope, got: {reply:?}"
+    );
+
+    // A client that connects and immediately hangs up must not wedge the
+    // accept loop either.
+    drop(std::net::TcpStream::connect(&addr).expect("connect"));
+
+    // After all that abuse the daemon still answers well-formed requests.
+    assert!(matches!(
+        call(&addr, &Request::Ping).expect("ping after abuse"),
+        Response::Ok
+    ));
+    shutdown_and_join(&addr, daemon);
 }
